@@ -1,0 +1,299 @@
+//! Forging attacks (§5.3): the adversary does not remove the owner's
+//! watermark — they fabricate one of their own and claim the model.
+//!
+//! Setting (i): counterfeit a location set `L_a` and a fake signature by
+//! declaring a doctored "original" (`deployed − b` at chosen cells).
+//! The naive delta check (Eq. 6) cannot tell this apart from a real
+//! claim — which is precisely why the paper's verification *requires
+//! reproduction*: locations must re-derive from the claimed original
+//! weights, activation profile, and hyperparameters, and the activation
+//! profile must come from the claimant's full-precision model. The
+//! adversary has no full-precision model, so their claimed `A_f` cannot
+//! be reproduced and the claim dies.
+//!
+//! Setting (ii): re-watermark the deployed model and claim it — handled
+//! in [`crate::rewatermark`]; the owner's bits survive, so priority plus
+//! reproduction still decides for the owner.
+
+use emmark_core::signature::Signature;
+use emmark_core::watermark::{locate_watermark, Locations, OwnerSecrets, WatermarkConfig};
+use emmark_nanolm::model::ActivationStats;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::QuantizedModel;
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+
+/// An ownership claim as presented to a verifier: the claimed original
+/// weights, activation profile, signature, hyperparameters, and the
+/// *asserted* watermark locations `L`.
+#[derive(Debug, Clone)]
+pub struct OwnershipClaim {
+    /// Claimed pre-watermark quantized model.
+    pub original: QuantizedModel,
+    /// Claimed full-precision activation profile.
+    pub stats: ActivationStats,
+    /// Claimed signature.
+    pub signature: Signature,
+    /// Claimed insertion hyperparameters.
+    pub config: WatermarkConfig,
+    /// Asserted locations. An honest claim derives these from the secret
+    /// material; a counterfeit simply asserts convenient cells.
+    pub locations: Locations,
+}
+
+impl OwnershipClaim {
+    /// The honest claim a real owner files: locations derived from the
+    /// secrets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates location-derivation errors.
+    pub fn from_secrets(secrets: &OwnerSecrets) -> Result<Self, emmark_core::WatermarkError> {
+        let locations = locate_watermark(&secrets.original, &secrets.stats, &secrets.config)?;
+        Ok(Self {
+            original: secrets.original.clone(),
+            stats: secrets.stats.clone(),
+            signature: secrets.signature.clone(),
+            config: secrets.config,
+            locations,
+        })
+    }
+}
+
+/// Counterfeits a claim over `deployed` (forging setting (i)): pick
+/// random cells, declare `deployed − b` there as "the original", and
+/// present activation statistics measured through the quantized model
+/// as "A_f".
+pub fn forge_counterfeit_claim(
+    deployed: &QuantizedModel,
+    adversary_calibration: &[Vec<u32>],
+    bits_per_layer: usize,
+    seed: u64,
+) -> OwnershipClaim {
+    let n = deployed.layer_count();
+    let signature = Signature::generate(bits_per_layer * n, seed ^ 0xFA_CE);
+    let mut fake_original = deployed.clone();
+    let mut locations: Locations = Vec::with_capacity(n);
+    let mut sm = SplitMix64::new(seed ^ 0xF0_4641);
+    for (l, layer) in fake_original.layers.iter_mut().enumerate() {
+        let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());
+        let bits = signature.layer_bits(l, n);
+        // Choose cells where subtracting b stays in range, making the
+        // forged "original" internally consistent.
+        let mut chosen = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < bits_per_layer && guard < layer.len() * 4 {
+            guard += 1;
+            let f = rng.below(layer.len());
+            if chosen.contains(&f) {
+                continue;
+            }
+            let b = bits[chosen.len()];
+            let target = layer.q_at_flat(f) as i16 - b as i16;
+            if target.unsigned_abs() as i16 <= layer.qmax() as i16 {
+                layer.set_q_flat(f, target as i8);
+                chosen.push(f);
+            }
+        }
+        locations.push(chosen);
+    }
+    let stats = deployed.collect_activation_stats(adversary_calibration);
+    OwnershipClaim {
+        original: fake_original,
+        stats,
+        signature,
+        config: WatermarkConfig { bits_per_layer, ..Default::default() },
+        locations,
+    }
+}
+
+/// The naive Eq. 6 delta check a careless verifier might run: diff the
+/// suspect against the claimed original at the *asserted* locations.
+/// The counterfeit passes this by construction — which is the paper's
+/// argument for mandatory location reproduction.
+///
+/// # Panics
+///
+/// Panics if the suspect's shape does not match the claim.
+pub fn naive_delta_check(claim: &OwnershipClaim, suspect: &QuantizedModel) -> f64 {
+    let n = claim.original.layer_count();
+    assert_eq!(suspect.layer_count(), n, "layer count mismatch");
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for (l, locs) in claim.locations.iter().enumerate() {
+        let bits = claim.signature.layer_bits(l, n);
+        for (&f, &b) in locs.iter().zip(bits) {
+            let delta =
+                suspect.layers[l].q_at_flat(f) as i16 - claim.original.layers[l].q_at_flat(f) as i16;
+            if delta == b as i16 {
+                matched += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * matched as f64 / total as f64
+    }
+}
+
+/// Verdict of the full verification protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimVerdict {
+    /// WER of the claimed signature at the *reproduced* locations.
+    pub wer_at_reproduced_locations: f64,
+    /// Whether the claimed activation profile matches one recomputed
+    /// from the claimant's full-precision model.
+    pub stats_reproducible: bool,
+    /// Whether the asserted locations re-derive from the claimed
+    /// original, profile, and hyperparameters.
+    pub locations_reproducible: bool,
+    /// Overall acceptance.
+    pub accepted: bool,
+}
+
+/// Maximum relative deviation tolerated between claimed and recomputed
+/// mean-absolute activations.
+const STATS_TOLERANCE: f32 = 0.02;
+
+/// The paper's full verification: the claimant must hand over their
+/// full-precision model; the verifier recomputes `A_f` from it on the
+/// agreed calibration data, re-derives the locations from the claimed
+/// material, and only then checks deltas. A claimant without the real
+/// full-precision model cannot pass the reproduction steps.
+pub fn validate_claim(
+    claim: &OwnershipClaim,
+    suspect: &QuantizedModel,
+    claimed_fp_model: Option<&mut TransformerModel>,
+    calibration: &[Vec<u32>],
+    wer_threshold: f64,
+) -> ClaimVerdict {
+    let stats_reproducible = match claimed_fp_model {
+        None => false, // no full-precision model, no reproduction
+        Some(fp) => {
+            let recomputed = fp.collect_activation_stats(calibration);
+            recomputed.layer_count() == claim.stats.layer_count()
+                && recomputed
+                    .per_layer
+                    .iter()
+                    .zip(&claim.stats.per_layer)
+                    .all(|(a, b)| {
+                        a.mean_abs.len() == b.mean_abs.len()
+                            && a.mean_abs.iter().zip(&b.mean_abs).all(|(x, y)| {
+                                (x - y).abs() <= STATS_TOLERANCE * x.abs().max(1e-6)
+                            })
+                    })
+        }
+    };
+    let locations_reproducible =
+        match locate_watermark(&claim.original, &claim.stats, &claim.config) {
+            Ok(derived) => derived == claim.locations,
+            Err(_) => false,
+        };
+    let wer = if stats_reproducible && locations_reproducible {
+        naive_delta_check(claim, suspect)
+    } else {
+        0.0
+    };
+    ClaimVerdict {
+        wer_at_reproduced_locations: wer,
+        stats_reproducible,
+        locations_reproducible,
+        accepted: stats_reproducible && locations_reproducible && wer >= wer_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_core::watermark::OwnerSecrets;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn calibration() -> Vec<Vec<u32>> {
+        (0..4u32).map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect()).collect()
+    }
+
+    fn owner_setup() -> (OwnerSecrets, TransformerModel) {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let stats = model.collect_activation_stats(&calibration());
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        (OwnerSecrets::new(qm, stats, cfg, 31337), model)
+    }
+
+    #[test]
+    fn counterfeit_passes_the_naive_check() {
+        let (secrets, _) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 666);
+        let naive = naive_delta_check(&claim, &deployed);
+        // This is the vulnerability of delta-only verification: the
+        // forged claim looks perfect.
+        assert!(naive > 95.0, "naive wer {naive}");
+    }
+
+    #[test]
+    fn counterfeit_locations_do_not_rederive() {
+        let (secrets, _) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 670);
+        // Even granting the adversary a pool-sized config, the randomly
+        // asserted cells are not what EmMark scoring derives.
+        claim.config =
+            WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let derived = locate_watermark(&claim.original, &claim.stats, &claim.config)
+            .expect("derivable with small pool");
+        assert_ne!(derived, claim.locations);
+    }
+
+    #[test]
+    fn counterfeit_fails_full_validation_without_fp_model() {
+        let (secrets, _) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 667);
+        let verdict = validate_claim(&claim, &deployed, None, &calibration(), 90.0);
+        assert!(!verdict.accepted);
+        assert!(!verdict.stats_reproducible);
+    }
+
+    #[test]
+    fn counterfeit_fails_even_with_an_unrelated_fp_model() {
+        let (secrets, _) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 668);
+        // Adversary grabs some other full-precision model and tries to
+        // pass it off as the source.
+        let mut other_cfg = ModelConfig::tiny_test();
+        other_cfg.init_seed = 999;
+        let mut other_fp = TransformerModel::new(other_cfg);
+        let verdict =
+            validate_claim(&claim, &deployed, Some(&mut other_fp), &calibration(), 90.0);
+        assert!(
+            !verdict.stats_reproducible,
+            "unrelated fp model must not reproduce the claimed stats"
+        );
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn true_owner_passes_full_validation() {
+        let (secrets, mut fp_model) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let claim = OwnershipClaim::from_secrets(&secrets).expect("claim");
+        let verdict =
+            validate_claim(&claim, &deployed, Some(&mut fp_model), &calibration(), 90.0);
+        assert!(verdict.stats_reproducible, "owner's stats must reproduce");
+        assert!(verdict.locations_reproducible, "owner's locations must re-derive");
+        assert_eq!(verdict.wer_at_reproduced_locations, 100.0);
+        assert!(verdict.accepted);
+    }
+
+    #[test]
+    fn forged_original_differs_from_deployed_by_construction() {
+        let (secrets, _) = owner_setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 669);
+        assert!(!claim.original.same_weights(&deployed));
+    }
+}

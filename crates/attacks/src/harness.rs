@@ -1,0 +1,149 @@
+//! Attack sweep harness: runs an attack at increasing strengths and
+//! measures the Figure 2 triple (PPL, zero-shot accuracy, WER) at every
+//! point.
+
+use crate::overwrite::{overwrite_attack, OverwriteConfig};
+use crate::rewatermark::{rewatermark_attack, RewatermarkConfig};
+use emmark_core::watermark::OwnerSecrets;
+use emmark_eval::report::{evaluate_quality, EvalConfig};
+use emmark_nanolm::corpus::Corpus;
+use emmark_quant::QuantizedModel;
+use serde::{Deserialize, Serialize};
+
+/// One point of an attack sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackPoint {
+    /// Attack strength (cells perturbed per layer).
+    pub strength: usize,
+    /// Perplexity of the attacked model.
+    pub ppl: f64,
+    /// Zero-shot accuracy (%) of the attacked model.
+    pub zero_shot_acc: f64,
+    /// Owner's watermark extraction rate (%) after the attack.
+    pub wer: f64,
+}
+
+/// Sweeps the parameter-overwriting attack over `strengths`
+/// (Figure 2(a): 0, 100, …, 500 in the paper).
+pub fn overwrite_sweep(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    strengths: &[usize],
+    attack_seed: u64,
+) -> Vec<AttackPoint> {
+    strengths
+        .iter()
+        .map(|&strength| {
+            let mut attacked = deployed.clone();
+            if strength > 0 {
+                overwrite_attack(
+                    &mut attacked,
+                    &OverwriteConfig { per_layer: strength, seed: attack_seed },
+                );
+            }
+            measure(secrets, &attacked, corpus, eval_cfg, strength)
+        })
+        .collect()
+}
+
+/// Sweeps the re-watermark attack over `strengths` (Figure 2(b): 0,
+/// 100, …, 300 in the paper). The adversary's activation statistics are
+/// measured once through the deployed quantized model.
+pub fn rewatermark_sweep(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    strengths: &[usize],
+    adversary_calibration: &[Vec<u32>],
+) -> Vec<AttackPoint> {
+    let adv_stats = deployed.collect_activation_stats(adversary_calibration);
+    strengths
+        .iter()
+        .map(|&strength| {
+            let mut attacked = deployed.clone();
+            if strength > 0 {
+                rewatermark_attack(
+                    &mut attacked,
+                    &adv_stats,
+                    &RewatermarkConfig { per_layer: strength, ..Default::default() },
+                );
+            }
+            measure(secrets, &attacked, corpus, eval_cfg, strength)
+        })
+        .collect()
+}
+
+fn measure(
+    secrets: &OwnerSecrets,
+    attacked: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    strength: usize,
+) -> AttackPoint {
+    let quality = evaluate_quality(attacked, corpus, eval_cfg);
+    let wer = secrets.verify(attacked).map(|r| r.wer()).unwrap_or(0.0);
+    AttackPoint { strength, ppl: quality.ppl, zero_shot_acc: quality.zero_shot_acc, wer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_core::watermark::WatermarkConfig;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::corpus::Grammar;
+    use emmark_nanolm::train::{train, TrainConfig};
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn setup() -> (OwnerSecrets, QuantizedModel, Corpus) {
+        let corpus = Corpus::sample(Grammar::synwiki(15), 6000, 400, 800);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let mut model = TransformerModel::new(cfg);
+        train(
+            &mut model,
+            &corpus,
+            &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        );
+        let calib: Vec<Vec<u32>> =
+            corpus.valid.chunks(16).take(6).map(|c| c.to_vec()).collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let wm_cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let secrets = OwnerSecrets::new(qm, stats, wm_cfg, 5150);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        (secrets, deployed, corpus)
+    }
+
+    #[test]
+    fn overwrite_sweep_shows_the_figure_2a_shape() {
+        let (secrets, deployed, corpus) = setup();
+        let eval_cfg = EvalConfig { task_items: 12, ppl_tokens: 300, ..EvalConfig::tiny_test() };
+        // Strengths sized to the tiny 256-cell test layers: the paper's
+        // 100–500-per-layer sweep on multi-million-cell layers maps to
+        // single-digit percentages of cells, i.e. tens of cells here.
+        let points = overwrite_sweep(&secrets, &deployed, &corpus, &eval_cfg, &[0, 8, 32], 77);
+        assert_eq!(points.len(), 3);
+        // Zero-strength point: untouched model, full WER.
+        assert_eq!(points[0].wer, 100.0);
+        // Damage grows with strength…
+        assert!(points[2].ppl > points[0].ppl, "{points:?}");
+        // …while WER stays high.
+        assert!(points[2].wer > 80.0, "{points:?}");
+    }
+
+    #[test]
+    fn rewatermark_sweep_keeps_owner_wer_high() {
+        let (secrets, deployed, corpus) = setup();
+        let eval_cfg = EvalConfig { task_items: 12, ppl_tokens: 300, ..EvalConfig::tiny_test() };
+        let calib: Vec<Vec<u32>> =
+            corpus.valid.chunks(16).skip(6).take(4).map(|c| c.to_vec()).collect();
+        let points =
+            rewatermark_sweep(&secrets, &deployed, &corpus, &eval_cfg, &[0, 8, 24], &calib);
+        assert_eq!(points[0].wer, 100.0);
+        assert!(points[2].wer > 60.0, "{points:?}");
+    }
+}

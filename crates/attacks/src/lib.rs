@@ -1,0 +1,44 @@
+//! # emmark-attacks
+//!
+//! The paper's §5.3 threat suite against watermarked quantized models:
+//!
+//! * [`overwrite`] — blind parameter overwriting (Figure 2(a));
+//! * [`rewatermark`] — EmMark-style re-insertion with adversary
+//!   parameters and quantized-model activations (Figure 2(b));
+//! * [`forging`] — counterfeit ownership claims, the naive delta check
+//!   they fool, and the full reproduction-based verification that
+//!   rejects them;
+//! * [`harness`] — strength sweeps producing the (PPL, accuracy, WER)
+//!   triples the figures plot.
+//!
+//! The paper argues (§3, §5.3) that pruning and fine-tuning are not
+//! viable removal attacks on embedded quantized models. Both arguments
+//! are made *executable* here rather than asserted: [`pruning`]
+//! implements magnitude pruning and measures the quality collapse the
+//! paper predicts, and QLoRA-style adapter fine-tuning lives in
+//! [`emmark_quant::qlora`], where the frozen integer weights provably
+//! never move.
+//!
+//! # Examples
+//!
+//! ```
+//! use emmark_attacks::overwrite::{overwrite_attack, OverwriteConfig};
+//! use emmark_nanolm::{config::ModelConfig, TransformerModel};
+//! use emmark_quant::rtn::quantize_linear_rtn;
+//! use emmark_quant::{ActQuant, Granularity, QuantizedModel};
+//!
+//! let model = TransformerModel::new(ModelConfig::tiny_test());
+//! let mut deployed = QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
+//!     quantize_linear_rtn(lin, 4, Granularity::Grouped { group_size: 8 }, ActQuant::None)
+//! });
+//! let touched = overwrite_attack(&mut deployed, &OverwriteConfig { per_layer: 16, seed: 1 });
+//! assert_eq!(touched, 16 * deployed.layer_count());
+//! ```
+
+pub mod forging;
+pub mod harness;
+pub mod overwrite;
+pub mod pruning;
+pub mod rewatermark;
+
+pub use harness::{overwrite_sweep, rewatermark_sweep, AttackPoint};

@@ -1,0 +1,106 @@
+//! Parameter overwriting attack (§5.3, Figure 2(a)).
+//!
+//! The adversary "removes the watermark by randomly adding one bit to
+//! the parameter weights in the watermarked model" — a blind bump of `k`
+//! random cells per quantized layer. Arithmetic wraps at the storage
+//! width, as it would on device.
+
+use emmark_quant::QuantizedModel;
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+
+/// Overwriting attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverwriteConfig {
+    /// Cells overwritten per quantized layer (clamped to the layer size).
+    pub per_layer: usize,
+    /// Attack randomness seed (the adversary's, unrelated to the owner's).
+    pub seed: u64,
+}
+
+/// Applies the attack in place; returns the number of cells actually
+/// bumped.
+pub fn overwrite_attack(model: &mut QuantizedModel, cfg: &OverwriteConfig) -> usize {
+    let mut sm = SplitMix64::new(cfg.seed ^ 0x0133_7A77);
+    let mut touched = 0usize;
+    for layer in &mut model.layers {
+        let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());
+        let k = cfg.per_layer.min(layer.len());
+        for f in rng.sample_without_replacement(layer.len(), k) {
+            // "Adding one bit": +1, hardware wrap semantics.
+            layer.bump_q_flat_wrapping(f, 1);
+            touched += 1;
+        }
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::rtn::quantize_linear_rtn;
+    use emmark_quant::{ActQuant, Granularity};
+
+    fn quantized_tiny() -> QuantizedModel {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, 4, Granularity::Grouped { group_size: 8 }, ActQuant::None)
+        })
+    }
+
+    #[test]
+    fn attack_touches_exactly_k_cells_per_layer() {
+        let original = quantized_tiny();
+        let mut attacked = original.clone();
+        let touched = overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 10, seed: 1 });
+        assert_eq!(touched, 10 * original.layer_count());
+        let mut changed = 0;
+        for (a, b) in attacked.layers.iter().zip(&original.layers) {
+            for f in 0..a.len() {
+                if a.q_at_flat(f) != b.q_at_flat(f) {
+                    changed += 1;
+                }
+            }
+        }
+        assert_eq!(changed, touched);
+    }
+
+    #[test]
+    fn oversized_attack_clamps_to_layer_size() {
+        let original = quantized_tiny();
+        let mut attacked = original.clone();
+        let huge = 1_000_000;
+        let touched = overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: huge, seed: 2 });
+        let cells: usize = original.layers.iter().map(|l| l.len()).sum();
+        assert_eq!(touched, cells);
+    }
+
+    #[test]
+    fn attack_is_deterministic_per_seed() {
+        let original = quantized_tiny();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        overwrite_attack(&mut a, &OverwriteConfig { per_layer: 20, seed: 7 });
+        overwrite_attack(&mut b, &OverwriteConfig { per_layer: 20, seed: 7 });
+        assert!(a.same_weights(&b));
+        let mut c = original.clone();
+        overwrite_attack(&mut c, &OverwriteConfig { per_layer: 20, seed: 8 });
+        assert!(!a.same_weights(&c));
+    }
+
+    #[test]
+    fn stronger_attacks_damage_quality_more() {
+        use emmark_nanolm::model::LogitsModel;
+        let original = quantized_tiny();
+        let tokens: Vec<u32> = (0..24u32).map(|i| (i * 5 + 2) % 31).collect();
+        let base = original.logits(&tokens);
+        let mut errs = Vec::new();
+        for k in [5usize, 50, 200] {
+            let mut attacked = original.clone();
+            overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: k, seed: 3 });
+            errs.push(base.sub(&attacked.logits(&tokens)).frobenius_norm());
+        }
+        assert!(errs[0] < errs[2], "damage should grow with strength: {errs:?}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Pruning attack — included to *demonstrate the paper's exclusion*.
+//!
+//! §3 and §5.3 argue that pruning attacks "cannot be applied to
+//! embedded LLM" because the model is already compressed: zeroing
+//! quantized weights collapses quality long before it removes enough
+//! watermark bits. This module implements magnitude pruning on the
+//! integer grids so the claim is measured rather than asserted — the
+//! sweep shows quality falling off a cliff while the surviving bits
+//! still carry an overwhelming Eq. 8 ownership signal.
+
+use emmark_quant::QuantizedModel;
+
+/// Magnitude-prunes each quantized layer in place: the `fraction`
+/// smallest-|q| nonzero cells of every layer are zeroed. Returns the
+/// number of cells zeroed.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn prune_attack(model: &mut QuantizedModel, fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut zeroed = 0usize;
+    for layer in &mut model.layers {
+        let mut nonzero: Vec<(i8, usize)> = (0..layer.len())
+            .filter(|&f| layer.q_at_flat(f) != 0 && !layer.is_outlier_flat(f))
+            .map(|f| (layer.q_at_flat(f).unsigned_abs() as i8, f))
+            .collect();
+        nonzero.sort_unstable_by_key(|&(mag, f)| (mag, f));
+        let k = ((nonzero.len() as f64) * fraction).floor() as usize;
+        for &(_, f) in nonzero.iter().take(k) {
+            layer.set_q_flat(f, 0);
+            zeroed += 1;
+        }
+    }
+    zeroed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn setup() -> (OwnerSecrets, QuantizedModel) {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let secrets = OwnerSecrets::new(qm, stats, cfg, 404);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        (secrets, deployed)
+    }
+
+    #[test]
+    fn pruning_zeroes_the_requested_fraction() {
+        let (_, deployed) = setup();
+        let mut pruned = deployed.clone();
+        let nonzero_before: usize = deployed
+            .layers
+            .iter()
+            .map(|l| (0..l.len()).filter(|&f| l.q_at_flat(f) != 0).count())
+            .sum();
+        let zeroed = prune_attack(&mut pruned, 0.5);
+        assert!(zeroed > nonzero_before / 3, "{zeroed} of {nonzero_before}");
+        assert!(!pruned.same_weights(&deployed));
+    }
+
+    #[test]
+    fn pruning_damages_the_model_severely() {
+        let (_, deployed) = setup();
+        let tokens: Vec<u32> = (0..20u32).map(|i| (i * 3 + 2) % 31).collect();
+        let base = deployed.logits(&tokens);
+        let mut pruned = deployed.clone();
+        prune_attack(&mut pruned, 0.6);
+        let damaged = pruned.logits(&tokens);
+        let rel = base.sub(&damaged).frobenius_norm() / base.frobenius_norm().max(1e-12);
+        assert!(rel > 0.2, "60% pruning must visibly damage logits (rel {rel})");
+        // Outputs may be garbage but the runtime stays numerically sane.
+        assert!(damaged.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ownership_signal_outlives_moderate_pruning() {
+        let (secrets, deployed) = setup();
+        let mut pruned = deployed.clone();
+        prune_attack(&mut pruned, 0.25);
+        let report = secrets.verify(&pruned).expect("extract");
+        // Magnitude pruning removes small-|q| cells first; EmMark's S_q
+        // term preferred large-|q| cells, so most bits survive a
+        // quality-destroying 25% prune.
+        assert!(report.wer() > 60.0, "wer {}", report.wer());
+        assert!(report.proves_ownership(-6.0), "p = 10^{}", report.log10_p_chance());
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        let (_, deployed) = setup();
+        let mut pruned = deployed.clone();
+        assert_eq!(prune_attack(&mut pruned, 0.0), 0);
+        assert!(pruned.same_weights(&deployed));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn invalid_fraction_panics() {
+        let (_, deployed) = setup();
+        let mut pruned = deployed.clone();
+        let _ = prune_attack(&mut pruned, 1.5);
+    }
+}

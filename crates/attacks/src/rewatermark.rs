@@ -1,0 +1,170 @@
+//! Re-watermark attack (§5.3, Figure 2(b)).
+//!
+//! The adversary knows EmMark's algorithm but not the owner's secrets.
+//! They run the same scoring pipeline with their own coefficients and
+//! seed — and, crucially, with activation statistics measured through
+//! the *quantized* model (the paper sets α = 1, β = 1.5, seed 22, and
+//! notes "the activation for scoring S_r is obtained from the quantized
+//! LLM instead of the full-precision one"). They then bump their own
+//! chosen cells, hoping to land on and corrupt the owner's bits.
+
+use emmark_core::scoring::{candidate_pool, score_layer, ScoreCoefficients};
+use emmark_nanolm::model::ActivationStats;
+use emmark_quant::QuantizedModel;
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+
+/// Re-watermark attack configuration. Defaults are the paper's
+/// adversary parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewatermarkConfig {
+    /// Adversary's α.
+    pub alpha: f64,
+    /// Adversary's β.
+    pub beta: f64,
+    /// Adversary's selection seed.
+    pub seed: u64,
+    /// Cells perturbed per layer (the Figure 2(b) sweep variable).
+    pub per_layer: usize,
+    /// Adversary's candidate-pool ratio.
+    pub pool_ratio: usize,
+}
+
+impl Default for RewatermarkConfig {
+    fn default() -> Self {
+        Self { alpha: 1.0, beta: 1.5, seed: 22, per_layer: 8, pool_ratio: 50 }
+    }
+}
+
+/// Runs the attack in place using `adversary_stats` (activation
+/// statistics the adversary measured through the deployed quantized
+/// model). Returns the number of cells perturbed.
+///
+/// # Panics
+///
+/// Panics if the stats do not cover the model's layers.
+pub fn rewatermark_attack(
+    model: &mut QuantizedModel,
+    adversary_stats: &ActivationStats,
+    cfg: &RewatermarkConfig,
+) -> usize {
+    assert_eq!(
+        adversary_stats.layer_count(),
+        model.layer_count(),
+        "adversary stats do not cover the model"
+    );
+    let coeffs = ScoreCoefficients { alpha: cfg.alpha, beta: cfg.beta };
+    let mut sm = SplitMix64::new(cfg.seed ^ 0xADE5_0B11);
+    let mut touched = 0usize;
+    for (l, layer) in model.layers.iter_mut().enumerate() {
+        let layer_seed = sm.next_u64();
+        let scores = score_layer(layer, &adversary_stats.per_layer[l].mean_abs, &coeffs);
+        // The adversary clamps their ambitions to what the layer offers.
+        let finite = scores.iter().filter(|s| s.is_finite()).count();
+        let k = cfg.per_layer.min(finite);
+        if k == 0 {
+            continue;
+        }
+        let pool_size = (cfg.pool_ratio * k).min(finite);
+        let pool = candidate_pool(&scores, pool_size).expect("pool_size clamped to available");
+        let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+        let picks = rng.sample_without_replacement(pool.len(), k);
+        for p in picks {
+            let f = pool[p];
+            // EmMark-style insertion never clips (pool excludes clamped
+            // cells), so the plain bump is safe. Rademacher direction.
+            let bit = if rng.rademacher() == 1 { 1 } else { -1 };
+            layer.bump_q_flat(f, bit);
+            touched += 1;
+        }
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn setup() -> OwnerSecrets {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        OwnerSecrets::new(qm, stats, cfg, 4242)
+    }
+
+    fn adversary_calib() -> Vec<Vec<u32>> {
+        (0..3u32).map(|s| (0..16u32).map(|i| (i * 11 + s * 5) % 31).collect()).collect()
+    }
+
+    #[test]
+    fn attack_perturbs_requested_cells() {
+        let secrets = setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut attacked = deployed.clone();
+        let adv_stats = deployed.collect_activation_stats(&adversary_calib());
+        let cfg = RewatermarkConfig { per_layer: 6, ..Default::default() };
+        let touched = rewatermark_attack(&mut attacked, &adv_stats, &cfg);
+        assert_eq!(touched, 6 * deployed.layer_count());
+        assert!(!attacked.same_weights(&deployed));
+    }
+
+    #[test]
+    fn owner_watermark_survives_moderate_rewatermarking() {
+        let secrets = setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut attacked = deployed.clone();
+        let adv_stats = deployed.collect_activation_stats(&adversary_calib());
+        rewatermark_attack(
+            &mut attacked,
+            &adv_stats,
+            &RewatermarkConfig { per_layer: 8, ..Default::default() },
+        );
+        let report = secrets.verify(&attacked).expect("extract");
+        // The adversary's pool overlaps the owner's only partially; most
+        // owner bits survive.
+        assert!(report.wer() >= 70.0, "wer {}", report.wer());
+        assert!(report.proves_ownership(-6.0));
+    }
+
+    #[test]
+    fn attack_never_wraps_cells() {
+        let secrets = setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut attacked = deployed.clone();
+        let adv_stats = deployed.collect_activation_stats(&adversary_calib());
+        rewatermark_attack(
+            &mut attacked,
+            &adv_stats,
+            &RewatermarkConfig { per_layer: 12, ..Default::default() },
+        );
+        for (a, b) in attacked.layers.iter().zip(&deployed.layers) {
+            for f in 0..a.len() {
+                let d = (a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16).abs();
+                assert!(d <= 1, "re-watermarking must not wrap (delta {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_attack_clamps_gracefully() {
+        let secrets = setup();
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut attacked = deployed.clone();
+        let adv_stats = deployed.collect_activation_stats(&adversary_calib());
+        let touched = rewatermark_attack(
+            &mut attacked,
+            &adv_stats,
+            &RewatermarkConfig { per_layer: 1_000_000, ..Default::default() },
+        );
+        let capacity: usize = deployed.layers.iter().map(|l| l.len()).sum();
+        assert!(touched <= capacity);
+        assert!(touched > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! **Figure 2(b)** — re-watermark attack sweep on the Sim-OPT-2.7b
+//! AWQ-INT4 target. The adversary runs EmMark's own pipeline with
+//! α = 1, β = 1.5, seed 22, and activation statistics measured through
+//! the *quantized* model, perturbing 0…300 cells per layer.
+//!
+//! Paper shape: quality collapses by 300 bits/layer (zero-shot < 20%)
+//! while the owner's WER stays above 95%.
+
+use criterion::Criterion;
+use emmark_attacks::harness::rewatermark_sweep;
+use emmark_attacks::rewatermark::{rewatermark_attack, RewatermarkConfig};
+use emmark_bench::{awq_int4, bench_eval_cfg, prepare_target, print_header};
+use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark_eval::report::evaluate_quality;
+
+fn main() {
+    print_header("FIGURE 2(b)", "re-watermark attack sweep (adversary: α=1, β=1.5, seed 22)");
+    let prepared = prepare_target();
+    let original = awq_int4(&prepared);
+    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let secrets = OwnerSecrets::new(original, prepared.stats.clone(), cfg, 66);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let eval_cfg = bench_eval_cfg();
+    let base = evaluate_quality(&deployed, &prepared.corpus, &eval_cfg);
+    println!(
+        "target {} AWQ-INT4 | deployed PPL {:.2}, acc {:.2}%",
+        prepared.spec.name(),
+        base.ppl,
+        base.zero_shot_acc
+    );
+
+    // Adversary's calibration: public test-distribution text.
+    let adv_calib: Vec<Vec<u32>> =
+        prepared.corpus.test.chunks(24).take(12).map(|c| c.to_vec()).collect();
+    let strengths = [0usize, 100, 150, 200, 250, 300];
+    let points = rewatermark_sweep(
+        &secrets,
+        &deployed,
+        &prepared.corpus,
+        &eval_cfg,
+        &strengths,
+        &adv_calib,
+    );
+    println!(
+        "\n{:>12} {:>10} {:>18} {:>8}",
+        "perturbed", "PPL", "zero-shot acc (%)", "WER (%)"
+    );
+    for p in &points {
+        println!(
+            "{:>12} {:>10.2} {:>18.2} {:>8.1}",
+            p.strength, p.ppl, p.zero_shot_acc, p.wer
+        );
+    }
+    let last = points.last().expect("sweep non-empty");
+    println!(
+        "\nshape check: owner WER after strongest re-watermarking: {:.1}%",
+        last.wer
+    );
+
+    // Criterion: one full attack pass.
+    let adv_stats = deployed.collect_activation_stats(&adv_calib);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("fig2b/rewatermark_300_per_layer", |b| {
+        b.iter(|| {
+            let mut attacked = deployed.clone();
+            rewatermark_attack(
+                &mut attacked,
+                &adv_stats,
+                &RewatermarkConfig { per_layer: 300, ..Default::default() },
+            );
+            attacked
+        })
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,64 @@
+//! **§5.3 Forging Attacks** — counterfeit claims against the deployed
+//! model, plus the Eq. 8 chance-match strength the paper quotes
+//! (9.09e-13 per layer for 40-bit signatures, 9.09e-13^n for n layers).
+
+use criterion::Criterion;
+use emmark_attacks::forging::{
+    forge_counterfeit_claim, naive_delta_check, validate_claim, OwnershipClaim,
+};
+use emmark_bench::{awq_int4, prepare_target, print_header};
+use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark_tensor::stats::log10_binomial_tail;
+
+fn main() {
+    print_header("FORGING (§5.3)", "counterfeit claims and chance-match strength");
+
+    // The paper's strength arithmetic, reproduced exactly.
+    println!("chance-match strength (Eq. 8):");
+    let per_layer_40 = log10_binomial_tail(40, 40);
+    println!(
+        "  40-bit layer signature: 10^{per_layer_40:.2} = {:.3e} (paper: 9.09e-13)",
+        10f64.powf(per_layer_40)
+    );
+    println!(
+        "  OPT-2.7B, n = 192 layers: 10^{:.0} (paper: 9.09e-13^192)",
+        per_layer_40 * 192.0
+    );
+
+    let prepared = prepare_target();
+    let original = awq_int4(&prepared);
+    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let secrets = OwnerSecrets::new(original, prepared.stats.clone(), cfg, 88);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let mut fp = prepared.fp.clone();
+
+    println!("\nsetting (i): counterfeit locations with a fake signature");
+    let forged = forge_counterfeit_claim(&deployed, &prepared.calibration, 16, 0xBAD);
+    println!("  naive delta-only check : {:>6.1}% (fooled)", naive_delta_check(&forged, &deployed));
+    let verdict = validate_claim(&forged, &deployed, None, &prepared.calibration, 90.0);
+    println!(
+        "  full validation        : stats_reproducible={}, locations_reproducible={}, accepted={}",
+        verdict.stats_reproducible, verdict.locations_reproducible, verdict.accepted
+    );
+    assert!(!verdict.accepted, "forged claim must be rejected");
+
+    println!("\nthe owner's claim under the identical protocol:");
+    let owner_claim = OwnershipClaim::from_secrets(&secrets).expect("claim");
+    let owner =
+        validate_claim(&owner_claim, &deployed, Some(&mut fp), &prepared.calibration, 90.0);
+    println!(
+        "  WER at reproduced locations {:.1}%, accepted={}",
+        owner.wer_at_reproduced_locations, owner.accepted
+    );
+    assert!(owner.accepted, "owner's claim must be accepted");
+
+    // Criterion: cost of full claim validation (the verifier's job).
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("forging/validate_owner_claim", |b| {
+        b.iter(|| {
+            let mut fp_local = prepared.fp.clone();
+            validate_claim(&owner_claim, &deployed, Some(&mut fp_local), &prepared.calibration, 90.0)
+        })
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,250 @@
+//! **Table 1** — Watermarked embedded LLM performance: PPL, zero-shot
+//! accuracy, and WER for {w/o WM, SpecMark, RandomWM, EmMark} over the
+//! nine-model Sim-OPT/Sim-LLaMA grid, at INT8 (SmoothQuant for Sim-OPT,
+//! LLM.int8() for Sim-LLaMA) and INT4 (AWQ), exactly as the paper lays
+//! the table out.
+//!
+//! Shape claims under reproduction: EmMark Δ≈0 at both precisions;
+//! RandomWM fine at INT8 but degrading at INT4; SpecMark 0% WER
+//! everywhere (greyed-out rows in the paper); EmMark 100% WER.
+
+use criterion::Criterion;
+use emmark_bench::{awq_int4, bench_eval_cfg, fmt_delta, prepare, print_header, Prepared};
+use emmark_core::baselines::{RandomWmConfig, SpecMarkConfig};
+use emmark_core::scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
+use emmark_core::watermark::WatermarkConfig;
+use emmark_eval::report::evaluate_quality;
+use emmark_nanolm::families::{full_grid, is_large, TrainEffort};
+use emmark_quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark_quant::QuantizedModel;
+use emmark_tensor::stats::mean;
+
+/// Per-layer densities scaled from the paper's 300 (INT8) / 40 (INT4)
+/// to the micro-model layer sizes (DESIGN.md §4).
+const BITS_INT8: usize = 12;
+const BITS_INT4: usize = 6;
+
+struct Row {
+    model: String,
+    ppl: f64,
+    acc: f64,
+    wer: f64,
+}
+
+fn schemes_for(bits_per_layer: usize, pool_ratio: usize) -> Vec<Box<dyn WatermarkScheme>> {
+    vec![
+        Box::new(SpecMarkScheme {
+            config: SpecMarkConfig { bits_per_layer, ..Default::default() },
+            signature_seed: 7,
+        }),
+        Box::new(RandomWmScheme {
+            config: RandomWmConfig { bits_per_layer, seed: 100 },
+            signature_seed: 7,
+        }),
+        Box::new(EmMarkScheme {
+            config: WatermarkConfig {
+                bits_per_layer,
+                pool_ratio,
+                ..WatermarkConfig::default()
+            },
+            signature_seed: 7,
+        }),
+    ]
+}
+
+fn run_grid(
+    prepared: &[Prepared],
+    quantize: impl Fn(&Prepared) -> QuantizedModel,
+    bits_per_layer: usize,
+) -> Vec<(String, Vec<Row>)> {
+    let eval_cfg = bench_eval_cfg();
+    let mut by_scheme: Vec<(String, Vec<Row>)> = vec![
+        ("w/o WM".into(), Vec::new()),
+        ("SpecMark".into(), Vec::new()),
+        ("RandomWM".into(), Vec::new()),
+        ("EmMark".into(), Vec::new()),
+    ];
+    for p in prepared {
+        let original = quantize(p);
+        let pool_ratio = if is_large(&p.spec) { 60 } else { 50 };
+        // Clamp the pool to the smallest layer so every model fits the
+        // paper's ratio rule.
+        let smallest = original.layers.iter().map(|l| l.len()).min().unwrap_or(0);
+        let pool_ratio = pool_ratio.min((smallest / bits_per_layer).saturating_sub(1).max(2));
+        let base_quality = evaluate_quality(&original, &p.corpus, &eval_cfg);
+        by_scheme[0].1.push(Row {
+            model: p.spec.name(),
+            ppl: base_quality.ppl,
+            acc: base_quality.zero_shot_acc,
+            wer: f64::NAN,
+        });
+        for (slot, scheme) in schemes_for(bits_per_layer, pool_ratio).into_iter().enumerate() {
+            let mut deployed = original.clone();
+            scheme.insert(&mut deployed, &p.stats).expect("insertion");
+            let quality = evaluate_quality(&deployed, &p.corpus, &eval_cfg);
+            let report = scheme.extract(&deployed, &original, &p.stats).expect("extraction");
+            by_scheme[slot + 1].1.push(Row {
+                model: p.spec.name(),
+                ppl: quality.ppl,
+                acc: quality.zero_shot_acc,
+                wer: report.wer(),
+            });
+        }
+    }
+    by_scheme
+}
+
+fn print_grid(title: &str, grid: &[(String, Vec<Row>)]) {
+    println!("\n--- {title} ---");
+    print!("{:<10}", "method");
+    for row in &grid[0].1 {
+        print!(" {:>14}", row.model.replace("sim-", ""));
+    }
+    println!(" {:>7}", "avg_d");
+    let base: Vec<&Row> = grid[0].1.iter().collect();
+    for (scheme, rows) in grid {
+        // PPL line.
+        print!("{:<10}", format!("{scheme} PPL"));
+        let mut deltas = Vec::new();
+        for (row, b) in rows.iter().zip(&base) {
+            print!(" {:>14.2}", row.ppl);
+            deltas.push(row.ppl - b.ppl);
+        }
+        println!(" {:>7}", fmt_delta(mean(&deltas)));
+        // Accuracy line.
+        print!("{:<10}", format!("{scheme} acc"));
+        let mut adeltas = Vec::new();
+        for (row, b) in rows.iter().zip(&base) {
+            print!(" {:>14.2}", row.acc);
+            adeltas.push(row.acc - b.acc);
+        }
+        println!(" {:>7}", fmt_delta(mean(&adeltas)));
+        // WER line (skip for the unwatermarked reference).
+        if !rows[0].wer.is_nan() {
+            print!("{:<10}", format!("{scheme} WER"));
+            for row in rows {
+                print!(" {:>14.1}", row.wer);
+            }
+            println!();
+        }
+    }
+}
+
+fn main() {
+    print_header("TABLE 1", "fidelity of watermarked embedded LLMs (9-model grid)");
+    println!(
+        "watermark densities: INT8 {BITS_INT8} bits/layer, INT4 {BITS_INT4} bits/layer \
+         (paper: 300/40 at OPT scale; see DESIGN.md §4)"
+    );
+    let effort = TrainEffort::bench_from_env();
+    println!("training nine models ({} steps each)…", effort.steps);
+    let prepared: Vec<Prepared> =
+        full_grid().iter().map(|spec| prepare(spec, effort)).collect();
+
+    // INT8: SmoothQuant for Sim-OPT (as the paper), LLM.int8 for Sim-LLaMA.
+    let int8 = run_grid(
+        &prepared,
+        |p| match p.spec.family {
+            emmark_nanolm::families::Family::SimOpt => {
+                smoothquant(&p.fp, &p.stats, &SmoothQuantConfig::default())
+            }
+            emmark_nanolm::families::Family::SimLlama => {
+                llm_int8(&p.fp, &p.stats, OutlierCriterion::default())
+            }
+        },
+        BITS_INT8,
+    );
+    print_grid("INT8 quantization (SmoothQuant / LLM.int8)", &int8);
+
+    let int4 = run_grid(&prepared, awq_int4, BITS_INT4);
+    print_grid("INT4 quantization (AWQ)", &int4);
+
+    // Shape check mirrored from the paper: EmMark's mean degradation is
+    // ~0 while RandomWM's INT4 degradation exceeds EmMark's.
+    let ppl_delta = |grid: &[(String, Vec<Row>)], idx: usize| {
+        let base = &grid[0].1;
+        mean(
+            &grid[idx]
+                .1
+                .iter()
+                .zip(base)
+                .map(|(r, b)| r.ppl - b.ppl)
+                .collect::<Vec<_>>(),
+        )
+    };
+    println!("\nshape checks:");
+    println!(
+        "  EmMark INT4 mean ΔPPL {:.3} vs RandomWM INT4 mean ΔPPL {:.3}",
+        ppl_delta(&int4, 3),
+        ppl_delta(&int4, 2)
+    );
+    let specmark_wers: Vec<f64> = int4[1].1.iter().map(|r| r.wer).collect();
+    println!("  SpecMark INT4 WERs: {:?} (paper: all 0)", specmark_wers);
+
+    // Density sweep on the 2.7b target: the paper's RandomWM-vs-EmMark
+    // INT4 gap is driven by wrap events on clamped cells, which at the
+    // grid's scaled density are too rare to move micro-model PPL. Raising
+    // the density makes the mechanism visible: RandomWM's damage grows
+    // with its wrap count while EmMark stays flat (it never wraps).
+    println!("\n--- INT4 density sweep on sim-opt-2.7b (mechanism check) ---");
+    println!(
+        "{:>11} {:>14} {:>14} {:>14} {:>14}",
+        "bits/layer", "EmMark PPL", "RandomWM PPL", "RandomWM WER", "wraps"
+    );
+    let target = &prepared[2];
+    let original = awq_int4(target);
+    let eval_cfg = bench_eval_cfg();
+    let smallest = original.layers.iter().map(|l| l.len()).min().unwrap_or(0);
+    for bits in [16usize, 64, 128] {
+        let pool_ratio = ((smallest * 8 / 10) / bits).clamp(2, 50);
+        let em = EmMarkScheme {
+            config: WatermarkConfig { bits_per_layer: bits, pool_ratio, ..Default::default() },
+            signature_seed: 9,
+        };
+        let mut em_model = original.clone();
+        em.insert(&mut em_model, &target.stats).expect("emmark insert");
+        let em_q = evaluate_quality(&em_model, &target.corpus, &eval_cfg);
+
+        let rw = RandomWmScheme {
+            config: RandomWmConfig { bits_per_layer: bits, seed: 100 },
+            signature_seed: 9,
+        };
+        let mut rw_model = original.clone();
+        rw.insert(&mut rw_model, &target.stats).expect("randomwm insert");
+        let rw_q = evaluate_quality(&rw_model, &target.corpus, &eval_cfg);
+        let rw_wer = rw.extract(&rw_model, &original, &target.stats).expect("extract").wer();
+        let wraps: usize = rw_model
+            .layers
+            .iter()
+            .zip(&original.layers)
+            .map(|(a, b)| {
+                (0..a.len())
+                    .filter(|&f| (a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16).abs() > 1)
+                    .count()
+            })
+            .sum();
+        println!(
+            "{:>11} {:>14.2} {:>14.2} {:>13.1}% {:>14}",
+            bits, em_q.ppl, rw_q.ppl, rw_wer, wraps
+        );
+    }
+
+    // Criterion timing of the Table 1 core operation: one EmMark
+    // insertion on the mid-grid model.
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    let target = &prepared[2];
+    let original = awq_int4(target);
+    let scheme = EmMarkScheme {
+        config: WatermarkConfig { bits_per_layer: BITS_INT4, pool_ratio: 50, ..Default::default() },
+        signature_seed: 7,
+    };
+    criterion.bench_function("table1/emmark_insert_sim_opt_2.7b_int4", |b| {
+        b.iter(|| {
+            let mut model = original.clone();
+            scheme.insert(&mut model, &target.stats).expect("insert");
+            model
+        })
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,61 @@
+//! **Table 3** — Effectiveness of the insertion coefficients: (α, β) ∈
+//! {(1, 0), (0.5, 0.5), (0, 1)} on the Sim-OPT-2.7b AWQ-INT4 target.
+//!
+//! Paper result: all three extract 100%; β-only selection drifts toward
+//! saliency-channel bits and costs a sliver of quality (14.65 vs 14.61
+//! PPL, 61.25 vs 61.36 acc).
+
+use criterion::Criterion;
+use emmark_bench::{awq_int4, bench_eval_cfg, prepare_target, print_header};
+use emmark_core::scoring::{score_layer, ScoreCoefficients};
+use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark_eval::report::evaluate_quality;
+
+fn main() {
+    print_header("TABLE 3", "effect of the (α, β) scoring coefficients");
+    let prepared = prepare_target();
+    let original = awq_int4(&prepared);
+    let eval_cfg = bench_eval_cfg();
+    let base = evaluate_quality(&original, &prepared.corpus, &eval_cfg);
+    println!(
+        "target {} AWQ-INT4 | unwatermarked PPL {:.2}, acc {:.2}%",
+        prepared.spec.name(),
+        base.ppl,
+        base.zero_shot_acc
+    );
+
+    println!("\n{:>12} {:>9} {:>18} {:>8}", "(α, β)", "PPL", "zero-shot acc (%)", "WER (%)");
+    for (alpha, beta) in [(1.0, 0.0), (0.5, 0.5), (0.0, 1.0)] {
+        let cfg = WatermarkConfig {
+            alpha,
+            beta,
+            bits_per_layer: 16,
+            pool_ratio: 20,
+            ..Default::default()
+        };
+        let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 33);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let quality = evaluate_quality(&deployed, &prepared.corpus, &eval_cfg);
+        let report = secrets.verify(&deployed).expect("extract");
+        println!(
+            "{:>12} {:>9.2} {:>18.2} {:>8.1}",
+            format!("({alpha}, {beta})"),
+            quality.ppl,
+            quality.zero_shot_acc,
+            report.wer()
+        );
+    }
+    println!("\npaper: (1,0) 14.61/61.36/100, (0.5,0.5) 14.61/61.36/100, (0,1) 14.65/61.25/100");
+
+    // Criterion: time the scoring function itself under each setting.
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    let layer = &original.layers[0];
+    let act = &prepared.stats.per_layer[0].mean_abs;
+    for (alpha, beta, tag) in [(1.0, 0.0, "alpha"), (0.5, 0.5, "both"), (0.0, 1.0, "beta")] {
+        let coeffs = ScoreCoefficients { alpha, beta };
+        criterion.bench_function(&format!("table3/score_layer_{tag}"), |b| {
+            b.iter(|| score_layer(layer, act, &coeffs))
+        });
+    }
+    criterion.final_summary();
+}

@@ -1,0 +1,106 @@
+//! # emmark-bench
+//!
+//! Shared harness for the benchmark suite that regenerates every table
+//! and figure of the EmMark paper (see `benches/`). Each bench binary
+//! prints the paper-style rows into the `cargo bench` output and times
+//! the core operation it exercises with Criterion.
+//!
+//! Model sizes, watermark densities, and sweep axes are scaled per
+//! DESIGN.md §4; `EMMARK_TRAIN_STEPS` shrinks training for smoke runs.
+
+use emmark_eval::report::EvalConfig;
+use emmark_nanolm::corpus::Corpus;
+use emmark_nanolm::families::{train_spec, ModelSpec, TrainEffort};
+use emmark_nanolm::model::ActivationStats;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use emmark_quant::QuantizedModel;
+
+/// A trained full-precision model with everything the experiments need.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The spec it was built from.
+    pub spec: ModelSpec,
+    /// Trained full-precision model.
+    pub fp: TransformerModel,
+    /// Its corpus (train/valid/test).
+    pub corpus: Corpus,
+    /// Calibration sequences (drawn from the validation split).
+    pub calibration: Vec<Vec<u32>>,
+    /// Full-precision activation profile `A_f`.
+    pub stats: ActivationStats,
+}
+
+/// Corpus seed shared by all experiments.
+pub const CORPUS_SEED: u64 = 2024;
+
+/// Trains a spec and captures its activation profile.
+pub fn prepare(spec: &ModelSpec, effort: TrainEffort) -> Prepared {
+    let trained = train_spec(spec, effort, CORPUS_SEED);
+    let mut fp = trained.model;
+    let calibration: Vec<Vec<u32>> =
+        trained.corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let stats = fp.collect_activation_stats(&calibration);
+    Prepared { spec: spec.clone(), fp, corpus: trained.corpus, calibration, stats }
+}
+
+/// The robustness/ablation target: the Sim-OPT-2.7b stand-in (the paper
+/// uses OPT-2.7B quantized by AWQ for §5.3 and §5.4).
+pub fn prepare_target() -> Prepared {
+    let spec = emmark_nanolm::families::sim_opt_grid()
+        .into_iter()
+        .find(|s| s.label == "2.7b")
+        .expect("grid contains 2.7b");
+    prepare(&spec, TrainEffort::bench_from_env())
+}
+
+/// AWQ INT4 quantization of a prepared model (the paper's INT4 scheme).
+pub fn awq_int4(prepared: &Prepared) -> QuantizedModel {
+    awq(&prepared.fp, &prepared.stats, &AwqConfig::default())
+}
+
+/// Evaluation sizing for bench runs: large enough for stable two-decimal
+/// reporting, small enough to keep `cargo bench` tractable.
+pub fn bench_eval_cfg() -> EvalConfig {
+    EvalConfig { ppl_tokens: 1200, window: 32, task_items: 30, seed: 1234 }
+}
+
+/// Prints a standard experiment header.
+pub fn print_header(id: &str, what: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("==============================================================");
+}
+
+/// Formats a signed delta with the paper's convention.
+pub fn fmt_delta(delta: f64) -> String {
+    if delta.abs() < 5e-4 {
+        "0".to_string()
+    } else {
+        format!("{delta:+.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::families::sim_opt_grid;
+
+    #[test]
+    fn prepare_builds_consistent_bundle() {
+        let spec = &sim_opt_grid()[0];
+        let p = prepare(spec, TrainEffort { steps: 5, batch_size: 2 });
+        assert_eq!(p.stats.layer_count(), p.fp.cfg.quant_layer_count());
+        assert!(!p.calibration.is_empty());
+        let qm = awq_int4(&p);
+        assert_eq!(qm.layer_count(), p.fp.cfg.quant_layer_count());
+    }
+
+    #[test]
+    fn fmt_delta_matches_paper_convention() {
+        assert_eq!(fmt_delta(0.0001), "0");
+        assert_eq!(fmt_delta(2.29), "+2.29");
+        assert_eq!(fmt_delta(-0.13), "-0.13");
+    }
+}

@@ -1,0 +1,443 @@
+//! The paper's two comparison schemes: **RandomWM** (signatures at
+//! uniformly random indices) and **SpecMark** (spread-spectrum signatures
+//! in the high-frequency DCT band, Chen et al. 2020).
+//!
+//! Table 1's story is reproduced mechanistically:
+//!
+//! * RandomWM bumps integers without EmMark's min/max-level exclusion, so
+//!   a bump on a clamped cell wraps around in two's complement — flipping
+//!   the largest weight of a scale block to the most negative value.
+//!   INT4 grids clamp a far larger share of cells than INT8 grids (one
+//!   per 16-element group vs one per full column), which is exactly why
+//!   RandomWM holds up at INT8 and degrades at INT4.
+//! * SpecMark adds perturbations of amplitude `ε ≪ 1` to DCT
+//!   coefficients. Rounding back to the integer grid erases them, so
+//!   extraction finds nothing (0% WER) — while the same code on the
+//!   full-precision weights extracts 100%.
+
+use crate::signature::Signature;
+use crate::watermark::{ExtractionReport, Locations};
+use emmark_nanolm::TransformerModel;
+use emmark_quant::QuantizedModel;
+use emmark_tensor::dct::{dct2, dct3, high_frequency_start};
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+
+/// RandomWM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomWmConfig {
+    /// Bits inserted per quantized layer.
+    pub bits_per_layer: usize,
+    /// Location seed.
+    pub seed: u64,
+}
+
+impl Default for RandomWmConfig {
+    fn default() -> Self {
+        Self { bits_per_layer: 8, seed: 100 }
+    }
+}
+
+/// RandomWM's locations: uniformly random distinct cells per layer.
+pub fn randomwm_locations(model: &QuantizedModel, cfg: &RandomWmConfig) -> Locations {
+    let mut sm = SplitMix64::new(cfg.seed ^ 0x7A4D_11A3);
+    model
+        .layers
+        .iter()
+        .map(|layer| {
+            let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());
+            rng.sample_without_replacement(layer.len(), cfg.bits_per_layer)
+        })
+        .collect()
+}
+
+/// Inserts `signature` at random locations with hardware (wrapping)
+/// integer arithmetic.
+///
+/// # Panics
+///
+/// Panics if the signature length is not `bits_per_layer × layers`.
+pub fn randomwm_insert(
+    model: &mut QuantizedModel,
+    signature: &Signature,
+    cfg: &RandomWmConfig,
+) -> Locations {
+    let n = model.layer_count();
+    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    let locations = randomwm_locations(model, cfg);
+    for (l, locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in locs.iter().zip(bits) {
+            model.layers[l].bump_q_flat_wrapping(f, b);
+        }
+    }
+    locations
+}
+
+/// Extracts a RandomWM signature by exact `ΔW == b` matching at the
+/// re-derived random locations.
+///
+/// # Panics
+///
+/// Panics if shapes or signature length mismatch.
+pub fn randomwm_extract(
+    suspect: &QuantizedModel,
+    original: &QuantizedModel,
+    signature: &Signature,
+    cfg: &RandomWmConfig,
+) -> ExtractionReport {
+    let n = original.layer_count();
+    assert_eq!(suspect.layer_count(), n, "layer count mismatch");
+    let locations = randomwm_locations(original, cfg);
+    let mut matched = 0;
+    let mut total = 0;
+    for (l, locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in locs.iter().zip(bits) {
+            let delta =
+                suspect.layers[l].q_at_flat(f) as i16 - original.layers[l].q_at_flat(f) as i16;
+            if delta == b as i16 {
+                matched += 1;
+            }
+            total += 1;
+        }
+    }
+    ExtractionReport { total_bits: total, matched_bits: matched }
+}
+
+/// SpecMark configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecMarkConfig {
+    /// Bits inserted per layer.
+    pub bits_per_layer: usize,
+    /// Coefficient selection seed.
+    pub seed: u64,
+    /// Perturbation amplitude added to each chosen DCT coefficient.
+    pub epsilon: f64,
+    /// Fraction of the spectrum counted as "high frequency".
+    pub band_fraction: f64,
+    /// Block length for the block DCT (weights are transformed in
+    /// contiguous blocks, JPEG-style, keeping the transform O(n·block)).
+    pub block: usize,
+}
+
+impl Default for SpecMarkConfig {
+    fn default() -> Self {
+        Self { bits_per_layer: 8, seed: 100, epsilon: 0.01, band_fraction: 0.25, block: 256 }
+    }
+}
+
+/// A SpecMark embedding position: `(block index, coefficient index)`.
+type SpecSlot = (usize, usize);
+
+/// Chooses per-layer embedding slots in the high-frequency band.
+fn specmark_slots(cell_count: usize, cfg: &SpecMarkConfig, layer_seed: u64) -> Vec<SpecSlot> {
+    let block = cfg.block.min(cell_count.max(1));
+    let n_blocks = cell_count.div_ceil(block);
+    // Enumerate the high-frequency coefficients of every block.
+    let mut slots: Vec<SpecSlot> = Vec::new();
+    for bidx in 0..n_blocks {
+        let len = (cell_count - bidx * block).min(block);
+        if len < 2 {
+            continue;
+        }
+        let start = high_frequency_start(len, cfg.band_fraction);
+        for c in start..len {
+            slots.push((bidx, c));
+        }
+    }
+    let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+    let picks = rng.sample_without_replacement(slots.len(), cfg.bits_per_layer.min(slots.len()));
+    picks.into_iter().map(|p| slots[p]).collect()
+}
+
+/// The weights of one layer as f64 blocks.
+fn blocks_of(values: &[f64], block: usize) -> Vec<Vec<f64>> {
+    values.chunks(block.max(1)).map(|c| c.to_vec()).collect()
+}
+
+fn embed_in_values(values: &mut [f64], cfg: &SpecMarkConfig, layer_seed: u64, bits: &[i8]) {
+    let slots = specmark_slots(values.len(), cfg, layer_seed);
+    let block = cfg.block.min(values.len().max(1));
+    let mut blocks = blocks_of(values, block);
+    for (slot, &b) in slots.iter().zip(bits) {
+        let coefs = dct2(&blocks[slot.0]);
+        let mut coefs = coefs;
+        coefs[slot.1] += cfg.epsilon * b as f64;
+        blocks[slot.0] = dct3(&coefs);
+    }
+    let mut i = 0;
+    for blk in blocks {
+        for v in blk {
+            values[i] = v;
+            i += 1;
+        }
+    }
+}
+
+fn extract_from_values(
+    suspect: &[f64],
+    original: &[f64],
+    cfg: &SpecMarkConfig,
+    layer_seed: u64,
+    bits: &[i8],
+) -> (usize, usize) {
+    let slots = specmark_slots(original.len(), cfg, layer_seed);
+    let block = cfg.block.min(original.len().max(1));
+    let sus_blocks = blocks_of(suspect, block);
+    let orig_blocks = blocks_of(original, block);
+    let mut matched = 0;
+    let mut total = 0;
+    for (slot, &b) in slots.iter().zip(bits) {
+        let cs = dct2(&sus_blocks[slot.0]);
+        let co = dct2(&orig_blocks[slot.0]);
+        let delta = cs[slot.1] - co[slot.1];
+        // Detection: correct sign and at least 40% of the amplitude.
+        if delta.signum() as i8 == b && delta.abs() >= 0.4 * cfg.epsilon {
+            matched += 1;
+        }
+        total += 1;
+    }
+    (matched, total)
+}
+
+/// Per-layer sub-seeds for SpecMark.
+fn specmark_layer_seeds(seed: u64, n: usize) -> Vec<u64> {
+    let mut sm = SplitMix64::new(seed ^ 0x5BEC_3A2C);
+    (0..n).map(|_| sm.next_u64()).collect()
+}
+
+/// Inserts a SpecMark signature into a *quantized* model: embed in the
+/// DCT domain, then round back to the integer grid (which is what a
+/// deployed INT8/INT4 model forces). This is the paper's "SpecMark on
+/// embedded LLMs" condition.
+///
+/// # Panics
+///
+/// Panics if the signature length is not `bits_per_layer × layers`.
+pub fn specmark_insert_quantized(
+    model: &mut QuantizedModel,
+    signature: &Signature,
+    cfg: &SpecMarkConfig,
+) {
+    let n = model.layer_count();
+    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    let seeds = specmark_layer_seeds(cfg.seed, n);
+    for (l, seed) in seeds.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        let layer = &mut model.layers[l];
+        let mut values: Vec<f64> = layer.q_values().iter().map(|&q| q as f64).collect();
+        embed_in_values(&mut values, cfg, *seed, bits);
+        let qmax = layer.qmax() as f64;
+        for (f, v) in values.iter().enumerate() {
+            let rounded = v.round().clamp(-qmax, qmax) as i8;
+            layer.set_q_flat(f, rounded);
+        }
+    }
+}
+
+/// Extracts a SpecMark signature from a quantized suspect.
+///
+/// # Panics
+///
+/// Panics if shapes or signature length mismatch.
+pub fn specmark_extract_quantized(
+    suspect: &QuantizedModel,
+    original: &QuantizedModel,
+    signature: &Signature,
+    cfg: &SpecMarkConfig,
+) -> ExtractionReport {
+    let n = original.layer_count();
+    assert_eq!(suspect.layer_count(), n, "layer count mismatch");
+    let seeds = specmark_layer_seeds(cfg.seed, n);
+    let mut matched = 0;
+    let mut total = 0;
+    for (l, seed) in seeds.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        let sus: Vec<f64> = suspect.layers[l].q_values().iter().map(|&q| q as f64).collect();
+        let orig: Vec<f64> = original.layers[l].q_values().iter().map(|&q| q as f64).collect();
+        let (m, t) = extract_from_values(&sus, &orig, cfg, *seed, bits);
+        matched += m;
+        total += t;
+    }
+    ExtractionReport { total_bits: total, matched_bits: matched }
+}
+
+/// Inserts SpecMark into a *full-precision* model — the regime the
+/// scheme was designed for, kept as the sanity control showing the 0%
+/// quantized WER is a property of the integer grid, not of our SpecMark
+/// implementation.
+///
+/// # Panics
+///
+/// Panics if the signature length is not `bits_per_layer × layers`.
+pub fn specmark_insert_fp(
+    model: &mut TransformerModel,
+    signature: &Signature,
+    cfg: &SpecMarkConfig,
+) {
+    let n = model.cfg.quant_layer_count();
+    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    let seeds = specmark_layer_seeds(cfg.seed, n);
+    for (l, lin) in model.linear_layers_mut().into_iter().enumerate() {
+        let bits_start = l * cfg.bits_per_layer;
+        let bits: Vec<i8> =
+            signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
+        let mut values: Vec<f64> =
+            lin.weight.value.iter().map(|&w| w as f64).collect();
+        embed_in_values(&mut values, cfg, seeds[l], &bits);
+        for (w, v) in lin.weight.value.iter_mut().zip(values.iter()) {
+            *w = *v as f32;
+        }
+    }
+}
+
+/// Extracts SpecMark from a full-precision suspect.
+///
+/// # Panics
+///
+/// Panics if shapes or signature length mismatch.
+pub fn specmark_extract_fp(
+    suspect: &TransformerModel,
+    original: &TransformerModel,
+    signature: &Signature,
+    cfg: &SpecMarkConfig,
+) -> ExtractionReport {
+    let n = original.cfg.quant_layer_count();
+    let seeds = specmark_layer_seeds(cfg.seed, n);
+    let sus_layers = suspect.linear_layers();
+    let orig_layers = original.linear_layers();
+    assert_eq!(sus_layers.len(), orig_layers.len(), "layer count mismatch");
+    let mut matched = 0;
+    let mut total = 0;
+    for l in 0..n {
+        let bits_start = l * cfg.bits_per_layer;
+        let bits: Vec<i8> =
+            signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
+        let sus: Vec<f64> = sus_layers[l].weight.value.iter().map(|&w| w as f64).collect();
+        let orig: Vec<f64> = orig_layers[l].weight.value.iter().map(|&w| w as f64).collect();
+        let (m, t) = extract_from_values(&sus, &orig, cfg, seeds[l], &bits);
+        matched += m;
+        total += t;
+    }
+    ExtractionReport { total_bits: total, matched_bits: matched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_quant::rtn::quantize_linear_rtn;
+    use emmark_quant::{ActQuant, Granularity};
+
+    fn quantized_tiny(bits: u8) -> QuantizedModel {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, bits, Granularity::PerOutChannel, ActQuant::None)
+        })
+    }
+
+    #[test]
+    fn randomwm_roundtrip_extracts_nearly_all_bits() {
+        let original = quantized_tiny(8);
+        let mut deployed = original.clone();
+        let cfg = RandomWmConfig { bits_per_layer: 6, seed: 9 };
+        let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 1);
+        randomwm_insert(&mut deployed, &sig, &cfg);
+        let report = randomwm_extract(&deployed, &original, &sig, &cfg);
+        // Bits landing on clamped cells wrap and fail to extract; the
+        // rest match. INT8 per-channel grids clamp ~1/in of cells.
+        assert!(report.wer() > 85.0, "wer {}", report.wer());
+        assert!(report.matched_bits <= report.total_bits);
+    }
+
+    #[test]
+    fn randomwm_wraps_at_extreme_levels() {
+        let original = quantized_tiny(4);
+        let mut deployed = original.clone();
+        let cfg = RandomWmConfig { bits_per_layer: 40, seed: 3 };
+        let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 2);
+        randomwm_insert(&mut deployed, &sig, &cfg);
+        // Count wrapped cells: |delta| == 2*qmax+1.
+        let mut wraps = 0;
+        for (a, b) in deployed.layers.iter().zip(&original.layers) {
+            for f in 0..a.len() {
+                let d = (a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16).abs();
+                if d > 1 {
+                    wraps += 1;
+                    assert_eq!(d, 15, "INT4 wrap distance");
+                }
+            }
+        }
+        assert!(wraps > 0, "expected at least one wrap on an INT4 grid");
+    }
+
+    #[test]
+    fn randomwm_locations_are_deterministic() {
+        let m = quantized_tiny(8);
+        let cfg = RandomWmConfig::default();
+        assert_eq!(randomwm_locations(&m, &cfg), randomwm_locations(&m, &cfg));
+        let cfg2 = RandomWmConfig { seed: 7, ..cfg };
+        assert_ne!(randomwm_locations(&m, &cfg), randomwm_locations(&m, &cfg2));
+    }
+
+    #[test]
+    fn specmark_fails_on_quantized_models() {
+        // The paper's central negative result: 0% WER on integer grids.
+        for bits in [8u8, 4] {
+            let original = quantized_tiny(bits);
+            let mut deployed = original.clone();
+            let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
+            let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 5);
+            specmark_insert_quantized(&mut deployed, &sig, &cfg);
+            // Quantized weights are unchanged: epsilon rounds away.
+            assert!(deployed.same_weights(&original), "ε must round away on INT{bits}");
+            let report = specmark_extract_quantized(&deployed, &original, &sig, &cfg);
+            assert_eq!(report.wer(), 0.0, "INT{bits} WER");
+        }
+    }
+
+    #[test]
+    fn specmark_succeeds_on_full_precision_models() {
+        let original = TransformerModel::new(ModelConfig::tiny_test());
+        let mut deployed = original.clone();
+        let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
+        let sig =
+            Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 6);
+        specmark_insert_fp(&mut deployed, &sig, &cfg);
+        let report = specmark_extract_fp(&deployed, &original, &sig, &cfg);
+        assert_eq!(report.wer(), 100.0, "SpecMark must work where it was designed to");
+        // And the weight perturbation is tiny.
+        let mut max_delta = 0.0f32;
+        for (s, o) in deployed.linear_layers().iter().zip(original.linear_layers().iter()) {
+            for (a, b) in s.weight.value.iter().zip(o.weight.value.iter()) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+        }
+        assert!(max_delta < 0.05, "perturbation {max_delta} too large");
+    }
+
+    #[test]
+    fn specmark_unwatermarked_fp_model_extracts_nothing() {
+        let original = TransformerModel::new(ModelConfig::tiny_test());
+        let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
+        let sig =
+            Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 8);
+        let report = specmark_extract_fp(&original, &original, &sig, &cfg);
+        assert_eq!(report.matched_bits, 0);
+    }
+
+    #[test]
+    fn specmark_slots_are_high_frequency_and_distinct() {
+        let cfg = SpecMarkConfig { bits_per_layer: 10, ..Default::default() };
+        let slots = specmark_slots(1000, &cfg, 42);
+        assert_eq!(slots.len(), 10);
+        let mut dedup = slots.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        for (bidx, c) in slots {
+            let len = (1000 - bidx * 256).min(256);
+            assert!(c >= high_frequency_start(len, cfg.band_fraction));
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Compact binary serialization of a [`QuantizedModel`] — the "deployed
+//! artifact" of the paper's threat model. The end-user's edge device
+//! holds exactly these bytes; ownership proof queries the weights read
+//! back from them.
+//!
+//! The format is versioned and self-contained: little-endian primitives,
+//! length-prefixed buffers, a magic header. Integer grids round-trip
+//! bit-exactly (anything less would corrupt watermarks).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use emmark_nanolm::config::{MlpKind, ModelConfig, NormKind, OutlierProfile};
+use emmark_nanolm::layers::{Embedding, LayerNorm, Norm, RmsNorm};
+use emmark_quant::{ActQuant, Granularity, QuantizedLinear, QuantizedModel};
+use emmark_tensor::Matrix;
+
+const MAGIC: &[u8; 4] = b"EMQM";
+const VERSION: u32 = 1;
+
+/// Errors of the deploy codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input does not start with the `EMQM` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended before a field was complete.
+    Truncated(&'static str),
+    /// A decoded field failed validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an EMQM artifact (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::Truncated(what) => write!(f, "truncated input while reading {what}"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn put_f32_vec(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+fn put_opt_f32_vec(buf: &mut BytesMut, v: Option<&[f32]>) {
+    match v {
+        Some(v) => {
+            buf.put_u8(1);
+            put_f32_vec(buf, v);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_norm(buf: &mut BytesMut, norm: &Norm) {
+    match norm {
+        Norm::Layer(n) => {
+            buf.put_u8(0);
+            put_matrix(buf, &n.gain.value);
+            put_matrix(buf, &n.bias.value);
+        }
+        Norm::Rms(n) => {
+            buf.put_u8(1);
+            put_matrix(buf, &n.gain.value);
+        }
+    }
+}
+
+fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
+    buf.put_u32_le(l.in_features() as u32);
+    buf.put_u32_le(l.out_features() as u32);
+    buf.put_u8(l.bits());
+    match l.granularity() {
+        Granularity::PerTensor => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+        Granularity::PerOutChannel => {
+            buf.put_u8(1);
+            buf.put_u32_le(0);
+        }
+        Granularity::Grouped { group_size } => {
+            buf.put_u8(2);
+            buf.put_u32_le(group_size as u32);
+        }
+    }
+    put_f32_vec(buf, l.scales());
+    buf.put_u32_le(l.q_values().len() as u32);
+    for &q in l.q_values() {
+        buf.put_i8(q);
+    }
+    put_opt_f32_vec(buf, l.input_scale());
+    buf.put_u32_le(l.outlier_rows().len() as u32);
+    for &r in l.outlier_rows() {
+        buf.put_u32_le(r as u32);
+    }
+    match l.outlier_weights() {
+        Some(m) => {
+            buf.put_u8(1);
+            put_matrix(buf, m);
+        }
+        None => buf.put_u8(0),
+    }
+    put_opt_f32_vec(buf, l.bias());
+    buf.put_u8(match l.act_quant() {
+        ActQuant::None => 0,
+        ActQuant::Int8PerToken => 1,
+    });
+}
+
+/// Serializes a quantized model to the deployable byte format.
+pub fn encode_model(model: &QuantizedModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    // Config.
+    let cfg = &model.cfg;
+    put_string(&mut buf, &cfg.name);
+    buf.put_u32_le(cfg.vocab_size as u32);
+    buf.put_u32_le(cfg.d_model as u32);
+    buf.put_u32_le(cfg.n_layers as u32);
+    buf.put_u32_le(cfg.n_heads as u32);
+    buf.put_u32_le(cfg.d_ff as u32);
+    buf.put_u32_le(cfg.max_seq as u32);
+    buf.put_u8(match cfg.norm {
+        NormKind::LayerNorm => 0,
+        NormKind::RmsNorm => 1,
+    });
+    buf.put_u8(match cfg.mlp {
+        MlpKind::Gelu => 0,
+        MlpKind::GatedSilu => 1,
+    });
+    match cfg.outliers {
+        Some(o) => {
+            buf.put_u8(1);
+            buf.put_u32_le(o.channels as u32);
+            buf.put_f32_le(o.factor);
+            buf.put_u64_le(o.seed);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64_le(cfg.init_seed);
+    // Embedding tables.
+    put_matrix(&mut buf, &model.emb().tok.value);
+    put_matrix(&mut buf, &model.emb().pos.value);
+    // Norms.
+    buf.put_u32_le(model.norm_pairs().len() as u32);
+    for (n1, n2) in model.norm_pairs() {
+        put_norm(&mut buf, n1);
+        put_norm(&mut buf, n2);
+    }
+    put_norm(&mut buf, model.final_norm());
+    // Layers.
+    buf.put_u32_le(model.layers.len() as u32);
+    for layer in &model.layers {
+        put_qlinear(&mut buf, layer);
+    }
+    put_string(&mut buf, &model.scheme);
+    buf.freeze()
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize, what: &'static str) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            return Err(CodecError::Truncated(what));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn i8(&mut self, what: &'static str) -> Result<i8, CodecError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_i8())
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f32(&mut self, what: &'static str) -> Result<f32, CodecError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(what)? as usize;
+        self.need(len, what)?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Corrupt(format!("{what}: invalid utf-8")))
+    }
+
+    fn matrix(&mut self, what: &'static str) -> Result<Matrix, CodecError> {
+        let rows = self.u32(what)? as usize;
+        let cols = self.u32(what)? as usize;
+        self.need(rows * cols * 4, what)?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(self.buf.get_f32_le());
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn f32_vec(&mut self, what: &'static str) -> Result<Vec<f32>, CodecError> {
+        let len = self.u32(what)? as usize;
+        self.need(len * 4, what)?;
+        Ok((0..len).map(|_| self.buf.get_f32_le()).collect())
+    }
+
+    fn opt_f32_vec(&mut self, what: &'static str) -> Result<Option<Vec<f32>>, CodecError> {
+        if self.u8(what)? == 1 {
+            Ok(Some(self.f32_vec(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn norm(&mut self) -> Result<Norm, CodecError> {
+        match self.u8("norm tag")? {
+            0 => {
+                let gain = self.matrix("layernorm gain")?;
+                let bias = self.matrix("layernorm bias")?;
+                Ok(Norm::Layer(LayerNorm::from_params(gain, bias)))
+            }
+            1 => Ok(Norm::Rms(RmsNorm::from_params(self.matrix("rmsnorm gain")?))),
+            t => Err(CodecError::Corrupt(format!("unknown norm tag {t}"))),
+        }
+    }
+
+    fn qlinear(&mut self) -> Result<QuantizedLinear, CodecError> {
+        let in_f = self.u32("layer in")? as usize;
+        let out_f = self.u32("layer out")? as usize;
+        let bits = self.u8("layer bits")?;
+        let gran_tag = self.u8("granularity tag")?;
+        let group = self.u32("group size")? as usize;
+        let granularity = match gran_tag {
+            0 => Granularity::PerTensor,
+            1 => Granularity::PerOutChannel,
+            2 => Granularity::Grouped { group_size: group },
+            t => return Err(CodecError::Corrupt(format!("unknown granularity tag {t}"))),
+        };
+        let scales = self.f32_vec("scales")?;
+        let q_len = self.u32("q length")? as usize;
+        if q_len != in_f * out_f {
+            return Err(CodecError::Corrupt(format!(
+                "q length {q_len} does not match {in_f}x{out_f}"
+            )));
+        }
+        let mut q = Vec::with_capacity(q_len);
+        for _ in 0..q_len {
+            q.push(self.i8("q value")?);
+        }
+        let input_scale = self.opt_f32_vec("input scale")?;
+        let n_outliers = self.u32("outlier count")? as usize;
+        let mut rows = Vec::with_capacity(n_outliers);
+        for _ in 0..n_outliers {
+            rows.push(self.u32("outlier row")? as usize);
+        }
+        let outlier_weights =
+            if self.u8("outlier weights flag")? == 1 { Some(self.matrix("outlier weights")?) } else { None };
+        let bias = self.opt_f32_vec("bias")?;
+        let act_quant = match self.u8("act quant")? {
+            0 => ActQuant::None,
+            1 => ActQuant::Int8PerToken,
+            t => return Err(CodecError::Corrupt(format!("unknown act-quant tag {t}"))),
+        };
+        let mut layer = QuantizedLinear::new(
+            q, in_f, out_f, bits, granularity, scales, input_scale, bias, act_quant,
+        );
+        if let Some(w) = outlier_weights {
+            layer.set_outliers(rows, w);
+        } else if !rows.is_empty() {
+            return Err(CodecError::Corrupt("outlier rows without weights".into()));
+        }
+        Ok(layer)
+    }
+}
+
+/// Deserializes a quantized model from the deployable byte format.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input; round-trips of
+/// [`encode_model`] output never fail.
+pub fn decode_model(bytes: &[u8]) -> Result<QuantizedModel, CodecError> {
+    let mut r = Reader { buf: Bytes::copy_from_slice(bytes) };
+    r.need(4, "magic")?;
+    let mut magic = [0u8; 4];
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u32("version")?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let name = r.string("model name")?;
+    let vocab_size = r.u32("vocab")? as usize;
+    let d_model = r.u32("d_model")? as usize;
+    let n_layers = r.u32("n_layers")? as usize;
+    let n_heads = r.u32("n_heads")? as usize;
+    let d_ff = r.u32("d_ff")? as usize;
+    let max_seq = r.u32("max_seq")? as usize;
+    let norm = match r.u8("norm kind")? {
+        0 => NormKind::LayerNorm,
+        1 => NormKind::RmsNorm,
+        t => return Err(CodecError::Corrupt(format!("unknown norm kind {t}"))),
+    };
+    let mlp = match r.u8("mlp kind")? {
+        0 => MlpKind::Gelu,
+        1 => MlpKind::GatedSilu,
+        t => return Err(CodecError::Corrupt(format!("unknown mlp kind {t}"))),
+    };
+    let outliers = if r.u8("outlier profile flag")? == 1 {
+        Some(OutlierProfile {
+            channels: r.u32("outlier channels")? as usize,
+            factor: r.f32("outlier factor")?,
+            seed: r.u64("outlier seed")?,
+        })
+    } else {
+        None
+    };
+    let init_seed = r.u64("init seed")?;
+    let cfg = ModelConfig {
+        name,
+        vocab_size,
+        d_model,
+        n_layers,
+        n_heads,
+        d_ff,
+        max_seq,
+        norm,
+        mlp,
+        outliers,
+        init_seed,
+    };
+    cfg.validate().map_err(CodecError::Corrupt)?;
+    let tok = r.matrix("token table")?;
+    let pos = r.matrix("position table")?;
+    let emb = Embedding::from_tables(tok, pos);
+    let n_pairs = r.u32("norm pair count")? as usize;
+    if n_pairs != n_layers {
+        return Err(CodecError::Corrupt(format!(
+            "norm pair count {n_pairs} does not match n_layers {n_layers}"
+        )));
+    }
+    let mut norm_pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        norm_pairs.push((r.norm()?, r.norm()?));
+    }
+    let final_norm = r.norm()?;
+    let n_qlayers = r.u32("layer count")? as usize;
+    if n_qlayers != cfg.quant_layer_count() {
+        return Err(CodecError::Corrupt(format!(
+            "layer count {n_qlayers} does not match config ({})",
+            cfg.quant_layer_count()
+        )));
+    }
+    let mut layers = Vec::with_capacity(n_qlayers);
+    for _ in 0..n_qlayers {
+        layers.push(r.qlinear()?);
+    }
+    let scheme = r.string("scheme")?;
+    Ok(QuantizedModel::from_parts(cfg, emb, norm_pairs, final_norm, layers, scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig as Cfg;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+    use emmark_quant::llm_int8::{llm_int8, OutlierCriterion};
+    use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
+
+    fn models_to_roundtrip() -> Vec<QuantizedModel> {
+        let mut model = TransformerModel::new(Cfg::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        vec![
+            awq(&model, &stats, &AwqConfig::default()),
+            smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+            llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_for_every_scheme() {
+        for model in models_to_roundtrip() {
+            let bytes = encode_model(&model);
+            let back = decode_model(&bytes).expect("decode");
+            assert!(model.same_weights(&back), "{}: integer grids differ", model.scheme);
+            assert_eq!(model.scheme, back.scheme);
+            assert_eq!(model.cfg, back.cfg);
+            // Behavioral equality: identical logits.
+            let tokens = [1u32, 3, 5, 7];
+            let a = model.logits(&tokens);
+            let b = back.logits(&tokens);
+            assert_eq!(a, b, "{}: logits differ after roundtrip", model.scheme);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode_model(b"NOPE1234").unwrap_err(), CodecError::BadMagic);
+        assert!(matches!(decode_model(b"EM"), Err(CodecError::Truncated(_))));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let model = &models_to_roundtrip()[0];
+        let mut bytes = encode_model(model).to_vec();
+        bytes[4] = 99; // version low byte
+        assert_eq!(decode_model(&bytes).unwrap_err(), CodecError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_panicking() {
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model);
+        for cut in [9, 64, bytes.len() / 2, bytes.len() - 3] {
+            let err = decode_model(&bytes[..cut]).expect_err("truncated");
+            assert!(
+                matches!(err, CodecError::Truncated(_) | CodecError::Corrupt(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_error_messages_are_informative() {
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::Truncated("scales").to_string().contains("scales"));
+    }
+}

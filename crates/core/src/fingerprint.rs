@@ -1,0 +1,272 @@
+//! Per-device fingerprinting on top of EmMark — a DeepMarks-style
+//! extension the paper's IP-protection scenario implies but does not
+//! evaluate: a proprietor shipping the *same* model to many end-users
+//! wants to know **which** device leaked, not merely that a leak is
+//! theirs.
+//!
+//! Each device receives the same base watermark (ownership) plus a
+//! device-specific signature at device-specific locations (traitor
+//! tracing). Identification extracts every candidate fingerprint from
+//! the leaked weights and returns the one with an overwhelming Eq. 8
+//! margin.
+
+use crate::scoring::{candidate_pool, score_layer};
+use crate::signature::Signature;
+use crate::watermark::{
+    locate_watermark, ExtractionReport, Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
+};
+use emmark_quant::QuantizedModel;
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// A registered device fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFingerprint {
+    /// Stable device identifier.
+    pub device_id: String,
+    /// The device's selection seed (distinct per device).
+    pub selection_seed: u64,
+    /// The device's signature seed.
+    pub signature_seed: u64,
+}
+
+/// A fleet of fingerprinted deployments sharing one base watermark.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// The proprietor's base secrets (ownership watermark).
+    pub base: OwnerSecrets,
+    /// Fingerprint parameters (fewer bits than the base watermark — the
+    /// tracing signal rides on top of the ownership signal).
+    pub fingerprint_config: WatermarkConfig,
+    devices: Vec<DeviceFingerprint>,
+}
+
+impl Fleet {
+    /// Creates a fleet around existing owner secrets.
+    pub fn new(base: OwnerSecrets, fingerprint_config: WatermarkConfig) -> Self {
+        Self { base, fingerprint_config, devices: Vec::new() }
+    }
+
+    /// Registered devices.
+    pub fn devices(&self) -> &[DeviceFingerprint] {
+        &self.devices
+    }
+
+    /// Fingerprint locations for a given device seed: EmMark scoring on
+    /// the base-watermarked model, with the base watermark's own cells
+    /// excluded so the fingerprint can never corrupt the ownership
+    /// signal. Used identically by provisioning and extraction.
+    fn fingerprint_locations(
+        &self,
+        base_deployed: &QuantizedModel,
+        selection_seed: u64,
+    ) -> Result<Locations, WatermarkError> {
+        let base_locs =
+            locate_watermark(&self.base.original, &self.base.stats, &self.base.config)?;
+        let cfg = &self.fingerprint_config;
+        let coeffs = cfg.coefficients();
+        let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
+        let mut sm = SplitMix64::new(selection_seed);
+        let mut locations = Vec::with_capacity(base_deployed.layer_count());
+        for (l, layer) in base_deployed.layers.iter().enumerate() {
+            let layer_seed = sm.next_u64();
+            let mut scores =
+                score_layer(layer, &self.base.stats.per_layer[l].mean_abs, &coeffs);
+            for &f in &base_locs[l] {
+                scores[f] = f64::INFINITY;
+            }
+            let pool = candidate_pool(&scores, pool_size)
+                .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+            let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+            let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
+            locations.push(picks.into_iter().map(|p| pool[p]).collect::<Vec<_>>());
+        }
+        Ok(locations)
+    }
+
+    /// Registers a device and produces its fingerprinted deployment:
+    /// base watermark first, then the device signature at
+    /// device-specific, base-disjoint locations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates insertion errors.
+    pub fn provision(&mut self, device_id: &str) -> Result<QuantizedModel, WatermarkError> {
+        // Derive per-device seeds from the id, deterministically.
+        let h = fxhash(device_id.as_bytes());
+        let fp = DeviceFingerprint {
+            device_id: device_id.to_string(),
+            selection_seed: self.fingerprint_config.selection_seed ^ h,
+            signature_seed: h.rotate_left(17),
+        };
+        let mut deployed = self.base.watermark_for_deployment()?;
+        let n = deployed.layer_count();
+        let sig = Signature::generate(self.fingerprint_config.signature_len(n), fp.signature_seed);
+        let locations = self.fingerprint_locations(&deployed, fp.selection_seed)?;
+        for (l, locs) in locations.iter().enumerate() {
+            let bits = sig.layer_bits(l, n);
+            for (&f, &b) in locs.iter().zip(bits) {
+                deployed.layers[l].bump_q_flat(f, b);
+            }
+        }
+        self.devices.push(fp);
+        Ok(deployed)
+    }
+
+    /// Extraction report of one device's fingerprint against a leaked
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn device_report(
+        &self,
+        device: &DeviceFingerprint,
+        leaked: &QuantizedModel,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        let n = self.base.original.layer_count();
+        if leaked.layer_count() != n {
+            return Err(WatermarkError::ShapeMismatch(format!(
+                "leaked model has {} layers, fleet base {}",
+                leaked.layer_count(),
+                n
+            )));
+        }
+        let sig = Signature::generate(
+            self.fingerprint_config.signature_len(n),
+            device.signature_seed,
+        );
+        // The fingerprint diff is taken against the *base-watermarked*
+        // model (the state every device shares before fingerprinting).
+        let base_deployed = self.base.watermark_for_deployment()?;
+        let locations = self.fingerprint_locations(&base_deployed, device.selection_seed)?;
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for (l, locs) in locations.iter().enumerate() {
+            let bits = sig.layer_bits(l, n);
+            for (&f, &b) in locs.iter().zip(bits) {
+                let delta = leaked.layers[l].q_at_flat(f) as i16
+                    - base_deployed.layers[l].q_at_flat(f) as i16;
+                if delta == b as i16 {
+                    matched += 1;
+                }
+                total += 1;
+            }
+        }
+        Ok(ExtractionReport { total_bits: total, matched_bits: matched })
+    }
+
+    /// Identifies the leaking device: the registered fingerprint whose
+    /// chance-match probability clears `log10_threshold` with the best
+    /// margin. Returns `None` when no fingerprint is convincing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn identify_leak(
+        &self,
+        leaked: &QuantizedModel,
+        log10_threshold: f64,
+    ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
+        let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        for device in &self.devices {
+            let report = self.device_report(device, leaked)?;
+            if !report.proves_ownership(log10_threshold) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, b)) => report.log10_p_chance() < b.log10_p_chance(),
+            };
+            if better {
+                best = Some((device, report));
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Tiny stable FNV-style hash (not cryptographic; seeds only).
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn fleet() -> Fleet {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let base_cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let base = OwnerSecrets::new(qm, stats, base_cfg, 0xF1EE7);
+        let fp_cfg = WatermarkConfig {
+            bits_per_layer: 3,
+            pool_ratio: 10,
+            selection_seed: 0xDE11CE,
+            ..Default::default()
+        };
+        Fleet::new(base, fp_cfg)
+    }
+
+    #[test]
+    fn provisioned_devices_share_ownership_but_differ_pairwise() {
+        let mut fleet = fleet();
+        let a = fleet.provision("device-a").expect("provision a");
+        let b = fleet.provision("device-b").expect("provision b");
+        assert!(!a.same_weights(&b), "fingerprints must differ");
+        // Both carry the base ownership watermark — *exactly*, because
+        // fingerprint locations exclude the base watermark's cells.
+        for leaked in [&a, &b] {
+            let report = fleet.base.verify(leaked).expect("verify");
+            assert_eq!(report.wer(), 100.0, "fingerprint corrupted the base watermark");
+            assert!(report.proves_ownership(-9.0));
+        }
+    }
+
+    #[test]
+    fn leak_is_attributed_to_the_right_device() {
+        let mut fleet = fleet();
+        let ids = ["alice", "bob", "carol"];
+        let deployments: Vec<QuantizedModel> =
+            ids.iter().map(|id| fleet.provision(id).expect("provision")).collect();
+        for (i, leaked) in deployments.iter().enumerate() {
+            let (device, report) =
+                fleet.identify_leak(leaked, -6.0).expect("identify").expect("found");
+            assert_eq!(device.device_id, ids[i], "leak misattributed");
+            assert!(report.wer() >= 90.0);
+        }
+    }
+
+    #[test]
+    fn unfingerprinted_model_is_not_attributed() {
+        let mut fleet = fleet();
+        let _ = fleet.provision("alice").expect("provision");
+        // The bare base-watermarked model (no fingerprint) must not be
+        // attributed to any device.
+        let base_only = fleet.base.watermark_for_deployment().expect("deploy");
+        let found = fleet.identify_leak(&base_only, -6.0).expect("identify");
+        assert!(found.is_none(), "false attribution: {found:?}");
+    }
+
+    #[test]
+    fn provisioning_is_deterministic_per_device_id() {
+        let mut fleet_a = fleet();
+        let mut fleet_b = fleet();
+        let a = fleet_a.provision("same-id").expect("a");
+        let b = fleet_b.provision("same-id").expect("b");
+        assert!(a.same_weights(&b));
+    }
+}

@@ -1,0 +1,60 @@
+//! # emmark-core
+//!
+//! The primary contribution of *EmMark: Robust Watermarks for IP
+//! Protection of Embedded Quantized Large Language Models* (DAC 2024):
+//!
+//! * [`scoring`] — the Eq. 2–4 parameter scoring function (quality score
+//!   `S_q`, saliency score `S_r`, clamp-level exclusion);
+//! * [`signature`] — Rademacher `±1` signature sequences;
+//! * [`watermark`] — insertion (Eq. 5), location reproduction,
+//!   extraction and WER (Eqs. 6–7), chance-match strength (Eq. 8), and
+//!   the [`watermark::OwnerSecrets`] bundle the proprietor keeps;
+//! * [`baselines`] — the paper's comparison schemes RandomWM and
+//!   SpecMark (including the full-precision SpecMark control);
+//! * [`scheme`] — one trait over all three for the experiment harness;
+//! * [`deploy`] — the versioned binary format of the deployed artifact.
+//!
+//! # Examples
+//!
+//! End-to-end ownership proof:
+//!
+//! ```
+//! use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+//! use emmark_nanolm::{config::ModelConfig, TransformerModel};
+//! use emmark_quant::awq::{awq, AwqConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The proprietor quantizes a trained model…
+//! let mut model = TransformerModel::new(ModelConfig::tiny_test());
+//! let calib = vec![vec![1u32, 2, 3, 4, 5, 6]];
+//! let stats = model.collect_activation_stats(&calib);
+//! let quantized = awq(&model, &stats, &AwqConfig::default());
+//!
+//! // …keeps the secrets, deploys the watermarked copy…
+//! let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+//! let secrets = OwnerSecrets::new(quantized, stats, cfg, 0xB10C);
+//! let deployed = secrets.watermark_for_deployment()?;
+//!
+//! // …and later proves ownership of the deployed weights.
+//! let report = secrets.verify(&deployed)?;
+//! assert_eq!(report.wer(), 100.0);
+//! assert!(report.proves_ownership(-9.0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod deploy;
+pub mod fingerprint;
+pub mod scheme;
+pub mod scoring;
+pub mod signature;
+pub mod vault;
+pub mod watermark;
+
+pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
+pub use signature::Signature;
+pub use watermark::{
+    extract_watermark, insert_watermark, locate_watermark, ExtractionReport, OwnerSecrets,
+    WatermarkConfig, WatermarkError,
+};

@@ -1,0 +1,233 @@
+//! A uniform interface over the three watermarking schemes, so the
+//! Table 1 harness can sweep `{EmMark, RandomWM, SpecMark}` with one
+//! loop.
+
+use crate::baselines::{
+    randomwm_extract, randomwm_insert, specmark_extract_quantized, specmark_insert_quantized,
+    RandomWmConfig, SpecMarkConfig,
+};
+use crate::signature::Signature;
+use crate::watermark::{
+    extract_watermark, insert_watermark, ExtractionReport, WatermarkConfig, WatermarkError,
+};
+use emmark_nanolm::model::ActivationStats;
+use emmark_quant::QuantizedModel;
+
+/// A watermarking scheme that can mark a quantized model and later check
+/// a suspect against the original.
+///
+/// The trait is object-safe so harnesses can hold `Vec<Box<dyn
+/// WatermarkScheme>>`.
+pub trait WatermarkScheme {
+    /// Scheme name as it appears in the tables.
+    fn name(&self) -> &'static str;
+
+    /// Inserts the scheme's signature into `model` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WatermarkError`] if insertion is impossible (e.g. the
+    /// candidate pool cannot be filled).
+    fn insert(
+        &self,
+        model: &mut QuantizedModel,
+        stats: &ActivationStats,
+    ) -> Result<(), WatermarkError>;
+
+    /// Extracts from `suspect` against `original` and reports the WER.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WatermarkError`] on shape mismatches.
+    fn extract(
+        &self,
+        suspect: &QuantizedModel,
+        original: &QuantizedModel,
+        stats: &ActivationStats,
+    ) -> Result<ExtractionReport, WatermarkError>;
+}
+
+/// EmMark under the trait.
+#[derive(Debug, Clone)]
+pub struct EmMarkScheme {
+    /// Insertion parameters.
+    pub config: WatermarkConfig,
+    /// Signature generation seed.
+    pub signature_seed: u64,
+}
+
+impl EmMarkScheme {
+    fn signature_for(&self, model: &QuantizedModel) -> Signature {
+        Signature::generate(self.config.signature_len(model.layer_count()), self.signature_seed)
+    }
+}
+
+impl WatermarkScheme for EmMarkScheme {
+    fn name(&self) -> &'static str {
+        "EmMark"
+    }
+
+    fn insert(
+        &self,
+        model: &mut QuantizedModel,
+        stats: &ActivationStats,
+    ) -> Result<(), WatermarkError> {
+        let sig = self.signature_for(model);
+        insert_watermark(model, stats, &sig, &self.config).map(|_| ())
+    }
+
+    fn extract(
+        &self,
+        suspect: &QuantizedModel,
+        original: &QuantizedModel,
+        stats: &ActivationStats,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        let sig = self.signature_for(original);
+        extract_watermark(suspect, original, stats, &sig, &self.config)
+    }
+}
+
+/// RandomWM under the trait (ignores activation stats).
+#[derive(Debug, Clone)]
+pub struct RandomWmScheme {
+    /// Insertion parameters.
+    pub config: RandomWmConfig,
+    /// Signature generation seed.
+    pub signature_seed: u64,
+}
+
+impl RandomWmScheme {
+    fn signature_for(&self, model: &QuantizedModel) -> Signature {
+        Signature::generate(self.config.bits_per_layer * model.layer_count(), self.signature_seed)
+    }
+}
+
+impl WatermarkScheme for RandomWmScheme {
+    fn name(&self) -> &'static str {
+        "RandomWM"
+    }
+
+    fn insert(
+        &self,
+        model: &mut QuantizedModel,
+        _stats: &ActivationStats,
+    ) -> Result<(), WatermarkError> {
+        let sig = self.signature_for(model);
+        randomwm_insert(model, &sig, &self.config);
+        Ok(())
+    }
+
+    fn extract(
+        &self,
+        suspect: &QuantizedModel,
+        original: &QuantizedModel,
+        _stats: &ActivationStats,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        let sig = self.signature_for(original);
+        Ok(randomwm_extract(suspect, original, &sig, &self.config))
+    }
+}
+
+/// SpecMark under the trait (quantized-domain variant, as Table 1 runs
+/// it; ignores activation stats).
+#[derive(Debug, Clone)]
+pub struct SpecMarkScheme {
+    /// Insertion parameters.
+    pub config: SpecMarkConfig,
+    /// Signature generation seed.
+    pub signature_seed: u64,
+}
+
+impl SpecMarkScheme {
+    fn signature_for(&self, model: &QuantizedModel) -> Signature {
+        Signature::generate(self.config.bits_per_layer * model.layer_count(), self.signature_seed)
+    }
+}
+
+impl WatermarkScheme for SpecMarkScheme {
+    fn name(&self) -> &'static str {
+        "SpecMark"
+    }
+
+    fn insert(
+        &self,
+        model: &mut QuantizedModel,
+        _stats: &ActivationStats,
+    ) -> Result<(), WatermarkError> {
+        let sig = self.signature_for(model);
+        specmark_insert_quantized(model, &sig, &self.config);
+        Ok(())
+    }
+
+    fn extract(
+        &self,
+        suspect: &QuantizedModel,
+        original: &QuantizedModel,
+        _stats: &ActivationStats,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        let sig = self.signature_for(original);
+        Ok(specmark_extract_quantized(suspect, original, &sig, &self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::rtn::quantize_linear_rtn;
+    use emmark_quant::{ActQuant, Granularity};
+
+    fn setup() -> (QuantizedModel, ActivationStats) {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        let qm = QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        });
+        (qm, stats)
+    }
+
+    fn schemes() -> Vec<Box<dyn WatermarkScheme>> {
+        vec![
+            Box::new(EmMarkScheme {
+                config: WatermarkConfig {
+                    bits_per_layer: 4,
+                    pool_ratio: 10,
+                    ..WatermarkConfig::default()
+                },
+                signature_seed: 11,
+            }),
+            Box::new(RandomWmScheme {
+                config: RandomWmConfig { bits_per_layer: 4, seed: 100 },
+                signature_seed: 11,
+            }),
+            Box::new(SpecMarkScheme {
+                config: SpecMarkConfig { bits_per_layer: 4, ..Default::default() },
+                signature_seed: 11,
+            }),
+        ]
+    }
+
+    #[test]
+    fn all_schemes_run_through_the_same_harness() {
+        let (original, stats) = setup();
+        let mut wers = Vec::new();
+        for scheme in schemes() {
+            let mut deployed = original.clone();
+            scheme.insert(&mut deployed, &stats).expect("insert");
+            let report = scheme.extract(&deployed, &original, &stats).expect("extract");
+            wers.push((scheme.name(), report.wer()));
+        }
+        let by_name: std::collections::HashMap<_, _> = wers.into_iter().collect();
+        assert_eq!(by_name["EmMark"], 100.0);
+        assert!(by_name["RandomWM"] > 80.0);
+        assert_eq!(by_name["SpecMark"], 0.0, "SpecMark must fail on quantized grids");
+    }
+
+    #[test]
+    fn scheme_names_match_the_paper_table() {
+        let names: Vec<&str> = schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["EmMark", "RandomWM", "SpecMark"]);
+    }
+}

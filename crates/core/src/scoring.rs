@@ -1,0 +1,244 @@
+//! EmMark's parameter scoring function — Eqs. 2–4 of the paper.
+//!
+//! For the `i`-th quantized weight `W_i` in a layer whose input channels
+//! have full-precision activation profile `A_f`:
+//!
+//! * quality score `S_q = |b_j / W_i|` (Eq. 3) — large-magnitude integers
+//!   tolerate a `±1` step with the least relative distortion; weights at
+//!   the min/max quantization level are "set to 0 before scoring", i.e.
+//!   their score diverges and they are never selected (a bump there would
+//!   clip or wrap);
+//! * robustness score `S_r = |max(A_f) / (A_f_i − min(A_f))|` (Eq. 4) —
+//!   salient channels (large activation) score low, so watermarks land
+//!   where an adversary cannot perturb without wrecking the model;
+//! * combined `S = α·S_q + β·S_r` (Eq. 2); *smaller is better*.
+
+use emmark_quant::QuantizedLinear;
+
+/// Scoring coefficients `(α, β)` of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreCoefficients {
+    /// Weight of the quality-preservation score `S_q`.
+    pub alpha: f64,
+    /// Weight of the robustness score `S_r`.
+    pub beta: f64,
+}
+
+impl Default for ScoreCoefficients {
+    /// The paper's default `(0.5, 0.5)`.
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.5 }
+    }
+}
+
+impl ScoreCoefficients {
+    /// Validates that both coefficients are non-negative and not both
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha < 0.0 || self.beta < 0.0 {
+            return Err("coefficients must be non-negative".into());
+        }
+        if self.alpha == 0.0 && self.beta == 0.0 {
+            return Err("at least one coefficient must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-cell scores for one quantized layer; `f64::INFINITY` marks cells
+/// excluded from watermarking (min/max level, zero weights, LLM.int8()
+/// outlier rows).
+///
+/// # Panics
+///
+/// Panics if `act_mean.len() != layer.in_features()`.
+pub fn score_layer(
+    layer: &QuantizedLinear,
+    act_mean: &[f32],
+    coeffs: &ScoreCoefficients,
+) -> Vec<f64> {
+    assert_eq!(
+        act_mean.len(),
+        layer.in_features(),
+        "activation profile does not match layer input width"
+    );
+    let s_r = robustness_scores(act_mean);
+    let out = layer.out_features();
+    (0..layer.len())
+        .map(|f| {
+            if layer.is_clamped_flat(f) || layer.is_outlier_flat(f) {
+                return f64::INFINITY;
+            }
+            let q = layer.q_at_flat(f);
+            if q == 0 {
+                // |b / 0| diverges: zero weights flip sign under ±1.
+                // Excluded structurally so that the (α = 0, β) ablation of
+                // Table 3 still never clips or sign-flips.
+                return f64::INFINITY;
+            }
+            let channel = f / out;
+            // A zero coefficient disables its term entirely (otherwise
+            // 0 · ∞ from the excluded minimum-activation channel would
+            // poison the score with NaN).
+            let term_q =
+                if coeffs.alpha == 0.0 { 0.0 } else { coeffs.alpha / (q as f64).abs() };
+            let term_r =
+                if coeffs.beta == 0.0 { 0.0 } else { coeffs.beta * s_r[channel] };
+            term_q + term_r
+        })
+        .collect()
+}
+
+/// Eq. 4 per input channel: `|max(A_f) / (A_f_i − min(A_f))|`, with the
+/// minimum-activation channel excluded (division by zero ⇒ `∞`).
+pub fn robustness_scores(act_mean: &[f32]) -> Vec<f64> {
+    let max = act_mean.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let min = act_mean.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+    act_mean
+        .iter()
+        .map(|&a| {
+            let denom = a as f64 - min;
+            if denom == 0.0 {
+                f64::INFINITY
+            } else {
+                (max / denom).abs()
+            }
+        })
+        .collect()
+}
+
+/// The candidate pool: flat indices of the `pool_size` best-scored
+/// (smallest) cells, ties broken by index for determinism. Excluded
+/// (infinite-score) cells never enter the pool.
+///
+/// # Errors
+///
+/// Returns [`PoolError`] if fewer than `pool_size` finite-scored cells
+/// exist.
+pub fn candidate_pool(scores: &[f64], pool_size: usize) -> Result<Vec<usize>, PoolError> {
+    let mut indexed: Vec<(f64, usize)> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_finite())
+        .map(|(i, &s)| (s, i))
+        .collect();
+    if indexed.len() < pool_size {
+        return Err(PoolError { needed: pool_size, available: indexed.len() });
+    }
+    indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1)));
+    indexed.truncate(pool_size);
+    Ok(indexed.into_iter().map(|(_, i)| i).collect())
+}
+
+/// Not enough watermarkable cells in a layer to fill the candidate pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Requested pool size.
+    pub needed: usize,
+    /// Finite-scored cells available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "candidate pool needs {} cells but only {} are watermarkable",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_quant::{ActQuant, Granularity};
+
+    fn layer_with(q: Vec<i8>, in_f: usize, out_f: usize) -> QuantizedLinear {
+        QuantizedLinear::new(
+            q,
+            in_f,
+            out_f,
+            8,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        )
+    }
+
+    #[test]
+    fn robustness_prefers_salient_channels() {
+        let s = robustness_scores(&[1.0, 2.0, 10.0]);
+        // Channel 2 (most salient) has the smallest score; channel 0
+        // (the minimum) is excluded.
+        assert_eq!(s[0], f64::INFINITY);
+        assert!(s[2] < s[1]);
+        // Exact values: max=10, min=1; s1 = 10/1, s2 = 10/9.
+        assert!((s[1] - 10.0).abs() < 1e-12);
+        assert!((s[2] - 10.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_score_prefers_large_magnitudes() {
+        // One channel (so S_r is constant-infinite except...); use two
+        // channels to keep S_r finite on channel 1.
+        let layer = layer_with(vec![1, 2, 100, -100], 2, 2);
+        let coeffs = ScoreCoefficients { alpha: 1.0, beta: 0.0 };
+        let s = score_layer(&layer, &[1.0, 2.0], &coeffs);
+        assert!(s[2] < s[0], "larger |q| must score lower");
+        assert_eq!(s[2], s[3], "sign does not matter");
+    }
+
+    #[test]
+    fn clamped_zero_and_outlier_cells_are_excluded() {
+        let mut layer = layer_with(vec![127, 0, -127, 5, 6, 7], 3, 2);
+        layer.set_outliers(vec![2], emmark_tensor::Matrix::from_rows(&[&[1.0, 2.0]]));
+        let s = score_layer(&layer, &[1.0, 2.0, 3.0], &ScoreCoefficients::default());
+        assert_eq!(s[0], f64::INFINITY, "max level excluded");
+        assert_eq!(s[1], f64::INFINITY, "zero weight excluded");
+        assert_eq!(s[2], f64::INFINITY, "min level excluded");
+        assert_eq!(s[4], f64::INFINITY, "outlier row excluded");
+        assert_eq!(s[5], f64::INFINITY, "outlier row excluded");
+        assert!(s[3].is_finite());
+    }
+
+    #[test]
+    fn combined_score_trades_off_terms() {
+        // Cell A: huge |q| in a weak channel. Cell B: small |q| in the
+        // most salient channel. α-heavy scoring picks A, β-heavy picks B.
+        let layer = layer_with(vec![100, 0, 0, 2], 2, 2);
+        let act = [1.0f32, 50.0];
+        let alpha_heavy = score_layer(&layer, &act, &ScoreCoefficients { alpha: 1.0, beta: 0.0 });
+        assert!(alpha_heavy[0] < alpha_heavy[3]);
+        let beta_heavy = score_layer(&layer, &act, &ScoreCoefficients { alpha: 0.0, beta: 1.0 });
+        assert!(beta_heavy[3] < beta_heavy[0]);
+    }
+
+    #[test]
+    fn candidate_pool_is_sorted_deterministic_and_excludes_infinite() {
+        let scores = vec![0.5, f64::INFINITY, 0.1, 0.5, 0.2];
+        let pool = candidate_pool(&scores, 3).expect("enough candidates");
+        assert_eq!(pool, vec![2, 4, 0]); // ties (0.5) broken by index
+        let pool4 = candidate_pool(&scores, 4).expect("enough candidates");
+        assert_eq!(pool4, vec![2, 4, 0, 3]);
+        let err = candidate_pool(&scores, 5).expect_err("only 4 finite");
+        assert_eq!(err, PoolError { needed: 5, available: 4 });
+        assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn coefficient_validation() {
+        assert!(ScoreCoefficients::default().validate().is_ok());
+        assert!(ScoreCoefficients { alpha: -0.1, beta: 1.0 }.validate().is_err());
+        assert!(ScoreCoefficients { alpha: 0.0, beta: 0.0 }.validate().is_err());
+        assert!(ScoreCoefficients { alpha: 0.0, beta: 1.0 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Watermark signatures: Rademacher-distributed `±1` bit sequences
+//! (§4.1 / Eq. 8 of the paper).
+
+use emmark_tensor::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// An owner's signature sequence `B = {b_1, …, b_|B|}`, `b_i ∈ {−1, +1}`.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_core::signature::Signature;
+/// let sig = Signature::generate(128, 42);
+/// assert_eq!(sig.len(), 128);
+/// assert!(sig.bits().iter().all(|&b| b == 1 || b == -1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    bits: Vec<i8>,
+}
+
+impl Signature {
+    /// Generates `len` Rademacher bits from `seed` (each bit is `+1` or
+    /// `−1` with probability 0.5, as Eq. 8 assumes).
+    pub fn generate(len: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5160_7A7B_u64);
+        let bits = (0..len).map(|_| rng.rademacher()).collect();
+        Self { bits }
+    }
+
+    /// Builds a signature from explicit bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is not `±1`.
+    pub fn from_bits(bits: Vec<i8>) -> Self {
+        assert!(bits.iter().all(|&b| b == 1 || b == -1), "signature bits must be ±1");
+        Self { bits }
+    }
+
+    /// The bit sequence.
+    pub fn bits(&self) -> &[i8] {
+        &self.bits
+    }
+
+    /// Signature length `|B|`.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The per-layer slice of bits for layer `l` when `|B|` is spread
+    /// evenly over `n` layers (`|B| / n` bits each, §4.1 "Signature
+    /// Insertion").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not divisible by `n_layers` or `l` is out of
+    /// range.
+    pub fn layer_bits(&self, l: usize, n_layers: usize) -> &[i8] {
+        assert_eq!(self.bits.len() % n_layers, 0, "|B| must divide evenly over layers");
+        let per = self.bits.len() / n_layers;
+        assert!(l < n_layers, "layer index out of range");
+        &self.bits[l * per..(l + 1) * per]
+    }
+
+    /// Number of positions where `deltas` equals the signature bit —
+    /// `|B|'` of Eq. 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas.len() != self.len()`.
+    pub fn matching_bits(&self, deltas: &[i8]) -> usize {
+        assert_eq!(deltas.len(), self.bits.len(), "delta length mismatch");
+        self.bits.iter().zip(deltas).filter(|(b, d)| b == d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = Signature::generate(64, 1);
+        let b = Signature::generate(64, 1);
+        let c = Signature::generate(64, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bits_are_balanced_in_expectation() {
+        let sig = Signature::generate(100_000, 3);
+        let sum: i64 = sig.bits().iter().map(|&b| b as i64).sum();
+        assert!(sum.abs() < 1500, "imbalance {sum}");
+    }
+
+    #[test]
+    fn layer_bits_partition_the_signature() {
+        let sig = Signature::generate(24, 4);
+        let mut reassembled = Vec::new();
+        for l in 0..4 {
+            reassembled.extend_from_slice(sig.layer_bits(l, 4));
+        }
+        assert_eq!(reassembled, sig.bits());
+        assert_eq!(sig.layer_bits(0, 4).len(), 6);
+    }
+
+    #[test]
+    fn matching_bits_counts_exact_equality() {
+        let sig = Signature::from_bits(vec![1, -1, 1, -1]);
+        assert_eq!(sig.matching_bits(&[1, -1, 1, -1]), 4);
+        assert_eq!(sig.matching_bits(&[1, 1, 1, 1]), 2);
+        assert_eq!(sig.matching_bits(&[0, 0, 0, 0]), 0);
+        assert_eq!(sig.matching_bits(&[2, -2, 3, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ±1")]
+    fn invalid_bits_rejected() {
+        let _ = Signature::from_bits(vec![1, 0, -1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide evenly")]
+    fn uneven_layer_split_rejected() {
+        let sig = Signature::generate(10, 5);
+        let _ = sig.layer_bits(0, 3);
+    }
+}

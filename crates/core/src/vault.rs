@@ -1,0 +1,181 @@
+//! Serialization of the owner's secret material.
+//!
+//! §4.1: "The watermark consists of (i) signature sequence B; (ii) the
+//! random seed d, the original quantized weight W, full-precision
+//! activation A_f, and α, β coefficients for location L reproduction."
+//! That bundle *is* the ownership proof — it must survive years of
+//! storage bit-exactly. This module gives [`OwnerSecrets`] a versioned
+//! binary form built on the same primitives as the deploy codec.
+
+use crate::deploy::{decode_model, encode_model, CodecError};
+use crate::signature::Signature;
+use crate::watermark::{OwnerSecrets, WatermarkConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use emmark_nanolm::model::{ActivationStats, LayerActivation};
+
+const MAGIC: &[u8; 4] = b"EMWS";
+const VERSION: u32 = 1;
+
+/// Serializes the secret bundle.
+pub fn encode_secrets(secrets: &OwnerSecrets) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    // Config.
+    buf.put_f64_le(secrets.config.alpha);
+    buf.put_f64_le(secrets.config.beta);
+    buf.put_u32_le(secrets.config.bits_per_layer as u32);
+    buf.put_u32_le(secrets.config.pool_ratio as u32);
+    buf.put_u64_le(secrets.config.selection_seed);
+    // Signature.
+    buf.put_u32_le(secrets.signature.len() as u32);
+    for &b in secrets.signature.bits() {
+        buf.put_i8(b);
+    }
+    // Activation stats.
+    buf.put_u32_le(secrets.stats.per_layer.len() as u32);
+    for layer in &secrets.stats.per_layer {
+        buf.put_u32_le(layer.mean_abs.len() as u32);
+        for &v in &layer.mean_abs {
+            buf.put_f32_le(v);
+        }
+        for &v in &layer.max_abs {
+            buf.put_f32_le(v);
+        }
+    }
+    // Original model, embedded via the deploy codec (length-prefixed).
+    let model_bytes = encode_model(&secrets.original);
+    buf.put_u32_le(model_bytes.len() as u32);
+    buf.put_slice(&model_bytes);
+    buf.freeze()
+}
+
+/// Deserializes a secret bundle.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input.
+pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated("secrets header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let need = |buf: &Bytes, n: usize, what: &'static str| -> Result<(), CodecError> {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated(what))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8 + 8 + 4 + 4 + 8, "config")?;
+    let alpha = buf.get_f64_le();
+    let beta = buf.get_f64_le();
+    let bits_per_layer = buf.get_u32_le() as usize;
+    let pool_ratio = buf.get_u32_le() as usize;
+    let selection_seed = buf.get_u64_le();
+    let config = WatermarkConfig { alpha, beta, bits_per_layer, pool_ratio, selection_seed };
+
+    need(&buf, 4, "signature length")?;
+    let sig_len = buf.get_u32_le() as usize;
+    need(&buf, sig_len, "signature bits")?;
+    let mut bits = Vec::with_capacity(sig_len);
+    for _ in 0..sig_len {
+        let b = buf.get_i8();
+        if b != 1 && b != -1 {
+            return Err(CodecError::Corrupt(format!("signature bit {b} is not ±1")));
+        }
+        bits.push(b);
+    }
+    let signature = Signature::from_bits(bits);
+
+    need(&buf, 4, "stats layer count")?;
+    let n_layers = buf.get_u32_le() as usize;
+    let mut per_layer = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        need(&buf, 4, "stats channel count")?;
+        let channels = buf.get_u32_le() as usize;
+        need(&buf, channels * 8, "stats values")?;
+        let mean_abs: Vec<f32> = (0..channels).map(|_| buf.get_f32_le()).collect();
+        let max_abs: Vec<f32> = (0..channels).map(|_| buf.get_f32_le()).collect();
+        per_layer.push(LayerActivation { mean_abs, max_abs });
+    }
+    let stats = ActivationStats { per_layer };
+
+    need(&buf, 4, "model length")?;
+    let model_len = buf.get_u32_le() as usize;
+    need(&buf, model_len, "model bytes")?;
+    let model_bytes = buf.copy_to_bytes(model_len);
+    let original = decode_model(&model_bytes)?;
+    if stats.layer_count() != original.layer_count() {
+        return Err(CodecError::Corrupt(format!(
+            "stats cover {} layers, model has {}",
+            stats.layer_count(),
+            original.layer_count()
+        )));
+    }
+    Ok(OwnerSecrets { original, stats, signature, config })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn secrets() -> OwnerSecrets {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        OwnerSecrets::new(qm, stats, cfg, 0x5EC2)
+    }
+
+    #[test]
+    fn vault_roundtrip_preserves_proof_power() {
+        let original = secrets();
+        let deployed = original.watermark_for_deployment().expect("insert");
+        let bytes = encode_secrets(&original);
+        let restored = decode_secrets(&bytes).expect("decode");
+        // The restored secrets prove ownership of the deployed model
+        // exactly as the originals did.
+        let report = restored.verify(&deployed).expect("verify");
+        assert_eq!(report.wer(), 100.0);
+        assert_eq!(restored.signature, original.signature);
+        assert_eq!(restored.config, original.config);
+        assert_eq!(restored.stats, original.stats);
+        assert!(restored.original.same_weights(&original.original));
+    }
+
+    #[test]
+    fn vault_rejects_garbage() {
+        assert!(matches!(decode_secrets(b"EMQM1234"), Err(CodecError::BadMagic)));
+        assert!(matches!(decode_secrets(b"EM"), Err(CodecError::Truncated(_))));
+        let bytes = encode_secrets(&secrets());
+        for cut in [10usize, 40, bytes.len() / 2, bytes.len() - 5] {
+            assert!(
+                decode_secrets(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn vault_rejects_corrupted_signature_bits() {
+        let bytes = encode_secrets(&secrets()).to_vec();
+        // Signature bits start after magic(4)+version(4)+config(32)+len(4).
+        let mut corrupted = bytes.clone();
+        corrupted[4 + 4 + 32 + 4] = 3; // not ±1
+        assert!(matches!(decode_secrets(&corrupted), Err(CodecError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,526 @@
+//! EmMark watermark insertion and extraction (§4 of the paper).
+//!
+//! Insertion (Eq. 5): score every cell of every quantized layer
+//! (Eqs. 2–4), keep the `|B_c|` best per layer as the candidate pool,
+//! pick `|B|/n` of them with the secret seed `d`, and bump each chosen
+//! integer by its signature bit. Extraction (Eqs. 6–7): re-derive the
+//! locations from `(d, W, A_f, α, β)`, diff the suspect weights against
+//! the original, and count exact `ΔW == b` matches. Eq. 8 turns the match
+//! count into a chance probability.
+
+use crate::scoring::{candidate_pool, score_layer, PoolError, ScoreCoefficients};
+use crate::signature::Signature;
+use emmark_nanolm::model::ActivationStats;
+use emmark_quant::QuantizedModel;
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+use emmark_tensor::stats::log10_binomial_tail;
+use serde::{Deserialize, Serialize};
+
+/// Watermark insertion parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatermarkConfig {
+    /// Scoring coefficients `(α, β)`; paper default `(0.5, 0.5)`.
+    pub alpha: f64,
+    /// See `alpha`.
+    pub beta: f64,
+    /// Signature bits inserted per quantized layer (`|B| / n`).
+    pub bits_per_layer: usize,
+    /// Candidate-pool ratio `|B_c| · n / |B|`: the pool holds
+    /// `pool_ratio × bits_per_layer` cells. Paper: 50 for models below
+    /// the 6.7B-equivalent, 60 at and above.
+    pub pool_ratio: usize,
+    /// The secret selection seed `d` (paper experiments use 100).
+    pub selection_seed: u64,
+}
+
+impl Default for WatermarkConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.5, bits_per_layer: 8, pool_ratio: 50, selection_seed: 100 }
+    }
+}
+
+impl WatermarkConfig {
+    /// Scaled default for INT8 grids (paper: 300 bits/layer at OPT scale;
+    /// 24 here — DESIGN.md §4 records the density mapping).
+    pub fn int8_default() -> Self {
+        Self { bits_per_layer: 24, ..Self::default() }
+    }
+
+    /// Scaled default for INT4 grids (paper: 40 bits/layer; 8 here).
+    pub fn int4_default() -> Self {
+        Self { bits_per_layer: 8, ..Self::default() }
+    }
+
+    /// The coefficients as a [`ScoreCoefficients`].
+    pub fn coefficients(&self) -> ScoreCoefficients {
+        ScoreCoefficients { alpha: self.alpha, beta: self.beta }
+    }
+
+    /// Total signature length for a model with `n_layers` quantized
+    /// layers.
+    pub fn signature_len(&self, n_layers: usize) -> usize {
+        self.bits_per_layer * n_layers
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::InvalidConfig`] on nonsensical values.
+    pub fn validate(&self) -> Result<(), WatermarkError> {
+        self.coefficients()
+            .validate()
+            .map_err(WatermarkError::InvalidConfig)?;
+        if self.bits_per_layer == 0 {
+            return Err(WatermarkError::InvalidConfig("bits_per_layer must be positive".into()));
+        }
+        if self.pool_ratio < 1 {
+            return Err(WatermarkError::InvalidConfig("pool_ratio must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Errors of the watermarking pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatermarkError {
+    /// A layer cannot supply the requested candidate pool.
+    Pool {
+        /// Canonical index of the failing layer.
+        layer: usize,
+        /// The underlying shortage.
+        source: PoolError,
+    },
+    /// Configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// Signature length does not match `bits_per_layer × n`.
+    SignatureLength {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Suspect and original models have different shapes.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatermarkError::Pool { layer, source } => {
+                write!(f, "layer {layer}: {source}")
+            }
+            WatermarkError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            WatermarkError::SignatureLength { expected, got } => {
+                write!(f, "signature length {got} does not match required {expected}")
+            }
+            WatermarkError::ShapeMismatch(msg) => write!(f, "model shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WatermarkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WatermarkError::Pool { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Per-layer watermark locations (flat cell indices, in selection order).
+pub type Locations = Vec<Vec<usize>>;
+
+/// Re-derives the watermark weight locations from the secret material:
+/// the *original* quantized weights, the full-precision activation
+/// profile, the coefficients, and the selection seed. Used by both
+/// insertion and extraction — the paper's location-reproduction step.
+///
+/// # Errors
+///
+/// Returns [`WatermarkError::Pool`] if a layer cannot fill its candidate
+/// pool, or [`WatermarkError::InvalidConfig`] on bad parameters.
+pub fn locate_watermark(
+    original: &QuantizedModel,
+    stats: &ActivationStats,
+    cfg: &WatermarkConfig,
+) -> Result<Locations, WatermarkError> {
+    cfg.validate()?;
+    if stats.layer_count() != original.layer_count() {
+        return Err(WatermarkError::ShapeMismatch(format!(
+            "activation stats cover {} layers, model has {}",
+            stats.layer_count(),
+            original.layer_count()
+        )));
+    }
+    let coeffs = cfg.coefficients();
+    let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
+    // One deterministic sub-seed per layer, derived from the secret seed.
+    let mut sm = SplitMix64::new(cfg.selection_seed);
+    let mut locations = Vec::with_capacity(original.layer_count());
+    for (l, layer) in original.layers.iter().enumerate() {
+        let layer_seed = sm.next_u64();
+        let scores = score_layer(layer, &stats.per_layer[l].mean_abs, &coeffs);
+        let pool = candidate_pool(&scores, pool_size)
+            .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+        let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+        let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
+        locations.push(picks.into_iter().map(|p| pool[p]).collect());
+    }
+    Ok(locations)
+}
+
+/// Proof material returned by [`insert_watermark`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertedWatermark {
+    /// The locations that received bits (re-derivable from the secrets).
+    pub locations: Locations,
+    /// Total bits inserted (`|B|`).
+    pub bits: usize,
+}
+
+/// Inserts `signature` into `model` in place (Eq. 5:
+/// `W'[L_i] = W[L_i] + b_i`).
+///
+/// `model` must still hold the *original* (pre-watermark) weights; the
+/// caller keeps a pristine copy as part of the owner secrets.
+///
+/// # Errors
+///
+/// Propagates location errors and rejects signatures whose length is not
+/// `bits_per_layer × layer_count`.
+pub fn insert_watermark(
+    model: &mut QuantizedModel,
+    stats: &ActivationStats,
+    signature: &Signature,
+    cfg: &WatermarkConfig,
+) -> Result<InsertedWatermark, WatermarkError> {
+    let expected = cfg.signature_len(model.layer_count());
+    if signature.len() != expected {
+        return Err(WatermarkError::SignatureLength { expected, got: signature.len() });
+    }
+    let locations = locate_watermark(model, stats, cfg)?;
+    let n = model.layer_count();
+    for (l, layer_locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in layer_locs.iter().zip(bits) {
+            // Selection excluded clamped cells, so the bump cannot clip.
+            model.layers[l].bump_q_flat(f, b);
+        }
+    }
+    Ok(InsertedWatermark { locations, bits: signature.len() })
+}
+
+/// Result of watermark extraction (Eqs. 6–8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionReport {
+    /// Signature length `|B|`.
+    pub total_bits: usize,
+    /// Exactly matching bits `|B|'`.
+    pub matched_bits: usize,
+}
+
+impl ExtractionReport {
+    /// Watermark extraction rate in percent (Eq. 7).
+    pub fn wer(&self) -> f64 {
+        if self.total_bits == 0 {
+            return 0.0;
+        }
+        100.0 * self.matched_bits as f64 / self.total_bits as f64
+    }
+
+    /// Base-10 log of the chance-match probability (Eq. 8).
+    pub fn log10_p_chance(&self) -> f64 {
+        log10_binomial_tail(self.total_bits as u64, self.matched_bits as u64)
+    }
+
+    /// Ownership claim at the given significance: the probability that a
+    /// non-watermarked model matches this many bits by chance is below
+    /// `10^log10_threshold`.
+    pub fn proves_ownership(&self, log10_threshold: f64) -> bool {
+        self.log10_p_chance() < log10_threshold
+    }
+}
+
+/// Extracts the watermark from `suspect` using the owner's secret
+/// material, and scores the match (Eqs. 6–7).
+///
+/// # Errors
+///
+/// Returns [`WatermarkError::ShapeMismatch`] if the suspect's layer grid
+/// does not line up with the original's, plus any location error.
+pub fn extract_watermark(
+    suspect: &QuantizedModel,
+    original: &QuantizedModel,
+    stats: &ActivationStats,
+    signature: &Signature,
+    cfg: &WatermarkConfig,
+) -> Result<ExtractionReport, WatermarkError> {
+    let expected = cfg.signature_len(original.layer_count());
+    if signature.len() != expected {
+        return Err(WatermarkError::SignatureLength { expected, got: signature.len() });
+    }
+    if suspect.layer_count() != original.layer_count() {
+        return Err(WatermarkError::ShapeMismatch(format!(
+            "suspect has {} layers, original {}",
+            suspect.layer_count(),
+            original.layer_count()
+        )));
+    }
+    for (l, (a, b)) in suspect.layers.iter().zip(&original.layers).enumerate() {
+        if a.in_features() != b.in_features() || a.out_features() != b.out_features() {
+            return Err(WatermarkError::ShapeMismatch(format!(
+                "layer {l}: suspect {}x{}, original {}x{}",
+                a.in_features(),
+                a.out_features(),
+                b.in_features(),
+                b.out_features()
+            )));
+        }
+    }
+    let locations = locate_watermark(original, stats, cfg)?;
+    let n = original.layer_count();
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for (l, layer_locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in layer_locs.iter().zip(bits) {
+            // Eq. 6: ΔW[L] = W'[L] − W[L]; exact match required.
+            let delta =
+                suspect.layers[l].q_at_flat(f) as i16 - original.layers[l].q_at_flat(f) as i16;
+            if delta == b as i16 {
+                matched += 1;
+            }
+            total += 1;
+        }
+    }
+    Ok(ExtractionReport { total_bits: total, matched_bits: matched })
+}
+
+/// Everything the model owner keeps confidential: the original quantized
+/// weights, the full-precision activation profile, the signature, and
+/// the insertion hyperparameters (§4.1 "The watermark consists of…").
+#[derive(Debug, Clone)]
+pub struct OwnerSecrets {
+    /// Pristine pre-watermark quantized model `W`.
+    pub original: QuantizedModel,
+    /// Full-precision activation profile `A_f`.
+    pub stats: ActivationStats,
+    /// The signature `B`.
+    pub signature: Signature,
+    /// Insertion hyperparameters (`α`, `β`, `d`, densities).
+    pub config: WatermarkConfig,
+}
+
+impl OwnerSecrets {
+    /// Creates the secret bundle, generating a fresh signature of the
+    /// right length from `signature_seed`.
+    pub fn new(
+        original: QuantizedModel,
+        stats: ActivationStats,
+        config: WatermarkConfig,
+        signature_seed: u64,
+    ) -> Self {
+        let signature =
+            Signature::generate(config.signature_len(original.layer_count()), signature_seed);
+        Self { original, stats, signature, config }
+    }
+
+    /// Produces the watermarked model to deploy (the original stays
+    /// pristine inside the secrets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`insert_watermark`] errors.
+    pub fn watermark_for_deployment(&self) -> Result<QuantizedModel, WatermarkError> {
+        let mut deployed = self.original.clone();
+        insert_watermark(&mut deployed, &self.stats, &self.signature, &self.config)?;
+        Ok(deployed)
+    }
+
+    /// Ownership check against a suspect model (Eqs. 6–8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`extract_watermark`] errors.
+    pub fn verify(&self, suspect: &QuantizedModel) -> Result<ExtractionReport, WatermarkError> {
+        extract_watermark(suspect, &self.original, &self.stats, &self.signature, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+    use emmark_quant::rtn::quantize_linear_rtn;
+    use emmark_quant::{ActQuant, Granularity};
+
+    fn test_setup(bits: u8) -> (QuantizedModel, ActivationStats) {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = if bits == 4 {
+            awq(&model, &stats, &AwqConfig::default())
+        } else {
+            QuantizedModel::quantize_with(&model, "rtn-int8", |_, lin| {
+                quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+            })
+        };
+        (qm, stats)
+    }
+
+    fn small_cfg() -> WatermarkConfig {
+        // tiny_test layers are 16x16=256 cells; keep pool small.
+        WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..WatermarkConfig::default() }
+    }
+
+    #[test]
+    fn locations_are_reproducible_and_seed_sensitive() {
+        let (qm, stats) = test_setup(8);
+        let cfg = small_cfg();
+        let a = locate_watermark(&qm, &stats, &cfg).expect("locate");
+        let b = locate_watermark(&qm, &stats, &cfg).expect("locate");
+        assert_eq!(a, b);
+        let cfg2 = WatermarkConfig { selection_seed: 101, ..cfg };
+        let c = locate_watermark(&qm, &stats, &cfg2).expect("locate");
+        assert_ne!(a, c);
+        // Distinct locations within a layer.
+        for layer_locs in &a {
+            let mut sorted = layer_locs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), layer_locs.len());
+        }
+    }
+
+    #[test]
+    fn insert_then_extract_is_perfect() {
+        for bits in [8u8, 4] {
+            let (qm, stats) = test_setup(bits);
+            let secrets = OwnerSecrets::new(qm, stats, small_cfg(), 777);
+            let deployed = secrets.watermark_for_deployment().expect("insert");
+            let report = secrets.verify(&deployed).expect("extract");
+            assert_eq!(report.wer(), 100.0, "bits={bits}");
+            assert_eq!(report.matched_bits, report.total_bits);
+            assert!(report.proves_ownership(-9.0));
+        }
+    }
+
+    #[test]
+    fn unwatermarked_model_yields_zero_wer() {
+        let (qm, stats) = test_setup(4);
+        let secrets = OwnerSecrets::new(qm.clone(), stats, small_cfg(), 778);
+        let report = secrets.verify(&qm).expect("extract");
+        assert_eq!(report.matched_bits, 0);
+        assert_eq!(report.wer(), 0.0);
+        assert!(!report.proves_ownership(-9.0));
+    }
+
+    #[test]
+    fn insertion_never_clips_and_changes_exactly_bits_cells() {
+        let (qm, stats) = test_setup(4);
+        let secrets = OwnerSecrets::new(qm.clone(), stats, small_cfg(), 779);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        let mut changed = 0usize;
+        for (a, b) in deployed.layers.iter().zip(&qm.layers) {
+            for f in 0..a.len() {
+                let d = a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16;
+                if d != 0 {
+                    changed += 1;
+                    assert!(d == 1 || d == -1, "delta {d} is not ±1");
+                    // Never wrapped: new value within symmetric range.
+                    assert!(a.q_at_flat(f) >= -a.qmax() && a.q_at_flat(f) <= a.qmax());
+                }
+            }
+        }
+        assert_eq!(changed, secrets.signature.len());
+    }
+
+    #[test]
+    fn wrong_secrets_fail_to_extract() {
+        let (qm, stats) = test_setup(4);
+        let cfg = small_cfg();
+        let secrets = OwnerSecrets::new(qm, stats, cfg, 780);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+
+        // Wrong signature.
+        let mut wrong_sig = secrets.clone();
+        wrong_sig.signature = Signature::generate(secrets.signature.len(), 999);
+        let r = wrong_sig.verify(&deployed).expect("extract");
+        assert!(r.wer() < 80.0, "wrong signature matched {}%", r.wer());
+
+        // Wrong seed: different locations -> deltas are mostly 0 there.
+        let mut wrong_seed = secrets.clone();
+        wrong_seed.config.selection_seed = 12345;
+        let r = wrong_seed.verify(&deployed).expect("extract");
+        assert!(r.wer() < 30.0, "wrong seed matched {}%", r.wer());
+        assert!(!r.proves_ownership(-9.0));
+    }
+
+    #[test]
+    fn signature_length_is_enforced() {
+        let (mut qm, stats) = test_setup(8);
+        let cfg = small_cfg();
+        let sig = Signature::generate(3, 1); // wrong length
+        let err = insert_watermark(&mut qm, &stats, &sig, &cfg).expect_err("bad length");
+        assert!(matches!(err, WatermarkError::SignatureLength { .. }));
+        assert!(err.to_string().contains("signature length"));
+    }
+
+    #[test]
+    fn oversized_pool_reports_layer() {
+        let (mut qm, stats) = test_setup(8);
+        let cfg = WatermarkConfig { bits_per_layer: 64, pool_ratio: 50, ..Default::default() };
+        let sig = Signature::generate(cfg.signature_len(qm.layer_count()), 1);
+        let err = insert_watermark(&mut qm, &stats, &sig, &cfg).expect_err("pool too big");
+        match err {
+            WatermarkError::Pool { source, .. } => {
+                assert!(source.needed > source.available);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let (qm, stats) = test_setup(8);
+        let mut other_cfg = ModelConfig::tiny_test();
+        other_cfg.n_layers = 1;
+        let other = TransformerModel::new(other_cfg);
+        let other_q = QuantizedModel::quantize_with(&other, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        });
+        let secrets = OwnerSecrets::new(qm, stats, small_cfg(), 1);
+        let err = secrets.verify(&other_q).expect_err("shape mismatch");
+        assert!(matches!(err, WatermarkError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn extraction_report_statistics() {
+        let r = ExtractionReport { total_bits: 40, matched_bits: 40 };
+        assert_eq!(r.wer(), 100.0);
+        // Paper: 9.09e-13 for a fully matched 40-bit layer signature.
+        assert!((r.log10_p_chance() - (-12.04)).abs() < 0.01);
+        let half = ExtractionReport { total_bits: 40, matched_bits: 20 };
+        assert!(half.wer() == 50.0);
+        assert!(!half.proves_ownership(-6.0));
+    }
+
+    #[test]
+    fn locations_avoid_clamped_zero_and_outlier_cells() {
+        let (qm, stats) = test_setup(4);
+        let cfg = small_cfg();
+        let locations = locate_watermark(&qm, &stats, &cfg).expect("locate");
+        for (l, layer_locs) in locations.iter().enumerate() {
+            for &f in layer_locs {
+                assert!(!qm.layers[l].is_clamped_flat(f));
+                assert!(!qm.layers[l].is_outlier_flat(f));
+                assert_ne!(qm.layers[l].q_at_flat(f), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # emmark-eval
+//!
+//! Quality evaluation harness for the EmMark reproduction: perplexity on
+//! held-out SynWiki text ([`perplexity`]) and a four-task synthetic
+//! zero-shot suite ([`tasks`]) standing in for LAMBADA / HellaSwag /
+//! PIQA / WinoGrande, aggregated into the paper's two table columns by
+//! [`report::evaluate_quality`].
+//!
+//! Everything is generic over
+//! [`LogitsModel`](emmark_nanolm::model::LogitsModel), so full-precision,
+//! quantized, and watermarked models are measured by identical code.
+//!
+//! # Examples
+//!
+//! ```
+//! use emmark_eval::report::{evaluate_quality, EvalConfig};
+//! use emmark_nanolm::{config::ModelConfig, corpus::{Corpus, Grammar}, TransformerModel};
+//! use emmark_quant::rtn::quantize_linear_rtn;
+//! use emmark_quant::{ActQuant, Granularity, QuantizedModel};
+//!
+//! let corpus = Corpus::sample(Grammar::synwiki(3), 1000, 100, 600);
+//! let mut cfg = ModelConfig::tiny_test();
+//! cfg.vocab_size = corpus.grammar.vocab_size();
+//! let model = TransformerModel::new(cfg);
+//! let quantized = QuantizedModel::quantize_with(&model, "rtn-int8", |_, lin| {
+//!     quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+//! });
+//! // Same harness for both precisions.
+//! let fp = evaluate_quality(&model, &corpus, &EvalConfig::tiny_test());
+//! let q = evaluate_quality(&quantized, &corpus, &EvalConfig::tiny_test());
+//! assert!(fp.ppl > 1.0 && q.ppl > 1.0);
+//! ```
+
+pub mod perplexity;
+pub mod report;
+pub mod tasks;
+
+pub use report::{evaluate_quality, EvalConfig, QualityReport};

@@ -1,0 +1,65 @@
+//! Perplexity evaluation (the paper's text-fluency metric, WikiText →
+//! SynWiki here).
+
+use emmark_nanolm::model::{stream_nll, LogitsModel};
+
+/// Perplexity `exp(mean NLL)` of a model over a held-out token stream,
+/// evaluated in non-overlapping windows.
+///
+/// # Panics
+///
+/// Panics if the stream is shorter than two tokens or the window does not
+/// fit the model (see [`stream_nll`]).
+///
+/// # Examples
+///
+/// ```
+/// use emmark_nanolm::{config::ModelConfig, TransformerModel};
+/// use emmark_eval::perplexity::perplexity;
+///
+/// let model = TransformerModel::new(ModelConfig::tiny_test());
+/// let stream: Vec<u32> = (0..100).map(|i| i % 31).collect();
+/// let ppl = perplexity(&model, &stream, 16);
+/// assert!(ppl > 1.0 && ppl.is_finite());
+/// ```
+pub fn perplexity<M: LogitsModel + ?Sized>(model: &M, stream: &[u32], window: usize) -> f64 {
+    stream_nll(model, stream, window).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::corpus::{Corpus, Grammar};
+    use emmark_nanolm::train::{train, TrainConfig};
+    use emmark_nanolm::TransformerModel;
+
+    #[test]
+    fn untrained_model_ppl_is_near_uniform() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let stream: Vec<u32> = (0..200u32).map(|i| (i * 17 + 3) % 31).collect();
+        let ppl = perplexity(&model, &stream, 16);
+        // An untrained model is near-uniform over 32 tokens, modulo
+        // random init bias.
+        assert!(ppl > 8.0 && ppl < 140.0, "ppl {ppl}");
+    }
+
+    #[test]
+    fn training_lowers_perplexity() {
+        let corpus = Corpus::sample(Grammar::synwiki(5), 4000, 400, 600);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let mut model = TransformerModel::new(cfg);
+        let before = perplexity(&model, &corpus.test, 16);
+        train(&mut model, &corpus, &TrainConfig::tiny_test());
+        let after = perplexity(&model, &corpus.test, 16);
+        assert!(after < before * 0.8, "ppl {before} -> {after}");
+    }
+
+    #[test]
+    fn perplexity_is_deterministic() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let stream: Vec<u32> = (0..100u32).map(|i| i % 31).collect();
+        assert_eq!(perplexity(&model, &stream, 12), perplexity(&model, &stream, 12));
+    }
+}

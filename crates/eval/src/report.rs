@@ -1,0 +1,140 @@
+//! Aggregate quality report: the two numbers every table in the paper
+//! tracks (perplexity and mean zero-shot accuracy), plus per-task detail.
+
+use crate::perplexity::perplexity;
+use crate::tasks::{build_task, evaluate_task, TaskKind};
+use emmark_nanolm::corpus::Corpus;
+use emmark_nanolm::model::LogitsModel;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Tokens of held-out text used for perplexity.
+    pub ppl_tokens: usize,
+    /// Window length for perplexity chunks.
+    pub window: usize,
+    /// Items per zero-shot task.
+    pub task_items: usize,
+    /// Task generation seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { ppl_tokens: 3000, window: 32, task_items: 120, seed: 1234 }
+    }
+}
+
+impl EvalConfig {
+    /// Fast preset for unit tests.
+    pub fn tiny_test() -> Self {
+        Self { ppl_tokens: 400, window: 16, task_items: 20, seed: 1234 }
+    }
+}
+
+/// Quality of one model under one evaluation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Perplexity on held-out SynWiki text (lower is better).
+    pub ppl: f64,
+    /// Accuracy per task, in [`TaskKind::all`] order.
+    pub task_accuracy: Vec<(String, f64)>,
+    /// Mean of the four task accuracies, in percent — the paper's
+    /// "Zero-shot Acc (%)".
+    pub zero_shot_acc: f64,
+}
+
+/// Evaluates a model's quality on a corpus: perplexity plus the
+/// four-task zero-shot suite.
+///
+/// # Panics
+///
+/// Panics if the corpus test split is shorter than `cfg.ppl_tokens`.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_eval::report::{evaluate_quality, EvalConfig};
+/// use emmark_nanolm::{config::ModelConfig, corpus::{Corpus, Grammar}, TransformerModel};
+///
+/// let corpus = Corpus::sample(Grammar::synwiki(3), 2000, 200, 600);
+/// let mut cfg = ModelConfig::tiny_test();
+/// cfg.vocab_size = corpus.grammar.vocab_size();
+/// let model = TransformerModel::new(cfg);
+/// let report = evaluate_quality(&model, &corpus, &EvalConfig::tiny_test());
+/// assert!(report.ppl > 1.0);
+/// assert!((0.0..=100.0).contains(&report.zero_shot_acc));
+/// ```
+pub fn evaluate_quality<M: LogitsModel + ?Sized>(
+    model: &M,
+    corpus: &Corpus,
+    cfg: &EvalConfig,
+) -> QualityReport {
+    assert!(
+        corpus.test.len() >= cfg.ppl_tokens,
+        "test split ({}) shorter than requested ppl_tokens ({})",
+        corpus.test.len(),
+        cfg.ppl_tokens
+    );
+    let ppl = perplexity(model, &corpus.test[..cfg.ppl_tokens], cfg.window.min(model.max_seq()));
+    let mut task_accuracy = Vec::with_capacity(4);
+    let mut sum = 0.0;
+    for kind in TaskKind::all() {
+        let task = build_task(&corpus.grammar, kind, cfg.task_items, cfg.seed);
+        let acc = evaluate_task(model, &task);
+        sum += acc;
+        task_accuracy.push((kind.name().to_string(), acc));
+    }
+    QualityReport { ppl, task_accuracy, zero_shot_acc: 100.0 * sum / 4.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::corpus::Grammar;
+    use emmark_nanolm::train::{train, TrainConfig};
+    use emmark_nanolm::TransformerModel;
+
+    #[test]
+    fn report_has_four_tasks_and_bounded_metrics() {
+        let corpus = Corpus::sample(Grammar::synwiki(4), 2000, 200, 600);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let model = TransformerModel::new(cfg);
+        let report = evaluate_quality(&model, &corpus, &EvalConfig::tiny_test());
+        assert_eq!(report.task_accuracy.len(), 4);
+        assert!(report.ppl.is_finite() && report.ppl > 1.0);
+        assert!((0.0..=100.0).contains(&report.zero_shot_acc));
+    }
+
+    #[test]
+    fn training_improves_both_metrics() {
+        let corpus = Corpus::sample(Grammar::synwiki(6), 6000, 400, 800);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let mut model = TransformerModel::new(cfg);
+        let eval_cfg = EvalConfig { task_items: 40, ..EvalConfig::tiny_test() };
+        let before = evaluate_quality(&model, &corpus, &eval_cfg);
+        train(
+            &mut model,
+            &corpus,
+            &TrainConfig { steps: 120, batch_size: 8, seq_len: 16, ..TrainConfig::default() },
+        );
+        let after = evaluate_quality(&model, &corpus, &eval_cfg);
+        assert!(after.ppl < before.ppl);
+        assert!(after.zero_shot_acc > before.zero_shot_acc);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let corpus = Corpus::sample(Grammar::synwiki(8), 1000, 100, 600);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let model = TransformerModel::new(cfg);
+        let a = evaluate_quality(&model, &corpus, &EvalConfig::tiny_test());
+        let b = evaluate_quality(&model, &corpus, &EvalConfig::tiny_test());
+        assert_eq!(a, b);
+    }
+}

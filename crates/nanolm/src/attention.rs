@@ -1,0 +1,315 @@
+//! Causal multi-head self-attention with manual backprop.
+
+use crate::layers::Linear;
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Cached forward state for the backward pass.
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head post-softmax attention probabilities `[T, T]`.
+    probs: Vec<Matrix>,
+}
+
+/// Causal multi-head self-attention.
+///
+/// Projections are stored as four [`Linear`] layers (`wq`, `wk`, `wv`,
+/// `wo`) — exactly the four per-block attention quantization layers the
+/// paper counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    n_heads: usize,
+    #[serde(skip)]
+    cache: Option<AttnCache>,
+}
+
+impl MultiHeadAttention {
+    /// Creates the four projections for a `d_model`-wide stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model % n_heads != 0`.
+    pub fn new(d_model: usize, n_heads: usize, bias: bool, rng: &mut Xoshiro256) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must be divisible by n_heads");
+        Self {
+            wq: Linear::new(d_model, d_model, bias, rng),
+            wk: Linear::new(d_model, d_model, bias, rng),
+            wv: Linear::new(d_model, d_model, bias, rng),
+            wo: Linear::new(d_model, d_model, bias, rng),
+            n_heads,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    fn head_slice(m: &Matrix, head: usize, dh: usize) -> Matrix {
+        Matrix::from_fn(m.rows(), dh, |i, j| m.at(i, j + head * dh))
+    }
+
+    /// Computes per-head causal softmax probabilities for `q`, `k`.
+    fn attention_probs(qh: &Matrix, kh: &Matrix) -> Matrix {
+        let t = qh.rows();
+        let dh = qh.cols();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut scores = qh.matmul_transb(kh);
+        scores.scale_in_place(scale);
+        // Causal mask + row softmax.
+        let mut probs = Matrix::zeros(t, t);
+        for i in 0..t {
+            let row = scores.row(i);
+            let max = row[..=i].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            let mut exps = vec![0.0f32; i + 1];
+            for (j, e) in exps.iter_mut().enumerate() {
+                *e = (row[j] - max).exp();
+                denom += *e;
+            }
+            for (j, e) in exps.iter().enumerate() {
+                probs.set(i, j, e / denom);
+            }
+        }
+        probs
+    }
+
+    /// Pure attention math given already-projected `q`, `k`, `v`:
+    /// per-head causal softmax attention, heads re-concatenated. Shared
+    /// with the quantized runtime in `emmark-quant`, which supplies
+    /// projections computed through quantized weights.
+    pub fn attention_core(q: &Matrix, k: &Matrix, v: &Matrix, n_heads: usize) -> Matrix {
+        Self::project(q, k, v, n_heads).1
+    }
+
+    fn project(q: &Matrix, k: &Matrix, v: &Matrix, n_heads: usize) -> (Vec<Matrix>, Matrix) {
+        let t = q.rows();
+        let d = q.cols();
+        let dh = d / n_heads;
+        let mut concat = Matrix::zeros(t, d);
+        let mut probs_all = Vec::with_capacity(n_heads);
+        for h in 0..n_heads {
+            let qh = Self::head_slice(q, h, dh);
+            let kh = Self::head_slice(k, h, dh);
+            let vh = Self::head_slice(v, h, dh);
+            let probs = Self::attention_probs(&qh, &kh);
+            let oh = probs.matmul(&vh);
+            for i in 0..t {
+                for j in 0..dh {
+                    concat.set(i, h * dh + j, oh.at(i, j));
+                }
+            }
+            probs_all.push(probs);
+        }
+        (probs_all, concat)
+    }
+
+    /// Training forward pass over `x: [T, d_model]`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let (probs, concat) = Self::project(&q, &k, &v, self.n_heads);
+        let y = self.wo.forward(&concat);
+        self.cache = Some(AttnCache { q, k, v, probs });
+        y
+    }
+
+    /// Cache-free inference pass.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let (_, concat) = Self::project(&q, &k, &v, self.n_heads);
+        self.wo.infer(&concat)
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("MultiHeadAttention::backward before forward");
+        let t = dy.rows();
+        let d = cache.q.cols();
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let dconcat = self.wo.backward(dy);
+
+        let mut dq = Matrix::zeros(t, d);
+        let mut dk = Matrix::zeros(t, d);
+        let mut dv = Matrix::zeros(t, d);
+
+        for h in 0..self.n_heads {
+            let qh = Self::head_slice(&cache.q, h, dh);
+            let kh = Self::head_slice(&cache.k, h, dh);
+            let vh = Self::head_slice(&cache.v, h, dh);
+            let probs = &cache.probs[h];
+            let doh = Self::head_slice(&dconcat, h, dh);
+
+            // dV_h = P^T dO_h
+            let dvh = probs.transa_matmul(&doh);
+            // dP = dO_h V_h^T
+            let dp = doh.matmul_transb(&vh);
+            // Softmax backward per row (masked entries have prob 0).
+            let mut dscores = Matrix::zeros(t, t);
+            for i in 0..t {
+                let mut dot = 0.0f32;
+                for j in 0..=i {
+                    dot += dp.at(i, j) * probs.at(i, j);
+                }
+                for j in 0..=i {
+                    let p = probs.at(i, j);
+                    dscores.set(i, j, p * (dp.at(i, j) - dot) * scale);
+                }
+            }
+            // dQ_h = dS K_h ; dK_h = dS^T Q_h
+            let dqh = dscores.matmul(&kh);
+            let dkh = dscores.transa_matmul(&qh);
+            for i in 0..t {
+                for j in 0..dh {
+                    dq.set(i, h * dh + j, dqh.at(i, j));
+                    dk.set(i, h * dh + j, dkh.at(i, j));
+                    dv.set(i, h * dh + j, dvh.at(i, j));
+                }
+            }
+        }
+
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loss_of(y: &Matrix) -> f64 {
+        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) + 0.1 * v as f64).sum()
+    }
+
+    fn dloss_of(y: &Matrix) -> Matrix {
+        y.map(|v| v + 0.1)
+    }
+
+    #[test]
+    fn attention_output_shape_and_determinism() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut attn = MultiHeadAttention::new(8, 2, true, &mut rng);
+        let x = Matrix::from_fn(5, 8, |i, j| ((i * 8 + j) as f32 * 0.01).sin());
+        let y1 = attn.forward(&x);
+        let y2 = attn.infer(&x);
+        assert_eq!(y1.shape(), (5, 8));
+        for (a, b) in y1.iter().zip(y2.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a future token must not change past outputs.
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let attn = MultiHeadAttention::new(8, 2, false, &mut rng);
+        let mut rng2 = Xoshiro256::seed_from_u64(3);
+        let x1 = Matrix::from_fn(6, 8, |_, _| rng2.normal_f32(0.0, 1.0));
+        let mut x2 = x1.clone();
+        for j in 0..8 {
+            x2.set(5, j, -9.0); // mutate the last position only
+        }
+        let y1 = attn.infer(&x1);
+        let y2 = attn.infer(&x2);
+        for i in 0..5 {
+            for j in 0..8 {
+                assert!(
+                    (y1.at(i, j) - y2.at(i, j)).abs() < 1e-6,
+                    "causality violated at ({i},{j})"
+                );
+            }
+        }
+        // The mutated position itself must change.
+        assert!((y1.at(5, 0) - y2.at(5, 0)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn attention_probs_rows_sum_to_one() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let q = Matrix::from_fn(4, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        let k = Matrix::from_fn(4, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        let p = MultiHeadAttention::attention_probs(&q, &k);
+        for i in 0..4 {
+            let sum: f32 = p.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for j in i + 1..4 {
+                assert_eq!(p.at(i, j), 0.0, "future leak at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_input_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut attn = MultiHeadAttention::new(6, 2, true, &mut rng);
+        let x = Matrix::from_fn(4, 6, |_, _| rng.normal_f32(0.0, 0.8));
+        let y = attn.forward(&x);
+        let dx = attn.backward(&dloss_of(&y));
+
+        let eps = 1e-3f32;
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.at(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.at(i, j) - eps);
+                let numeric =
+                    (loss_of(&attn.infer(&xp)) - loss_of(&attn.infer(&xm))) / (2.0 * eps as f64);
+                let analytic = dx.at(i, j) as f64;
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "({i},{j}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attention_weight_gradient_spot_check() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut attn = MultiHeadAttention::new(6, 3, false, &mut rng);
+        let x = Matrix::from_fn(5, 6, |_, _| rng.normal_f32(0.0, 1.0));
+        let y = attn.forward(&x);
+        let _ = attn.backward(&dloss_of(&y));
+
+        let eps = 1e-3f32;
+        for (wi, wj) in [(0usize, 0usize), (3, 5), (5, 2)] {
+            let orig = attn.wv.weight.value.at(wi, wj);
+            attn.wv.weight.value.set(wi, wj, orig + eps);
+            let lp = loss_of(&attn.infer(&x));
+            attn.wv.weight.value.set(wi, wj, orig - eps);
+            let lm = loss_of(&attn.infer(&x));
+            attn.wv.weight.value.set(wi, wj, orig);
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = attn.wv.weight.grad.at(wi, wj) as f64;
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "wv[{wi},{wj}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

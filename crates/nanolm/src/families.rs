@@ -1,0 +1,245 @@
+//! The Sim-OPT and Sim-LLaMA model families.
+//!
+//! The paper's Table 1 sweeps OPT {125M, 1.3B, 2.7B, 6.7B, 13B, 30B} and
+//! LLaMA-2 {7B, 13B, 70B}. This module defines nine micro-scale stand-ins
+//! with the same *relative ordering* of width/depth and the two families'
+//! architectural distinctions (OPT: LayerNorm + GELU + biases; LLaMA:
+//! RMSNorm + gated SiLU, no biases), plus a deterministic train-to-ready
+//! helper used by every experiment.
+
+use crate::config::{MlpKind, ModelConfig, NormKind, OutlierProfile};
+use crate::corpus::Corpus;
+use crate::model::TransformerModel;
+use crate::train::{train, TrainConfig, TrainReport};
+use serde::{Deserialize, Serialize};
+
+/// Model family, mirroring the paper's two evaluation families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// OPT-style: LayerNorm, GELU MLP, biased projections.
+    SimOpt,
+    /// LLaMA-2-style: RMSNorm, gated SiLU MLP, no biases.
+    SimLlama,
+}
+
+/// One entry of the nine-model evaluation grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Family.
+    pub family: Family,
+    /// Paper-size label this model stands in for (e.g. `"2.7b"`).
+    pub label: &'static str,
+    /// Residual width.
+    pub d_model: usize,
+    /// Blocks.
+    pub n_layers: usize,
+    /// Heads.
+    pub n_heads: usize,
+    /// MLP hidden width.
+    pub d_ff: usize,
+}
+
+impl ModelSpec {
+    /// Canonical name, e.g. `"sim-opt-2.7b"`.
+    pub fn name(&self) -> String {
+        match self.family {
+            Family::SimOpt => format!("sim-opt-{}", self.label),
+            Family::SimLlama => format!("sim-llama-{}", self.label),
+        }
+    }
+
+    /// Expands the spec into a full [`ModelConfig`] over `vocab_size`
+    /// tokens.
+    pub fn config(&self, vocab_size: usize) -> ModelConfig {
+        let (norm, mlp) = match self.family {
+            Family::SimOpt => (NormKind::LayerNorm, MlpKind::Gelu),
+            Family::SimLlama => (NormKind::RmsNorm, MlpKind::GatedSilu),
+        };
+        ModelConfig {
+            name: self.name(),
+            vocab_size,
+            d_model: self.d_model,
+            n_layers: self.n_layers,
+            n_heads: self.n_heads,
+            d_ff: self.d_ff,
+            max_seq: 32,
+            norm,
+            mlp,
+            outliers: Some(OutlierProfile::default()),
+            // Distinct deterministic init per spec.
+            init_seed: 0x5EED ^ fxhash(self.name().as_bytes()),
+        }
+    }
+}
+
+/// Tiny stable FNV-style hash for seeding (not cryptographic).
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The six Sim-OPT grid entries, smallest to largest.
+pub fn sim_opt_grid() -> Vec<ModelSpec> {
+    use Family::SimOpt;
+    vec![
+        ModelSpec { family: SimOpt, label: "125m", d_model: 32, n_layers: 2, n_heads: 2, d_ff: 128 },
+        ModelSpec { family: SimOpt, label: "1.3b", d_model: 48, n_layers: 2, n_heads: 4, d_ff: 192 },
+        ModelSpec { family: SimOpt, label: "2.7b", d_model: 64, n_layers: 3, n_heads: 4, d_ff: 256 },
+        ModelSpec { family: SimOpt, label: "6.7b", d_model: 80, n_layers: 3, n_heads: 4, d_ff: 320 },
+        ModelSpec { family: SimOpt, label: "13b", d_model: 96, n_layers: 4, n_heads: 6, d_ff: 384 },
+        ModelSpec { family: SimOpt, label: "30b", d_model: 112, n_layers: 4, n_heads: 8, d_ff: 448 },
+    ]
+}
+
+/// The three Sim-LLaMA grid entries.
+pub fn sim_llama_grid() -> Vec<ModelSpec> {
+    use Family::SimLlama;
+    vec![
+        ModelSpec { family: SimLlama, label: "7b", d_model: 64, n_layers: 3, n_heads: 4, d_ff: 192 },
+        ModelSpec { family: SimLlama, label: "13b", d_model: 80, n_layers: 3, n_heads: 4, d_ff: 256 },
+        ModelSpec { family: SimLlama, label: "70b", d_model: 112, n_layers: 4, n_heads: 8, d_ff: 320 },
+    ]
+}
+
+/// The full nine-model Table 1 grid, Sim-OPT first.
+pub fn full_grid() -> Vec<ModelSpec> {
+    let mut grid = sim_opt_grid();
+    grid.extend(sim_llama_grid());
+    grid
+}
+
+/// Whether a spec counts as "large" for the paper's candidate-pool ratio
+/// rule (ratio 50 below 6.7B-equivalent, 60 at and above).
+pub fn is_large(spec: &ModelSpec) -> bool {
+    matches!(
+        (spec.family, spec.label),
+        (Family::SimOpt, "6.7b" | "13b" | "30b") | (Family::SimLlama, _)
+    )
+}
+
+/// A trained model bundled with its corpus and training report.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The trained full-precision model.
+    pub model: TransformerModel,
+    /// The corpus it was trained on.
+    pub corpus: Corpus,
+    /// Training summary.
+    pub report: TrainReport,
+}
+
+/// Deterministically trains a spec on the SynWiki corpus.
+///
+/// `effort` scales the step count: unit tests pass a small value, the
+/// benchmark harness a larger one. The same `(spec, effort, seed)` always
+/// yields bit-identical weights.
+pub fn train_spec(spec: &ModelSpec, effort: TrainEffort, corpus_seed: u64) -> TrainedModel {
+    let corpus = Corpus::default_experiment(corpus_seed);
+    let cfg = spec.config(corpus.grammar.vocab_size());
+    let mut model = TransformerModel::new(cfg);
+    let tcfg = TrainConfig {
+        steps: effort.steps,
+        batch_size: effort.batch_size,
+        seq_len: 24,
+        lr: 3e-3,
+        warmup: effort.steps / 10 + 1,
+        clip: 1.0,
+        seed: 42,
+    };
+    let report = train(&mut model, &corpus, &tcfg);
+    TrainedModel { model, corpus, report }
+}
+
+/// Training effort preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainEffort {
+    /// Optimizer steps.
+    pub steps: u64,
+    /// Sequences per step.
+    pub batch_size: usize,
+}
+
+impl TrainEffort {
+    /// Fast preset for unit/integration tests.
+    pub fn test() -> Self {
+        Self { steps: 60, batch_size: 4 }
+    }
+
+    /// Benchmark preset (used by the table/figure regenerators).
+    pub fn bench() -> Self {
+        Self { steps: 280, batch_size: 8 }
+    }
+
+    /// Reads `EMMARK_TRAIN_STEPS` to optionally override the bench preset
+    /// (useful for quick smoke runs of the harness).
+    pub fn bench_from_env() -> Self {
+        let mut preset = Self::bench();
+        if let Ok(steps) = std::env::var("EMMARK_TRAIN_STEPS") {
+            if let Ok(parsed) = steps.parse::<u64>() {
+                preset.steps = parsed.max(1);
+            }
+        }
+        preset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_nine_models_with_paper_labels() {
+        let grid = full_grid();
+        assert_eq!(grid.len(), 9);
+        let names: Vec<String> = grid.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"sim-opt-125m".to_string()));
+        assert!(names.contains(&"sim-llama-70b".to_string()));
+        // Strictly non-decreasing parameter counts within each family.
+        let params: Vec<usize> =
+            sim_opt_grid().iter().map(|s| s.config(54).param_count()).collect();
+        assert!(params.windows(2).all(|w| w[0] < w[1]), "{params:?}");
+    }
+
+    #[test]
+    fn configs_are_valid_and_family_styled() {
+        for spec in full_grid() {
+            let cfg = spec.config(54);
+            assert!(cfg.validate().is_ok(), "{}", spec.name());
+            match spec.family {
+                Family::SimOpt => assert_eq!(cfg.norm, NormKind::LayerNorm),
+                Family::SimLlama => assert_eq!(cfg.mlp, MlpKind::GatedSilu),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_ratio_rule_matches_paper_split() {
+        let grid = full_grid();
+        let large: Vec<&str> =
+            grid.iter().filter(|s| is_large(s)).map(|s| s.label).collect();
+        assert_eq!(large, vec!["6.7b", "13b", "30b", "7b", "13b", "70b"]);
+    }
+
+    #[test]
+    fn train_spec_is_deterministic() {
+        let spec = &sim_opt_grid()[0];
+        let a = train_spec(spec, TrainEffort { steps: 5, batch_size: 2 }, 1);
+        let b = train_spec(spec, TrainEffort { steps: 5, batch_size: 2 }, 1);
+        let la = crate::model::LogitsModel::logits(&a.model, &[1, 2, 3]);
+        let lb = crate::model::LogitsModel::logits(&b.model, &[1, 2, 3]);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_init_seeds() {
+        let grid = full_grid();
+        let mut seeds: Vec<u64> = grid.iter().map(|s| s.config(54).init_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), grid.len());
+    }
+}

@@ -1,0 +1,743 @@
+//! Trainable layers with explicit forward/backward passes.
+//!
+//! Every layer keeps its own parameter tensors ([`Param`]), caches the
+//! forward activations it needs for the backward pass, and exposes a
+//! cache-free [`infer`](Linear::infer) path for evaluation. The manual
+//! backprop keeps the whole training substrate dependency-free and
+//! auditable.
+
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor with its gradient and Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient.
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    /// Wraps a value tensor with zeroed gradient and moments.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.iter_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// One Adam update; `t` is the 1-based step counter.
+    pub fn adam_step(&mut self, lr: f32, beta1: f32, beta2: f32, eps: f32, t: u64) {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for i in 0..self.value.len() {
+            let g = self.grad.as_slice()[i];
+            let m = &mut self.m.as_mut_slice()[i];
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            let v = &mut self.v.as_mut_slice()[i];
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let m_hat = self.m.as_slice()[i] / bc1;
+            let v_hat = self.v.as_slice()[i] / bc2;
+            self.value.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    /// Sum of squared gradient entries (for global-norm clipping).
+    pub fn grad_sq_sum(&self) -> f64 {
+        self.grad.iter().map(|&g| (g as f64) * (g as f64)).sum()
+    }
+
+    /// Scales the gradient in place.
+    pub fn scale_grad(&mut self, s: f32) {
+        self.grad.scale_in_place(s);
+    }
+}
+
+/// Per-input-channel activation accumulator: mean and max absolute value.
+///
+/// The mean is the raw material for the paper's `A_f` (full-precision
+/// activation per weight channel, Eq. 4); the max drives the SmoothQuant
+/// migration strength and the LLM.int8() outlier threshold.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelAccum {
+    sum_abs: Vec<f64>,
+    max_abs: Vec<f32>,
+    count: u64,
+}
+
+impl ChannelAccum {
+    /// Creates an accumulator over `channels` input channels.
+    pub fn new(channels: usize) -> Self {
+        Self { sum_abs: vec![0.0; channels], max_abs: vec![0.0; channels], count: 0 }
+    }
+
+    /// Accumulates one batch of layer inputs (rows = positions).
+    pub fn record(&mut self, x: &Matrix) {
+        debug_assert_eq!(x.cols(), self.sum_abs.len());
+        for i in 0..x.rows() {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                self.sum_abs[j] += v.abs() as f64;
+                self.max_abs[j] = self.max_abs[j].max(v.abs());
+            }
+        }
+        self.count += x.rows() as u64;
+    }
+
+    /// Mean absolute activation per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded.
+    pub fn mean_abs(&self) -> Vec<f32> {
+        assert!(self.count > 0, "no activations recorded");
+        self.sum_abs.iter().map(|&s| (s / self.count as f64) as f32).collect()
+    }
+
+    /// Maximum absolute activation per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded.
+    pub fn max_abs(&self) -> Vec<f32> {
+        assert!(self.count > 0, "no activations recorded");
+        self.max_abs.clone()
+    }
+
+    /// Number of recorded rows.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Fully connected layer `y = x W + b` with `W: [in, out]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `[in_features, out_features]`. Row `i` is input
+    /// channel `i` — the channel axis EmMark's saliency score runs over.
+    pub weight: Param,
+    /// Optional bias, `[1, out_features]`.
+    pub bias: Option<Param>,
+    #[serde(skip)]
+    cache_input: Option<Matrix>,
+    #[serde(skip)]
+    recorder: Option<ChannelAccum>,
+    #[serde(skip)]
+    hessian: Option<Matrix>,
+}
+
+impl Linear {
+    /// Initializes with scaled-normal weights (std `0.4 / sqrt(in)`), and a
+    /// zero bias when `bias` is set.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut Xoshiro256) -> Self {
+        let std = 0.4 / (in_features as f32).sqrt();
+        let weight = Matrix::from_fn(in_features, out_features, |_, _| rng.normal_f32(0.0, std));
+        Self {
+            weight: Param::new(weight),
+            bias: bias.then(|| Param::new(Matrix::zeros(1, out_features))),
+            cache_input: None,
+            recorder: None,
+            hessian: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Starts recording per-channel input magnitudes.
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(ChannelAccum::new(self.in_features()));
+    }
+
+    /// Stops recording and returns the accumulator, if any.
+    pub fn take_recording(&mut self) -> Option<ChannelAccum> {
+        self.recorder.take()
+    }
+
+    /// Starts accumulating the input Gram matrix `H = Σ xᵀx` (the GPTQ
+    /// Hessian, up to a constant factor).
+    pub fn enable_hessian(&mut self) {
+        let d = self.in_features();
+        self.hessian = Some(Matrix::zeros(d, d));
+    }
+
+    /// Stops Hessian accumulation and returns `Σ xᵀx`, if enabled.
+    pub fn take_hessian(&mut self) -> Option<Matrix> {
+        self.hessian.take()
+    }
+
+    /// Training forward pass; caches the input for [`Self::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(x);
+        }
+        if let Some(h) = &mut self.hessian {
+            h.add_assign(&x.transa_matmul(x));
+        }
+        let mut y = x.matmul(&self.weight.value);
+        if let Some(b) = &self.bias {
+            for i in 0..y.rows() {
+                for (o, &bv) in y.row_mut(i).iter_mut().zip(b.value.row(0)) {
+                    *o += bv;
+                }
+            }
+        }
+        self.cache_input = Some(x.clone());
+        y
+    }
+
+    /// Cache-free inference pass.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight.value);
+        if let Some(b) = &self.bias {
+            for i in 0..y.rows() {
+                for (o, &bv) in y.row_mut(i).iter_mut().zip(b.value.row(0)) {
+                    *o += bv;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache_input.take().expect("Linear::backward before forward");
+        self.weight.grad.add_assign(&x.transa_matmul(dy));
+        if let Some(b) = &mut self.bias {
+            for i in 0..dy.rows() {
+                for (g, &d) in b.grad.row_mut(0).iter_mut().zip(dy.row(i)) {
+                    *g += d;
+                }
+            }
+        }
+        dy.matmul_transb(&self.weight.value)
+    }
+}
+
+/// Token + learned positional embedding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// Token table `[vocab, d_model]`.
+    pub tok: Param,
+    /// Position table `[max_seq, d_model]`.
+    pub pos: Param,
+    #[serde(skip)]
+    cache_tokens: Option<Vec<u32>>,
+}
+
+impl Embedding {
+    /// Initializes both tables with std-0.1 normals.
+    pub fn new(vocab: usize, max_seq: usize, d_model: usize, rng: &mut Xoshiro256) -> Self {
+        let tok = Matrix::from_fn(vocab, d_model, |_, _| rng.normal_f32(0.0, 0.1));
+        let pos = Matrix::from_fn(max_seq, d_model, |_, _| rng.normal_f32(0.0, 0.05));
+        Self { tok: Param::new(tok), pos: Param::new(pos), cache_tokens: None }
+    }
+
+    /// Reconstructs an embedding from raw tables (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables have different widths.
+    pub fn from_tables(tok: Matrix, pos: Matrix) -> Self {
+        assert_eq!(tok.cols(), pos.cols(), "embedding width mismatch");
+        Self { tok: Param::new(tok), pos: Param::new(pos), cache_tokens: None }
+    }
+
+    /// Embeds a token sequence into `[T, d_model]`, caching for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token id is out of range or the sequence exceeds the
+    /// position table.
+    pub fn forward(&mut self, tokens: &[u32]) -> Matrix {
+        let y = self.embed(tokens);
+        self.cache_tokens = Some(tokens.to_vec());
+        y
+    }
+
+    /// Cache-free embedding.
+    pub fn infer(&self, tokens: &[u32]) -> Matrix {
+        self.embed(tokens)
+    }
+
+    fn embed(&self, tokens: &[u32]) -> Matrix {
+        assert!(tokens.len() <= self.pos.value.rows(), "sequence longer than max_seq");
+        let d = self.tok.value.cols();
+        Matrix::from_fn(tokens.len(), d, |t, j| {
+            self.tok.value.at(tokens[t] as usize, j) + self.pos.value.at(t, j)
+        })
+    }
+
+    /// Scatter-adds `dy` into the token and position gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) {
+        let tokens = self.cache_tokens.take().expect("Embedding::backward before forward");
+        for (t, &tok) in tokens.iter().enumerate() {
+            let row = dy.row(t);
+            for (j, &d) in row.iter().enumerate() {
+                let cur = self.tok.grad.at(tok as usize, j);
+                self.tok.grad.set(tok as usize, j, cur + d);
+                let cur_p = self.pos.grad.at(t, j);
+                self.pos.grad.set(t, j, cur_p + d);
+            }
+        }
+    }
+}
+
+const NORM_EPS: f32 = 1e-5;
+
+/// Mean/variance layer normalization with gain and bias.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Gain `[1, d]`.
+    pub gain: Param,
+    /// Bias `[1, d]`.
+    pub bias: Param,
+    #[serde(skip)]
+    cache: Option<(Matrix, Vec<f32>)>, // (x_hat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// Identity-initialized LayerNorm over `d` channels.
+    pub fn new(d: usize) -> Self {
+        Self {
+            gain: Param::new(Matrix::full(1, d, 1.0)),
+            bias: Param::new(Matrix::zeros(1, d)),
+            cache: None,
+        }
+    }
+
+    /// Reconstructs from raw gain/bias rows (deserialization path).
+    pub fn from_params(gain: Matrix, bias: Matrix) -> Self {
+        assert_eq!(gain.shape(), bias.shape(), "gain/bias shape mismatch");
+        Self { gain: Param::new(gain), bias: Param::new(bias), cache: None }
+    }
+
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (xhat, inv_std) = self.normalize(x);
+        let y = self.affine(&xhat);
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let (xhat, _) = self.normalize(x);
+        self.affine(&xhat)
+    }
+
+    fn normalize(&self, x: &Matrix) -> (Matrix, Vec<f32>) {
+        let d = x.cols();
+        let mut xhat = Matrix::zeros(x.rows(), d);
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + NORM_EPS).sqrt();
+            for (j, &v) in row.iter().enumerate() {
+                xhat.set(i, j, (v - mean) * inv_std);
+            }
+            inv_stds.push(inv_std);
+        }
+        (xhat, inv_stds)
+    }
+
+    fn affine(&self, xhat: &Matrix) -> Matrix {
+        Matrix::from_fn(xhat.rows(), xhat.cols(), |i, j| {
+            xhat.at(i, j) * self.gain.value.at(0, j) + self.bias.value.at(0, j)
+        })
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    // Index loops mirror the per-row normalization math; iterator chains
+    // would obscure the formula being implemented.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let d = dy.cols();
+        let mut dx = Matrix::zeros(dy.rows(), d);
+        for i in 0..dy.rows() {
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            let mut dxhat = vec![0.0f32; d];
+            for j in 0..d {
+                let dyv = dy.at(i, j);
+                let g = self.gain.value.at(0, j);
+                let xh = xhat.at(i, j);
+                let dxh = dyv * g;
+                dxhat[j] = dxh;
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh;
+                // Parameter grads.
+                let cur_g = self.gain.grad.at(0, j);
+                self.gain.grad.set(0, j, cur_g + dyv * xh);
+                let cur_b = self.bias.grad.at(0, j);
+                self.bias.grad.set(0, j, cur_b + dyv);
+            }
+            let inv_std = inv_stds[i];
+            let n = d as f32;
+            for j in 0..d {
+                let xh = xhat.at(i, j);
+                dx.set(i, j, inv_std * (dxhat[j] - sum_dxhat / n - xh * sum_dxhat_xhat / n));
+            }
+        }
+        dx
+    }
+}
+
+/// Root-mean-square normalization with gain only (LLaMA-style).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RmsNorm {
+    /// Gain `[1, d]`.
+    pub gain: Param,
+    #[serde(skip)]
+    cache: Option<(Matrix, Vec<f32>)>, // (x, inv_rms per row)
+}
+
+impl RmsNorm {
+    /// Identity-initialized RMSNorm over `d` channels.
+    pub fn new(d: usize) -> Self {
+        Self { gain: Param::new(Matrix::full(1, d, 1.0)), cache: None }
+    }
+
+    /// Reconstructs from a raw gain row (deserialization path).
+    pub fn from_params(gain: Matrix) -> Self {
+        Self { gain: Param::new(gain), cache: None }
+    }
+
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let inv_rms = Self::inv_rms(x);
+        let y = self.apply(x, &inv_rms);
+        self.cache = Some((x.clone(), inv_rms));
+        y
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let inv_rms = Self::inv_rms(x);
+        self.apply(x, &inv_rms)
+    }
+
+    fn inv_rms(x: &Matrix) -> Vec<f32> {
+        (0..x.rows())
+            .map(|i| {
+                let ms: f32 =
+                    x.row(i).iter().map(|&v| v * v).sum::<f32>() / x.cols() as f32;
+                1.0 / (ms + NORM_EPS).sqrt()
+            })
+            .collect()
+    }
+
+    fn apply(&self, x: &Matrix, inv_rms: &[f32]) -> Matrix {
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            x.at(i, j) * inv_rms[i] * self.gain.value.at(0, j)
+        })
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    // Index loops mirror the per-row normalization math (see LayerNorm).
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (x, inv_rms) = self.cache.take().expect("RmsNorm::backward before forward");
+        let d = x.cols();
+        let mut dx = Matrix::zeros(x.rows(), d);
+        for i in 0..x.rows() {
+            let ir = inv_rms[i];
+            let mut sum_dxhat_xhat = 0.0f32;
+            let mut dxhat = vec![0.0f32; d];
+            for j in 0..d {
+                let dyv = dy.at(i, j);
+                let xh = x.at(i, j) * ir;
+                let dxh = dyv * self.gain.value.at(0, j);
+                dxhat[j] = dxh;
+                sum_dxhat_xhat += dxh * xh;
+                let cur_g = self.gain.grad.at(0, j);
+                self.gain.grad.set(0, j, cur_g + dyv * xh);
+            }
+            let n = d as f32;
+            for j in 0..d {
+                let xh = x.at(i, j) * ir;
+                dx.set(i, j, ir * (dxhat[j] - xh * sum_dxhat_xhat / n));
+            }
+        }
+        dx
+    }
+}
+
+/// Either normalization variant, dispatched by config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Norm {
+    /// OPT-style LayerNorm.
+    Layer(LayerNorm),
+    /// LLaMA-style RMSNorm.
+    Rms(RmsNorm),
+}
+
+impl Norm {
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        match self {
+            Norm::Layer(n) => n.forward(x),
+            Norm::Rms(n) => n.forward(x),
+        }
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        match self {
+            Norm::Layer(n) => n.infer(x),
+            Norm::Rms(n) => n.infer(x),
+        }
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        match self {
+            Norm::Layer(n) => n.backward(dy),
+            Norm::Rms(n) => n.backward(dy),
+        }
+    }
+
+    /// The gain parameter (for outlier-profile amplification).
+    pub fn gain_mut(&mut self) -> &mut Param {
+        match self {
+            Norm::Layer(n) => &mut n.gain,
+            Norm::Rms(n) => &mut n.gain,
+        }
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+/// GELU activation (tanh approximation).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_deriv(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// SiLU activation `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Derivative of [`silu`].
+pub fn silu_deriv(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        f: &mut dyn FnMut(&Matrix) -> f64,
+        x: &Matrix,
+        analytic_dx: &Matrix,
+        eps: f32,
+        tol: f64,
+    ) {
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.at(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.at(i, j) - eps);
+                let numeric = (f(&xp) - f(&xm)) / (2.0 * eps as f64);
+                let analytic = analytic_dx.at(i, j) as f64;
+                assert!(
+                    (numeric - analytic).abs() < tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({i},{j}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    fn loss_of(y: &Matrix) -> f64 {
+        // A fixed quadratic-ish loss: sum of 0.5*y^2 + 0.3*y.
+        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) + 0.3 * v as f64).sum()
+    }
+
+    fn dloss_of(y: &Matrix) -> Matrix {
+        y.map(|v| v + 0.3)
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut lin = Linear::new(4, 3, true, &mut rng);
+        let x = Matrix::from_fn(5, 4, |_, _| rng.normal_f32(0.0, 1.0));
+
+        let y = lin.forward(&x);
+        let dx = lin.backward(&dloss_of(&y));
+
+        let mut f = |xq: &Matrix| loss_of(&lin.infer(xq));
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 1e-2);
+
+        // Weight gradient via finite differences on one entry.
+        let (wi, wj) = (2, 1);
+        let orig = lin.weight.value.at(wi, wj);
+        lin.weight.value.set(wi, wj, orig + 1e-3);
+        let lp = loss_of(&lin.infer(&x));
+        lin.weight.value.set(wi, wj, orig - 1e-3);
+        let lm = loss_of(&lin.infer(&x));
+        lin.weight.value.set(wi, wj, orig);
+        let numeric = (lp - lm) / 2e-3;
+        let analytic = lin.weight.grad.at(wi, wj) as f64;
+        assert!((numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()));
+    }
+
+    #[test]
+    fn layernorm_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut ln = LayerNorm::new(6);
+        // Non-trivial gain/bias so parameter paths are exercised.
+        for j in 0..6 {
+            ln.gain.value.set(0, j, 1.0 + 0.1 * j as f32);
+            ln.bias.value.set(0, j, 0.05 * j as f32);
+        }
+        let x = Matrix::from_fn(3, 6, |_, _| rng.normal_f32(0.0, 1.5));
+        let y = ln.forward(&x);
+        let dx = ln.backward(&dloss_of(&y));
+        let mut f = |xq: &Matrix| loss_of(&ln.infer(xq));
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn rmsnorm_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut rn = RmsNorm::new(5);
+        for j in 0..5 {
+            rn.gain.value.set(0, j, 0.8 + 0.15 * j as f32);
+        }
+        let x = Matrix::from_fn(4, 5, |_, _| rng.normal_f32(0.2, 1.0));
+        let y = rn.forward(&x);
+        let dx = rn.backward(&dloss_of(&y));
+        let mut f = |xq: &Matrix| loss_of(&rn.infer(xq));
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gelu_and_silu_derivatives_match_finite_differences() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let eps = 1e-3;
+            let num_g = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!((num_g - gelu_deriv(x)).abs() < 1e-3, "gelu'({x})");
+            let num_s = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            assert!((num_s - silu_deriv(x)).abs() < 1e-3, "silu'({x})");
+        }
+    }
+
+    #[test]
+    fn embedding_scatter_gradients() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut emb = Embedding::new(10, 8, 4, &mut rng);
+        let tokens = [3u32, 3, 7];
+        let y = emb.forward(&tokens);
+        let dy = Matrix::full(3, 4, 1.0);
+        emb.backward(&dy);
+        // Token 3 occurs twice -> grad 2, token 7 once -> grad 1.
+        assert_eq!(emb.tok.grad.at(3, 0), 2.0);
+        assert_eq!(emb.tok.grad.at(7, 0), 1.0);
+        assert_eq!(emb.tok.grad.at(0, 0), 0.0);
+        // Positions 0..3 each get grad 1.
+        assert_eq!(emb.pos.grad.at(0, 0), 1.0);
+        assert_eq!(emb.pos.grad.at(2, 3), 1.0);
+        assert_eq!(y.rows(), 3);
+    }
+
+    #[test]
+    fn adam_reduces_a_quadratic() {
+        // Minimize ||w - target||^2 with Adam; expect rapid convergence.
+        let target = Matrix::from_rows(&[&[1.0, -2.0, 0.5]]);
+        let mut p = Param::new(Matrix::zeros(1, 3));
+        for t in 1..=500 {
+            p.zero_grad();
+            let diff = p.value.sub(&target);
+            p.grad.add_assign(&diff.scale(2.0));
+            p.adam_step(0.05, 0.9, 0.999, 1e-8, t);
+        }
+        for (w, t) in p.value.iter().zip(target.iter()) {
+            assert!((w - t).abs() < 1e-2, "{w} vs {t}");
+        }
+    }
+
+    #[test]
+    fn channel_accum_means_and_maxes() {
+        let mut acc = ChannelAccum::new(2);
+        acc.record(&Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 2.0]]));
+        assert_eq!(acc.mean_abs(), vec![2.0, 2.0]);
+        assert_eq!(acc.max_abs(), vec![3.0, 2.0]);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn hessian_accumulates_gram_matrix() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut lin = Linear::new(2, 2, false, &mut rng);
+        lin.enable_hessian();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let _ = lin.forward(&x);
+        let h = lin.take_hessian().expect("hessian enabled");
+        // H = x^T x = [[10, -1], [-1, 5]]
+        assert_eq!(h, Matrix::from_rows(&[&[10.0, -1.0], &[-1.0, 5.0]]));
+        assert!(lin.take_hessian().is_none());
+    }
+
+    #[test]
+    fn linear_recording_captures_channel_magnitudes() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut lin = Linear::new(3, 2, false, &mut rng);
+        lin.enable_recording();
+        let x = Matrix::from_rows(&[&[1.0, -4.0, 0.0], &[-1.0, 4.0, 0.0]]);
+        let _ = lin.forward(&x);
+        let rec = lin.take_recording().expect("recording enabled");
+        assert_eq!(rec.mean_abs(), vec![1.0, 4.0, 0.0]);
+        assert!(lin.take_recording().is_none());
+    }
+}

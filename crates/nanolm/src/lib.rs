@@ -1,0 +1,45 @@
+//! # emmark-nanolm
+//!
+//! A from-scratch decoder-only transformer language model — forward pass,
+//! manual backprop, Adam — plus synthetic corpora and the nine-model
+//! Sim-OPT / Sim-LLaMA evaluation grid. This crate is the stand-in for
+//! the OPT and LLaMA-2 checkpoints the EmMark paper watermarks (see
+//! DESIGN.md §1 for the substitution argument).
+//!
+//! The watermarking pipeline consumes two things from here:
+//!
+//! * trained full-precision weights, via
+//!   [`model::TransformerModel::linear_layers`] in a canonical traversal
+//!   order shared with the quantizer, and
+//! * the per-channel full-precision activation profile `A_f`, via
+//!   [`model::TransformerModel::collect_activation_stats`].
+//!
+//! # Examples
+//!
+//! ```
+//! use emmark_nanolm::{config::ModelConfig, corpus::{Corpus, Grammar},
+//!     model::{LogitsModel, TransformerModel}, train::{train, TrainConfig}};
+//!
+//! let corpus = Corpus::sample(Grammar::synwiki(7), 2000, 200, 200);
+//! let mut cfg = ModelConfig::tiny_test();
+//! cfg.vocab_size = corpus.grammar.vocab_size();
+//! let mut model = TransformerModel::new(cfg);
+//! train(&mut model, &corpus, &TrainConfig::tiny_test());
+//! let logits = model.logits(&corpus.test[..8]);
+//! assert_eq!(logits.rows(), 8);
+//! ```
+
+pub mod attention;
+pub mod config;
+pub mod corpus;
+pub mod families;
+pub mod generate;
+pub mod layers;
+pub mod lora;
+pub mod mlp;
+pub mod model;
+pub mod train;
+
+pub use config::ModelConfig;
+pub use corpus::{Corpus, Grammar};
+pub use model::{ActivationStats, LogitsModel, TransformerModel};

@@ -1,0 +1,185 @@
+//! Low-rank adaptation (LoRA) on top of a frozen base model.
+//!
+//! The paper's threat model (§3, §5.3) argues that fine-tuning attacks
+//! do not apply to embedded quantized LLMs because QLoRA-style tuning
+//! "does not change quantized weights but adds additional linear
+//! low-rank adaptators to learn new features". This module makes that
+//! argument executable: a [`LoraAdapter`] learns `ΔW = A·B` beside a
+//! frozen linear layer, the base weights never move, and therefore a
+//! weight-space watermark survives any amount of LoRA fine-tuning by
+//! construction (see the `lora_finetune_cannot_remove_watermark`
+//! integration test).
+
+use crate::layers::Param;
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A rank-`r` adapter for a `[in, out]` linear layer:
+/// `y = x·W_frozen + scale · (x·A)·B`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoraAdapter {
+    /// Down projection `[in, r]`, Gaussian-initialized.
+    pub a: Param,
+    /// Up projection `[r, out]`, zero-initialized (adapter starts as a
+    /// no-op, as in the LoRA paper).
+    pub b: Param,
+    /// Output scale (`α / r` in LoRA terms).
+    pub scale: f32,
+    #[serde(skip)]
+    cache: Option<(Matrix, Matrix)>, // (x, x·A)
+}
+
+impl LoraAdapter {
+    /// Creates a rank-`r` adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero.
+    pub fn new(in_features: usize, out_features: usize, rank: usize, scale: f32, rng: &mut Xoshiro256) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        let std = 1.0 / (in_features as f32).sqrt();
+        Self {
+            a: Param::new(Matrix::from_fn(in_features, rank, |_, _| rng.normal_f32(0.0, std))),
+            b: Param::new(Matrix::zeros(rank, out_features)),
+            scale,
+            cache: None,
+        }
+    }
+
+    /// Adapter rank.
+    pub fn rank(&self) -> usize {
+        self.a.value.cols()
+    }
+
+    /// The adapter's contribution `scale · (x·A)·B`, with caches for
+    /// [`Self::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let xa = x.matmul(&self.a.value);
+        let y = xa.matmul(&self.b.value).scale(self.scale);
+        self.cache = Some((x.clone(), xa));
+        y
+    }
+
+    /// Cache-free contribution.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.a.value).matmul(&self.b.value).scale(self.scale)
+    }
+
+    /// Backward pass; accumulates adapter gradients, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (x, xa) = self.cache.take().expect("LoraAdapter::backward before forward");
+        let dy_scaled = dy.scale(self.scale);
+        // dB += (xA)^T dy ; dXA = dy B^T ; dA += x^T dXA ; dx = dXA A^T
+        self.b.grad.add_assign(&xa.transa_matmul(&dy_scaled));
+        let dxa = dy_scaled.matmul_transb(&self.b.value);
+        self.a.grad.add_assign(&x.transa_matmul(&dxa));
+        dxa.matmul_transb(&self.a.value)
+    }
+
+    /// The dense `ΔW = scale·A·B` this adapter represents.
+    pub fn delta_weight(&self) -> Matrix {
+        self.a.value.matmul(&self.b.value).scale(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_adapter_is_a_no_op() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let adapter = LoraAdapter::new(6, 4, 2, 1.0, &mut rng);
+        let x = Matrix::from_fn(3, 6, |_, _| rng.normal_f32(0.0, 1.0));
+        let y = adapter.infer(&x);
+        assert!(y.iter().all(|&v| v == 0.0), "B is zero-initialized");
+    }
+
+    #[test]
+    fn adapter_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut adapter = LoraAdapter::new(4, 3, 2, 0.5, &mut rng);
+        // Give B some mass so gradients flow everywhere.
+        for v in adapter.b.value.iter_mut() {
+            *v = rng.normal_f32(0.0, 0.3);
+        }
+        let x = Matrix::from_fn(3, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        let loss = |y: &Matrix| -> f64 { y.iter().map(|&v| 0.5 * (v as f64).powi(2)).sum() };
+
+        let y = adapter.forward(&x);
+        let dy = y.clone();
+        let dx = adapter.backward(&dy);
+
+        let eps = 1e-3f32;
+        // Input gradient.
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.at(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.at(i, j) - eps);
+                let numeric =
+                    (loss(&adapter.infer(&xp)) - loss(&adapter.infer(&xm))) / (2.0 * eps as f64);
+                let analytic = dx.at(i, j) as f64;
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "({i},{j}): {numeric} vs {analytic}"
+                );
+            }
+        }
+        // Parameter gradient spot checks.
+        let orig = adapter.a.value.at(1, 0);
+        adapter.a.value.set(1, 0, orig + eps);
+        let lp = loss(&adapter.infer(&x));
+        adapter.a.value.set(1, 0, orig - eps);
+        let lm = loss(&adapter.infer(&x));
+        adapter.a.value.set(1, 0, orig);
+        let numeric = (lp - lm) / (2.0 * eps as f64);
+        let analytic = adapter.a.grad.at(1, 0) as f64;
+        assert!((numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()));
+    }
+
+    #[test]
+    fn adapter_learns_a_target_map_while_base_stays_frozen() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut adapter = LoraAdapter::new(4, 4, 2, 1.0, &mut rng);
+        // Target: a rank-1 correction.
+        let u = Matrix::from_fn(4, 1, |i, _| (i as f32 + 1.0) * 0.3);
+        let v = Matrix::from_fn(1, 4, |_, j| 1.0 - 0.4 * j as f32);
+        let target = u.matmul(&v);
+        for t in 1..=400 {
+            let x = Matrix::from_fn(8, 4, |_, _| rng.normal_f32(0.0, 1.0));
+            let want = x.matmul(&target);
+            adapter.a.zero_grad();
+            adapter.b.zero_grad();
+            let y = adapter.forward(&x);
+            let dy = y.sub(&want).scale(1.0 / 8.0);
+            let _ = adapter.backward(&dy);
+            adapter.a.adam_step(5e-2, 0.9, 0.999, 1e-8, t);
+            adapter.b.adam_step(5e-2, 0.9, 0.999, 1e-8, t);
+        }
+        let err = adapter.delta_weight().sub(&target).frobenius_norm()
+            / target.frobenius_norm();
+        assert!(err < 0.1, "adapter failed to learn: rel err {err}");
+    }
+
+    #[test]
+    fn delta_weight_matches_forward_contribution() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut adapter = LoraAdapter::new(5, 3, 2, 0.7, &mut rng);
+        for v in adapter.b.value.iter_mut() {
+            *v = rng.normal_f32(0.0, 0.5);
+        }
+        let x = Matrix::from_fn(2, 5, |_, _| rng.normal_f32(0.0, 1.0));
+        let via_forward = adapter.infer(&x);
+        let via_delta = x.matmul(&adapter.delta_weight());
+        for (a, b) in via_forward.iter().zip(via_delta.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Feed-forward blocks: GELU MLP (OPT-style) and gated-SiLU MLP
+//! (LLaMA-style), with manual backprop.
+
+use crate::layers::{gelu, gelu_deriv, silu, silu_deriv, Linear};
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Two-linear GELU MLP: `fc2(gelu(fc1(x)))`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeluMlp {
+    /// Up projection `[d_model, d_ff]`.
+    pub fc1: Linear,
+    /// Down projection `[d_ff, d_model]`.
+    pub fc2: Linear,
+    #[serde(skip)]
+    cache_pre_act: Option<Matrix>,
+}
+
+impl GeluMlp {
+    /// Creates the two projections.
+    pub fn new(d_model: usize, d_ff: usize, bias: bool, rng: &mut Xoshiro256) -> Self {
+        Self {
+            fc1: Linear::new(d_model, d_ff, bias, rng),
+            fc2: Linear::new(d_ff, d_model, bias, rng),
+            cache_pre_act: None,
+        }
+    }
+
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let h = self.fc1.forward(x);
+        let a = h.map(gelu);
+        self.cache_pre_act = Some(h);
+        self.fc2.forward(&a)
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.fc2.infer(&self.fc1.infer(x).map(gelu))
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let h = self.cache_pre_act.take().expect("GeluMlp::backward before forward");
+        let da = self.fc2.backward(dy);
+        let dh = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
+            da.at(i, j) * gelu_deriv(h.at(i, j))
+        });
+        self.fc1.backward(&dh)
+    }
+}
+
+/// Gated SiLU MLP: `down(silu(gate(x)) ⊙ up(x))`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatedMlp {
+    /// Gate projection `[d_model, d_ff]`.
+    pub gate: Linear,
+    /// Up projection `[d_model, d_ff]`.
+    pub up: Linear,
+    /// Down projection `[d_ff, d_model]`.
+    pub down: Linear,
+    #[serde(skip)]
+    cache: Option<(Matrix, Matrix)>, // (gate pre-act, up output)
+}
+
+impl GatedMlp {
+    /// Creates the three projections (no bias, as in LLaMA).
+    pub fn new(d_model: usize, d_ff: usize, rng: &mut Xoshiro256) -> Self {
+        Self {
+            gate: Linear::new(d_model, d_ff, false, rng),
+            up: Linear::new(d_model, d_ff, false, rng),
+            down: Linear::new(d_ff, d_model, false, rng),
+            cache: None,
+        }
+    }
+
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let g = self.gate.forward(x);
+        let u = self.up.forward(x);
+        let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| silu(g.at(i, j)) * u.at(i, j));
+        self.cache = Some((g, u));
+        self.down.forward(&a)
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let g = self.gate.infer(x);
+        let u = self.up.infer(x);
+        let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| silu(g.at(i, j)) * u.at(i, j));
+        self.down.infer(&a)
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (g, u) = self.cache.take().expect("GatedMlp::backward before forward");
+        let da = self.down.backward(dy);
+        let dg = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
+            da.at(i, j) * u.at(i, j) * silu_deriv(g.at(i, j))
+        });
+        let du = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
+            da.at(i, j) * silu(g.at(i, j))
+        });
+        let mut dx = self.gate.backward(&dg);
+        dx.add_assign(&self.up.backward(&du));
+        dx
+    }
+}
+
+/// Either feed-forward variant, dispatched by config.
+// The size gap between variants is irrelevant: one Mlp exists per block.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Mlp {
+    /// OPT-style GELU MLP.
+    Gelu(GeluMlp),
+    /// LLaMA-style gated SiLU MLP.
+    Gated(GatedMlp),
+}
+
+impl Mlp {
+    /// Training forward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        match self {
+            Mlp::Gelu(m) => m.forward(x),
+            Mlp::Gated(m) => m.forward(x),
+        }
+    }
+
+    /// Cache-free inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        match self {
+            Mlp::Gelu(m) => m.infer(x),
+            Mlp::Gated(m) => m.infer(x),
+        }
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        match self {
+            Mlp::Gelu(m) => m.backward(dy),
+            Mlp::Gated(m) => m.backward(dy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loss_of(y: &Matrix) -> f64 {
+        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) - 0.2 * v as f64).sum()
+    }
+
+    fn dloss_of(y: &Matrix) -> Matrix {
+        y.map(|v| v - 0.2)
+    }
+
+    /// Checks the analytic input gradient `dx` against central finite
+    /// differences of the given cache-free scoring function.
+    fn check_against_fd(score: &dyn Fn(&Matrix) -> f64, x: &Matrix, dx: &Matrix) {
+        let eps = 1e-3f32;
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.at(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.at(i, j) - eps);
+                let numeric = (score(&xp) - score(&xm)) / (2.0 * eps as f64);
+                let analytic = dx.at(i, j) as f64;
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "({i},{j}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_mlp_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut mlp = GeluMlp::new(4, 8, true, &mut rng);
+        let x = Matrix::from_fn(3, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        let y = mlp.forward(&x);
+        let dx = mlp.backward(&dloss_of(&y));
+        check_against_fd(&|xq| loss_of(&mlp.infer(xq)), &x, &dx);
+    }
+
+    #[test]
+    fn gated_mlp_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut mlp = GatedMlp::new(4, 6, &mut rng);
+        let x = Matrix::from_fn(3, 4, |_, _| rng.normal_f32(0.1, 0.9));
+        let y = mlp.forward(&x);
+        let dx = mlp.backward(&dloss_of(&y));
+        check_against_fd(&|xq| loss_of(&mlp.infer(xq)), &x, &dx);
+    }
+
+    #[test]
+    fn variants_agree_between_forward_and_infer() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut g = Mlp::Gelu(GeluMlp::new(4, 8, true, &mut rng));
+        let mut s = Mlp::Gated(GatedMlp::new(4, 8, &mut rng));
+        let x = Matrix::from_fn(2, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        for m in [&mut g, &mut s] {
+            let y1 = m.forward(&x);
+            let y2 = m.infer(&x);
+            for (a, b) in y1.iter().zip(y2.iter()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+            let _ = m.backward(&y1); // drain cache
+        }
+    }
+}

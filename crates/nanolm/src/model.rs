@@ -1,0 +1,635 @@
+//! The nano transformer language model: forward, loss, backward, parameter
+//! traversal, and full-precision activation statistics capture.
+
+use crate::attention::MultiHeadAttention;
+use crate::config::{MlpKind, ModelConfig, NormKind};
+use crate::layers::{Embedding, Linear, LayerNorm, Norm, Param, RmsNorm};
+use crate::mlp::{GatedMlp, GeluMlp, Mlp};
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can score token sequences — implemented both by the
+/// full-precision [`TransformerModel`] and by the quantized runtime in
+/// `emmark-quant`, so the evaluation harness is precision-agnostic.
+pub trait LogitsModel {
+    /// Next-token logits for every position: `[T, vocab]`.
+    fn logits(&self, tokens: &[u32]) -> Matrix;
+    /// Vocabulary size.
+    fn vocab_size(&self) -> usize;
+    /// Longest supported sequence.
+    fn max_seq(&self) -> usize;
+}
+
+/// One transformer block (pre-norm residual architecture).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Pre-attention norm.
+    pub norm1: Norm,
+    /// Self-attention.
+    pub attn: MultiHeadAttention,
+    /// Pre-MLP norm.
+    pub norm2: Norm,
+    /// Feed-forward.
+    pub mlp: Mlp,
+}
+
+impl Block {
+    fn new(cfg: &ModelConfig, rng: &mut Xoshiro256) -> Self {
+        let make_norm = |d: usize| match cfg.norm {
+            NormKind::LayerNorm => Norm::Layer(LayerNorm::new(d)),
+            NormKind::RmsNorm => Norm::Rms(RmsNorm::new(d)),
+        };
+        let bias = matches!(cfg.norm, NormKind::LayerNorm); // OPT uses biases; LLaMA does not
+        let mlp = match cfg.mlp {
+            MlpKind::Gelu => Mlp::Gelu(GeluMlp::new(cfg.d_model, cfg.d_ff, bias, rng)),
+            MlpKind::GatedSilu => Mlp::Gated(GatedMlp::new(cfg.d_model, cfg.d_ff, rng)),
+        };
+        Self {
+            norm1: make_norm(cfg.d_model),
+            attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, bias, rng),
+            norm2: make_norm(cfg.d_model),
+            mlp,
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.add(&{
+            let n = self.norm1.forward(x);
+            self.attn.forward(&n)
+        });
+        let m = {
+            let n = self.norm2.forward(&h);
+            self.mlp.forward(&n)
+        };
+        h.add_assign(&m);
+        h
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.add(&self.attn.infer(&self.norm1.infer(x)));
+        let m = self.mlp.infer(&self.norm2.infer(&h));
+        h.add_assign(&m);
+        h
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        // h = x + attn(norm1(x)); out = h + mlp(norm2(h))
+        let dmlp_in = self.mlp.backward(dy);
+        let mut dh = self.norm2.backward(&dmlp_in);
+        dh.add_assign(dy);
+        let dattn_in = self.attn.backward(&dh);
+        let mut dx = self.norm1.backward(&dattn_in);
+        dx.add_assign(&dh);
+        dx
+    }
+}
+
+/// Activation profile of one quantizable linear layer's input channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerActivation {
+    /// Mean `|activation|` per channel — the paper's `A_f` (Eq. 4).
+    pub mean_abs: Vec<f32>,
+    /// Max `|activation|` per channel — drives SmoothQuant migration and
+    /// the LLM.int8() outlier threshold.
+    pub max_abs: Vec<f32>,
+}
+
+/// Full-precision activation statistics for every quantizable linear
+/// layer, in canonical traversal order.
+///
+/// This is the paper's `A_f` — the confidential material an adversary
+/// without the full-precision model cannot reproduce (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationStats {
+    /// One entry per quantizable layer.
+    pub per_layer: Vec<LayerActivation>,
+}
+
+impl ActivationStats {
+    /// Number of recorded layers.
+    pub fn layer_count(&self) -> usize {
+        self.per_layer.len()
+    }
+}
+
+/// A decoder-only transformer language model.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_nanolm::{config::ModelConfig, model::{TransformerModel, LogitsModel}};
+/// let model = TransformerModel::new(ModelConfig::tiny_test());
+/// let logits = model.logits(&[1, 2, 3]);
+/// assert_eq!(logits.shape(), (3, 32));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerModel {
+    /// Hyperparameters.
+    pub cfg: ModelConfig,
+    /// Token + positional embedding.
+    pub emb: Embedding,
+    /// Transformer blocks.
+    pub blocks: Vec<Block>,
+    /// Final normalization.
+    pub final_norm: Norm,
+    /// LM head `[d_model, vocab]`.
+    pub head: Linear,
+}
+
+impl TransformerModel {
+    /// Initializes a model from its config (seeded, deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(cfg: ModelConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        let mut rng = Xoshiro256::seed_from_u64(cfg.init_seed);
+        let emb = Embedding::new(cfg.vocab_size, cfg.max_seq, cfg.d_model, &mut rng);
+        let blocks = (0..cfg.n_layers).map(|_| Block::new(&cfg, &mut rng)).collect();
+        let final_norm = match cfg.norm {
+            NormKind::LayerNorm => Norm::Layer(LayerNorm::new(cfg.d_model)),
+            NormKind::RmsNorm => Norm::Rms(RmsNorm::new(cfg.d_model)),
+        };
+        let head = Linear::new(cfg.d_model, cfg.vocab_size, false, &mut rng);
+        let mut model = Self { cfg, emb, blocks, final_norm, head };
+        model.apply_outlier_profile();
+        model
+    }
+
+    /// Amplifies a seeded subset of channels to mimic the activation
+    /// outliers of large LLMs (see `OutlierProfile`).
+    fn apply_outlier_profile(&mut self) {
+        let Some(profile) = self.cfg.outliers else { return };
+        let mut rng = Xoshiro256::seed_from_u64(profile.seed);
+        let channels =
+            rng.sample_without_replacement(self.cfg.d_model, profile.channels.min(self.cfg.d_model));
+        for &c in &channels {
+            for r in 0..self.emb.tok.value.rows() {
+                let v = self.emb.tok.value.at(r, c);
+                self.emb.tok.value.set(r, c, v * profile.factor);
+            }
+            for block in &mut self.blocks {
+                for norm in [&mut block.norm1, &mut block.norm2] {
+                    let g = norm.gain_mut();
+                    let v = g.value.at(0, c);
+                    g.value.set(0, c, v * profile.factor);
+                }
+            }
+        }
+    }
+
+    /// Training forward: logits `[T, vocab]` with caches retained.
+    pub fn forward(&mut self, tokens: &[u32]) -> Matrix {
+        let mut h = self.emb.forward(tokens);
+        for block in &mut self.blocks {
+            h = block.forward(&h);
+        }
+        let h = self.final_norm.forward(&h);
+        self.head.forward(&h)
+    }
+
+    /// Cross-entropy loss of next-token prediction over `tokens`, plus the
+    /// backward pass (gradients accumulate into the parameters).
+    ///
+    /// Returns the mean negative log-likelihood in nats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len() < 2`.
+    pub fn loss_and_backward(&mut self, tokens: &[u32]) -> f64 {
+        assert!(tokens.len() >= 2, "need at least two tokens for next-token loss");
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let logits = self.forward(inputs);
+        let (loss, dlogits) = cross_entropy(&logits, targets);
+        let dh = self.head.backward(&dlogits);
+        let mut dh = self.final_norm.backward(&dh);
+        for block in self.blocks.iter_mut().rev() {
+            dh = block.backward(&dh);
+        }
+        self.emb.backward(&dh);
+        loss
+    }
+
+    /// Mean next-token NLL (nats) without touching gradients.
+    pub fn nll(&self, tokens: &[u32]) -> f64 {
+        assert!(tokens.len() >= 2, "need at least two tokens");
+        let logits = self.logits(&tokens[..tokens.len() - 1]);
+        nll_of_logits(&logits, &tokens[1..])
+    }
+
+    /// Applies `f` to every trainable parameter, in a fixed canonical
+    /// order.
+    pub fn for_each_param(&mut self, mut f: impl FnMut(&mut Param)) {
+        f(&mut self.emb.tok);
+        f(&mut self.emb.pos);
+        for block in &mut self.blocks {
+            for norm in [&mut block.norm1, &mut block.norm2] {
+                match norm {
+                    Norm::Layer(n) => {
+                        f(&mut n.gain);
+                        f(&mut n.bias);
+                    }
+                    Norm::Rms(n) => f(&mut n.gain),
+                }
+            }
+            for lin in [&mut block.attn.wq, &mut block.attn.wk, &mut block.attn.wv, &mut block.attn.wo]
+            {
+                f(&mut lin.weight);
+                if let Some(b) = &mut lin.bias {
+                    f(b);
+                }
+            }
+            match &mut block.mlp {
+                Mlp::Gelu(m) => {
+                    for lin in [&mut m.fc1, &mut m.fc2] {
+                        f(&mut lin.weight);
+                        if let Some(b) = &mut lin.bias {
+                            f(b);
+                        }
+                    }
+                }
+                Mlp::Gated(m) => {
+                    for lin in [&mut m.gate, &mut m.up, &mut m.down] {
+                        f(&mut lin.weight);
+                    }
+                }
+            }
+        }
+        match &mut self.final_norm {
+            Norm::Layer(n) => {
+                f(&mut n.gain);
+                f(&mut n.bias);
+            }
+            Norm::Rms(n) => f(&mut n.gain),
+        }
+        f(&mut self.head.weight);
+    }
+
+    /// Immutable references to every quantizable linear layer, in the
+    /// canonical order used by the quantizer and the watermarker:
+    /// per block `q, k, v, o`, then the MLP linears, then the LM head.
+    pub fn linear_layers(&self) -> Vec<&Linear> {
+        let mut out = Vec::with_capacity(self.cfg.quant_layer_count());
+        for block in &self.blocks {
+            out.push(&block.attn.wq);
+            out.push(&block.attn.wk);
+            out.push(&block.attn.wv);
+            out.push(&block.attn.wo);
+            match &block.mlp {
+                Mlp::Gelu(m) => {
+                    out.push(&m.fc1);
+                    out.push(&m.fc2);
+                }
+                Mlp::Gated(m) => {
+                    out.push(&m.gate);
+                    out.push(&m.up);
+                    out.push(&m.down);
+                }
+            }
+        }
+        out.push(&self.head);
+        out
+    }
+
+    /// Mutable counterpart of [`Self::linear_layers`].
+    pub fn linear_layers_mut(&mut self) -> Vec<&mut Linear> {
+        let mut out = Vec::with_capacity(self.cfg.quant_layer_count());
+        for block in &mut self.blocks {
+            out.push(&mut block.attn.wq);
+            out.push(&mut block.attn.wk);
+            out.push(&mut block.attn.wv);
+            out.push(&mut block.attn.wo);
+            match &mut block.mlp {
+                Mlp::Gelu(m) => {
+                    out.push(&mut m.fc1);
+                    out.push(&mut m.fc2);
+                }
+                Mlp::Gated(m) => {
+                    out.push(&mut m.gate);
+                    out.push(&mut m.up);
+                    out.push(&mut m.down);
+                }
+            }
+        }
+        out.push(&mut self.head);
+        out
+    }
+
+    /// Runs `calibration` sequences through the model while recording the
+    /// mean absolute input activation of every quantizable linear layer.
+    ///
+    /// This produces the paper's full-precision activation profile `A_f`.
+    pub fn collect_activation_stats(&mut self, calibration: &[Vec<u32>]) -> ActivationStats {
+        for lin in self.linear_layers_mut() {
+            lin.enable_recording();
+        }
+        for seq in calibration {
+            let _ = self.forward(seq);
+        }
+        let per_layer = self
+            .linear_layers_mut()
+            .into_iter()
+            .map(|lin| {
+                let acc = lin.take_recording().expect("recording was enabled");
+                LayerActivation { mean_abs: acc.mean_abs(), max_abs: acc.max_abs() }
+            })
+            .collect();
+        ActivationStats { per_layer }
+    }
+
+    /// Runs `calibration` sequences through the model while accumulating
+    /// the input Gram matrix `H = Σ xᵀx` of every quantizable linear layer
+    /// (the GPTQ Hessian, up to a constant factor).
+    pub fn collect_hessians(&mut self, calibration: &[Vec<u32>]) -> Vec<Matrix> {
+        for lin in self.linear_layers_mut() {
+            lin.enable_hessian();
+        }
+        for seq in calibration {
+            let _ = self.forward(seq);
+        }
+        self.linear_layers_mut()
+            .into_iter()
+            .map(|lin| lin.take_hessian().expect("hessian was enabled"))
+            .collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        self.for_each_param(|p| p.zero_grad());
+    }
+
+    /// Global gradient-norm clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f64 {
+        let mut sq = 0.0f64;
+        self.for_each_param(|p| sq += p.grad_sq_sum());
+        let norm = sq.sqrt();
+        if norm > max_norm as f64 {
+            let s = (max_norm as f64 / norm) as f32;
+            self.for_each_param(|p| p.scale_grad(s));
+        }
+        norm
+    }
+}
+
+impl LogitsModel for TransformerModel {
+    fn logits(&self, tokens: &[u32]) -> Matrix {
+        let mut h = self.emb.infer(tokens);
+        for block in &self.blocks {
+            h = block.infer(&h);
+        }
+        self.head.infer(&self.final_norm.infer(&h))
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
+    fn max_seq(&self) -> usize {
+        self.cfg.max_seq
+    }
+}
+
+/// Softmax cross-entropy over logits `[T, vocab]` against `targets[T]`.
+///
+/// Returns `(mean NLL in nats, dlogits)`.
+pub fn cross_entropy(logits: &Matrix, targets: &[u32]) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "target length mismatch");
+    let t_count = targets.len();
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f64;
+    for (i, &target) in targets.iter().enumerate() {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let denom: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        let log_denom = denom.ln() + max;
+        loss += (log_denom - row[target as usize]) as f64;
+        for (j, &v) in row.iter().enumerate() {
+            let p = ((v - max).exp()) / denom;
+            let grad = (p - if j == target as usize { 1.0 } else { 0.0 }) / t_count as f32;
+            dlogits.set(i, j, grad);
+        }
+    }
+    (loss / t_count as f64, dlogits)
+}
+
+/// Mean next-token NLL (nats) of an arbitrarily long token stream,
+/// evaluated in non-overlapping windows of `window` tokens.
+///
+/// This is the primitive behind perplexity reporting: `PPL = exp(nll)`.
+///
+/// # Panics
+///
+/// Panics if `window < 2`, `window` exceeds the model's maximum sequence
+/// length + 1, or the stream is shorter than 2 tokens.
+pub fn stream_nll<M: LogitsModel + ?Sized>(model: &M, stream: &[u32], window: usize) -> f64 {
+    assert!(window >= 2, "window must cover at least one prediction");
+    assert!(window <= model.max_seq() + 1, "window exceeds model max_seq");
+    assert!(stream.len() >= 2, "stream too short");
+    let mut total = 0.0f64;
+    let mut predicted = 0usize;
+    let mut start = 0usize;
+    while start + 1 < stream.len() {
+        let end = (start + window).min(stream.len());
+        let chunk = &stream[start..end];
+        if chunk.len() >= 2 {
+            let logits = model.logits(&chunk[..chunk.len() - 1]);
+            total += nll_of_logits(&logits, &chunk[1..]) * (chunk.len() - 1) as f64;
+            predicted += chunk.len() - 1;
+        }
+        start = end;
+    }
+    total / predicted as f64
+}
+
+/// Mean NLL of `targets` under `logits` (no gradient).
+pub fn nll_of_logits(logits: &Matrix, targets: &[u32]) -> f64 {
+    assert_eq!(logits.rows(), targets.len(), "target length mismatch");
+    let mut loss = 0.0f64;
+    for (i, &target) in targets.iter().enumerate() {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let denom: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        loss += (denom.ln() + max - row[target as usize]) as f64;
+    }
+    loss / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_builds_and_produces_logits() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let logits = model.logits(&[0, 5, 9, 2]);
+        assert_eq!(logits.shape(), (4, 32));
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let tokens = [1u32, 2, 3, 4, 5];
+        let a = model.forward(&tokens);
+        let b = model.logits(&tokens);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = TransformerModel::new(ModelConfig::tiny_test());
+        let b = TransformerModel::new(ModelConfig::tiny_test());
+        let la = a.logits(&[3, 1, 4]);
+        let lb = b.logits(&[3, 1, 4]);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn cross_entropy_matches_uniform_baseline() {
+        // All-zero logits: NLL = ln(vocab).
+        let logits = Matrix::zeros(3, 8);
+        let (loss, dlogits) = cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - (8f64).ln()).abs() < 1e-6);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for i in 0..3 {
+            let s: f32 = dlogits.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_under_adam_on_a_fixed_sequence() {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = 16;
+        let mut model = TransformerModel::new(cfg);
+        let tokens: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8];
+        let first = model.nll(&tokens);
+        for t in 1..=60 {
+            model.zero_grads();
+            let _ = model.loss_and_backward(&tokens);
+            model.clip_grad_norm(1.0);
+            model.for_each_param(|p| p.adam_step(3e-3, 0.9, 0.999, 1e-8, t));
+        }
+        let last = model.nll(&tokens);
+        assert!(
+            last < first * 0.5,
+            "training failed to reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn model_gradient_matches_finite_difference_spot_check() {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let tokens = [1u32, 7, 3, 9, 2, 11];
+        model.zero_grads();
+        let _ = model.loss_and_backward(&tokens);
+
+        // Spot-check one weight in the first block's value projection.
+        let eps = 1e-2f32;
+        let analytic = model.blocks[0].attn.wv.weight.grad.at(3, 5) as f64;
+        let orig = model.blocks[0].attn.wv.weight.value.at(3, 5);
+        model.blocks[0].attn.wv.weight.value.set(3, 5, orig + eps);
+        let lp = model.nll(&tokens);
+        model.blocks[0].attn.wv.weight.value.set(3, 5, orig - eps);
+        let lm = model.nll(&tokens);
+        model.blocks[0].attn.wv.weight.value.set(3, 5, orig);
+        let numeric = (lp - lm) / (2.0 * eps as f64);
+        assert!(
+            (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn linear_traversal_counts_match_config() {
+        let cfg = ModelConfig::tiny_test();
+        let model = TransformerModel::new(cfg.clone());
+        assert_eq!(model.linear_layers().len(), cfg.quant_layer_count());
+
+        let mut llama_cfg = ModelConfig::tiny_test();
+        llama_cfg.norm = NormKind::RmsNorm;
+        llama_cfg.mlp = MlpKind::GatedSilu;
+        let llama = TransformerModel::new(llama_cfg.clone());
+        assert_eq!(llama.linear_layers().len(), llama_cfg.quant_layer_count());
+    }
+
+    #[test]
+    fn activation_stats_cover_every_layer_and_channel() {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5], vec![6, 7, 8, 9]];
+        let stats = model.collect_activation_stats(&calib);
+        assert_eq!(stats.layer_count(), model.cfg.quant_layer_count());
+        let linears = model.linear_layers();
+        for (stat, lin) in stats.per_layer.iter().zip(linears.iter()) {
+            assert_eq!(stat.mean_abs.len(), lin.in_features());
+            assert_eq!(stat.max_abs.len(), lin.in_features());
+            assert!(stat.mean_abs.iter().all(|&a| a.is_finite() && a >= 0.0));
+            assert!(stat.mean_abs.iter().any(|&a| a > 0.0));
+            // max >= mean channel-wise.
+            for (m, x) in stat.mean_abs.iter().zip(stat.max_abs.iter()) {
+                assert!(x >= m);
+            }
+        }
+    }
+
+    #[test]
+    fn hessians_are_symmetric_and_sized() {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7]];
+        let hessians = model.collect_hessians(&calib);
+        assert_eq!(hessians.len(), model.cfg.quant_layer_count());
+        for (h, lin) in hessians.iter().zip(model.linear_layers()) {
+            assert_eq!(h.shape(), (lin.in_features(), lin.in_features()));
+            for i in 0..h.rows() {
+                assert!(h.at(i, i) >= 0.0);
+                for j in 0..h.cols() {
+                    assert!((h.at(i, j) - h.at(j, i)).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_profile_amplifies_selected_channels() {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.outliers = Some(crate::config::OutlierProfile { channels: 2, factor: 8.0, seed: 1 });
+        let mut with = TransformerModel::new(cfg);
+        let mut without = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = vec![(0..20u32).map(|i| i % 31).collect()];
+        let s_with = with.collect_activation_stats(&calib);
+        let s_without = without.collect_activation_stats(&calib);
+        // The amplified model must show a larger max/median channel ratio
+        // on the first attention input.
+        let ratio = |v: &[f32]| {
+            let mut sorted: Vec<f32> = v.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[sorted.len() - 1] / sorted[sorted.len() / 2].max(1e-9)
+        };
+        assert!(
+            ratio(&s_with.per_layer[0].mean_abs) > ratio(&s_without.per_layer[0].mean_abs),
+            "outlier profile produced no channel skew"
+        );
+    }
+
+    #[test]
+    fn rmsnorm_gated_model_trains_too() {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.norm = NormKind::RmsNorm;
+        cfg.mlp = MlpKind::GatedSilu;
+        let mut model = TransformerModel::new(cfg);
+        let tokens: Vec<u32> = vec![2, 4, 6, 8, 10, 2, 4, 6, 8, 10, 2, 4];
+        let first = model.nll(&tokens);
+        for t in 1..=50 {
+            model.zero_grads();
+            let _ = model.loss_and_backward(&tokens);
+            model.clip_grad_norm(1.0);
+            model.for_each_param(|p| p.adam_step(3e-3, 0.9, 0.999, 1e-8, t));
+        }
+        assert!(model.nll(&tokens) < first, "gated model failed to learn");
+    }
+}

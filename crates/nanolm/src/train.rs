@@ -1,0 +1,197 @@
+//! Training and fine-tuning loops.
+
+use crate::corpus::Corpus;
+use crate::model::TransformerModel;
+use emmark_tensor::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of optimizer steps.
+    pub steps: u64,
+    /// Sequences per step.
+    pub batch_size: usize,
+    /// Tokens per sequence (must be `<= model.max_seq + 1`).
+    pub seq_len: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Linear warmup steps.
+    pub warmup: u64,
+    /// Global gradient-norm clip.
+    pub clip: f32,
+    /// Batch sampling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { steps: 300, batch_size: 8, seq_len: 24, lr: 3e-3, warmup: 20, clip: 1.0, seed: 42 }
+    }
+}
+
+impl TrainConfig {
+    /// A very short schedule for unit tests.
+    pub fn tiny_test() -> Self {
+        Self { steps: 40, batch_size: 4, seq_len: 12, ..Self::default() }
+    }
+
+    fn lr_at(&self, step: u64) -> f32 {
+        if step <= self.warmup {
+            self.lr * step as f32 / self.warmup.max(1) as f32
+        } else {
+            // Cosine decay to 10% of peak.
+            let progress =
+                (step - self.warmup) as f32 / (self.steps - self.warmup).max(1) as f32;
+            let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+            self.lr * (0.1 + 0.9 * cos)
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training NLL of the first 10 steps.
+    pub initial_loss: f64,
+    /// Mean training NLL of the final 10 steps.
+    pub final_loss: f64,
+    /// Steps actually executed.
+    pub steps: u64,
+}
+
+/// Samples a random `seq_len`-token window from `stream`.
+fn sample_window<'s>(stream: &'s [u32], seq_len: usize, rng: &mut Xoshiro256) -> &'s [u32] {
+    assert!(stream.len() > seq_len, "corpus shorter than sequence length");
+    let start = rng.below(stream.len() - seq_len);
+    &stream[start..start + seq_len]
+}
+
+/// Trains `model` on `corpus.train` with Adam.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_nanolm::{config::ModelConfig, corpus::{Corpus, Grammar},
+///     model::TransformerModel, train::{train, TrainConfig}};
+/// let corpus = Corpus::sample(Grammar::synwiki(1), 2000, 200, 200);
+/// let mut cfg = ModelConfig::tiny_test();
+/// cfg.vocab_size = corpus.grammar.vocab_size();
+/// let mut model = TransformerModel::new(cfg);
+/// let report = train(&mut model, &corpus, &TrainConfig::tiny_test());
+/// assert!(report.final_loss < report.initial_loss);
+/// ```
+pub fn train(model: &mut TransformerModel, corpus: &Corpus, cfg: &TrainConfig) -> TrainReport {
+    run_steps(model, &corpus.train, cfg, 0)
+}
+
+/// Continues training an already-trained model on a (different) token
+/// stream — the fine-tuning used by the Table 4 integrity controls.
+pub fn finetune(
+    model: &mut TransformerModel,
+    stream: &[u32],
+    cfg: &TrainConfig,
+    step_offset: u64,
+) -> TrainReport {
+    run_steps(model, stream, cfg, step_offset)
+}
+
+fn run_steps(
+    model: &mut TransformerModel,
+    stream: &[u32],
+    cfg: &TrainConfig,
+    step_offset: u64,
+) -> TrainReport {
+    assert!(
+        cfg.seq_len < model.cfg.max_seq + 1,
+        "seq_len {} exceeds model max_seq {}",
+        cfg.seq_len,
+        model.cfg.max_seq
+    );
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut first_losses = Vec::new();
+    let mut last_losses = Vec::new();
+    for step in 1..=cfg.steps {
+        model.zero_grads();
+        let mut batch_loss = 0.0;
+        for _ in 0..cfg.batch_size {
+            let window = sample_window(stream, cfg.seq_len + 1, &mut rng);
+            batch_loss += model.loss_and_backward(window);
+        }
+        batch_loss /= cfg.batch_size as f64;
+        // Average gradients over the batch.
+        let inv = 1.0 / cfg.batch_size as f32;
+        model.for_each_param(|p| p.scale_grad(inv));
+        model.clip_grad_norm(cfg.clip);
+        let lr = cfg.lr_at(step);
+        let t = step_offset + step;
+        model.for_each_param(|p| p.adam_step(lr, 0.9, 0.999, 1e-8, t));
+        if step <= 10 {
+            first_losses.push(batch_loss);
+        }
+        if step + 10 > cfg.steps {
+            last_losses.push(batch_loss);
+        }
+    }
+    TrainReport {
+        initial_loss: emmark_tensor::stats::mean(&first_losses),
+        final_loss: emmark_tensor::stats::mean(&last_losses),
+        steps: cfg.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::corpus::Grammar;
+
+    #[test]
+    fn lr_schedule_warms_up_and_decays() {
+        let cfg = TrainConfig { steps: 100, warmup: 10, lr: 1.0, ..TrainConfig::default() };
+        assert!(cfg.lr_at(1) < 0.2);
+        assert!((cfg.lr_at(10) - 1.0).abs() < 1e-6);
+        assert!(cfg.lr_at(100) < 0.2);
+        assert!(cfg.lr_at(55) < cfg.lr_at(20));
+    }
+
+    fn grammar_sized_config() -> ModelConfig {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = Grammar::synwiki(0).vocab_size();
+        cfg
+    }
+
+    #[test]
+    fn training_reduces_heldout_nll() {
+        let mut model = TransformerModel::new(grammar_sized_config());
+        let corpus = Corpus::sample(Grammar::synwiki(9), 4000, 400, 400);
+        let before = crate::model::stream_nll(&model, &corpus.test[..200], 20);
+        let report = train(&mut model, &corpus, &TrainConfig::tiny_test());
+        let after = crate::model::stream_nll(&model, &corpus.test[..200], 20);
+        assert!(report.final_loss < report.initial_loss);
+        assert!(after < before, "held-out NLL did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn finetune_moves_model_toward_new_distribution() {
+        let mut model = TransformerModel::new(grammar_sized_config());
+        let wiki = Corpus::sample(Grammar::synwiki(3), 4000, 400, 400);
+        train(&mut model, &wiki, &TrainConfig::tiny_test());
+
+        let alpaca = Grammar::synalpaca(3).generate(4000);
+        let before_alpaca = crate::model::stream_nll(&model, &alpaca[..200], 20);
+        finetune(&mut model, &alpaca, &TrainConfig::tiny_test(), TrainConfig::tiny_test().steps);
+        let after_alpaca = crate::model::stream_nll(&model, &alpaca[..200], 20);
+        assert!(
+            after_alpaca < before_alpaca,
+            "fine-tune did not adapt: {before_alpaca} -> {after_alpaca}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus shorter")]
+    fn sampling_from_too_short_corpus_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let _ = sample_window(&[1, 2, 3], 5, &mut rng);
+    }
+}

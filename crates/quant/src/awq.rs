@@ -1,0 +1,224 @@
+//! AWQ (Lin et al., 2023) activation-aware INT4 weight quantization.
+//!
+//! AWQ observes that a small fraction of *salient* weight channels —
+//! identified by activation magnitude, not weight magnitude — dominates
+//! model quality, and that scaling those channels up before group-wise
+//! quantization shrinks their effective quantization step. The per-layer
+//! scale exponent is grid-searched against an activation-weighted
+//! reconstruction error. The paper uses AWQ as the INT4 scheme for every
+//! model, and EmMark's saliency score `S_r` keys on the same activation
+//! signal.
+
+use crate::qlinear::{ActQuant, Granularity, QuantizedLinear};
+use crate::qmodel::QuantizedModel;
+use crate::rtn::quantize_weight;
+use emmark_nanolm::layers::Linear;
+use emmark_nanolm::model::{ActivationStats, TransformerModel};
+use emmark_tensor::Matrix;
+
+/// AWQ configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AwqConfig {
+    /// Group size for the INT4 grid.
+    pub group_size: usize,
+    /// Exponent grid searched for the per-channel scale
+    /// `s_j = (a_j / geomean(a))^γ`.
+    pub gamma_grid: Vec<f32>,
+    /// Clamp applied to the per-channel scale.
+    pub scale_clamp: (f32, f32),
+}
+
+impl Default for AwqConfig {
+    fn default() -> Self {
+        Self {
+            group_size: 16,
+            gamma_grid: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            scale_clamp: (1e-3, 1e3),
+        }
+    }
+}
+
+/// Per-channel AWQ scale for a given exponent.
+pub fn awq_scales(act_mean: &[f32], gamma: f32, clamp: (f32, f32)) -> Vec<f32> {
+    let positive: Vec<f64> =
+        act_mean.iter().map(|&a| (a.max(1e-8)) as f64).collect();
+    let geo = emmark_tensor::stats::geometric_mean(&positive) as f32;
+    act_mean
+        .iter()
+        .map(|&a| ((a.max(1e-8) / geo).powf(gamma)).clamp(clamp.0, clamp.1))
+        .collect()
+}
+
+/// Activation-weighted reconstruction error of a candidate quantization:
+/// `Σ_i a_i² · Σ_j (W_ij − Ŵ_ij)²`, where `Ŵ` is the effective
+/// (descaled) dequantized weight. This is the AWQ search objective
+/// specialized to the statistics we record.
+fn weighted_error(w: &Matrix, ql: &QuantizedLinear, act_mean: &[f32]) -> f64 {
+    let deq = ql.effective_weight();
+    let mut err = 0.0f64;
+    #[allow(clippy::needless_range_loop)] // i indexes both act_mean and w rows
+    for i in 0..w.rows() {
+        let a2 = (act_mean[i] as f64).powi(2);
+        if a2 == 0.0 {
+            continue;
+        }
+        let mut row_err = 0.0f64;
+        for j in 0..w.cols() {
+            let d = (w.at(i, j) - deq.at(i, j)) as f64;
+            row_err += d * d;
+        }
+        err += a2 * row_err;
+    }
+    err
+}
+
+/// Result of quantizing one layer with AWQ.
+#[derive(Debug, Clone)]
+pub struct AwqLayer {
+    /// The quantized layer.
+    pub layer: QuantizedLinear,
+    /// The exponent the grid search selected.
+    pub gamma: f32,
+    /// The search objective at the selected exponent.
+    pub error: f64,
+}
+
+/// Quantizes one linear layer with AWQ INT4.
+pub fn awq_layer(linear: &Linear, act_mean: &[f32], cfg: &AwqConfig) -> AwqLayer {
+    let w = &linear.weight.value;
+    let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
+    let mut best: Option<AwqLayer> = None;
+    for &gamma in &cfg.gamma_grid {
+        let s = awq_scales(act_mean, gamma, cfg.scale_clamp);
+        let scaled = Matrix::from_fn(w.rows(), w.cols(), |i, j| w.at(i, j) * s[i]);
+        let ql = quantize_weight(
+            &scaled,
+            4,
+            Granularity::Grouped { group_size: cfg.group_size },
+            Some(s),
+            bias.clone(),
+            ActQuant::None,
+        );
+        let err = weighted_error(w, &ql, act_mean);
+        if best.as_ref().is_none_or(|b| err < b.error) {
+            best = Some(AwqLayer { layer: ql, gamma, error: err });
+        }
+    }
+    best.expect("gamma grid must be non-empty")
+}
+
+/// Quantizes a whole model with AWQ INT4 (the paper's INT4 scheme).
+///
+/// # Panics
+///
+/// Panics if `stats` does not cover every quantizable layer.
+pub fn awq(model: &TransformerModel, stats: &ActivationStats, cfg: &AwqConfig) -> QuantizedModel {
+    assert_eq!(
+        stats.layer_count(),
+        model.cfg.quant_layer_count(),
+        "activation stats do not match the model"
+    );
+    QuantizedModel::quantize_with(model, "awq-int4", |idx, lin| {
+        awq_layer(lin, &stats.per_layer[idx].mean_abs, cfg).layer
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn scales_are_one_at_gamma_zero() {
+        let s = awq_scales(&[1.0, 5.0, 0.1], 0.0, (1e-3, 1e3));
+        assert!(s.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn salient_channels_get_larger_scales() {
+        let s = awq_scales(&[0.1, 1.0, 10.0], 0.5, (1e-3, 1e3));
+        assert!(s[0] < s[1] && s[1] < s[2]);
+        // Geometric mean of the scales stays ~1 (scale-neutral rewrite).
+        let geo: f64 = s.iter().map(|&v| (v as f64).ln()).sum::<f64>() / 3.0;
+        assert!(geo.exp() - 1.0 < 1e-3);
+    }
+
+    #[test]
+    fn grid_search_beats_or_matches_plain_int4_on_skewed_activations() {
+        // Channels with huge activations but small weights: AWQ should
+        // reduce the activation-weighted reconstruction error vs γ=0.
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut lin = Linear::new(32, 16, false, &mut rng);
+        // Make 4 salient channels have small weights (fine structure that
+        // plain INT4 rounds away).
+        for i in 0..4 {
+            for j in 0..16 {
+                let v = lin.weight.value.at(i, j);
+                lin.weight.value.set(i, j, v * 0.05);
+            }
+        }
+        let mut act = vec![1.0f32; 32];
+        for a in act.iter_mut().take(4) {
+            *a = 40.0;
+        }
+        let cfg = AwqConfig::default();
+        let chosen = awq_layer(&lin, &act, &cfg);
+        let plain = {
+            let s = awq_scales(&act, 0.0, cfg.scale_clamp);
+            let ql = quantize_weight(
+                &lin.weight.value,
+                4,
+                Granularity::Grouped { group_size: cfg.group_size },
+                Some(s),
+                None,
+                ActQuant::None,
+            );
+            weighted_error(&lin.weight.value, &ql, &act)
+        };
+        assert!(
+            chosen.error <= plain,
+            "grid search ({}) worse than plain INT4 ({plain})",
+            chosen.error
+        );
+        assert!(chosen.gamma > 0.0, "grid search should prefer activation-aware scaling");
+    }
+
+    #[test]
+    fn awq_model_runs_and_uses_int4_grouped_grids() {
+        let mut model = emmark_nanolm::TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7]];
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        assert_eq!(qm.scheme, "awq-int4");
+        for layer in &qm.layers {
+            assert_eq!(layer.bits(), 4);
+            assert!(matches!(layer.granularity(), Granularity::Grouped { .. }));
+            assert!(layer.input_scale().is_some());
+        }
+        let logits = qm.logits(&[1, 2, 3, 4]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn awq_tracks_fp_better_than_naive_per_tensor_int4() {
+        let mut model = emmark_nanolm::TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 5) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let awq_model = awq(&model, &stats, &AwqConfig::default());
+        let naive = QuantizedModel::quantize_with(&model, "naive-int4", |_, lin| {
+            crate::rtn::quantize_linear_rtn(lin, 4, Granularity::PerTensor, ActQuant::None)
+        });
+        let tokens: Vec<u32> = (0..20u32).map(|i| (i * 13 + 3) % 31).collect();
+        let fp = model.logits(&tokens);
+        let err_awq = fp.sub(&awq_model.logits(&tokens)).frobenius_norm();
+        let err_naive = fp.sub(&naive.logits(&tokens)).frobenius_norm();
+        assert!(
+            err_awq < err_naive,
+            "AWQ ({err_awq}) should beat naive per-tensor INT4 ({err_naive})"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! GPTQ (Frantar et al., 2022) second-order INT4 quantization.
+//!
+//! GPTQ quantizes weights one input channel at a time, compensating the
+//! rounding error of each channel by updating the not-yet-quantized
+//! channels through the inverse Hessian `H⁻¹`, `H = XᵀX + λI` over
+//! calibration activations. The paper uses GPTQ as the "different
+//! quantizer" integrity control (Table 4, non-WM 4) and cites its known
+//! tendency to overfit the calibration set.
+
+use crate::qlinear::{ActQuant, Granularity, QuantizedLinear};
+use crate::qmodel::QuantizedModel;
+use emmark_nanolm::layers::Linear;
+use emmark_nanolm::model::TransformerModel;
+use emmark_tensor::linalg::{cholesky_upper, invert_spd};
+use emmark_tensor::Matrix;
+
+/// GPTQ configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GptqConfig {
+    /// Bit width (4 in the paper's INT4 runs).
+    pub bits: u8,
+    /// Group size for scale blocks along the input dimension.
+    pub group_size: usize,
+    /// Relative dampening added to the Hessian diagonal (`percdamp`).
+    pub percdamp: f64,
+}
+
+impl Default for GptqConfig {
+    fn default() -> Self {
+        Self { bits: 4, group_size: 16, percdamp: 0.01 }
+    }
+}
+
+/// Quantizes one layer with GPTQ given its calibration Gram matrix
+/// `H = Σ xᵀx` (as produced by
+/// [`TransformerModel::collect_hessians`]).
+///
+/// # Panics
+///
+/// Panics if `hessian` is not `[in, in]`.
+pub fn gptq_layer(linear: &Linear, hessian: &Matrix, cfg: &GptqConfig) -> QuantizedLinear {
+    let w0 = &linear.weight.value;
+    let (in_f, out_f) = w0.shape();
+    assert_eq!(hessian.shape(), (in_f, in_f), "hessian shape mismatch");
+    let qmax = ((1i16 << (cfg.bits - 1)) - 1) as f64;
+
+    // Dampened Hessian in f64.
+    let mut h = vec![0.0f64; in_f * in_f];
+    let mut diag_mean = 0.0f64;
+    for i in 0..in_f {
+        diag_mean += hessian.at(i, i) as f64;
+    }
+    diag_mean /= in_f as f64;
+    let damp = (cfg.percdamp * diag_mean).max(1e-8);
+    for i in 0..in_f {
+        for j in 0..in_f {
+            h[i * in_f + j] = hessian.at(i, j) as f64;
+        }
+        // Dead channels get a unit pivot so the factorization stays SPD.
+        if h[i * in_f + i] <= 0.0 {
+            h[i * in_f + i] = 1.0;
+        }
+        h[i * in_f + i] += damp;
+    }
+
+    // U with H^{-1} = Uᵀ U; U upper triangular (the GPTQ "Cholesky trick").
+    let hinv = invert_spd(&h, in_f).expect("dampened Hessian must be SPD");
+    let u = cholesky_upper(&hinv, in_f).expect("H^-1 must be SPD");
+
+    // Working copy of the weights in f64.
+    let mut w: Vec<f64> = w0.iter().map(|&v| v as f64).collect();
+    let mut q = vec![0i8; in_f * out_f];
+    let n_groups = in_f.div_ceil(cfg.group_size);
+    let mut scales = vec![1.0f32; n_groups * out_f];
+
+    for i in 0..in_f {
+        let g = i / cfg.group_size;
+        if i % cfg.group_size == 0 {
+            // Scale per column over the *current* (error-compensated)
+            // weights of this group.
+            let hi = ((g + 1) * cfg.group_size).min(in_f);
+            for j in 0..out_f {
+                let absmax = (i..hi)
+                    .map(|r| w[r * out_f + j].abs())
+                    .fold(0.0f64, f64::max);
+                scales[g * out_f + j] = if absmax == 0.0 { 1.0 } else { (absmax / qmax) as f32 };
+            }
+        }
+        let d = u[i * in_f + i];
+        // Quantize row i and compute the compensation coefficients.
+        let mut errs = vec![0.0f64; out_f];
+        for j in 0..out_f {
+            let scale = scales[g * out_f + j] as f64;
+            let wv = w[i * out_f + j];
+            let qv = (wv / scale).round().clamp(-qmax, qmax);
+            q[i * out_f + j] = qv as i8;
+            let deq = qv * scale;
+            errs[j] = (wv - deq) / d;
+        }
+        // Propagate the error into the remaining rows.
+        for k in i + 1..in_f {
+            let c = u[i * in_f + k];
+            if c == 0.0 {
+                continue;
+            }
+            for j in 0..out_f {
+                w[k * out_f + j] -= errs[j] * c;
+            }
+        }
+    }
+
+    let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
+    QuantizedLinear::new(
+        q,
+        in_f,
+        out_f,
+        cfg.bits,
+        Granularity::Grouped { group_size: cfg.group_size },
+        scales,
+        None,
+        bias,
+        ActQuant::None,
+    )
+}
+
+/// Quantizes a whole model with GPTQ using Gram matrices collected from
+/// `calibration` sequences.
+pub fn gptq(
+    model: &mut TransformerModel,
+    calibration: &[Vec<u32>],
+    cfg: &GptqConfig,
+) -> QuantizedModel {
+    let hessians = model.collect_hessians(calibration);
+    QuantizedModel::quantize_with(model, "gptq-int4", |idx, lin| {
+        gptq_layer(lin, &hessians[idx], cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::quantize_weight;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_tensor::rng::Xoshiro256;
+
+    /// Correlated calibration inputs: x = z A with a fixed mixing matrix,
+    /// giving a non-diagonal Hessian — the regime where GPTQ's error
+    /// compensation matters.
+    fn correlated_inputs(rows: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = Matrix::from_fn(dim, dim, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                0.35 * rng.normal_f32(0.0, 1.0)
+            }
+        });
+        let z = Matrix::from_fn(rows, dim, |_, _| rng.normal_f32(0.0, 1.0));
+        z.matmul(&a)
+    }
+
+    #[test]
+    fn gptq_beats_rtn_in_task_space_on_correlated_data() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let dim = 24;
+        let out = 12;
+        let lin = Linear::new(dim, out, false, &mut rng);
+        let x = correlated_inputs(200, dim, 2);
+        let h = x.transa_matmul(&x);
+        let cfg = GptqConfig { bits: 4, group_size: 8, percdamp: 0.01 };
+        let gq = gptq_layer(&lin, &h, &cfg);
+        let rq = quantize_weight(
+            &lin.weight.value,
+            4,
+            Granularity::Grouped { group_size: 8 },
+            None,
+            None,
+            ActQuant::None,
+        );
+        // Task-space error || X W - X W_q ||_F is what GPTQ minimizes.
+        let y = x.matmul(&lin.weight.value);
+        let err_gptq = y.sub(&x.matmul(&gq.dequantize())).frobenius_norm();
+        let err_rtn = y.sub(&x.matmul(&rq.dequantize())).frobenius_norm();
+        assert!(
+            err_gptq < err_rtn,
+            "GPTQ ({err_gptq}) should beat RTN ({err_rtn}) in task space"
+        );
+    }
+
+    #[test]
+    fn gptq_grid_respects_bit_range() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let lin = Linear::new(16, 8, false, &mut rng);
+        let x = correlated_inputs(64, 16, 4);
+        let h = x.transa_matmul(&x);
+        let gq = gptq_layer(&lin, &h, &GptqConfig::default());
+        assert!(gq.q_values().iter().all(|&q| (-7..=7).contains(&q)));
+        assert_eq!(gq.bits(), 4);
+    }
+
+    #[test]
+    fn degenerate_hessian_is_handled() {
+        // All-zero Hessian (no calibration signal): GPTQ degrades to RTN
+        // but must not crash or produce NaN scales.
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let lin = Linear::new(8, 4, false, &mut rng);
+        let h = Matrix::zeros(8, 8);
+        let gq = gptq_layer(&lin, &h, &GptqConfig { bits: 4, group_size: 4, percdamp: 0.01 });
+        let deq = gq.dequantize();
+        assert!(deq.iter().all(|v| v.is_finite()));
+        let err = deq.sub(&lin.weight.value).frobenius_norm();
+        // With a diagonal (unit) Hessian GPTQ == RTN, so error is small.
+        let rq = quantize_weight(
+            &lin.weight.value,
+            4,
+            Granularity::Grouped { group_size: 4 },
+            None,
+            None,
+            ActQuant::None,
+        );
+        let err_rtn = rq.dequantize().sub(&lin.weight.value).frobenius_norm();
+        assert!((err - err_rtn).abs() / err_rtn.max(1e-9) < 0.35, "{err} vs {err_rtn}");
+    }
+
+    #[test]
+    fn gptq_model_pipeline_runs() {
+        let mut model = emmark_nanolm::TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..3u32)
+            .map(|s| (0..12u32).map(|i| (i * 5 + s) % 31).collect())
+            .collect();
+        let qm = gptq(&mut model, &calib, &GptqConfig::default());
+        assert_eq!(qm.scheme, "gptq-int4");
+        assert_eq!(qm.layer_count(), model.cfg.quant_layer_count());
+        let logits = qm.logits(&[1, 2, 3]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gptq_and_awq_produce_different_grids() {
+        // Table 4 relies on GPTQ being a *different* quantizer: the
+        // integer grids must differ from AWQ's for the same model.
+        let mut model = emmark_nanolm::TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        let awq_m = crate::awq::awq(&model, &stats, &crate::awq::AwqConfig::default());
+        let gptq_m = gptq(&mut model, &calib, &GptqConfig::default());
+        assert!(!awq_m.same_weights(&gptq_m));
+    }
+}

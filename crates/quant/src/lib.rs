@@ -1,0 +1,42 @@
+//! # emmark-quant
+//!
+//! Post-training quantization substrate for the EmMark reproduction:
+//! the Eq. 1 RTN kernel ([`rtn`]), the paper's three named INT8/INT4
+//! schemes — SmoothQuant ([`smoothquant`]), LLM.int8() ([`llm_int8`]),
+//! AWQ ([`awq`]) — plus GPTQ ([`gptq`]) as the Table 4 integrity control,
+//! and a dequantizing [`QuantizedModel`] runtime that implements
+//! [`LogitsModel`](emmark_nanolm::model::LogitsModel) so the evaluation
+//! harness treats quantized and full-precision models identically.
+//!
+//! The [`QuantizedLinear`] layer is the watermarking surface: EmMark's
+//! insertion is a `±1` bump of one integer cell, and this crate provides
+//! the clamp-level and outlier-row bookkeeping the paper's scoring
+//! function needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use emmark_nanolm::{config::ModelConfig, TransformerModel};
+//! use emmark_quant::awq::{awq, AwqConfig};
+//! use emmark_nanolm::model::LogitsModel;
+//!
+//! let mut model = TransformerModel::new(ModelConfig::tiny_test());
+//! let calib = vec![vec![1u32, 2, 3, 4, 5]];
+//! let stats = model.collect_activation_stats(&calib);
+//! let quantized = awq(&model, &stats, &AwqConfig::default());
+//! assert_eq!(quantized.layer_count(), model.cfg.quant_layer_count());
+//! let logits = quantized.logits(&[1, 2, 3]);
+//! assert!(logits.iter().all(|v| v.is_finite()));
+//! ```
+
+pub mod awq;
+pub mod gptq;
+pub mod llm_int8;
+pub mod qlinear;
+pub mod qlora;
+pub mod qmodel;
+pub mod rtn;
+pub mod smoothquant;
+
+pub use qlinear::{ActQuant, Granularity, QuantizedLinear};
+pub use qmodel::QuantizedModel;

@@ -1,0 +1,190 @@
+//! LLM.int8() (Dettmers et al., 2022) mixed-precision INT8 quantization.
+//!
+//! A small set of input channels carries activation outliers whose
+//! magnitudes break symmetric INT8 activation quantization. LLM.int8()
+//! decomposes the matmul: outlier channels run in full precision, the
+//! rest in INT8. The paper uses LLM.int8() as the INT8 scheme for the
+//! LLaMA-2 family.
+
+use crate::qlinear::{ActQuant, Granularity, QuantizedLinear};
+use crate::qmodel::QuantizedModel;
+use crate::rtn::quantize_weight;
+use emmark_nanolm::layers::Linear;
+use emmark_nanolm::model::{ActivationStats, TransformerModel};
+use emmark_tensor::Matrix;
+
+/// How outlier channels are selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierCriterion {
+    /// Channels whose max |activation| exceeds an absolute threshold
+    /// (6.0 in the original paper).
+    Absolute(f32),
+    /// Channels whose max |activation| exceeds the given quantile of the
+    /// layer's channel maxima — scale-free, which suits micro models
+    /// whose absolute activation ranges differ from 100B-scale LLMs.
+    Quantile(f64),
+}
+
+impl Default for OutlierCriterion {
+    fn default() -> Self {
+        OutlierCriterion::Quantile(0.97)
+    }
+}
+
+/// Returns the sorted outlier channel set for one layer.
+pub fn outlier_channels(act_max: &[f32], criterion: OutlierCriterion) -> Vec<usize> {
+    let threshold = match criterion {
+        OutlierCriterion::Absolute(t) => t,
+        OutlierCriterion::Quantile(q) => {
+            let xs: Vec<f64> = act_max.iter().map(|&v| v as f64).collect();
+            emmark_tensor::stats::percentile(&xs, q * 100.0) as f32
+        }
+    };
+    let mut rows: Vec<usize> = act_max
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a > threshold)
+        .map(|(i, _)| i)
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Quantizes one layer with LLM.int8() decomposition.
+pub fn llm_int8_layer(
+    linear: &Linear,
+    act_max: &[f32],
+    criterion: OutlierCriterion,
+) -> QuantizedLinear {
+    let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
+    let mut ql = quantize_weight(
+        &linear.weight.value,
+        8,
+        Granularity::PerOutChannel,
+        None,
+        bias,
+        ActQuant::Int8PerToken,
+    );
+    let rows = outlier_channels(act_max, criterion);
+    if !rows.is_empty() {
+        let w = &linear.weight.value;
+        let ow = Matrix::from_fn(rows.len(), w.cols(), |k, j| w.at(rows[k], j));
+        ql.set_outliers(rows, ow);
+    }
+    ql
+}
+
+/// Quantizes a whole model with LLM.int8() (the paper's LLaMA-2-family
+/// INT8 scheme).
+///
+/// # Panics
+///
+/// Panics if `stats` does not cover every quantizable layer.
+pub fn llm_int8(
+    model: &TransformerModel,
+    stats: &ActivationStats,
+    criterion: OutlierCriterion,
+) -> QuantizedModel {
+    assert_eq!(
+        stats.layer_count(),
+        model.cfg.quant_layer_count(),
+        "activation stats do not match the model"
+    );
+    QuantizedModel::quantize_with(model, "llm-int8", |idx, lin| {
+        llm_int8_layer(lin, &stats.per_layer[idx].max_abs, criterion)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn absolute_criterion_picks_exceeding_channels() {
+        let rows = outlier_channels(&[1.0, 7.0, 2.0, 9.0], OutlierCriterion::Absolute(6.0));
+        assert_eq!(rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn quantile_criterion_picks_top_share() {
+        let act: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let rows = outlier_channels(&act, OutlierCriterion::Quantile(0.95));
+        assert_eq!(rows.len(), 5);
+        assert!(rows.contains(&99));
+    }
+
+    #[test]
+    fn no_outliers_below_threshold() {
+        let rows = outlier_channels(&[1.0, 2.0], OutlierCriterion::Absolute(10.0));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn outlier_rows_reproduce_fp_weights_exactly() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let lin = Linear::new(6, 3, false, &mut rng);
+        let act_max = [1.0f32, 1.0, 50.0, 1.0, 1.0, 1.0];
+        let ql = llm_int8_layer(&lin, &act_max, OutlierCriterion::Absolute(6.0));
+        assert_eq!(ql.outlier_rows(), &[2]);
+        let deq = ql.dequantize();
+        for j in 0..3 {
+            assert_eq!(deq.at(2, j), lin.weight.value.at(2, j), "outlier row not exact");
+        }
+    }
+
+    #[test]
+    fn decomposition_beats_plain_w8a8_on_outlier_model() {
+        // With strong activation outliers, per-token INT8 activation
+        // quantization destroys information; the mixed-precision path
+        // should recover most of it.
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.outliers =
+            Some(emmark_nanolm::config::OutlierProfile { channels: 2, factor: 16.0, seed: 5 });
+        let mut model = emmark_nanolm::TransformerModel::new(cfg);
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 11 + s) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+
+        let mixed = llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9));
+        let plain = QuantizedModel::quantize_with(&model, "plain-w8a8", |_, lin| {
+            crate::rtn::quantize_linear_rtn(
+                lin,
+                8,
+                Granularity::PerOutChannel,
+                ActQuant::Int8PerToken,
+            )
+        });
+        let tokens: Vec<u32> = (0..20u32).map(|i| (i * 3 + 2) % 31).collect();
+        let fp = model.logits(&tokens);
+        let err_mixed = fp.sub(&mixed.logits(&tokens)).frobenius_norm();
+        let err_plain = fp.sub(&plain.logits(&tokens)).frobenius_norm();
+        assert!(
+            err_mixed <= err_plain,
+            "decomposition ({err_mixed}) should not lose to plain W8A8 ({err_plain})"
+        );
+    }
+
+    #[test]
+    fn full_pipeline_marks_outlier_cells_unwatermarkable() {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.outliers =
+            Some(emmark_nanolm::config::OutlierProfile { channels: 2, factor: 16.0, seed: 7 });
+        let mut model = emmark_nanolm::TransformerModel::new(cfg);
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        let qm = llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9));
+        let with_outliers = qm.layers.iter().filter(|l| !l.outlier_rows().is_empty()).count();
+        assert!(with_outliers > 0, "no layer detected outliers");
+        for layer in &qm.layers {
+            for &r in layer.outlier_rows() {
+                let f = r * layer.out_features();
+                assert!(layer.is_outlier_flat(f));
+                assert_eq!(layer.q_at_flat(f), 0);
+            }
+        }
+    }
+}

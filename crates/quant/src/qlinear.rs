@@ -1,0 +1,674 @@
+//! The quantized linear layer — the data structure EmMark watermarks.
+//!
+//! A [`QuantizedLinear`] stores the integer weight grid produced by Eq. 1
+//! of the paper, the scale metadata of whichever quantizer produced it,
+//! and (scheme-dependent) per-input-channel runtime scales, LLM.int8()
+//! outlier rows, and activation fake-quantization. Watermark insertion is
+//! a `±1` bump of one integer cell; everything else exists so that the
+//! *consequences* of that bump on model quality are measured faithfully.
+
+use emmark_nanolm::attention::MultiHeadAttention;
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Scale granularity of the integer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per output channel (column).
+    PerOutChannel,
+    /// One scale per (input-group, output-channel) pair.
+    Grouped {
+        /// Input channels per group.
+        group_size: usize,
+    },
+}
+
+/// Runtime activation handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActQuant {
+    /// Activations stay full precision (W4A16-style).
+    None,
+    /// Symmetric per-token INT8 fake quantization (W8A8-style).
+    Int8PerToken,
+}
+
+/// A linear layer with integer weights, `q: [in_features, out_features]`
+/// row-major — input channel `i` is row `i`, matching the activation
+/// statistics axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    q: Vec<i8>,
+    in_features: usize,
+    out_features: usize,
+    bits: u8,
+    granularity: Granularity,
+    scales: Vec<f32>,
+    /// Per-input-channel divisor applied to activations at runtime
+    /// (SmoothQuant / AWQ migration: weights were multiplied by it before
+    /// quantization).
+    input_scale: Option<Vec<f32>>,
+    /// Sorted input channels kept in full precision (LLM.int8()).
+    outlier_rows: Vec<usize>,
+    /// Full-precision weights of the outlier rows,
+    /// `[outlier_rows.len(), out_features]`.
+    outlier_weights: Option<Matrix>,
+    bias: Option<Vec<f32>>,
+    act_quant: ActQuant,
+}
+
+impl QuantizedLinear {
+    /// Assembles a quantized layer from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths are inconsistent with the shape,
+    /// granularity, or bit width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        q: Vec<i8>,
+        in_features: usize,
+        out_features: usize,
+        bits: u8,
+        granularity: Granularity,
+        scales: Vec<f32>,
+        input_scale: Option<Vec<f32>>,
+        bias: Option<Vec<f32>>,
+        act_quant: ActQuant,
+    ) -> Self {
+        assert_eq!(q.len(), in_features * out_features, "q buffer size mismatch");
+        assert!(bits == 4 || bits == 8, "only INT4 and INT8 are supported");
+        let expected_scales = match granularity {
+            Granularity::PerTensor => 1,
+            Granularity::PerOutChannel => out_features,
+            Granularity::Grouped { group_size } => {
+                assert!(group_size > 0, "group size must be positive");
+                in_features.div_ceil(group_size) * out_features
+            }
+        };
+        assert_eq!(scales.len(), expected_scales, "scale buffer size mismatch");
+        if let Some(s) = &input_scale {
+            assert_eq!(s.len(), in_features, "input scale size mismatch");
+        }
+        if let Some(b) = &bias {
+            assert_eq!(b.len(), out_features, "bias size mismatch");
+        }
+        let qmax = Self::qmax_for(bits);
+        // The symmetric Eq. 1 grid spans [-qmax, qmax]; the storage type
+        // additionally admits the two's-complement minimum (-qmax - 1),
+        // which only wrap-around arithmetic (naive watermarking or
+        // attacks) can produce.
+        assert!(
+            q.iter().all(|&v| v >= -qmax - 1 && v <= qmax),
+            "quantized values exceed the {bits}-bit storage range"
+        );
+        Self {
+            q,
+            in_features,
+            out_features,
+            bits,
+            granularity,
+            scales,
+            input_scale,
+            outlier_rows: Vec::new(),
+            outlier_weights: None,
+            bias,
+            act_quant,
+        }
+    }
+
+    /// Marks `rows` (sorted, deduplicated internally) as full-precision
+    /// outlier rows with the given weights; their integer cells are
+    /// zeroed and become inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` shape does not match or a row is out of range.
+    pub fn set_outliers(&mut self, mut rows: Vec<usize>, weights: Matrix) {
+        rows.sort_unstable();
+        rows.dedup();
+        assert!(rows.iter().all(|&r| r < self.in_features), "outlier row out of range");
+        assert_eq!(weights.shape(), (rows.len(), self.out_features), "outlier weights shape");
+        for &r in &rows {
+            for j in 0..self.out_features {
+                self.q[r * self.out_features + j] = 0;
+            }
+        }
+        self.outlier_rows = rows;
+        self.outlier_weights = Some(weights);
+    }
+
+    fn qmax_for(bits: u8) -> i8 {
+        ((1i16 << (bits - 1)) - 1) as i8
+    }
+
+    /// Largest representable magnitude (`2^{N-1} − 1`, Eq. 1).
+    pub fn qmax(&self) -> i8 {
+        Self::qmax_for(self.bits)
+    }
+
+    /// Bit width (4 or 8).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Number of weight cells.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the layer has no weights.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Scale granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Activation handling.
+    pub fn act_quant(&self) -> ActQuant {
+        self.act_quant
+    }
+
+    /// The integer weight grid, row-major `[in, out]`.
+    pub fn q_values(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Integer value at flat index `f` (`row = f / out`, `col = f % out`).
+    pub fn q_at_flat(&self, f: usize) -> i8 {
+        self.q[f]
+    }
+
+    /// Overwrites the integer value at flat index `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value leaves the representable range — the
+    /// watermarking layer is responsible for never clipping (the paper
+    /// excludes min/max-level weights from selection for exactly this
+    /// reason).
+    pub fn set_q_flat(&mut self, f: usize, value: i8) {
+        let qmax = self.qmax();
+        assert!(
+            (-qmax..=qmax).contains(&value),
+            "value {value} out of {}-bit range",
+            self.bits
+        );
+        self.q[f] = value;
+    }
+
+    /// Adds `delta` to the integer value at flat index `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the symmetric range — EmMark's selection
+    /// rule (exclude min/max-level cells) guarantees this never fires for
+    /// properly scored insertions.
+    pub fn bump_q_flat(&mut self, f: usize, delta: i8) {
+        let v = self.q[f] as i16 + delta as i16;
+        self.set_q_flat(f, v as i8);
+    }
+
+    /// Adds `delta` with two's-complement wrap-around at the storage bit
+    /// width — the behavior of raw integer arithmetic on deployed
+    /// hardware. Naive schemes (RandomWM) and attacks that bump without
+    /// EmMark's clamp-level exclusion go through this path; a wrap flips
+    /// the largest-magnitude weight of a scale block to the most negative
+    /// value, which is exactly the INT4 quality cliff Table 1 shows for
+    /// RandomWM.
+    pub fn bump_q_flat_wrapping(&mut self, f: usize, delta: i8) {
+        let bits = self.bits as u32;
+        let mask = (1i16 << bits) - 1;
+        let half = 1i16 << (bits - 1);
+        let mut v = (self.q[f] as i16 + delta as i16) & mask;
+        if v >= half {
+            v -= 1i16 << bits;
+        }
+        self.q[f] = v as i8;
+    }
+
+    /// Input channel (row) of a flat index.
+    pub fn channel_of_flat(&self, f: usize) -> usize {
+        f / self.out_features
+    }
+
+    /// Whether the cell sits at the minimum or maximum quantization
+    /// level — the cells Eq. 3's scoring must exclude. The
+    /// two's-complement minimum (`-qmax - 1`, reachable only by wrapped
+    /// arithmetic) also counts as clamped.
+    pub fn is_clamped_flat(&self, f: usize) -> bool {
+        self.q[f] >= self.qmax() || self.q[f] <= -self.qmax()
+    }
+
+    /// Whether the cell belongs to a full-precision outlier row (inert
+    /// integer storage; not watermarkable).
+    pub fn is_outlier_flat(&self, f: usize) -> bool {
+        self.outlier_rows.binary_search(&self.channel_of_flat(f)).is_ok()
+    }
+
+    /// Outlier rows (sorted).
+    pub fn outlier_rows(&self) -> &[usize] {
+        &self.outlier_rows
+    }
+
+    /// Per-input-channel runtime divisor, if the scheme migrated scales.
+    pub fn input_scale(&self) -> Option<&[f32]> {
+        self.input_scale.as_deref()
+    }
+
+    /// The raw scale buffer (layout depends on [`Self::granularity`]).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The bias vector, if any.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
+    /// Full-precision outlier weights, if any (`[outlier_rows.len(), out]`).
+    pub fn outlier_weights(&self) -> Option<&Matrix> {
+        self.outlier_weights.as_ref()
+    }
+
+    /// Scale applied to cell `(i, j)`.
+    pub fn scale_at(&self, i: usize, j: usize) -> f32 {
+        match self.granularity {
+            Granularity::PerTensor => self.scales[0],
+            Granularity::PerOutChannel => self.scales[j],
+            Granularity::Grouped { group_size } => {
+                self.scales[(i / group_size) * self.out_features + j]
+            }
+        }
+    }
+
+    /// Dequantizes the integer grid to `[in, out]`. Outlier rows come out
+    /// as their stored full-precision weights. The result is the weight
+    /// applied to *scaled* inputs; see [`Self::effective_weight`] for the
+    /// raw-input view.
+    pub fn dequantize(&self) -> Matrix {
+        let mut w = Matrix::zeros(self.in_features, self.out_features);
+        for i in 0..self.in_features {
+            for j in 0..self.out_features {
+                w.set(i, j, self.q[i * self.out_features + j] as f32 * self.scale_at(i, j));
+            }
+        }
+        if let (Some(ow), rows) = (&self.outlier_weights, &self.outlier_rows) {
+            for (k, &r) in rows.iter().enumerate() {
+                for j in 0..self.out_features {
+                    w.set(r, j, ow.at(k, j));
+                }
+            }
+        }
+        w
+    }
+
+    /// The weight matrix the layer effectively applies to *raw* inputs:
+    /// dequantized values divided back by the input scale where one was
+    /// migrated in. Useful for comparing against the original
+    /// full-precision weights.
+    pub fn effective_weight(&self) -> Matrix {
+        let mut w = self.dequantize();
+        if let Some(s) = &self.input_scale {
+            #[allow(clippy::needless_range_loop)] // i indexes both s and w rows
+            for i in 0..self.in_features {
+                let inv = 1.0 / s[i];
+                for v in w.row_mut(i) {
+                    *v *= inv;
+                }
+            }
+        }
+        w
+    }
+
+    /// Forward pass `y = f(x) W_deq + bias` with the scheme's runtime
+    /// behavior (input-scale division, per-token activation fake-quant,
+    /// LLM.int8() mixed-precision decomposition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_features, "input width mismatch");
+        let mut xq = x.clone();
+        if let Some(s) = &self.input_scale {
+            for i in 0..xq.rows() {
+                for (j, v) in xq.row_mut(i).iter_mut().enumerate() {
+                    *v /= s[j];
+                }
+            }
+        }
+        // Outlier columns bypass activation quantization and the integer
+        // grid entirely (their q rows are zero).
+        if !self.outlier_rows.is_empty() {
+            for i in 0..xq.rows() {
+                for &r in &self.outlier_rows {
+                    xq.set(i, r, 0.0);
+                }
+            }
+        }
+        if self.act_quant == ActQuant::Int8PerToken {
+            fake_quant_rows_int8(&mut xq);
+        }
+        let w = self.int_grid_weight();
+        let mut y = xq.matmul(&w);
+        if let (Some(ow), rows) = (&self.outlier_weights, &self.outlier_rows) {
+            // y += x[:, outliers] * W_out (full precision, raw x after
+            // input scaling — LLM.int8 has no input scaling, but keep the
+            // general contract: the outlier path sees the scaled input).
+            let mut xs = x.clone();
+            if let Some(s) = &self.input_scale {
+                for i in 0..xs.rows() {
+                    for (j, v) in xs.row_mut(i).iter_mut().enumerate() {
+                        *v /= s[j];
+                    }
+                }
+            }
+            for i in 0..y.rows() {
+                for (k, &r) in rows.iter().enumerate() {
+                    let xv = xs.at(i, r);
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    for j in 0..self.out_features {
+                        let cur = y.at(i, j);
+                        y.set(i, j, cur + xv * ow.at(k, j));
+                    }
+                }
+            }
+        }
+        if let Some(b) = &self.bias {
+            for i in 0..y.rows() {
+                for (v, &bv) in y.row_mut(i).iter_mut().zip(b.iter()) {
+                    *v += bv;
+                }
+            }
+        }
+        y
+    }
+
+    /// Dequantized integer grid only (outlier rows zero).
+    fn int_grid_weight(&self) -> Matrix {
+        let mut w = Matrix::zeros(self.in_features, self.out_features);
+        for i in 0..self.in_features {
+            if self.outlier_rows.binary_search(&i).is_ok() {
+                continue;
+            }
+            for j in 0..self.out_features {
+                w.set(i, j, self.q[i * self.out_features + j] as f32 * self.scale_at(i, j));
+            }
+        }
+        w
+    }
+
+    /// Quantized projections for attention: convenience passthrough used
+    /// by the quantized model runtime.
+    pub fn attention_core(q: &Matrix, k: &Matrix, v: &Matrix, n_heads: usize) -> Matrix {
+        MultiHeadAttention::attention_core(q, k, v, n_heads)
+    }
+}
+
+/// Symmetric per-token (per-row) INT8 fake quantization in place.
+pub fn fake_quant_rows_int8(x: &mut Matrix) {
+    for i in 0..x.rows() {
+        let absmax = x.row(i).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if absmax == 0.0 {
+            continue;
+        }
+        let delta = absmax / 127.0;
+        for v in x.row_mut(i) {
+            *v = (*v / delta).round() * delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_layer() -> QuantizedLinear {
+        // 3x2 grid, per-out-channel scales [0.5, 2.0].
+        QuantizedLinear::new(
+            vec![1, -2, 3, 4, -5, 0],
+            3,
+            2,
+            8,
+            Granularity::PerOutChannel,
+            vec![0.5, 2.0],
+            None,
+            None,
+            ActQuant::None,
+        )
+    }
+
+    #[test]
+    fn dequantize_applies_per_channel_scales() {
+        let l = simple_layer();
+        let w = l.dequantize();
+        assert_eq!(w.at(0, 0), 0.5);
+        assert_eq!(w.at(0, 1), -4.0);
+        assert_eq!(w.at(1, 0), 1.5);
+        assert_eq!(w.at(2, 1), 0.0);
+    }
+
+    #[test]
+    fn forward_matches_dequantized_matmul() {
+        let l = simple_layer();
+        let x = Matrix::from_rows(&[&[1.0, 2.0, -1.0]]);
+        let y = l.forward(&x);
+        let expect = x.matmul(&l.dequantize());
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn flat_indexing_and_channels() {
+        let l = simple_layer();
+        assert_eq!(l.q_at_flat(2), 3);
+        assert_eq!(l.channel_of_flat(0), 0);
+        assert_eq!(l.channel_of_flat(2), 1);
+        assert_eq!(l.channel_of_flat(5), 2);
+    }
+
+    #[test]
+    fn bump_and_clamp_detection() {
+        let mut l = QuantizedLinear::new(
+            vec![7, -7, 3, 0],
+            2,
+            2,
+            4,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        );
+        assert!(l.is_clamped_flat(0));
+        assert!(l.is_clamped_flat(1));
+        assert!(!l.is_clamped_flat(2));
+        l.bump_q_flat(2, 1);
+        assert_eq!(l.q_at_flat(2), 4);
+        l.bump_q_flat(3, -1);
+        assert_eq!(l.q_at_flat(3), -1);
+    }
+
+    #[test]
+    fn wrapping_bump_matches_twos_complement() {
+        let mut l = QuantizedLinear::new(
+            vec![7, -7, 0, 5],
+            2,
+            2,
+            4,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        );
+        l.bump_q_flat_wrapping(0, 1); // 7 + 1 wraps to -8 in int4
+        assert_eq!(l.q_at_flat(0), -8);
+        assert!(l.is_clamped_flat(0));
+        l.bump_q_flat_wrapping(1, -1); // -7 - 1 = -8, in range
+        assert_eq!(l.q_at_flat(1), -8);
+        l.bump_q_flat_wrapping(2, 1);
+        assert_eq!(l.q_at_flat(2), 1);
+        // int8 wrap: 127 + 1 -> -128.
+        let mut l8 = QuantizedLinear::new(
+            vec![127],
+            1,
+            1,
+            8,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        );
+        l8.bump_q_flat_wrapping(0, 1);
+        assert_eq!(l8.q_at_flat(0), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 4-bit range")]
+    fn bump_past_range_panics() {
+        let mut l = QuantizedLinear::new(
+            vec![7, 0, 0, 0],
+            2,
+            2,
+            4,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        );
+        l.bump_q_flat(0, 1);
+    }
+
+    #[test]
+    fn grouped_scale_lookup() {
+        // in=4, out=2, group=2 -> 2 groups x 2 cols = 4 scales.
+        let l = QuantizedLinear::new(
+            vec![1; 8],
+            4,
+            2,
+            8,
+            Granularity::Grouped { group_size: 2 },
+            vec![0.1, 0.2, 0.3, 0.4],
+            None,
+            None,
+            ActQuant::None,
+        );
+        assert_eq!(l.scale_at(0, 0), 0.1);
+        assert_eq!(l.scale_at(1, 1), 0.2);
+        assert_eq!(l.scale_at(2, 0), 0.3);
+        assert_eq!(l.scale_at(3, 1), 0.4);
+    }
+
+    #[test]
+    fn input_scale_divides_at_runtime() {
+        let l = QuantizedLinear::new(
+            vec![2, 4],
+            2,
+            1,
+            8,
+            Granularity::PerTensor,
+            vec![1.0],
+            Some(vec![2.0, 4.0]),
+            None,
+            ActQuant::None,
+        );
+        let x = Matrix::from_rows(&[&[2.0, 4.0]]);
+        // (x / s) W = [1, 1] · [2, 4]^T = 6
+        assert_eq!(l.forward(&x).at(0, 0), 6.0);
+        // Effective weight = deq / s = [1, 1].
+        let ew = l.effective_weight();
+        assert_eq!(ew.at(0, 0), 1.0);
+        assert_eq!(ew.at(1, 0), 1.0);
+    }
+
+    #[test]
+    fn outlier_rows_take_full_precision_path() {
+        let mut l = QuantizedLinear::new(
+            vec![10, 20, 30],
+            3,
+            1,
+            8,
+            Granularity::PerTensor,
+            vec![0.1],
+            None,
+            None,
+            ActQuant::None,
+        );
+        l.set_outliers(vec![1], Matrix::from_rows(&[&[5.0]]));
+        assert!(l.is_outlier_flat(1));
+        assert!(!l.is_outlier_flat(0));
+        // q row zeroed, deq shows fp value.
+        assert_eq!(l.q_at_flat(1), 0);
+        assert_eq!(l.dequantize().at(1, 0), 5.0);
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        // 10*0.1 + 5.0 + 30*0.1 = 9.0
+        assert!((l.forward(&x).at(0, 0) - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_token_fake_quant_bounds_error() {
+        let mut x = Matrix::from_rows(&[&[1.0, -0.5, 0.003, 127.0]]);
+        let orig = x.clone();
+        fake_quant_rows_int8(&mut x);
+        let delta = 127.0 / 127.0;
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() <= delta / 2.0 + 1e-6);
+        }
+        // Zero rows survive.
+        let mut z = Matrix::zeros(1, 3);
+        fake_quant_rows_int8(&mut z);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let l = QuantizedLinear::new(
+            vec![1, 1],
+            2,
+            1,
+            8,
+            Granularity::PerTensor,
+            vec![1.0],
+            None,
+            Some(vec![10.0]),
+            ActQuant::None,
+        );
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        assert_eq!(l.forward(&x).at(0, 0), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale buffer size mismatch")]
+    fn inconsistent_scales_panic() {
+        let _ = QuantizedLinear::new(
+            vec![0; 4],
+            2,
+            2,
+            8,
+            Granularity::PerOutChannel,
+            vec![1.0],
+            None,
+            None,
+            ActQuant::None,
+        );
+    }
+}

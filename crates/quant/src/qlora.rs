@@ -1,0 +1,137 @@
+//! QLoRA-style fine-tuning of a quantized model.
+//!
+//! The paper's fine-tuning argument (§3, §5.3): "fine-tuning quantized
+//! model like QLoRA does not change quantized weights but adds
+//! additional linear low-rank adaptators to learn new features. Such
+//! methods … cannot be used to remove signatures." This module makes
+//! the argument executable: a [`QloraModel`] wraps a frozen
+//! [`QuantizedModel`] with a trainable low-rank head adapter, learns a
+//! new token distribution, and — by construction — leaves every integer
+//! weight (and therefore every watermark bit) untouched.
+
+use crate::qmodel::QuantizedModel;
+use emmark_nanolm::lora::LoraAdapter;
+use emmark_nanolm::model::{cross_entropy, LogitsModel};
+use emmark_tensor::rng::Xoshiro256;
+use emmark_tensor::Matrix;
+
+/// A frozen quantized model plus a trainable LoRA adapter on the LM
+/// head.
+#[derive(Debug, Clone)]
+pub struct QloraModel {
+    /// The frozen base — integer grids are never written.
+    pub base: QuantizedModel,
+    /// The trainable head adapter.
+    pub adapter: LoraAdapter,
+}
+
+impl QloraModel {
+    /// Wraps `base` with a rank-`rank` head adapter.
+    pub fn new(base: QuantizedModel, rank: usize, seed: u64) -> Self {
+        let head = base.layers.last().expect("head layer");
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let adapter =
+            LoraAdapter::new(head.in_features(), head.out_features(), rank, 1.0, &mut rng);
+        Self { base, adapter }
+    }
+
+    /// One adapter-only training step on a token window; returns the
+    /// mean NLL. Gradients flow only into the adapter (the base model's
+    /// integer weights have no gradient path at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len() < 2`.
+    pub fn train_step(&mut self, tokens: &[u32], lr: f32, step: u64) -> f64 {
+        assert!(tokens.len() >= 2, "need at least two tokens");
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let hidden = self.base.final_hidden(inputs);
+        let base_logits = self.base.layers.last().expect("head").forward(&hidden);
+        let adapter_out = self.adapter.forward(&hidden);
+        let logits = base_logits.add(&adapter_out);
+        let (loss, dlogits) = cross_entropy(&logits, targets);
+        self.adapter.a.zero_grad();
+        self.adapter.b.zero_grad();
+        let _dhidden = self.adapter.backward(&dlogits);
+        self.adapter.a.adam_step(lr, 0.9, 0.999, 1e-8, step);
+        self.adapter.b.adam_step(lr, 0.9, 0.999, 1e-8, step);
+        loss
+    }
+
+    /// Fine-tunes the adapter on a token stream.
+    pub fn finetune(&mut self, stream: &[u32], steps: u64, window: usize, lr: f32, seed: u64) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for step in 1..=steps {
+            let start = rng.below(stream.len().saturating_sub(window + 1).max(1));
+            let end = (start + window + 1).min(stream.len());
+            self.train_step(&stream[start..end], lr, step);
+        }
+    }
+}
+
+impl LogitsModel for QloraModel {
+    fn logits(&self, tokens: &[u32]) -> Matrix {
+        let hidden = self.base.final_hidden(tokens);
+        let base_logits = self.base.layers.last().expect("head").forward(&hidden);
+        base_logits.add(&self.adapter.infer(&hidden))
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size()
+    }
+
+    fn max_seq(&self) -> usize {
+        self.base.max_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::quantize_linear_rtn;
+    use crate::{ActQuant, Granularity};
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::corpus::{Corpus, Grammar};
+    use emmark_nanolm::model::stream_nll;
+    use emmark_nanolm::train::{train, TrainConfig};
+    use emmark_nanolm::TransformerModel;
+
+    fn trained_quantized() -> (QuantizedModel, Corpus) {
+        let corpus = Corpus::sample(Grammar::synwiki(41), 4000, 400, 600);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let mut model = TransformerModel::new(cfg);
+        train(&mut model, &corpus, &TrainConfig::tiny_test());
+        let qm = QuantizedModel::quantize_with(&model, "rtn-int8", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        });
+        (qm, corpus)
+    }
+
+    #[test]
+    fn fresh_qlora_matches_base_logits() {
+        let (base, _) = trained_quantized();
+        let qlora = QloraModel::new(base.clone(), 4, 1);
+        let tokens = [1u32, 5, 9];
+        let a = base.logits(&tokens);
+        let b = qlora.logits(&tokens);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6, "zero-init adapter must be transparent");
+        }
+    }
+
+    #[test]
+    fn qlora_adapts_to_a_new_distribution_without_touching_weights() {
+        let (base, _) = trained_quantized();
+        let frozen_reference = base.clone();
+        let alpaca = Grammar::synalpaca(41).generate(4000);
+        let mut qlora = QloraModel::new(base, 8, 2);
+        let before = stream_nll(&qlora, &alpaca[..300], 16);
+        qlora.finetune(&alpaca, 150, 16, 5e-3, 3);
+        let after = stream_nll(&qlora, &alpaca[..300], 16);
+        assert!(after < before, "adapter failed to adapt: {before} -> {after}");
+        // The paper's point: the quantized weights are bit-identical.
+        assert!(qlora.base.same_weights(&frozen_reference));
+    }
+}

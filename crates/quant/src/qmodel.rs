@@ -1,0 +1,351 @@
+//! The quantized model runtime: a transformer whose linear layers run
+//! through [`QuantizedLinear`] while embeddings and norms stay in full
+//! precision (standard weight-only / W8A8 practice).
+
+use crate::qlinear::QuantizedLinear;
+use emmark_nanolm::attention::MultiHeadAttention;
+use emmark_nanolm::config::{MlpKind, ModelConfig};
+use emmark_nanolm::layers::{gelu, silu, ChannelAccum, Embedding, Linear, Norm};
+use emmark_nanolm::model::{ActivationStats, LayerActivation, LogitsModel, TransformerModel};
+use emmark_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A quantized transformer: full-precision embeddings/norms plus a flat
+/// list of [`QuantizedLinear`] layers in the same canonical order as
+/// [`TransformerModel::linear_layers`].
+///
+/// The flat layer list is the watermarking surface: EmMark indexes
+/// "quantization layers" exactly as this vector does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    /// Model hyperparameters (shared with the source model).
+    pub cfg: ModelConfig,
+    emb: Embedding,
+    norm_pairs: Vec<(Norm, Norm)>,
+    final_norm: Norm,
+    /// Quantized linears in canonical traversal order (per block:
+    /// `q, k, v, o`, MLP linears; LM head last).
+    pub layers: Vec<QuantizedLinear>,
+    /// Human-readable scheme name (e.g. `"smoothquant-int8"`).
+    pub scheme: String,
+}
+
+impl QuantizedModel {
+    /// Quantizes `model` by applying `quantize_layer` to every linear in
+    /// canonical order. The closure receives the layer index and the
+    /// full-precision layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure returns a layer with mismatched shape.
+    pub fn quantize_with(
+        model: &TransformerModel,
+        scheme: &str,
+        mut quantize_layer: impl FnMut(usize, &Linear) -> QuantizedLinear,
+    ) -> Self {
+        let layers: Vec<QuantizedLinear> = model
+            .linear_layers()
+            .into_iter()
+            .enumerate()
+            .map(|(idx, lin)| {
+                let ql = quantize_layer(idx, lin);
+                assert_eq!(
+                    (ql.in_features(), ql.out_features()),
+                    (lin.in_features(), lin.out_features()),
+                    "quantizer changed the shape of layer {idx}"
+                );
+                ql
+            })
+            .collect();
+        let norm_pairs = model
+            .blocks
+            .iter()
+            .map(|b| (b.norm1.clone(), b.norm2.clone()))
+            .collect();
+        Self {
+            cfg: model.cfg.clone(),
+            emb: model.emb.clone(),
+            norm_pairs,
+            final_norm: model.final_norm.clone(),
+            layers,
+            scheme: scheme.to_string(),
+        }
+    }
+
+    /// Reassembles a model from parts (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer count does not match the config.
+    pub fn from_parts(
+        cfg: ModelConfig,
+        emb: Embedding,
+        norm_pairs: Vec<(Norm, Norm)>,
+        final_norm: Norm,
+        layers: Vec<QuantizedLinear>,
+        scheme: String,
+    ) -> Self {
+        assert_eq!(layers.len(), cfg.quant_layer_count(), "layer count mismatch");
+        assert_eq!(norm_pairs.len(), cfg.n_layers, "norm pair count mismatch");
+        Self { cfg, emb, norm_pairs, final_norm, layers, scheme }
+    }
+
+    /// The full-precision embedding tables.
+    pub fn emb(&self) -> &Embedding {
+        &self.emb
+    }
+
+    /// The per-block norm pairs.
+    pub fn norm_pairs(&self) -> &[(Norm, Norm)] {
+        &self.norm_pairs
+    }
+
+    /// The final norm.
+    pub fn final_norm(&self) -> &Norm {
+        &self.final_norm
+    }
+
+    /// Number of quantized layers (the paper's `n`).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Linears per block (6 for OPT-style, 7 for LLaMA-style).
+    fn linears_per_block(&self) -> usize {
+        self.cfg.linears_per_block()
+    }
+
+    /// Whether two quantized models carry identical integer grids
+    /// (ignores scheme label). The integrity experiment's notion of
+    /// "same weights".
+    pub fn same_weights(&self, other: &QuantizedModel) -> bool {
+        self.layers.len() == other.layers.len()
+            && self
+                .layers
+                .iter()
+                .zip(&other.layers)
+                .all(|(a, b)| a.q_values() == b.q_values())
+    }
+
+    /// One forward pass; when `recorders` is provided, the input of every
+    /// quantized layer is accumulated into the matching recorder before
+    /// the layer runs.
+    fn forward_internal(
+        &self,
+        tokens: &[u32],
+        mut recorders: Option<&mut Vec<ChannelAccum>>,
+    ) -> Matrix {
+        let lpb = self.linears_per_block();
+        let record = |recorders: &mut Option<&mut Vec<ChannelAccum>>, idx: usize, x: &Matrix| {
+            if let Some(rec) = recorders {
+                rec[idx].record(x);
+            }
+        };
+        let mut h = self.emb.infer(tokens);
+        for (b, (norm1, norm2)) in self.norm_pairs.iter().enumerate() {
+            let base = b * lpb;
+            let xn = norm1.infer(&h);
+            record(&mut recorders, base, &xn);
+            record(&mut recorders, base + 1, &xn);
+            record(&mut recorders, base + 2, &xn);
+            let q = self.layers[base].forward(&xn);
+            let k = self.layers[base + 1].forward(&xn);
+            let v = self.layers[base + 2].forward(&xn);
+            let concat = MultiHeadAttention::attention_core(&q, &k, &v, self.cfg.n_heads);
+            record(&mut recorders, base + 3, &concat);
+            let att = self.layers[base + 3].forward(&concat);
+            h.add_assign(&att);
+            let xn2 = norm2.infer(&h);
+            let m = match self.cfg.mlp {
+                MlpKind::Gelu => {
+                    record(&mut recorders, base + 4, &xn2);
+                    let a = self.layers[base + 4].forward(&xn2).map(gelu);
+                    record(&mut recorders, base + 5, &a);
+                    self.layers[base + 5].forward(&a)
+                }
+                MlpKind::GatedSilu => {
+                    record(&mut recorders, base + 4, &xn2);
+                    record(&mut recorders, base + 5, &xn2);
+                    let g = self.layers[base + 4].forward(&xn2);
+                    let u = self.layers[base + 5].forward(&xn2);
+                    let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| {
+                        silu(g.at(i, j)) * u.at(i, j)
+                    });
+                    record(&mut recorders, base + 6, &a);
+                    self.layers[base + 6].forward(&a)
+                }
+            };
+            h.add_assign(&m);
+        }
+        let hn = self.final_norm.infer(&h);
+        record(&mut recorders, self.layers.len() - 1, &hn);
+        self.layers.last().expect("head layer").forward(&hn)
+    }
+
+    /// The final-norm hidden states `[T, d_model]` — the LM head's
+    /// input. Exposed for QLoRA-style head adaptation, which trains an
+    /// adapter on top of the frozen quantized weights.
+    pub fn final_hidden(&self, tokens: &[u32]) -> Matrix {
+        let lpb = self.linears_per_block();
+        let mut h = self.emb.infer(tokens);
+        for (b, (norm1, norm2)) in self.norm_pairs.iter().enumerate() {
+            let base = b * lpb;
+            let xn = norm1.infer(&h);
+            let q = self.layers[base].forward(&xn);
+            let k = self.layers[base + 1].forward(&xn);
+            let v = self.layers[base + 2].forward(&xn);
+            let concat = MultiHeadAttention::attention_core(&q, &k, &v, self.cfg.n_heads);
+            h.add_assign(&self.layers[base + 3].forward(&concat));
+            let xn2 = norm2.infer(&h);
+            let m = match self.cfg.mlp {
+                MlpKind::Gelu => {
+                    let a = self.layers[base + 4].forward(&xn2).map(gelu);
+                    self.layers[base + 5].forward(&a)
+                }
+                MlpKind::GatedSilu => {
+                    let g = self.layers[base + 4].forward(&xn2);
+                    let u = self.layers[base + 5].forward(&xn2);
+                    let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| {
+                        silu(g.at(i, j)) * u.at(i, j)
+                    });
+                    self.layers[base + 6].forward(&a)
+                }
+            };
+            h.add_assign(&m);
+        }
+        self.final_norm.infer(&h)
+    }
+
+    /// Activation statistics measured through the *quantized* model —
+    /// what an adversary without the full-precision model can compute
+    /// (the paper's re-watermark attack uses exactly this, §5.3).
+    pub fn collect_activation_stats(&self, calibration: &[Vec<u32>]) -> ActivationStats {
+        let mut recorders: Vec<ChannelAccum> =
+            self.layers.iter().map(|l| ChannelAccum::new(l.in_features())).collect();
+        for seq in calibration {
+            let _ = self.forward_internal(seq, Some(&mut recorders));
+        }
+        ActivationStats {
+            per_layer: recorders
+                .into_iter()
+                .map(|r| LayerActivation { mean_abs: r.mean_abs(), max_abs: r.max_abs() })
+                .collect(),
+        }
+    }
+}
+
+impl LogitsModel for QuantizedModel {
+    fn logits(&self, tokens: &[u32]) -> Matrix {
+        self.forward_internal(tokens, None)
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
+    fn max_seq(&self) -> usize {
+        self.cfg.max_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qlinear::{ActQuant, Granularity};
+    use crate::rtn::quantize_linear_rtn;
+    use emmark_nanolm::config::{MlpKind, NormKind};
+
+    fn quantize_tiny(bits: u8) -> (TransformerModel, QuantizedModel) {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let qm = QuantizedModel::quantize_with(&model, "rtn-test", |_, lin| {
+            quantize_linear_rtn(lin, bits, Granularity::PerOutChannel, ActQuant::None)
+        });
+        (model, qm)
+    }
+
+    #[test]
+    fn quantized_model_has_canonical_layer_count() {
+        let (model, qm) = quantize_tiny(8);
+        assert_eq!(qm.layer_count(), model.cfg.quant_layer_count());
+    }
+
+    #[test]
+    fn int8_quantized_logits_stay_close_to_fp() {
+        let (model, qm) = quantize_tiny(8);
+        let tokens = [1u32, 5, 9, 13, 2];
+        let fp = model.logits(&tokens);
+        let q = qm.logits(&tokens);
+        assert_eq!(fp.shape(), q.shape());
+        let denom = fp.frobenius_norm().max(1e-9);
+        let rel = fp.sub(&q).frobenius_norm() / denom;
+        assert!(rel < 0.05, "INT8 relative logit error {rel}");
+    }
+
+    #[test]
+    fn int4_error_exceeds_int8_error() {
+        let (model, qm8) = quantize_tiny(8);
+        let (_, qm4) = quantize_tiny(4);
+        let tokens = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let fp = model.logits(&tokens);
+        let e8 = fp.sub(&qm8.logits(&tokens)).frobenius_norm();
+        let e4 = fp.sub(&qm4.logits(&tokens)).frobenius_norm();
+        assert!(e4 > e8, "INT4 error {e4} should exceed INT8 error {e8}");
+    }
+
+    #[test]
+    fn gated_llama_style_model_quantizes_and_runs() {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.norm = NormKind::RmsNorm;
+        cfg.mlp = MlpKind::GatedSilu;
+        let model = TransformerModel::new(cfg.clone());
+        let qm = QuantizedModel::quantize_with(&model, "rtn-test", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        });
+        assert_eq!(qm.layer_count(), cfg.quant_layer_count());
+        let logits = qm.logits(&[0, 1, 2, 3]);
+        assert_eq!(logits.shape(), (4, cfg.vocab_size));
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_activation_stats_cover_layers_and_track_fp_loosely() {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = vec![(0..16u32).map(|i| (i * 3 + 1) % 31).collect()];
+        let fp_stats = model.collect_activation_stats(&calib);
+        let (_, qm) = quantize_tiny(8);
+        let q_stats = qm.collect_activation_stats(&calib);
+        assert_eq!(q_stats.layer_count(), qm.layer_count());
+        // INT8 is close to FP, so the stats should correlate strongly —
+        // but not be identical (that difference is what defeats the
+        // re-watermark adversary at INT4).
+        // Layer 0's input only crosses full-precision embedding and norm,
+        // so it matches exactly; deeper layers see quantization error.
+        let a0 = &fp_stats.per_layer[0].mean_abs;
+        let b0 = &q_stats.per_layer[0].mean_abs;
+        assert_eq!(a0, b0, "pre-first-layer activations are identical");
+        let deep = 4; // first MLP input, downstream of quantized attention
+        let a = &fp_stats.per_layer[deep].mean_abs;
+        let b = &q_stats.per_layer[deep].mean_abs;
+        let mut identical = true;
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() / x.max(1e-6) < 0.2, "{x} vs {y}");
+            if x != y {
+                identical = false;
+            }
+        }
+        assert!(!identical, "quantized stats should differ at least slightly");
+    }
+
+    #[test]
+    fn same_weights_detects_single_bit_difference() {
+        let (_, qm) = quantize_tiny(8);
+        let mut other = qm.clone();
+        assert!(qm.same_weights(&other));
+        // Find a non-clamped cell and bump it.
+        let f = (0..other.layers[0].len())
+            .find(|&f| !other.layers[0].is_clamped_flat(f))
+            .expect("some bumpable cell");
+        other.layers[0].bump_q_flat(f, 1);
+        assert!(!qm.same_weights(&other));
+    }
+}

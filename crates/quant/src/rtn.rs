@@ -1,0 +1,195 @@
+//! Round-to-nearest (RTN) quantization — Eq. 1 of the paper:
+//! `X̄ = Round(X / Δ)`, `Δ = max(|X|) / (2^{N−1} − 1)`.
+//!
+//! RTN is both a scheme in its own right (the paper's plain INT8 path)
+//! and the kernel every other scheme (SmoothQuant, AWQ, LLM.int8) calls
+//! after its own weight conditioning.
+
+use crate::qlinear::{ActQuant, Granularity, QuantizedLinear};
+use emmark_tensor::Matrix;
+
+/// Quantizes one scale block of values symmetrically to `bits`.
+///
+/// Returns `(q, Δ)`. An all-zero block gets `Δ = 1.0` (any positive scale
+/// is equivalent for zeros).
+pub fn quantize_block(values: &[f32], bits: u8) -> (Vec<i8>, f32) {
+    let qmax = ((1i16 << (bits - 1)) - 1) as f32;
+    let absmax = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if absmax == 0.0 {
+        return (vec![0; values.len()], 1.0);
+    }
+    let delta = absmax / qmax;
+    let q = values
+        .iter()
+        .map(|&v| (v / delta).round().clamp(-qmax, qmax) as i8)
+        .collect();
+    (q, delta)
+}
+
+/// Quantizes a weight matrix `[in, out]` with the given granularity.
+///
+/// `input_scale`, when provided, is stored for runtime activation
+/// division — the caller is expected to have already multiplied the
+/// weights by it (the SmoothQuant/AWQ migration identity).
+pub fn quantize_weight(
+    weight: &Matrix,
+    bits: u8,
+    granularity: Granularity,
+    input_scale: Option<Vec<f32>>,
+    bias: Option<Vec<f32>>,
+    act_quant: ActQuant,
+) -> QuantizedLinear {
+    let (in_f, out_f) = weight.shape();
+    let mut q = vec![0i8; in_f * out_f];
+    let mut scales = Vec::new();
+    match granularity {
+        Granularity::PerTensor => {
+            let (qs, delta) = quantize_block(weight.as_slice(), bits);
+            q.copy_from_slice(&qs);
+            scales.push(delta);
+        }
+        Granularity::PerOutChannel => {
+            scales = vec![0.0; out_f];
+            for j in 0..out_f {
+                let col: Vec<f32> = (0..in_f).map(|i| weight.at(i, j)).collect();
+                let (qs, delta) = quantize_block(&col, bits);
+                scales[j] = delta;
+                for (i, &qv) in qs.iter().enumerate() {
+                    q[i * out_f + j] = qv;
+                }
+            }
+        }
+        Granularity::Grouped { group_size } => {
+            let n_groups = in_f.div_ceil(group_size);
+            scales = vec![0.0; n_groups * out_f];
+            for g in 0..n_groups {
+                let lo = g * group_size;
+                let hi = ((g + 1) * group_size).min(in_f);
+                for j in 0..out_f {
+                    let blk: Vec<f32> = (lo..hi).map(|i| weight.at(i, j)).collect();
+                    let (qs, delta) = quantize_block(&blk, bits);
+                    scales[g * out_f + j] = delta;
+                    for (k, &qv) in qs.iter().enumerate() {
+                        q[(lo + k) * out_f + j] = qv;
+                    }
+                }
+            }
+        }
+    }
+    QuantizedLinear::new(q, in_f, out_f, bits, granularity, scales, input_scale, bias, act_quant)
+}
+
+/// Quantizes an `emmark-nanolm` [`Linear`](emmark_nanolm::layers::Linear)
+/// with plain RTN (no conditioning).
+pub fn quantize_linear_rtn(
+    linear: &emmark_nanolm::layers::Linear,
+    bits: u8,
+    granularity: Granularity,
+    act_quant: ActQuant,
+) -> QuantizedLinear {
+    let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
+    quantize_weight(&linear.weight.value, bits, granularity, None, bias, act_quant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn block_roundtrip_error_is_bounded_by_half_step() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for bits in [4u8, 8] {
+            let vals: Vec<f32> = (0..256).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            let (q, delta) = quantize_block(&vals, bits);
+            for (&v, &qv) in vals.iter().zip(q.iter()) {
+                let err = (v - qv as f32 * delta).abs();
+                assert!(err <= delta / 2.0 + 1e-6, "err {err} > half step {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_uses_full_range_at_extremes() {
+        let vals = [3.0f32, -3.0, 0.0, 1.5];
+        let (q, delta) = quantize_block(&vals, 4);
+        assert_eq!(q[0], 7);
+        assert_eq!(q[1], -7);
+        assert_eq!(q[2], 0);
+        assert!((delta - 3.0 / 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_block_is_stable() {
+        let (q, delta) = quantize_block(&[0.0; 8], 8);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(delta, 1.0);
+    }
+
+    #[test]
+    fn per_out_channel_scales_are_independent() {
+        let w = Matrix::from_rows(&[&[1.0, 100.0], &[-1.0, -50.0]]);
+        let ql = quantize_weight(&w, 8, Granularity::PerOutChannel, None, None, ActQuant::None);
+        let deq = ql.dequantize();
+        // Column 0 has absmax 1 -> error <= 1/254; column 1 absmax 100.
+        assert!((deq.at(0, 0) - 1.0).abs() < 1e-2);
+        assert!((deq.at(0, 1) - 100.0).abs() < 0.5);
+        assert!((deq.at(1, 1) + 50.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn grouped_quantization_reduces_error_vs_per_tensor() {
+        // One huge region and one tiny region along the input dim: group
+        // scales isolate them, per-tensor does not.
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let w = Matrix::from_fn(64, 4, |i, _| {
+            if i < 32 {
+                rng.normal_f32(0.0, 10.0)
+            } else {
+                rng.normal_f32(0.0, 0.05)
+            }
+        });
+        let per_tensor = quantize_weight(&w, 4, Granularity::PerTensor, None, None, ActQuant::None);
+        let grouped = quantize_weight(
+            &w,
+            4,
+            Granularity::Grouped { group_size: 32 },
+            None,
+            None,
+            ActQuant::None,
+        );
+        // The fine-structure region (rows 32..64) is where group scales
+        // pay off: per-tensor Δ is set by the huge region and rounds the
+        // small weights to zero.
+        let fine_err = |ql: &QuantizedLinear| {
+            let deq = ql.dequantize();
+            deq.slice_rows(32, 64).sub(&w.slice_rows(32, 64)).frobenius_norm()
+        };
+        assert!(
+            fine_err(&grouped) < fine_err(&per_tensor) * 0.2,
+            "grouped {} vs per-tensor {}",
+            fine_err(&grouped),
+            fine_err(&per_tensor)
+        );
+    }
+
+    #[test]
+    fn int4_grid_never_exceeds_seven() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let w = Matrix::from_fn(16, 16, |_, _| rng.normal_f32(0.0, 2.0));
+        let ql =
+            quantize_weight(&w, 4, Granularity::Grouped { group_size: 8 }, None, None, ActQuant::None);
+        assert!(ql.q_values().iter().all(|&q| (-7..=7).contains(&q)));
+    }
+
+    #[test]
+    fn rtn_on_nanolm_linear_keeps_bias() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut lin = emmark_nanolm::layers::Linear::new(4, 3, true, &mut rng);
+        lin.bias.as_mut().unwrap().value.set(0, 1, 2.5);
+        let ql = quantize_linear_rtn(&lin, 8, Granularity::PerOutChannel, ActQuant::None);
+        let x = Matrix::zeros(1, 4);
+        let y = ql.forward(&x);
+        assert_eq!(y.at(0, 1), 2.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! SmoothQuant (Xiao et al., ICML 2023) W8A8 quantization.
+//!
+//! Activation outliers make per-tensor INT8 activations lossy; weights
+//! are comparatively easy. SmoothQuant migrates difficulty from
+//! activations to weights through the mathematically equivalent rewrite
+//! `Y = X W = (X · diag(s)^{-1}) (diag(s) W)` with
+//! `s_j = max|X_j|^α / max|W_j|^{1−α}`, then quantizes both sides to
+//! INT8. The paper uses SmoothQuant as the INT8 scheme for the OPT
+//! family.
+
+use crate::qlinear::{ActQuant, Granularity, QuantizedLinear};
+use crate::qmodel::QuantizedModel;
+use crate::rtn::quantize_weight;
+use emmark_nanolm::layers::Linear;
+use emmark_nanolm::model::{ActivationStats, TransformerModel};
+use emmark_tensor::Matrix;
+
+/// SmoothQuant configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothQuantConfig {
+    /// Migration strength `α` in `[0, 1]`; 0.5 is the paper default.
+    pub alpha: f32,
+    /// Floor applied to the per-channel scale to avoid division blow-ups
+    /// on dead channels.
+    pub scale_floor: f32,
+}
+
+impl Default for SmoothQuantConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5, scale_floor: 1e-5 }
+    }
+}
+
+/// Computes the per-input-channel migration scale for one layer.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]` or the channel counts disagree.
+pub fn migration_scales(act_max: &[f32], weight: &Matrix, cfg: &SmoothQuantConfig) -> Vec<f32> {
+    assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0, 1]");
+    assert_eq!(act_max.len(), weight.rows(), "channel count mismatch");
+    let w_rowmax = weight.row_abs_max();
+    act_max
+        .iter()
+        .zip(w_rowmax.iter())
+        .map(|(&a, &w)| {
+            let a = a.max(cfg.scale_floor);
+            let w = w.max(cfg.scale_floor);
+            (a.powf(cfg.alpha) / w.powf(1.0 - cfg.alpha)).max(cfg.scale_floor)
+        })
+        .collect()
+}
+
+/// Quantizes one linear layer with SmoothQuant conditioning.
+pub fn smoothquant_layer(
+    linear: &Linear,
+    act_max: &[f32],
+    cfg: &SmoothQuantConfig,
+) -> QuantizedLinear {
+    let s = migration_scales(act_max, &linear.weight.value, cfg);
+    let w = &linear.weight.value;
+    let scaled = Matrix::from_fn(w.rows(), w.cols(), |i, j| w.at(i, j) * s[i]);
+    let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
+    quantize_weight(
+        &scaled,
+        8,
+        Granularity::PerOutChannel,
+        Some(s),
+        bias,
+        ActQuant::Int8PerToken,
+    )
+}
+
+/// Quantizes a whole model with SmoothQuant INT8 (the paper's OPT-family
+/// INT8 scheme).
+///
+/// # Panics
+///
+/// Panics if `stats` does not cover every quantizable layer.
+pub fn smoothquant(
+    model: &TransformerModel,
+    stats: &ActivationStats,
+    cfg: &SmoothQuantConfig,
+) -> QuantizedModel {
+    assert_eq!(
+        stats.layer_count(),
+        model.cfg.quant_layer_count(),
+        "activation stats do not match the model"
+    );
+    QuantizedModel::quantize_with(model, "smoothquant-int8", |idx, lin| {
+        smoothquant_layer(lin, &stats.per_layer[idx].max_abs, cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn migration_identity_holds_in_full_precision() {
+        // (x / s) (s ⊙ W) == x W exactly (up to f32 rounding).
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let w = Matrix::from_fn(6, 4, |_, _| rng.normal_f32(0.0, 1.0));
+        let act_max: Vec<f32> = (0..6).map(|_| rng.uniform_range(0.5, 8.0)).collect();
+        let s = migration_scales(&act_max, &w, &SmoothQuantConfig::default());
+        let x = Matrix::from_fn(3, 6, |_, _| rng.normal_f32(0.0, 2.0));
+        let direct = x.matmul(&w);
+        let xs = Matrix::from_fn(3, 6, |i, j| x.at(i, j) / s[j]);
+        let ws = Matrix::from_fn(6, 4, |i, j| w.at(i, j) * s[i]);
+        let migrated = xs.matmul(&ws);
+        let rel = direct.sub(&migrated).frobenius_norm() / direct.frobenius_norm().max(1e-12);
+        assert!(rel < 1e-5, "identity violated: {rel}");
+    }
+
+    #[test]
+    fn scales_grow_with_activation_magnitude() {
+        let w = Matrix::full(3, 2, 1.0);
+        let s = migration_scales(&[1.0, 4.0, 16.0], &w, &SmoothQuantConfig::default());
+        assert!(s[0] < s[1] && s[1] < s[2]);
+        // alpha = 0.5, w_max = 1 -> s = sqrt(act).
+        assert!((s[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_zero_ignores_activations() {
+        let w = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let cfg = SmoothQuantConfig { alpha: 0.0, ..Default::default() };
+        let s = migration_scales(&[100.0, 1.0], &w, &cfg);
+        // s_j = 1 / w_rowmax_j
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!((s[1] - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dead_channels_do_not_explode() {
+        let w = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let s = migration_scales(&[0.0, 1.0], &w, &SmoothQuantConfig::default());
+        assert!(s.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn smoothquant_model_outperforms_or_matches_naive_int8_on_outlier_model() {
+        // A model with amplified outlier channels is exactly the regime
+        // SmoothQuant exists for: W8A8 with per-token activation quant
+        // should be no worse than naive W8A8 without migration.
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.outliers =
+            Some(emmark_nanolm::config::OutlierProfile { channels: 3, factor: 10.0, seed: 3 });
+        let mut model = emmark_nanolm::TransformerModel::new(cfg);
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+
+        let sq = smoothquant(&model, &stats, &SmoothQuantConfig::default());
+        let naive = QuantizedModel::quantize_with(&model, "naive-w8a8", |_, lin| {
+            crate::rtn::quantize_linear_rtn(
+                lin,
+                8,
+                Granularity::PerOutChannel,
+                ActQuant::Int8PerToken,
+            )
+        });
+
+        let tokens: Vec<u32> = (0..20u32).map(|i| (i * 5 + 1) % 31).collect();
+        let fp = model.logits(&tokens);
+        let err_sq = fp.sub(&sq.logits(&tokens)).frobenius_norm();
+        let err_naive = fp.sub(&naive.logits(&tokens)).frobenius_norm();
+        assert!(
+            err_sq <= err_naive * 1.05,
+            "smoothquant ({err_sq}) lost badly to naive ({err_naive})"
+        );
+    }
+
+    #[test]
+    fn full_pipeline_produces_int8_grids_with_input_scales() {
+        let mut model = emmark_nanolm::TransformerModel::new(ModelConfig::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6]];
+        let stats = model.collect_activation_stats(&calib);
+        let qm = smoothquant(&model, &stats, &SmoothQuantConfig::default());
+        assert_eq!(qm.scheme, "smoothquant-int8");
+        for layer in &qm.layers {
+            assert_eq!(layer.bits(), 8);
+            assert!(layer.input_scale().is_some());
+            assert_eq!(layer.act_quant(), ActQuant::Int8PerToken);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Orthonormal discrete cosine transforms (DCT-II / DCT-III).
+//!
+//! The SpecMark baseline ([Chen et al., INTERSPEECH 2020], §2.2 of the
+//! EmMark paper) embeds spread-spectrum signatures in the high-frequency
+//! region of the DCT of the model weights. This module provides the exact
+//! forward/inverse pair it needs. The naive O(n²) formulation is used on
+//! purpose: layer weight vectors in this reproduction are small, and an
+//! auditable closed-form beats an FFT-based fast path for a security
+//! artifact.
+
+/// Orthonormal DCT-II ("the" DCT) of `input`.
+///
+/// With the orthonormal scaling used here, [`dct3`] is the exact inverse.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_tensor::dct::{dct2, dct3};
+/// let x = vec![1.0, 2.0, 3.0, 4.0];
+/// let back = dct3(&dct2(&x));
+/// for (a, b) in x.iter().zip(back.iter()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+pub fn dct2(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = 0.0;
+        for (i, &x) in input.iter().enumerate() {
+            acc += x * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
+        }
+        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        out.push(acc * scale);
+    }
+    out
+}
+
+/// Orthonormal DCT-III, the inverse of [`dct2`].
+pub fn dct3(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = input[0] * (1.0 / nf).sqrt();
+        for (k, &x) in input.iter().enumerate().skip(1) {
+            acc += x
+                * (2.0 / nf).sqrt()
+                * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Index of the first coefficient in the "high-frequency region": the top
+/// `fraction` of the spectrum, as SpecMark embeds there.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]`.
+pub fn high_frequency_start(n: usize, fraction: f64) -> usize {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let band = ((n as f64) * fraction).ceil() as usize;
+    n.saturating_sub(band.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_random_vectors() {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        for n in [1usize, 2, 3, 8, 17, 64, 129] {
+            let x: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+            let back = dct3(&dct2(&x));
+            assert_close(&x, &back, 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let x = vec![3.0; 16];
+        let y = dct2(&x);
+        assert!((y[0] - 3.0 * 16f64.sqrt()).abs() < 1e-9);
+        for &c in &y[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Orthonormal transforms are isometries (Parseval).
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let x: Vec<f64> = (0..100).map(|_| rng.normal()).collect();
+        let y = dct2(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-8, "{ex} vs {ey}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(dct2(&[]).is_empty());
+        assert!(dct3(&[]).is_empty());
+    }
+
+    #[test]
+    fn high_frequency_band_boundaries() {
+        assert_eq!(high_frequency_start(100, 0.25), 75);
+        assert_eq!(high_frequency_start(100, 1.0), 0);
+        // At least one coefficient is always in the band.
+        assert_eq!(high_frequency_start(4, 0.01), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn zero_fraction_panics() {
+        let _ = high_frequency_start(10, 0.0);
+    }
+}

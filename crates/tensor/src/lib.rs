@@ -1,0 +1,34 @@
+//! # emmark-tensor
+//!
+//! Numeric substrate for the [EmMark (DAC 2024)](https://arxiv.org/abs/2402.17938)
+//! reproduction: a dense row-major [`Matrix`], portable seeded randomness
+//! ([`rng`]), orthonormal DCTs for the SpecMark baseline ([`dct`]), and
+//! log-domain binomial statistics for watermark strength ([`stats`]).
+//!
+//! Everything the watermark-critical path touches lives here and is pinned:
+//! the PRNG stream, the DCT scaling, and the Eq. 8 tail probability are all
+//! bit-for-bit reproducible so that watermark locations chosen today can be
+//! re-derived by an ownership-proof run years later.
+//!
+//! # Examples
+//!
+//! ```
+//! use emmark_tensor::{Matrix, rng::Xoshiro256, stats::log10_binomial_tail};
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(100);
+//! let w = Matrix::from_fn(4, 4, |_, _| rng.normal_f32(0.0, 0.1));
+//! assert_eq!(w.shape(), (4, 4));
+//!
+//! // Strength of a fully matched 40-bit signature (paper: 9.09e-13).
+//! let log10_p = log10_binomial_tail(40, 40);
+//! assert!(log10_p < -12.0);
+//! ```
+
+pub mod dct;
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::Xoshiro256;

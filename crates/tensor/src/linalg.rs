@@ -1,0 +1,217 @@
+//! Small dense linear-algebra kernels (f64) for the GPTQ quantizer.
+//!
+//! GPTQ needs the inverse of a symmetric positive-definite Hessian
+//! `H = XᵀX + λI` and an upper-triangular Cholesky factor of that inverse.
+//! Layer widths in this reproduction are a few hundred, so straightforward
+//! O(n³) routines are more than fast enough and easy to audit.
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `a` (row-major `n x n`), so `a = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns `Err` if the matrix is not positive definite (a pivot is not
+/// strictly positive).
+pub fn cholesky_lower(a: &[f64], n: usize) -> Result<Vec<f64>, String> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(format!("matrix not positive definite at pivot {i} ({sum})"));
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for lower-triangular `L` (forward substitution).
+pub fn forward_substitute(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` for lower-triangular `L` (backward substitution).
+pub fn backward_substitute_transposed(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Inverse of a symmetric positive-definite matrix via Cholesky.
+///
+/// # Errors
+///
+/// Returns `Err` if the matrix is not positive definite.
+pub fn invert_spd(a: &[f64], n: usize) -> Result<Vec<f64>, String> {
+    let l = cholesky_lower(a, n)?;
+    let mut inv = vec![0.0f64; n * n];
+    let mut e = vec![0.0f64; n];
+    for col in 0..n {
+        e[col] = 1.0;
+        let y = forward_substitute(&l, n, &e);
+        let x = backward_substitute_transposed(&l, n, &y);
+        for row in 0..n {
+            inv[row * n + col] = x[row];
+        }
+        e[col] = 0.0;
+    }
+    Ok(inv)
+}
+
+/// Upper-triangular Cholesky factor `U` with `a = Uᵀ U` — the form GPTQ
+/// uses for the inverse Hessian.
+///
+/// # Errors
+///
+/// Returns `Err` if the matrix is not positive definite.
+pub fn cholesky_upper(a: &[f64], n: usize) -> Result<Vec<f64>, String> {
+    // a = L Lᵀ  =>  with U = Lᵀ, a = Uᵀ U.
+    let l = cholesky_lower(a, n)?;
+    let mut u = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            u[j * n + i] = l[i * n + j];
+        }
+    }
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_spd(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.normal()).collect();
+        // A = B Bᵀ + n·I is SPD.
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0f64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let av = a[i * n + k];
+                for j in 0..n {
+                    c[i * n + j] += av * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let n = 12;
+        let a = random_spd(n, 1);
+        let l = cholesky_lower(&a, n).expect("spd");
+        // L Lᵀ == A
+        let mut lt = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                lt[i * n + j] = l[j * n + i];
+            }
+        }
+        let rec = matmul(&l, &lt, n);
+        for (x, y) in rec.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn invert_spd_gives_identity() {
+        let n = 10;
+        let a = random_spd(n, 2);
+        let inv = invert_spd(&a, n).expect("spd");
+        let prod = matmul(&a, &inv, n);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i * n + j] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_upper_reconstructs() {
+        let n = 8;
+        let a = random_spd(n, 3);
+        let u = cholesky_upper(&a, n).expect("spd");
+        // Uᵀ U == A
+        let mut ut = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                ut[i * n + j] = u[j * n + i];
+            }
+        }
+        let rec = matmul(&ut, &u, n);
+        for (x, y) in rec.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // U is upper triangular.
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(u[i * n + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_solves_invert_each_other() {
+        let n = 9;
+        let a = random_spd(n, 4);
+        let l = cholesky_lower(&a, n).expect("spd");
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let y = forward_substitute(&l, n, &b);
+        let x = backward_substitute_transposed(&l, n, &y);
+        // Check A x == b.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a[i * n + j] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky_lower(&a, 2).is_err());
+        assert!(invert_spd(&a, 2).is_err());
+    }
+}

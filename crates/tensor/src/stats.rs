@@ -1,0 +1,221 @@
+//! Statistics for watermark strength and experiment reporting.
+//!
+//! Equation 8 of the EmMark paper scores the probability that a
+//! non-watermarked model matches `k` of `|B|` Rademacher signature bits by
+//! chance: `P_c = sum_{i=k}^{|B|} C(|B|, i) * 0.5^{|B|}`. For the paper's
+//! parameters (300-bit layers) this probability underflows `f64` by
+//! thousands of orders of magnitude, so everything here is computed in the
+//! log domain.
+
+/// Natural log of `n!`, computed by exact cumulative summation.
+///
+/// Exact summation (rather than a Stirling approximation) keeps the
+/// strength statistics auditable; signature lengths never exceed a few
+/// thousand bits so the O(n) cost is irrelevant.
+pub fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Numerically stable `ln(sum_i exp(xs_i))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Natural log of Eq. 8: `ln P_c = ln( sum_{i=k}^{n} C(n, i) * 0.5^n )`.
+///
+/// `n` is the signature length `|B|` and `k` the number of matching bits.
+/// Returns `0.0` (i.e. `P_c = 1`) when `k = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use emmark_tensor::stats::ln_binomial_tail;
+/// // All 10 bits matching by chance: exactly 2^-10.
+/// let p = ln_binomial_tail(10, 10).exp();
+/// assert!((p - 1.0 / 1024.0).abs() < 1e-12);
+/// ```
+pub fn ln_binomial_tail(n: u64, k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let terms: Vec<f64> = (k..=n).map(|i| ln_binomial(n, i)).collect();
+    log_sum_exp(&terms) - n as f64 * std::f64::consts::LN_2
+}
+
+/// Base-10 log of Eq. 8, the form quoted in the paper ("9.09e-13").
+pub fn log10_binomial_tail(n: u64, k: u64) -> f64 {
+    ln_binomial_tail(n, k) / std::f64::consts::LN_10
+}
+
+/// Eq. 8 evaluated directly in `f64`; underflows to `0.0` for long
+/// signatures — use [`log10_binomial_tail`] for reporting.
+pub fn binomial_tail(n: u64, k: u64) -> f64 {
+    ln_binomial_tail(n, k).exp()
+}
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Geometric mean of strictly positive values (0.0 for empty input).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Percentile by linear interpolation over sorted data, `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is out of range.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_matches_pascal() {
+        // Exact small cases.
+        for (n, k, expect) in [(5u64, 2u64, 10.0f64), (10, 5, 252.0), (20, 10, 184756.0)] {
+            assert!((ln_binomial(n, k).exp() - expect).abs() / expect < 1e-10);
+        }
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_tail_exact_small_cases() {
+        // n = 4: P(X >= 3) = (4 + 1) / 16.
+        assert!((binomial_tail(4, 3) - 5.0 / 16.0).abs() < 1e-12);
+        // P(X >= 0) = 1.
+        assert_eq!(binomial_tail(7, 0), 1.0);
+        // P(X >= n) = 2^-n.
+        assert!((binomial_tail(20, 20) - 0.5f64.powi(20)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn tail_is_monotone_decreasing_in_k() {
+        for n in [8u64, 31, 300] {
+            let mut prev = f64::INFINITY;
+            for k in 0..=n {
+                let cur = ln_binomial_tail(n, k);
+                assert!(cur <= prev + 1e-12, "tail increased at n={n}, k={k}");
+                prev = cur;
+            }
+        }
+    }
+
+    /// The paper quotes a minimum per-layer strength of 9.09e-13 for a
+    /// fully matched signature. That is 2^-40 = 9.094947e-13, i.e. the
+    /// 40-bit INT4 per-layer signature. Verify we reproduce the constant.
+    #[test]
+    fn paper_strength_constant_is_reproduced() {
+        let log10_p = log10_binomial_tail(40, 40);
+        let p = 10f64.powf(log10_p);
+        assert!((p - 9.094947e-13).abs() < 1e-18, "got {p}");
+    }
+
+    /// The capacity analysis quotes 1.57e-30 per layer for 100-bit
+    /// signatures: 2^-100 + lower-order ~ C(100,100)*2^-100... The paper's
+    /// figure corresponds to the fully-matched 100-bit tail
+    /// P = (1 + 100 + ...)*2^-100; the dominant quoted digit matches
+    /// P(X >= 99) = 101 * 2^-100 ≈ 7.97e-29 or P(X >= 100) = 7.89e-31.
+    /// We pin our own definition: fully matched, k = n = 100.
+    #[test]
+    fn capacity_strength_order_of_magnitude() {
+        let log10_p = log10_binomial_tail(100, 100);
+        // 2^-100 ≈ 7.89e-31, i.e. log10 ≈ -30.1
+        assert!((log10_p - (-30.103)).abs() < 0.01, "got {log10_p}");
+    }
+
+    #[test]
+    fn long_signatures_do_not_underflow_in_log_domain() {
+        let l = ln_binomial_tail(300, 300);
+        assert!(l.is_finite());
+        assert!((l / std::f64::consts::LN_2 + 300.0).abs() < 1e-6);
+        // And with slack bits.
+        assert!(ln_binomial_tail(300, 290).is_finite());
+    }
+
+    #[test]
+    fn log_sum_exp_handles_extremes() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2f64.ln()).abs() < 1e-12);
+        let big = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((big - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((std_dev(&xs) - 1.118033988749895).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+}

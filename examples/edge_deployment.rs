@@ -1,0 +1,85 @@
+//! Edge deployment: compare all four quantization schemes on one model,
+//! watermark each, and show EmMark is scheme-agnostic (the paper's
+//! claim: "EmMark is agnostic to quantization algorithms").
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::eval::report::{evaluate_quality, EvalConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::model::LogitsModel;
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::gptq::{gptq, GptqConfig};
+use emmark::quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark::quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark::quant::QuantizedModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training one nano-LM, quantizing with four schemes…\n");
+    let corpus = Corpus::sample(Grammar::synwiki(23), 12_000, 1_000, 2_000);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut model = TransformerModel::new(cfg);
+    train(
+        &mut model,
+        &corpus,
+        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+    );
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let stats = model.collect_activation_stats(&calibration);
+
+    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let fp_quality = evaluate_quality(&model, &corpus, &eval_cfg);
+    println!(
+        "full precision      : PPL {:>7.3}  acc {:>5.1}%",
+        fp_quality.ppl, fp_quality.zero_shot_acc
+    );
+
+    let quantized: Vec<QuantizedModel> = vec![
+        smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+        llm_int8(&model, &stats, OutlierCriterion::default()),
+        awq(&model, &stats, &AwqConfig::default()),
+        gptq(&mut model, &calibration, &GptqConfig::default()),
+    ];
+
+    println!(
+        "\n{:<20}  {:>9} {:>7} {:>7}  {:>6}  {:>6}  {:>14}",
+        "scheme", "PPL", "ΔPPL", "acc%", "bits", "WER%", "p_chance"
+    );
+    for qm in quantized {
+        let scheme = qm.scheme.clone();
+        let bits = qm.layers[0].bits();
+        // Per-scheme watermark density, as the paper scales INT8 vs INT4.
+        let wm_cfg = if bits == 8 {
+            WatermarkConfig { bits_per_layer: 12, pool_ratio: 20, ..Default::default() }
+        } else {
+            WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() }
+        };
+        let secrets = OwnerSecrets::new(qm, stats.clone(), wm_cfg, 0xE59E);
+        let deployed = secrets.watermark_for_deployment()?;
+        // Sanity: deployed model still speaks.
+        assert!(deployed.logits(&[1, 2, 3]).iter().all(|v| v.is_finite()));
+        let quality = evaluate_quality(&deployed, &corpus, &eval_cfg);
+        let proof = secrets.verify(&deployed)?;
+        println!(
+            "{:<20}  {:>9.3} {:>+7.3} {:>6.1}%  {:>6}  {:>5.1}%  10^{:>8.1}",
+            scheme,
+            quality.ppl,
+            quality.ppl - fp_quality.ppl,
+            quality.zero_shot_acc,
+            bits,
+            proof.wer(),
+            proof.log10_p_chance()
+        );
+        assert_eq!(proof.wer(), 100.0, "{scheme}: watermark must extract fully");
+    }
+    println!("\nEmMark extracted 100% from every scheme — quantizer-agnostic, as claimed.");
+    Ok(())
+}

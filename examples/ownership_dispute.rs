@@ -1,0 +1,119 @@
+//! Ownership dispute: an end-to-end IP-theft scenario.
+//!
+//! A proprietor deploys a watermarked INT4 model to edge devices. A
+//! malicious end-user (full local access, knows the algorithm, lacks
+//! the secrets) tries in turn: parameter overwriting, re-watermarking,
+//! and forging a counterfeit claim. The proprietor's proof survives all
+//! three; the counterfeit dies at reproduction validation.
+//!
+//! ```sh
+//! cargo run --release --example ownership_dispute
+//! ```
+
+use emmark::attacks::forging::{
+    forge_counterfeit_claim, naive_delta_check, validate_claim, OwnershipClaim,
+};
+use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+use emmark::attacks::rewatermark::{rewatermark_attack, RewatermarkConfig};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::eval::report::{evaluate_quality, EvalConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== setting the scene: proprietor trains, quantizes, watermarks ===");
+    let corpus = Corpus::sample(Grammar::synwiki(11), 12_000, 1_000, 2_000);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut fp_model = TransformerModel::new(cfg);
+    train(
+        &mut fp_model,
+        &corpus,
+        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+    );
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let stats = fp_model.collect_activation_stats(&calibration);
+    let quantized = awq(&fp_model, &stats, &AwqConfig::default());
+    let secrets = OwnerSecrets::new(
+        quantized,
+        stats,
+        WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() },
+        0xD15B,
+    );
+    let deployed = secrets.watermark_for_deployment()?;
+    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let healthy = evaluate_quality(&deployed, &corpus, &eval_cfg);
+    println!(
+        "deployed model: PPL {:.2}, zero-shot {:.1}%, watermark WER {:.1}%\n",
+        healthy.ppl,
+        healthy.zero_shot_acc,
+        secrets.verify(&deployed)?.wer()
+    );
+
+    println!("=== attack 1: blind parameter overwriting ===");
+    let mut attacked = deployed.clone();
+    overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 24, seed: 666 });
+    let q = evaluate_quality(&attacked, &corpus, &eval_cfg);
+    let proof = secrets.verify(&attacked)?;
+    println!(
+        "after bumping 24 cells/layer: PPL {:.2} (was {:.2}), WER {:.1}%, p_chance 10^{:.1}",
+        q.ppl,
+        healthy.ppl,
+        proof.wer(),
+        proof.log10_p_chance()
+    );
+    assert!(proof.proves_ownership(-9.0));
+    println!("ownership still provable.\n");
+
+    println!("=== attack 2: re-watermarking with adversary parameters ===");
+    // The adversary measures activations through the *quantized* model
+    // (no access to the full-precision one) and uses α=1, β=1.5, seed 22.
+    let adv_calib: Vec<Vec<u32>> =
+        corpus.test.chunks(24).take(12).map(|c| c.to_vec()).collect();
+    let adv_stats = deployed.collect_activation_stats(&adv_calib);
+    let mut rewatermarked = deployed.clone();
+    rewatermark_attack(
+        &mut rewatermarked,
+        &adv_stats,
+        &RewatermarkConfig { per_layer: 16, ..Default::default() },
+    );
+    let q = evaluate_quality(&rewatermarked, &corpus, &eval_cfg);
+    let proof = secrets.verify(&rewatermarked)?;
+    println!(
+        "after re-watermarking 16 cells/layer: PPL {:.2}, owner WER {:.1}%, p_chance 10^{:.1}",
+        q.ppl,
+        proof.wer(),
+        proof.log10_p_chance()
+    );
+    assert!(proof.proves_ownership(-9.0));
+    println!("owner's signature survives the adversary's insertion.\n");
+
+    println!("=== attack 3: forging a counterfeit claim ===");
+    let forged = forge_counterfeit_claim(&deployed, &adv_calib, 8, 1337);
+    println!(
+        "naive delta-only check of the forged claim: {:.1}% — looks perfect!",
+        naive_delta_check(&forged, &deployed)
+    );
+    let verdict = validate_claim(&forged, &deployed, None, &calibration, 90.0);
+    println!(
+        "full validation (reproduction required): stats_reproducible={}, locations_reproducible={}, accepted={}",
+        verdict.stats_reproducible, verdict.locations_reproducible, verdict.accepted
+    );
+    assert!(!verdict.accepted);
+
+    let owner_claim = OwnershipClaim::from_secrets(&secrets)?;
+    let owner_verdict =
+        validate_claim(&owner_claim, &deployed, Some(&mut fp_model), &calibration, 90.0);
+    println!(
+        "owner's claim under the same protocol: WER {:.1}%, accepted={}",
+        owner_verdict.wer_at_reproduced_locations, owner_verdict.accepted
+    );
+    assert!(owner_verdict.accepted);
+    println!("\nthe dispute resolves for the proprietor.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: train a nano-LM, quantize it to INT4 with AWQ, watermark
+//! it with EmMark, deploy it, and prove ownership.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::eval::report::{evaluate_quality, EvalConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small language model on the synthetic SynWiki corpus.
+    println!("[1/6] training a nano transformer on SynWiki…");
+    let corpus = Corpus::sample(Grammar::synwiki(7), 12_000, 1_000, 2_000);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut model = TransformerModel::new(cfg);
+    let report = train(
+        &mut model,
+        &corpus,
+        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+    );
+    println!(
+        "      loss {:.3} -> {:.3} over {} steps",
+        report.initial_loss, report.final_loss, report.steps
+    );
+
+    // 2. Capture the full-precision activation profile A_f (the secret
+    //    ingredient of EmMark's saliency score) and quantize with AWQ.
+    println!("[2/6] capturing A_f and quantizing to INT4 with AWQ…");
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let stats = model.collect_activation_stats(&calibration);
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+
+    // 3. Watermark before deployment.
+    println!("[3/6] inserting the EmMark watermark…");
+    let wm_cfg = WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() };
+    let secrets = OwnerSecrets::new(quantized, stats, wm_cfg, /*signature seed*/ 2024);
+    let deployed = secrets.watermark_for_deployment()?;
+    println!(
+        "      {} bits across {} quantized layers",
+        secrets.signature.len(),
+        deployed.layer_count()
+    );
+
+    // 4. Check that quality is preserved.
+    println!("[4/6] evaluating fidelity…");
+    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let before = evaluate_quality(&secrets.original, &corpus, &eval_cfg);
+    let after = evaluate_quality(&deployed, &corpus, &eval_cfg);
+    println!(
+        "      PPL {:.3} -> {:.3} | zero-shot acc {:.2}% -> {:.2}%",
+        before.ppl, after.ppl, before.zero_shot_acc, after.zero_shot_acc
+    );
+
+    // 5. Ship the model: serialize to the deployable byte format and
+    //    read it back, as an edge device would.
+    println!("[5/6] serializing the deployed artifact…");
+    let bytes = encode_model(&deployed);
+    println!("      {} bytes on the wire", bytes.len());
+    let on_device = decode_model(&bytes)?;
+
+    // 6. Ownership proof against the deployed weights.
+    println!("[6/6] extracting the watermark from the deployed weights…");
+    let proof = secrets.verify(&on_device)?;
+    println!(
+        "      WER {:.1}% ({} of {} bits), chance probability 10^{:.1}",
+        proof.wer(),
+        proof.matched_bits,
+        proof.total_bits,
+        proof.log10_p_chance()
+    );
+    assert_eq!(proof.wer(), 100.0);
+    println!("ownership proved.");
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! `emmark` — command-line front end for the EmMark pipeline.
+//!
+//! ```text
+//! emmark demo --out-dir DIR [--bits N] [--seed S]   build a demo: train, quantize,
+//!                                                   watermark; writes deployed.emqm,
+//!                                                   secrets.emws, original.emqm
+//! emmark verify --secrets FILE --suspect FILE       ownership proof (Eqs. 6–8)
+//! emmark inspect --model FILE                       layer/scheme/bit summary
+//! emmark attack --model FILE --out FILE --per-layer N [--seed S]
+//!                                                   parameter-overwriting attack
+//! ```
+//!
+//! The demo subcommand exists so the whole flow can be driven without
+//! writing a line of Rust; `verify` is the command a proprietor would
+//! actually run against a seized model file.
+
+use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::vault::{decode_secrets, encode_secrets};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "demo" => cmd_demo(&opts),
+        "verify" => cmd_verify(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "attack" => cmd_attack(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+emmark — watermarking for embedded quantized LLMs (DAC 2024 reproduction)
+
+USAGE:
+  emmark demo    --out-dir DIR [--bits N] [--seed S]
+  emmark verify  --secrets FILE --suspect FILE
+  emmark inspect --model FILE
+  emmark attack  --model FILE --out FILE --per-layer N [--seed S]";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected an option, found `{key}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn required<'o>(opts: &'o HashMap<String, String>, name: &str) -> Result<&'o str, String> {
+    opts.get(name).map(String::as_str).ok_or_else(|| format!("missing required option --{name}"))
+}
+
+fn parsed<T: std::str::FromStr>(opts: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+    }
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out_dir = PathBuf::from(required(opts, "out-dir")?);
+    let bits: usize = parsed(opts, "bits", 8)?;
+    let seed: u64 = parsed(opts, "seed", 2024)?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    println!("training a nano-LM on SynWiki…");
+    let corpus = Corpus::sample(Grammar::synwiki(seed), 12_000, 1_000, 2_000);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut model = TransformerModel::new(cfg);
+    train(
+        &mut model,
+        &corpus,
+        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+    );
+    println!("quantizing with AWQ INT4 and capturing A_f…");
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let stats = model.collect_activation_stats(&calibration);
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+
+    println!("inserting the watermark ({bits} bits/layer)…");
+    let wm_cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio: 20, ..Default::default() };
+    let secrets = OwnerSecrets::new(quantized, stats, wm_cfg, seed ^ 0x51C);
+    let deployed = secrets.watermark_for_deployment().map_err(|e| e.to_string())?;
+
+    write_file(&out_dir.join("original.emqm"), &encode_model(&secrets.original))?;
+    write_file(&out_dir.join("deployed.emqm"), &encode_model(&deployed))?;
+    write_file(&out_dir.join("secrets.emws"), &encode_secrets(&secrets))?;
+    println!(
+        "wrote {}/original.emqm, deployed.emqm, secrets.emws ({} watermark bits)",
+        out_dir.display(),
+        secrets.signature.len()
+    );
+    println!("try: emmark verify --secrets {0}/secrets.emws --suspect {0}/deployed.emqm", out_dir.display());
+    Ok(())
+}
+
+fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let secrets =
+        decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
+    let suspect =
+        decode_model(&read_file(required(opts, "suspect")?)?).map_err(|e| e.to_string())?;
+    let report = secrets.verify(&suspect).map_err(|e| e.to_string())?;
+    println!(
+        "matched {} / {} bits  (WER {:.1}%)",
+        report.matched_bits,
+        report.total_bits,
+        report.wer()
+    );
+    println!("chance-match probability: 10^{:.1}", report.log10_p_chance());
+    if report.proves_ownership(-9.0) {
+        println!("verdict: OWNERSHIP PROVED (p < 1e-9)");
+        Ok(())
+    } else {
+        Err("verdict: ownership NOT proved".to_string())
+    }
+}
+
+fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let model = decode_model(&read_file(required(opts, "model")?)?).map_err(|e| e.to_string())?;
+    println!("model   : {}", model.cfg.name);
+    println!("scheme  : {}", model.scheme);
+    println!(
+        "arch    : d_model {}, {} blocks, {} heads, d_ff {}, vocab {}",
+        model.cfg.d_model, model.cfg.n_layers, model.cfg.n_heads, model.cfg.d_ff, model.cfg.vocab_size
+    );
+    println!("layers  : {} quantized", model.layer_count());
+    let mut total_cells = 0usize;
+    let mut clamped = 0usize;
+    for layer in &model.layers {
+        total_cells += layer.len();
+        clamped += (0..layer.len()).filter(|&f| layer.is_clamped_flat(f)).count();
+    }
+    println!(
+        "cells   : {} total, {} at min/max level ({:.1}% unwatermarkable)",
+        total_cells,
+        clamped,
+        100.0 * clamped as f64 / total_cells as f64
+    );
+    for (i, layer) in model.layers.iter().enumerate().take(4) {
+        println!(
+            "  layer {i}: {}x{} INT{} {:?}",
+            layer.in_features(),
+            layer.out_features(),
+            layer.bits(),
+            layer.granularity()
+        );
+    }
+    if model.layers.len() > 4 {
+        println!("  … {} more layers", model.layers.len() - 4);
+    }
+    Ok(())
+}
+
+fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut model =
+        decode_model(&read_file(required(opts, "model")?)?).map_err(|e| e.to_string())?;
+    let per_layer: usize = required(opts, "per-layer")?.parse().map_err(|_| "--per-layer: not a number".to_string())?;
+    let seed: u64 = parsed(opts, "seed", 666)?;
+    let touched = overwrite_attack(&mut model, &OverwriteConfig { per_layer, seed });
+    let out = required(opts, "out")?;
+    write_file(Path::new(out), &encode_model(&model))?;
+    println!("overwrote {touched} cells; attacked model written to {out}");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # emmark
+//!
+//! A full Rust reproduction of *EmMark: Robust Watermarks for IP
+//! Protection of Embedded Quantized Large Language Models* (Zhang &
+//! Koushanfar, DAC 2024) — the watermarking algorithm plus every
+//! substrate it runs on, built from scratch:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `emmark-tensor` | matrices, portable PRNG, DCT, Eq. 8 statistics |
+//! | [`nanolm`] | `emmark-nanolm` | trainable micro-transformers, synthetic corpora, `A_f` capture |
+//! | [`quant`] | `emmark-quant` | RTN, SmoothQuant, LLM.int8(), AWQ, GPTQ, quantized runtime |
+//! | [`eval`] | `emmark-eval` | perplexity + zero-shot task suite |
+//! | [`core`] | `emmark-core` | **EmMark** insertion/extraction, baselines, deploy codec |
+//! | [`attacks`] | `emmark-attacks` | overwriting, re-watermarking, forging |
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the substitution
+//! map (what the paper used vs what is built here), and `EXPERIMENTS.md`
+//! for paper-vs-measured results of every table and figure.
+//!
+//! # Examples
+//!
+//! The five-minute tour (also in `examples/quickstart.rs`):
+//!
+//! ```
+//! use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+//! use emmark::nanolm::{config::ModelConfig, TransformerModel};
+//! use emmark::quant::awq::{awq, AwqConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = TransformerModel::new(ModelConfig::tiny_test());
+//! let calib = vec![vec![1u32, 2, 3, 4, 5, 6]];
+//! let stats = model.collect_activation_stats(&calib);
+//! let quantized = awq(&model, &stats, &AwqConfig::default());
+//!
+//! let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+//! let secrets = OwnerSecrets::new(quantized, stats, cfg, 2024);
+//! let deployed = secrets.watermark_for_deployment()?;
+//! assert_eq!(secrets.verify(&deployed)?.wer(), 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use emmark_attacks as attacks;
+pub use emmark_core as core;
+pub use emmark_eval as eval;
+pub use emmark_nanolm as nanolm;
+pub use emmark_quant as quant;
+pub use emmark_tensor as tensor;

@@ -1,0 +1,157 @@
+//! End-to-end integration: the full paper pipeline on a small trained
+//! model — train → calibrate → quantize (all schemes) → watermark →
+//! deploy (serialize) → attack → prove ownership.
+
+use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::eval::report::{evaluate_quality, EvalConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::gptq::{gptq, GptqConfig};
+use emmark::quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark::quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark::quant::QuantizedModel;
+
+struct Pipeline {
+    fp: TransformerModel,
+    corpus: Corpus,
+    calibration: Vec<Vec<u32>>,
+    stats: emmark::nanolm::ActivationStats,
+}
+
+fn pipeline() -> Pipeline {
+    let corpus = Corpus::sample(Grammar::synwiki(77), 6_000, 600, 900);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    let mut fp = TransformerModel::new(cfg);
+    train(
+        &mut fp,
+        &corpus,
+        &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+    );
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let stats = fp.collect_activation_stats(&calibration);
+    Pipeline { fp, corpus, calibration, stats }
+}
+
+fn wm_cfg() -> WatermarkConfig {
+    WatermarkConfig { bits_per_layer: 6, pool_ratio: 12, ..Default::default() }
+}
+
+#[test]
+fn every_quantization_scheme_watermarks_deploys_and_verifies() {
+    let mut p = pipeline();
+    let quantized: Vec<QuantizedModel> = vec![
+        smoothquant(&p.fp, &p.stats, &SmoothQuantConfig::default()),
+        llm_int8(&p.fp, &p.stats, OutlierCriterion::default()),
+        awq(&p.fp, &p.stats, &AwqConfig::default()),
+        gptq(&mut p.fp, &p.calibration, &GptqConfig::default()),
+    ];
+    for original in quantized {
+        let scheme = original.scheme.clone();
+        let secrets = OwnerSecrets::new(original, p.stats.clone(), wm_cfg(), 0xABCD);
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+        // Ship over the wire and verify against what came back.
+        let bytes = encode_model(&deployed);
+        let received = decode_model(&bytes).expect("decode");
+        assert!(received.same_weights(&deployed), "{scheme}: transit corrupted weights");
+        let report = secrets.verify(&received).expect("extract");
+        assert_eq!(report.wer(), 100.0, "{scheme}: WER");
+        assert!(report.proves_ownership(-9.0), "{scheme}: strength");
+    }
+}
+
+#[test]
+fn watermark_preserves_quality_within_noise() {
+    let p = pipeline();
+    let original = awq(&p.fp, &p.stats, &AwqConfig::default());
+    let eval_cfg = EvalConfig { ppl_tokens: 600, task_items: 30, ..EvalConfig::tiny_test() };
+    let before = evaluate_quality(&original, &p.corpus, &eval_cfg);
+    let secrets = OwnerSecrets::new(original, p.stats.clone(), wm_cfg(), 0xBEEF);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let after = evaluate_quality(&deployed, &p.corpus, &eval_cfg);
+    // The paper reports zero degradation; at micro scale allow a small
+    // relative budget.
+    assert!(
+        after.ppl <= before.ppl * 1.05,
+        "PPL degraded too much: {} -> {}",
+        before.ppl,
+        after.ppl
+    );
+    assert!(
+        after.zero_shot_acc >= before.zero_shot_acc - 5.0,
+        "accuracy degraded too much: {} -> {}",
+        before.zero_shot_acc,
+        after.zero_shot_acc
+    );
+}
+
+#[test]
+fn ownership_survives_both_removal_attacks() {
+    use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+    use emmark::attacks::rewatermark::{rewatermark_attack, RewatermarkConfig};
+    let p = pipeline();
+    let original = awq(&p.fp, &p.stats, &AwqConfig::default());
+    let secrets = OwnerSecrets::new(original, p.stats.clone(), wm_cfg(), 0xCAFE);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+
+    let mut overwritten = deployed.clone();
+    overwrite_attack(&mut overwritten, &OverwriteConfig { per_layer: 12, seed: 3 });
+    let r1 = secrets.verify(&overwritten).expect("extract");
+    assert!(r1.wer() > 80.0, "overwrite WER {}", r1.wer());
+    assert!(r1.proves_ownership(-9.0));
+
+    let adv_calib: Vec<Vec<u32>> =
+        p.corpus.test.chunks(16).take(6).map(|c| c.to_vec()).collect();
+    let adv_stats = deployed.collect_activation_stats(&adv_calib);
+    let mut rewatermarked = deployed.clone();
+    rewatermark_attack(
+        &mut rewatermarked,
+        &adv_stats,
+        &RewatermarkConfig { per_layer: 10, ..Default::default() },
+    );
+    let r2 = secrets.verify(&rewatermarked).expect("extract");
+    assert!(r2.wer() > 60.0, "rewatermark WER {}", r2.wer());
+    assert!(r2.proves_ownership(-6.0));
+}
+
+#[test]
+fn integrity_controls_extract_nothing() {
+    use emmark::nanolm::train::finetune;
+    let mut p = pipeline();
+    let original = awq(&p.fp, &p.stats, &AwqConfig::default());
+    let secrets = OwnerSecrets::new(original.clone(), p.stats.clone(), wm_cfg(), 0xD00D);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    assert_eq!(secrets.verify(&deployed).expect("wm").wer(), 100.0);
+
+    // non-WM 1: pristine quantized model.
+    let r = secrets.verify(&original).expect("non-wm1");
+    assert_eq!(r.matched_bits, 0);
+
+    // non-WM 2: fine-tuned on SynAlpaca, then AWQ.
+    let alpaca = Grammar::synalpaca(5).generate(3_000);
+    let mut ft = p.fp.clone();
+    finetune(
+        &mut ft,
+        &alpaca,
+        &TrainConfig { steps: 40, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        1_000,
+    );
+    let ft_stats = ft.collect_activation_stats(&p.calibration);
+    let non_wm2 = awq(&ft, &ft_stats, &AwqConfig::default());
+    let r = secrets.verify(&non_wm2).expect("non-wm2");
+    // Requantized drifted weights can match a few bits by coincidence
+    // (Δ of exactly ±1); what matters is that the claim has no
+    // statistical strength.
+    assert!(r.wer() < 45.0, "fine-tuned model WER {}", r.wer());
+    assert!(!r.proves_ownership(-9.0));
+
+    // non-WM 4: GPTQ of the same model.
+    let non_wm4 = gptq(&mut p.fp, &p.calibration, &GptqConfig::default());
+    let r = secrets.verify(&non_wm4).expect("non-wm4");
+    assert!(r.wer() < 45.0, "GPTQ model WER {}", r.wer());
+    assert!(!r.proves_ownership(-9.0));
+}

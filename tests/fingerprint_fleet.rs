@@ -1,0 +1,82 @@
+//! Fleet fingerprinting end to end: provision several devices through
+//! the deploy codec (as real distribution would), leak one, and
+//! attribute the leak — with the base ownership watermark intact on
+//! every copy.
+
+use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::fingerprint::Fleet;
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+
+fn fleet() -> Fleet {
+    let corpus = Corpus::sample(Grammar::synwiki(66), 5_000, 500, 500);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    let mut fp = TransformerModel::new(cfg);
+    train(
+        &mut fp,
+        &corpus,
+        &TrainConfig { steps: 60, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+    );
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let stats = fp.collect_activation_stats(&calibration);
+    let quantized = awq(&fp, &stats, &AwqConfig::default());
+    let base = OwnerSecrets::new(
+        quantized,
+        stats,
+        WatermarkConfig { bits_per_layer: 5, pool_ratio: 12, ..Default::default() },
+        0xF1EE7,
+    );
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 12,
+        selection_seed: 0xD1CE,
+        ..Default::default()
+    };
+    Fleet::new(base, fp_cfg)
+}
+
+#[test]
+fn leak_attribution_works_through_the_wire_format() {
+    let mut fleet = fleet();
+    let ids = ["edge-001", "edge-002", "edge-003", "edge-004"];
+    // Provision and "ship" every device: serialize + deserialize.
+    let mut shipped = Vec::new();
+    for id in ids {
+        let deployment = fleet.provision(id).expect("provision");
+        let bytes = encode_model(&deployment);
+        shipped.push(decode_model(&bytes).expect("decode"));
+    }
+    // Devices differ pairwise.
+    for i in 0..shipped.len() {
+        for j in i + 1..shipped.len() {
+            assert!(!shipped[i].same_weights(&shipped[j]), "{i} vs {j} identical");
+        }
+    }
+    // A copy of the third device leaks; attribution finds it and only it.
+    let leaked = &shipped[2];
+    let (device, report) =
+        fleet.identify_leak(leaked, -6.0).expect("identify").expect("attributed");
+    assert_eq!(device.device_id, ids[2]);
+    assert!(report.wer() >= 90.0);
+    // And the base ownership proof holds on the leaked copy too.
+    let ownership = fleet.base.verify(leaked).expect("verify");
+    assert!(ownership.wer() >= 90.0);
+    assert!(ownership.proves_ownership(-9.0));
+}
+
+#[test]
+fn attribution_survives_a_light_attack_on_the_leak() {
+    use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+    let mut fleet = fleet();
+    let _ = fleet.provision("edge-a").expect("provision");
+    let mut leaked = fleet.provision("edge-b").expect("provision");
+    overwrite_attack(&mut leaked, &OverwriteConfig { per_layer: 8, seed: 13 });
+    let (device, _) =
+        fleet.identify_leak(&leaked, -4.0).expect("identify").expect("attributed");
+    assert_eq!(device.device_id, "edge-b");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the invariants DESIGN.md §5
+//! commits to.
+
+use emmark::core::signature::Signature;
+use emmark::core::watermark::{
+    extract_watermark, insert_watermark, locate_watermark, WatermarkConfig,
+};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::rtn::{quantize_block, quantize_linear_rtn};
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+use emmark::tensor::dct::{dct2, dct3};
+use emmark::tensor::stats::{binomial_tail, ln_binomial_tail};
+use proptest::prelude::*;
+
+/// A quantized tiny model parameterized by bit width and init seed.
+fn quantized_model(bits: u8, seed: u64) -> QuantizedModel {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.init_seed = seed;
+    let model = TransformerModel::new(cfg);
+    QuantizedModel::quantize_with(&model, "rtn-prop", |_, lin| {
+        quantize_linear_rtn(lin, bits, Granularity::PerOutChannel, ActQuant::None)
+    })
+}
+
+/// Activation stats with seeded pseudo-random channel magnitudes (the
+/// watermark only consumes mean-abs values, so synthetic profiles are a
+/// valid domain).
+fn synthetic_stats(model: &QuantizedModel, seed: u64) -> emmark::nanolm::ActivationStats {
+    let mut rng = emmark::tensor::Xoshiro256::seed_from_u64(seed);
+    emmark::nanolm::ActivationStats {
+        per_layer: model
+            .layers
+            .iter()
+            .map(|l| {
+                let mean: Vec<f32> =
+                    (0..l.in_features()).map(|_| rng.uniform_range(0.01, 4.0)).collect();
+                let max: Vec<f32> = mean.iter().map(|&m| m * 3.0).collect();
+                emmark::nanolm::model::LayerActivation { mean_abs: mean, max_abs: max }
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Eq. 1 invariant: dequantization error is at most half a step.
+    #[test]
+    fn quantize_roundtrip_error_bounded(
+        values in prop::collection::vec(-10.0f32..10.0, 1..200),
+        bits in prop::sample::select(vec![4u8, 8]),
+    ) {
+        let (q, delta) = quantize_block(&values, bits);
+        for (&v, &qv) in values.iter().zip(q.iter()) {
+            let err = (v - qv as f32 * delta).abs();
+            prop_assert!(err <= delta / 2.0 + 1e-5, "err {err} > {}", delta / 2.0);
+        }
+    }
+
+    /// DCT-III inverts DCT-II for arbitrary signals.
+    #[test]
+    fn dct_roundtrip_identity(signal in prop::collection::vec(-100.0f64..100.0, 1..128)) {
+        let back = dct3(&dct2(&signal));
+        for (a, b) in signal.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// Insert→extract returns exactly 100% WER for any seed/config in
+    /// the valid domain, on both bit widths.
+    #[test]
+    fn insert_extract_roundtrip_is_perfect(
+        bits in prop::sample::select(vec![4u8, 8]),
+        model_seed in 0u64..50,
+        selection_seed in 0u64..1000,
+        signature_seed in 0u64..1000,
+        bits_per_layer in 1usize..6,
+        alpha in 0.0f64..2.0,
+        beta in 0.0f64..2.0,
+    ) {
+        prop_assume!(alpha > 0.0 || beta > 0.0);
+        let original = quantized_model(bits, model_seed);
+        let stats = synthetic_stats(&original, model_seed ^ 0x57A7);
+        let cfg = WatermarkConfig {
+            alpha, beta, bits_per_layer, pool_ratio: 8, selection_seed,
+        };
+        let sig = Signature::generate(cfg.signature_len(original.layer_count()), signature_seed);
+        let mut deployed = original.clone();
+        insert_watermark(&mut deployed, &stats, &sig, &cfg).expect("insert");
+        let report = extract_watermark(&deployed, &original, &stats, &sig, &cfg).expect("extract");
+        prop_assert_eq!(report.matched_bits, report.total_bits);
+    }
+
+    /// Location derivation is a pure function of the secret material.
+    #[test]
+    fn locations_reproducible_and_distinct(
+        model_seed in 0u64..30,
+        selection_seed in 0u64..500,
+    ) {
+        let original = quantized_model(4, model_seed);
+        let stats = synthetic_stats(&original, 1);
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4, pool_ratio: 8, selection_seed, ..Default::default()
+        };
+        let a = locate_watermark(&original, &stats, &cfg).expect("locate");
+        let b = locate_watermark(&original, &stats, &cfg).expect("locate");
+        prop_assert_eq!(&a, &b);
+        for layer_locs in &a {
+            let mut sorted = layer_locs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), layer_locs.len(), "duplicate locations");
+        }
+    }
+
+    /// No selected cell is ever clamped, zero, or an outlier row — the
+    /// invariant that makes Eq. 5 clip-free.
+    #[test]
+    fn selected_cells_are_always_bumpable(
+        model_seed in 0u64..30,
+        selection_seed in 0u64..500,
+        bits in prop::sample::select(vec![4u8, 8]),
+    ) {
+        let original = quantized_model(bits, model_seed);
+        let stats = synthetic_stats(&original, 2);
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4, pool_ratio: 8, selection_seed, ..Default::default()
+        };
+        let locations = locate_watermark(&original, &stats, &cfg).expect("locate");
+        for (l, locs) in locations.iter().enumerate() {
+            for &f in locs {
+                prop_assert!(!original.layers[l].is_clamped_flat(f));
+                prop_assert!(original.layers[l].q_at_flat(f) != 0);
+            }
+        }
+    }
+
+    /// Eq. 8 sanity: tails are probabilities, monotone in k, and match
+    /// the direct f64 evaluation where that does not underflow.
+    #[test]
+    fn binomial_tail_properties(n in 1u64..64, k in 0u64..64) {
+        prop_assume!(k <= n);
+        let p = binomial_tail(n, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        if k > 0 {
+            prop_assert!(binomial_tail(n, k - 1) >= p - 1e-12);
+        }
+        prop_assert!(ln_binomial_tail(n, k).is_finite() || k > n);
+    }
+
+    /// Deploy codec round-trips arbitrary watermarked models bit-exactly.
+    #[test]
+    fn codec_roundtrip_any_model(
+        bits in prop::sample::select(vec![4u8, 8]),
+        model_seed in 0u64..20,
+        signature_seed in 0u64..100,
+    ) {
+        let original = quantized_model(bits, model_seed);
+        let stats = synthetic_stats(&original, 3);
+        let cfg = WatermarkConfig { bits_per_layer: 3, pool_ratio: 8, ..Default::default() };
+        let sig = Signature::generate(cfg.signature_len(original.layer_count()), signature_seed);
+        let mut deployed = original.clone();
+        insert_watermark(&mut deployed, &stats, &sig, &cfg).expect("insert");
+        let bytes = emmark::core::deploy::encode_model(&deployed);
+        let back = emmark::core::deploy::decode_model(&bytes).expect("decode");
+        prop_assert!(back.same_weights(&deployed));
+        // And the watermark still extracts from the decoded copy.
+        let report = extract_watermark(&back, &original, &stats, &sig, &cfg).expect("extract");
+        prop_assert_eq!(report.matched_bits, report.total_bits);
+    }
+
+    /// Rademacher signatures are always ±1 and deterministic per seed.
+    #[test]
+    fn signatures_are_valid_rademacher(len in 1usize..512, seed in 0u64..1000) {
+        let sig = Signature::generate(len, seed);
+        prop_assert_eq!(sig.len(), len);
+        prop_assert!(sig.bits().iter().all(|&b| b == 1 || b == -1));
+        prop_assert_eq!(sig, Signature::generate(len, seed));
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's fine-tuning argument, end to end: QLoRA-style adaptation
+//! of a *watermarked* quantized model learns a new distribution while
+//! the integer weights — and therefore the watermark — remain untouched.
+
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::model::stream_nll;
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::qlora::QloraModel;
+
+#[test]
+fn lora_finetune_cannot_remove_the_watermark() {
+    // Owner: train, quantize, watermark, deploy.
+    let corpus = Corpus::sample(Grammar::synwiki(55), 6_000, 600, 600);
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.vocab_size = corpus.grammar.vocab_size();
+    let mut fp = TransformerModel::new(cfg);
+    train(
+        &mut fp,
+        &corpus,
+        &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+    );
+    let calibration: Vec<Vec<u32>> =
+        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let stats = fp.collect_activation_stats(&calibration);
+    let quantized = awq(&fp, &stats, &AwqConfig::default());
+    let secrets = OwnerSecrets::new(
+        quantized,
+        stats,
+        WatermarkConfig { bits_per_layer: 6, pool_ratio: 12, ..Default::default() },
+        0x10BA,
+    );
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+
+    // Adversary: QLoRA fine-tune the deployed model onto SynAlpaca.
+    let alpaca = Grammar::synalpaca(55).generate(5_000);
+    let mut qlora = QloraModel::new(deployed.clone(), 8, 9);
+    let before = stream_nll(&qlora, &alpaca[..400], 16);
+    qlora.finetune(&alpaca, 200, 16, 5e-3, 10);
+    let after = stream_nll(&qlora, &alpaca[..400], 16);
+    assert!(after < before, "QLoRA failed to adapt: {before} -> {after}");
+
+    // The adaptation genuinely learned something…
+    assert!(
+        qlora.adapter.delta_weight().abs_max() > 0.0,
+        "adapter must have non-zero weights after training"
+    );
+    // …yet the quantized weights are bit-identical, so extraction is
+    // still perfect — fine-tuning is not a removal attack (§3, §5.3).
+    assert!(qlora.base.same_weights(&deployed));
+    let report = secrets.verify(&qlora.base).expect("extract");
+    assert_eq!(report.wer(), 100.0);
+}

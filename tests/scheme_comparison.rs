@@ -1,0 +1,119 @@
+//! Cross-scheme integration: the Table 1 mechanism checks that don't
+//! need the full nine-model grid — RandomWM's INT4 wrap damage, EmMark's
+//! clip-free insertion, and the scheme trait harness.
+
+use emmark::core::baselines::{randomwm_insert, RandomWmConfig};
+use emmark::core::scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
+use emmark::core::signature::Signature;
+use emmark::core::watermark::WatermarkConfig;
+use emmark::nanolm::model::LogitsModel;
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::QuantizedModel;
+
+fn setup() -> (TransformerModel, QuantizedModel, emmark::nanolm::ActivationStats) {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.d_model = 24;
+    cfg.d_ff = 64;
+    cfg.n_heads = 4;
+    let mut model = TransformerModel::new(cfg);
+    let calib: Vec<Vec<u32>> = (0..6u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s * 5) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let qm = awq(&model, &stats, &AwqConfig::default());
+    (model, qm, stats)
+}
+
+#[test]
+fn emmark_never_wraps_but_randomwm_sometimes_does() {
+    let (_, original, stats) = setup();
+    let n = original.layer_count();
+
+    // EmMark: all deltas are exactly ±1.
+    let em = EmMarkScheme {
+        config: WatermarkConfig { bits_per_layer: 8, pool_ratio: 10, ..Default::default() },
+        signature_seed: 1,
+    };
+    let mut em_model = original.clone();
+    em.insert(&mut em_model, &stats).expect("emmark insert");
+    for (a, b) in em_model.layers.iter().zip(&original.layers) {
+        for f in 0..a.len() {
+            let d = (a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16).abs();
+            assert!(d <= 1, "EmMark produced delta {d}");
+        }
+    }
+
+    // RandomWM with enough bits on an INT4 grid hits clamped cells and
+    // wraps (|delta| = 15) — the Table 1 INT4 damage mechanism.
+    let cfg = RandomWmConfig { bits_per_layer: 64, seed: 5 };
+    let sig = Signature::generate(cfg.bits_per_layer * n, 6);
+    let mut rw_model = original.clone();
+    randomwm_insert(&mut rw_model, &sig, &cfg);
+    let mut wraps = 0;
+    for (a, b) in rw_model.layers.iter().zip(&original.layers) {
+        for f in 0..a.len() {
+            if (a.q_at_flat(f) as i16 - b.q_at_flat(f) as i16).abs() > 1 {
+                wraps += 1;
+            }
+        }
+    }
+    assert!(wraps > 0, "expected RandomWM wraps on an INT4 grid");
+}
+
+#[test]
+fn randomwm_damages_int4_logits_more_than_emmark() {
+    let (_, original, stats) = setup();
+    let tokens: Vec<u32> = (0..24u32).map(|i| (i * 3 + 1) % 31).collect();
+    let baseline = original.logits(&tokens);
+    let bits = 16usize;
+
+    let em = EmMarkScheme {
+        config: WatermarkConfig { bits_per_layer: bits, pool_ratio: 10, ..Default::default() },
+        signature_seed: 2,
+    };
+    let mut em_model = original.clone();
+    em.insert(&mut em_model, &stats).expect("insert");
+    let em_err = baseline.sub(&em_model.logits(&tokens)).frobenius_norm();
+
+    // Average RandomWM damage over several seeds (wrap events are rare
+    // but catastrophic; the mean is the fair comparison).
+    let mut rw_errs = Vec::new();
+    for seed in 0..5 {
+        let rw = RandomWmScheme {
+            config: RandomWmConfig { bits_per_layer: bits, seed },
+            signature_seed: 2,
+        };
+        let mut rw_model = original.clone();
+        rw.insert(&mut rw_model, &stats).expect("insert");
+        rw_errs.push(baseline.sub(&rw_model.logits(&tokens)).frobenius_norm());
+    }
+    let rw_mean = rw_errs.iter().sum::<f64>() / rw_errs.len() as f64;
+    assert!(
+        em_err < rw_mean,
+        "EmMark damage {em_err} should undercut RandomWM mean damage {rw_mean} ({rw_errs:?})"
+    );
+}
+
+#[test]
+fn harness_sweep_matches_paper_wer_pattern() {
+    let (_, original, stats) = setup();
+    let schemes: Vec<Box<dyn WatermarkScheme>> = vec![
+        Box::new(SpecMarkScheme { config: Default::default(), signature_seed: 3 }),
+        Box::new(RandomWmScheme { config: Default::default(), signature_seed: 3 }),
+        Box::new(EmMarkScheme {
+            config: WatermarkConfig { bits_per_layer: 8, pool_ratio: 10, ..Default::default() },
+            signature_seed: 3,
+        }),
+    ];
+    let mut results = Vec::new();
+    for scheme in &schemes {
+        let mut deployed = original.clone();
+        scheme.insert(&mut deployed, &stats).expect("insert");
+        let wer = scheme.extract(&deployed, &original, &stats).expect("extract").wer();
+        results.push((scheme.name(), wer));
+    }
+    assert_eq!(results[0].1, 0.0, "SpecMark row is grey in the paper (failed insertion)");
+    assert!(results[1].1 > 80.0, "RandomWM extracts (mostly)");
+    assert_eq!(results[2].1, 100.0, "EmMark extracts fully");
+}

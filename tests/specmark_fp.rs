@@ -1,0 +1,87 @@
+//! The SpecMark sanity experiment (§5.2 "Comparison with SpecMark"):
+//! the same SpecMark implementation must *succeed* on full-precision
+//! weights and *fail* on quantized ones — establishing that the 0% WER
+//! in Table 1 is a property of the integer grid, not of the
+//! implementation.
+
+use emmark::core::baselines::{
+    specmark_extract_fp, specmark_extract_quantized, specmark_insert_fp,
+    specmark_insert_quantized, SpecMarkConfig,
+};
+use emmark::core::signature::Signature;
+use emmark::nanolm::model::LogitsModel;
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+
+fn fp_model() -> TransformerModel {
+    TransformerModel::new(ModelConfig::tiny_test())
+}
+
+fn cfg() -> SpecMarkConfig {
+    SpecMarkConfig { bits_per_layer: 8, ..Default::default() }
+}
+
+#[test]
+fn specmark_extracts_fully_from_full_precision_weights() {
+    let original = fp_model();
+    let mut marked = original.clone();
+    let sig = Signature::generate(cfg().bits_per_layer * original.cfg.quant_layer_count(), 1);
+    specmark_insert_fp(&mut marked, &sig, &cfg());
+    let report = specmark_extract_fp(&marked, &original, &sig, &cfg());
+    assert_eq!(report.wer(), 100.0);
+}
+
+#[test]
+fn specmark_perturbation_preserves_fp_model_behavior() {
+    let original = fp_model();
+    let mut marked = original.clone();
+    let sig = Signature::generate(cfg().bits_per_layer * original.cfg.quant_layer_count(), 2);
+    specmark_insert_fp(&mut marked, &sig, &cfg());
+    let tokens = [1u32, 4, 9, 16, 25];
+    let a = original.logits(&tokens);
+    let b = marked.logits(&tokens);
+    let rel = a.sub(&b).frobenius_norm() / a.frobenius_norm().max(1e-12);
+    // ε = 0.01 spread over 256-sample blocks is a ~1e-3 per-weight
+    // nudge; on a 16-wide micro model that is a few percent of logit
+    // norm — small, and far below the quantization error itself.
+    assert!(rel < 0.08, "SpecMark damaged the fp model: rel err {rel}");
+}
+
+#[test]
+fn the_same_scheme_dies_on_the_integer_grid() {
+    for bits in [8u8, 4] {
+        let fp = fp_model();
+        let original = QuantizedModel::quantize_with(&fp, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, bits, Granularity::PerOutChannel, ActQuant::None)
+        });
+        let mut marked = original.clone();
+        let sig = Signature::generate(cfg().bits_per_layer * original.layer_count(), 3);
+        specmark_insert_quantized(&mut marked, &sig, &cfg());
+        let report = specmark_extract_quantized(&marked, &original, &sig, &cfg());
+        assert_eq!(report.wer(), 0.0, "INT{bits}: SpecMark must fail on quantized weights");
+        // …and the reason is that the weights never changed.
+        assert!(marked.same_weights(&original));
+    }
+}
+
+#[test]
+fn a_huge_epsilon_would_survive_but_that_is_no_longer_specmark() {
+    // Show the mechanism precisely: ε comparable to a quantization step
+    // does survive rounding — at the cost of directly bumping integers,
+    // which is exactly the regime EmMark handles with scoring instead.
+    let fp = fp_model();
+    let original = QuantizedModel::quantize_with(&fp, "rtn", |_, lin| {
+        quantize_linear_rtn(lin, 4, Granularity::PerOutChannel, ActQuant::None)
+    });
+    let big = SpecMarkConfig { epsilon: 24.0, ..cfg() };
+    let sig = Signature::generate(big.bits_per_layer * original.layer_count(), 4);
+    let mut marked = original.clone();
+    specmark_insert_quantized(&mut marked, &sig, &big);
+    assert!(
+        !marked.same_weights(&original),
+        "a step-scale epsilon must actually alter the integer grid"
+    );
+    let report = specmark_extract_quantized(&marked, &original, &sig, &big);
+    assert!(report.wer() > 20.0, "some step-scale bits should survive rounding");
+}

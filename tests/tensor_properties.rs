@@ -1,0 +1,97 @@
+//! Property tests for the numeric substrate: algebra laws the entire
+//! stack silently relies on.
+
+use emmark::tensor::rng::Xoshiro256;
+use emmark::tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with bounded entries.
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_range(-3.0, 3.0))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (AB)C == A(BC) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, p in 1usize..8, seed in 0u64..1000,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 1);
+        let c = matrix(n, p, seed ^ 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-4);
+    }
+
+    /// A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 3);
+        let c = matrix(k, n, seed ^ 4);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        assert_close(&left, &right, 1e-4);
+    }
+
+    /// (AB)^T == B^T A^T, and the fused kernels agree with the naive
+    /// compositions.
+    #[test]
+    fn transpose_product_law_and_fused_kernels(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 5);
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        assert_close(&ab_t, &bt_at, 1e-4);
+
+        // Fused: A * B^T and A^T * B.
+        let c = matrix(m, k, seed ^ 6);
+        let fused = a.matmul_transb(&c); // [m, m]
+        let naive = a.matmul(&c.transpose());
+        assert_close(&fused, &naive, 1e-4);
+
+        let d = matrix(m, n, seed ^ 7);
+        let fused2 = a.transa_matmul(&d); // [k, n]
+        let naive2 = a.transpose().matmul(&d);
+        assert_close(&fused2, &naive2, 1e-4);
+    }
+
+    /// Row slicing and stacking are inverse operations.
+    #[test]
+    fn slice_stack_roundtrip(rows in 2usize..10, cols in 1usize..6, cut in 1usize..9, seed in 0u64..1000) {
+        prop_assume!(cut < rows);
+        let m = matrix(rows, cols, seed);
+        let rebuilt = m.slice_rows(0, cut).vstack(&m.slice_rows(cut, rows));
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    /// Column statistics agree with brute force.
+    #[test]
+    fn column_stats_match_bruteforce(rows in 1usize..10, cols in 1usize..6, seed in 0u64..1000) {
+        let m = matrix(rows, cols, seed);
+        let maxes = m.col_abs_max();
+        let means = m.col_abs_mean();
+        for j in 0..cols {
+            let col = m.col(j);
+            let bf_max = col.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+            let bf_mean: f32 = col.iter().map(|v| v.abs()).sum::<f32>() / rows as f32;
+            prop_assert!((maxes[j] - bf_max).abs() < 1e-6);
+            prop_assert!((means[j] - bf_mean).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Edge-case integration tests for the watermarking core: stacked
+//! watermarks, extreme configurations, and adversarial parameter
+//! boundaries that unit tests don't reach.
+
+use emmark::core::watermark::{
+    extract_watermark, insert_watermark, OwnerSecrets, WatermarkConfig, WatermarkError,
+};
+use emmark::core::Signature;
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+
+fn setup() -> (QuantizedModel, emmark::nanolm::ActivationStats) {
+    let mut model = TransformerModel::new(ModelConfig::tiny_test());
+    let calib: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let qm = awq(&model, &stats, &AwqConfig::default());
+    (qm, stats)
+}
+
+#[test]
+fn two_stacked_watermarks_with_distinct_seeds_mostly_coexist() {
+    let (original, stats) = setup();
+    let cfg_a = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        selection_seed: 100,
+        ..Default::default()
+    };
+    let cfg_b = WatermarkConfig { selection_seed: 999, ..cfg_a };
+    let sig_a = Signature::generate(cfg_a.signature_len(original.layer_count()), 1);
+    let sig_b = Signature::generate(cfg_b.signature_len(original.layer_count()), 2);
+
+    let mut doubly = original.clone();
+    insert_watermark(&mut doubly, &stats, &sig_a, &cfg_a).expect("first insert");
+    // The second insertion sees a model that differs from the original
+    // by the first watermark. It derives locations from the *current*
+    // model — exactly what a second party (or the fingerprint layer)
+    // would do.
+    insert_watermark(&mut doubly, &stats, &sig_b, &cfg_b).expect("second insert");
+
+    // The first watermark extracts against the true original; a few
+    // bits may be disturbed where the second insertion landed on them.
+    let a = extract_watermark(&doubly, &original, &stats, &sig_a, &cfg_a).expect("extract A");
+    assert!(a.wer() >= 85.0, "first watermark too damaged: {}", a.wer());
+    assert!(a.proves_ownership(-9.0));
+}
+
+#[test]
+fn minimum_viable_configuration_works() {
+    let (original, stats) = setup();
+    // 1 bit per layer, pool of 1: fully deterministic selection.
+    let cfg = WatermarkConfig { bits_per_layer: 1, pool_ratio: 1, ..Default::default() };
+    let secrets = OwnerSecrets::new(original, stats, cfg, 7);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let report = secrets.verify(&deployed).expect("extract");
+    assert_eq!(report.wer(), 100.0);
+    // 13 quantized layers -> 13 bits -> p = 2^-13, weak but nonzero.
+    assert!(report.log10_p_chance() < -3.5);
+}
+
+#[test]
+fn int8_per_tensor_grids_also_carry_watermarks() {
+    // The coarsest possible grid (single scale for the whole tensor).
+    let model = TransformerModel::new(ModelConfig::tiny_test());
+    let mut model = model;
+    let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+    let stats = model.collect_activation_stats(&calib);
+    let original = QuantizedModel::quantize_with(&model, "rtn-pt", |_, lin| {
+        quantize_linear_rtn(lin, 8, Granularity::PerTensor, ActQuant::None)
+    });
+    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let secrets = OwnerSecrets::new(original, stats, cfg, 8);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    assert_eq!(secrets.verify(&deployed).expect("extract").wer(), 100.0);
+}
+
+#[test]
+fn invalid_configurations_are_rejected_up_front() {
+    let (mut original, stats) = setup();
+    let sig = Signature::generate(13, 1);
+    for bad in [
+        WatermarkConfig { alpha: -1.0, ..Default::default() },
+        WatermarkConfig { alpha: 0.0, beta: 0.0, ..Default::default() },
+        WatermarkConfig { bits_per_layer: 0, ..Default::default() },
+        WatermarkConfig { pool_ratio: 0, ..Default::default() },
+    ] {
+        let err = insert_watermark(&mut original, &stats, &sig, &bad).expect_err("must reject");
+        assert!(
+            matches!(
+                err,
+                WatermarkError::InvalidConfig(_) | WatermarkError::SignatureLength { .. }
+            ),
+            "unexpected error for {bad:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn extraction_is_symmetric_under_signature_negation() {
+    // Negating every bit of the signature should match exactly zero
+    // positions of a properly watermarked model (deltas are all the
+    // original bits).
+    let (original, stats) = setup();
+    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let secrets = OwnerSecrets::new(original.clone(), stats.clone(), cfg, 9);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let negated =
+        Signature::from_bits(secrets.signature.bits().iter().map(|&b| -b).collect());
+    let report =
+        extract_watermark(&deployed, &original, &stats, &negated, &cfg).expect("extract");
+    assert_eq!(report.matched_bits, 0, "negated signature must match nothing");
+}
+
+#[test]
+fn verification_against_truncated_architecture_fails_cleanly() {
+    let (original, stats) = setup();
+    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let secrets = OwnerSecrets::new(original, stats, cfg, 10);
+
+    let mut tiny_cfg = ModelConfig::tiny_test();
+    tiny_cfg.d_model = 8;
+    tiny_cfg.d_ff = 16;
+    tiny_cfg.n_heads = 2;
+    let other = TransformerModel::new(tiny_cfg);
+    let other_q = QuantizedModel::quantize_with(&other, "rtn", |_, lin| {
+        quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+    });
+    let err = secrets.verify(&other_q).expect_err("shape mismatch");
+    assert!(matches!(err, WatermarkError::ShapeMismatch(_)));
+}
