@@ -101,7 +101,10 @@ pub fn forge_counterfeit_claim(
         original: fake_original,
         stats,
         signature,
-        config: WatermarkConfig { bits_per_layer, ..Default::default() },
+        config: WatermarkConfig {
+            bits_per_layer,
+            ..Default::default()
+        },
         locations,
     }
 }
@@ -122,8 +125,8 @@ pub fn naive_delta_check(claim: &OwnershipClaim, suspect: &QuantizedModel) -> f6
     for (l, locs) in claim.locations.iter().enumerate() {
         let bits = claim.signature.layer_bits(l, n);
         for (&f, &b) in locs.iter().zip(bits) {
-            let delta =
-                suspect.layers[l].q_at_flat(f) as i16 - claim.original.layers[l].q_at_flat(f) as i16;
+            let delta = suspect.layers[l].q_at_flat(f) as i16
+                - claim.original.layers[l].q_at_flat(f) as i16;
             if delta == b as i16 {
                 matched += 1;
             }
@@ -179,9 +182,10 @@ pub fn validate_claim(
                     .zip(&claim.stats.per_layer)
                     .all(|(a, b)| {
                         a.mean_abs.len() == b.mean_abs.len()
-                            && a.mean_abs.iter().zip(&b.mean_abs).all(|(x, y)| {
-                                (x - y).abs() <= STATS_TOLERANCE * x.abs().max(1e-6)
-                            })
+                            && a.mean_abs
+                                .iter()
+                                .zip(&b.mean_abs)
+                                .all(|(x, y)| (x - y).abs() <= STATS_TOLERANCE * x.abs().max(1e-6))
                     })
         }
     };
@@ -211,14 +215,20 @@ mod tests {
     use emmark_quant::awq::{awq, AwqConfig};
 
     fn calibration() -> Vec<Vec<u32>> {
-        (0..4u32).map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect()).collect()
+        (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+            .collect()
     }
 
     fn owner_setup() -> (OwnerSecrets, TransformerModel) {
         let mut model = TransformerModel::new(ModelConfig::tiny_test());
         let stats = model.collect_activation_stats(&calibration());
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         (OwnerSecrets::new(qm, stats, cfg, 31337), model)
     }
 
@@ -240,8 +250,11 @@ mod tests {
         let mut claim = forge_counterfeit_claim(&deployed, &calibration(), 4, 670);
         // Even granting the adversary a pool-sized config, the randomly
         // asserted cells are not what EmMark scoring derives.
-        claim.config =
-            WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        claim.config = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         let derived = locate_watermark(&claim.original, &claim.stats, &claim.config)
             .expect("derivable with small pool");
         assert_ne!(derived, claim.locations);
@@ -267,8 +280,7 @@ mod tests {
         let mut other_cfg = ModelConfig::tiny_test();
         other_cfg.init_seed = 999;
         let mut other_fp = TransformerModel::new(other_cfg);
-        let verdict =
-            validate_claim(&claim, &deployed, Some(&mut other_fp), &calibration(), 90.0);
+        let verdict = validate_claim(&claim, &deployed, Some(&mut other_fp), &calibration(), 90.0);
         assert!(
             !verdict.stats_reproducible,
             "unrelated fp model must not reproduce the claimed stats"
@@ -281,10 +293,12 @@ mod tests {
         let (secrets, mut fp_model) = owner_setup();
         let deployed = secrets.watermark_for_deployment().expect("insert");
         let claim = OwnershipClaim::from_secrets(&secrets).expect("claim");
-        let verdict =
-            validate_claim(&claim, &deployed, Some(&mut fp_model), &calibration(), 90.0);
+        let verdict = validate_claim(&claim, &deployed, Some(&mut fp_model), &calibration(), 90.0);
         assert!(verdict.stats_reproducible, "owner's stats must reproduce");
-        assert!(verdict.locations_reproducible, "owner's locations must re-derive");
+        assert!(
+            verdict.locations_reproducible,
+            "owner's locations must re-derive"
+        );
         assert_eq!(verdict.wer_at_reproduced_locations, 100.0);
         assert!(verdict.accepted);
     }

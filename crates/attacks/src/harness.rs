@@ -40,7 +40,10 @@ pub fn overwrite_sweep(
             if strength > 0 {
                 overwrite_attack(
                     &mut attacked,
-                    &OverwriteConfig { per_layer: strength, seed: attack_seed },
+                    &OverwriteConfig {
+                        per_layer: strength,
+                        seed: attack_seed,
+                    },
                 );
             }
             measure(secrets, &attacked, corpus, eval_cfg, strength)
@@ -68,7 +71,10 @@ pub fn rewatermark_sweep(
                 rewatermark_attack(
                     &mut attacked,
                     &adv_stats,
-                    &RewatermarkConfig { per_layer: strength, ..Default::default() },
+                    &RewatermarkConfig {
+                        per_layer: strength,
+                        ..Default::default()
+                    },
                 );
             }
             measure(secrets, &attacked, corpus, eval_cfg, strength)
@@ -85,7 +91,12 @@ fn measure(
 ) -> AttackPoint {
     let quality = evaluate_quality(attacked, corpus, eval_cfg);
     let wer = secrets.verify(attacked).map(|r| r.wer()).unwrap_or(0.0);
-    AttackPoint { strength, ppl: quality.ppl, zero_shot_acc: quality.zero_shot_acc, wer }
+    AttackPoint {
+        strength,
+        ppl: quality.ppl,
+        zero_shot_acc: quality.zero_shot_acc,
+        wer,
+    }
 }
 
 #[cfg(test)]
@@ -106,13 +117,26 @@ mod tests {
         train(
             &mut model,
             &corpus,
-            &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+            &TrainConfig {
+                steps: 80,
+                batch_size: 6,
+                seq_len: 16,
+                ..TrainConfig::default()
+            },
         );
-        let calib: Vec<Vec<u32>> =
-            corpus.valid.chunks(16).take(6).map(|c| c.to_vec()).collect();
+        let calib: Vec<Vec<u32>> = corpus
+            .valid
+            .chunks(16)
+            .take(6)
+            .map(|c| c.to_vec())
+            .collect();
         let stats = model.collect_activation_stats(&calib);
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let wm_cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let wm_cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         let secrets = OwnerSecrets::new(qm, stats, wm_cfg, 5150);
         let deployed = secrets.watermark_for_deployment().expect("insert");
         (secrets, deployed, corpus)
@@ -121,7 +145,11 @@ mod tests {
     #[test]
     fn overwrite_sweep_shows_the_figure_2a_shape() {
         let (secrets, deployed, corpus) = setup();
-        let eval_cfg = EvalConfig { task_items: 12, ppl_tokens: 300, ..EvalConfig::tiny_test() };
+        let eval_cfg = EvalConfig {
+            task_items: 12,
+            ppl_tokens: 300,
+            ..EvalConfig::tiny_test()
+        };
         // Strengths sized to the tiny 256-cell test layers: the paper's
         // 100–500-per-layer sweep on multi-million-cell layers maps to
         // single-digit percentages of cells, i.e. tens of cells here.
@@ -138,9 +166,18 @@ mod tests {
     #[test]
     fn rewatermark_sweep_keeps_owner_wer_high() {
         let (secrets, deployed, corpus) = setup();
-        let eval_cfg = EvalConfig { task_items: 12, ppl_tokens: 300, ..EvalConfig::tiny_test() };
-        let calib: Vec<Vec<u32>> =
-            corpus.valid.chunks(16).skip(6).take(4).map(|c| c.to_vec()).collect();
+        let eval_cfg = EvalConfig {
+            task_items: 12,
+            ppl_tokens: 300,
+            ..EvalConfig::tiny_test()
+        };
+        let calib: Vec<Vec<u32>> = corpus
+            .valid
+            .chunks(16)
+            .skip(6)
+            .take(4)
+            .map(|c| c.to_vec())
+            .collect();
         let points =
             rewatermark_sweep(&secrets, &deployed, &corpus, &eval_cfg, &[0, 8, 24], &calib);
         assert_eq!(points[0].wer, 100.0);

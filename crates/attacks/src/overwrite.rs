@@ -45,7 +45,12 @@ mod tests {
     fn quantized_tiny() -> QuantizedModel {
         let model = TransformerModel::new(ModelConfig::tiny_test());
         QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
-            quantize_linear_rtn(lin, 4, Granularity::Grouped { group_size: 8 }, ActQuant::None)
+            quantize_linear_rtn(
+                lin,
+                4,
+                Granularity::Grouped { group_size: 8 },
+                ActQuant::None,
+            )
         })
     }
 
@@ -53,7 +58,13 @@ mod tests {
     fn attack_touches_exactly_k_cells_per_layer() {
         let original = quantized_tiny();
         let mut attacked = original.clone();
-        let touched = overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 10, seed: 1 });
+        let touched = overwrite_attack(
+            &mut attacked,
+            &OverwriteConfig {
+                per_layer: 10,
+                seed: 1,
+            },
+        );
         assert_eq!(touched, 10 * original.layer_count());
         let mut changed = 0;
         for (a, b) in attacked.layers.iter().zip(&original.layers) {
@@ -71,7 +82,13 @@ mod tests {
         let original = quantized_tiny();
         let mut attacked = original.clone();
         let huge = 1_000_000;
-        let touched = overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: huge, seed: 2 });
+        let touched = overwrite_attack(
+            &mut attacked,
+            &OverwriteConfig {
+                per_layer: huge,
+                seed: 2,
+            },
+        );
         let cells: usize = original.layers.iter().map(|l| l.len()).sum();
         assert_eq!(touched, cells);
     }
@@ -81,11 +98,29 @@ mod tests {
         let original = quantized_tiny();
         let mut a = original.clone();
         let mut b = original.clone();
-        overwrite_attack(&mut a, &OverwriteConfig { per_layer: 20, seed: 7 });
-        overwrite_attack(&mut b, &OverwriteConfig { per_layer: 20, seed: 7 });
+        overwrite_attack(
+            &mut a,
+            &OverwriteConfig {
+                per_layer: 20,
+                seed: 7,
+            },
+        );
+        overwrite_attack(
+            &mut b,
+            &OverwriteConfig {
+                per_layer: 20,
+                seed: 7,
+            },
+        );
         assert!(a.same_weights(&b));
         let mut c = original.clone();
-        overwrite_attack(&mut c, &OverwriteConfig { per_layer: 20, seed: 8 });
+        overwrite_attack(
+            &mut c,
+            &OverwriteConfig {
+                per_layer: 20,
+                seed: 8,
+            },
+        );
         assert!(!a.same_weights(&c));
     }
 
@@ -98,9 +133,18 @@ mod tests {
         let mut errs = Vec::new();
         for k in [5usize, 50, 200] {
             let mut attacked = original.clone();
-            overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: k, seed: 3 });
+            overwrite_attack(
+                &mut attacked,
+                &OverwriteConfig {
+                    per_layer: k,
+                    seed: 3,
+                },
+            );
             errs.push(base.sub(&attacked.logits(&tokens)).frobenius_norm());
         }
-        assert!(errs[0] < errs[2], "damage should grow with strength: {errs:?}");
+        assert!(
+            errs[0] < errs[2],
+            "damage should grow with strength: {errs:?}"
+        );
     }
 }

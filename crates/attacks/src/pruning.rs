@@ -18,7 +18,10 @@ use emmark_quant::QuantizedModel;
 ///
 /// Panics if `fraction` is outside `[0, 1]`.
 pub fn prune_attack(model: &mut QuantizedModel, fraction: f64) -> usize {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut zeroed = 0usize;
     for layer in &mut model.layers {
         let mut nonzero: Vec<(i8, usize)> = (0..layer.len())
@@ -51,7 +54,11 @@ mod tests {
             .collect();
         let stats = model.collect_activation_stats(&calib);
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         let secrets = OwnerSecrets::new(qm, stats, cfg, 404);
         let deployed = secrets.watermark_for_deployment().expect("insert");
         (secrets, deployed)
@@ -80,7 +87,10 @@ mod tests {
         prune_attack(&mut pruned, 0.6);
         let damaged = pruned.logits(&tokens);
         let rel = base.sub(&damaged).frobenius_norm() / base.frobenius_norm().max(1e-12);
-        assert!(rel > 0.2, "60% pruning must visibly damage logits (rel {rel})");
+        assert!(
+            rel > 0.2,
+            "60% pruning must visibly damage logits (rel {rel})"
+        );
         // Outputs may be garbage but the runtime stays numerically sane.
         assert!(damaged.iter().all(|v| v.is_finite()));
     }
@@ -95,7 +105,11 @@ mod tests {
         // term preferred large-|q| cells, so most bits survive a
         // quality-destroying 25% prune.
         assert!(report.wer() > 60.0, "wer {}", report.wer());
-        assert!(report.proves_ownership(-6.0), "p = 10^{}", report.log10_p_chance());
+        assert!(
+            report.proves_ownership(-6.0),
+            "p = 10^{}",
+            report.log10_p_chance()
+        );
     }
 
     #[test]

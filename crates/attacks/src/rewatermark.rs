@@ -31,7 +31,13 @@ pub struct RewatermarkConfig {
 
 impl Default for RewatermarkConfig {
     fn default() -> Self {
-        Self { alpha: 1.0, beta: 1.5, seed: 22, per_layer: 8, pool_ratio: 50 }
+        Self {
+            alpha: 1.0,
+            beta: 1.5,
+            seed: 22,
+            per_layer: 8,
+            pool_ratio: 50,
+        }
     }
 }
 
@@ -52,7 +58,10 @@ pub fn rewatermark_attack(
         model.layer_count(),
         "adversary stats do not cover the model"
     );
-    let coeffs = ScoreCoefficients { alpha: cfg.alpha, beta: cfg.beta };
+    let coeffs = ScoreCoefficients {
+        alpha: cfg.alpha,
+        beta: cfg.beta,
+    };
     let mut sm = SplitMix64::new(cfg.seed ^ 0xADE5_0B11);
     let mut touched = 0usize;
     for (l, layer) in model.layers.iter_mut().enumerate() {
@@ -95,12 +104,18 @@ mod tests {
             .collect();
         let stats = model.collect_activation_stats(&calib);
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         OwnerSecrets::new(qm, stats, cfg, 4242)
     }
 
     fn adversary_calib() -> Vec<Vec<u32>> {
-        (0..3u32).map(|s| (0..16u32).map(|i| (i * 11 + s * 5) % 31).collect()).collect()
+        (0..3u32)
+            .map(|s| (0..16u32).map(|i| (i * 11 + s * 5) % 31).collect())
+            .collect()
     }
 
     #[test]
@@ -109,7 +124,10 @@ mod tests {
         let deployed = secrets.watermark_for_deployment().expect("insert");
         let mut attacked = deployed.clone();
         let adv_stats = deployed.collect_activation_stats(&adversary_calib());
-        let cfg = RewatermarkConfig { per_layer: 6, ..Default::default() };
+        let cfg = RewatermarkConfig {
+            per_layer: 6,
+            ..Default::default()
+        };
         let touched = rewatermark_attack(&mut attacked, &adv_stats, &cfg);
         assert_eq!(touched, 6 * deployed.layer_count());
         assert!(!attacked.same_weights(&deployed));
@@ -124,7 +142,10 @@ mod tests {
         rewatermark_attack(
             &mut attacked,
             &adv_stats,
-            &RewatermarkConfig { per_layer: 8, ..Default::default() },
+            &RewatermarkConfig {
+                per_layer: 8,
+                ..Default::default()
+            },
         );
         let report = secrets.verify(&attacked).expect("extract");
         // The adversary's pool overlaps the owner's only partially; most
@@ -142,7 +163,10 @@ mod tests {
         rewatermark_attack(
             &mut attacked,
             &adv_stats,
-            &RewatermarkConfig { per_layer: 12, ..Default::default() },
+            &RewatermarkConfig {
+                per_layer: 12,
+                ..Default::default()
+            },
         );
         for (a, b) in attacked.layers.iter().zip(&deployed.layers) {
             for f in 0..a.len() {
@@ -161,7 +185,10 @@ mod tests {
         let touched = rewatermark_attack(
             &mut attacked,
             &adv_stats,
-            &RewatermarkConfig { per_layer: 1_000_000, ..Default::default() },
+            &RewatermarkConfig {
+                per_layer: 1_000_000,
+                ..Default::default()
+            },
         );
         let capacity: usize = deployed.layers.iter().map(|l| l.len()).sum();
         assert!(touched <= capacity);

@@ -85,7 +85,11 @@ fn main() {
     let pool_ratio = 20usize;
 
     // Standard EmMark (with exclusion).
-    let cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: bits,
+        pool_ratio,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 111);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     let q_std = evaluate_quality(&deployed, &prepared.corpus, &eval_cfg);

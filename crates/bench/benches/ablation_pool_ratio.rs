@@ -30,14 +30,24 @@ fn main() {
         "ratio", "PPL", "zero-shot acc (%)", "WER (%)", "WER after 100/layer (%)"
     );
     for ratio in [2usize, 5, 10, 20, 50] {
-        let cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio: ratio, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: bits,
+            pool_ratio: ratio,
+            ..Default::default()
+        };
         let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 99);
         match secrets.watermark_for_deployment() {
             Ok(deployed) => {
                 let quality = evaluate_quality(&deployed, &prepared.corpus, &eval_cfg);
                 let clean = secrets.verify(&deployed).expect("extract");
                 let mut attacked = deployed.clone();
-                overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 100, seed: 5 });
+                overwrite_attack(
+                    &mut attacked,
+                    &OverwriteConfig {
+                        per_layer: 100,
+                        seed: 5,
+                    },
+                );
                 let under_attack = secrets.verify(&attacked).expect("extract");
                 println!(
                     "{ratio:>7} {:>10.2} {:>18.2} {:>10.1} {:>22.1}",
@@ -57,7 +67,11 @@ fn main() {
     // Criterion: location derivation across ratios (the O(pool) step).
     let mut criterion = Criterion::default().sample_size(10).configure_from_args();
     for ratio in [5usize, 50] {
-        let cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio: ratio, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: bits,
+            pool_ratio: ratio,
+            ..Default::default()
+        };
         criterion.bench_function(&format!("ablation/locate_ratio_{ratio}"), |b| {
             b.iter(|| locate_watermark(&original, &prepared.stats, &cfg).expect("locate"))
         });

@@ -19,7 +19,11 @@ fn main() {
     print_header("FIGURE 2(a)", "parameter overwriting attack sweep");
     let prepared = prepare_target();
     let original = awq_int4(&prepared);
-    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 16,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, prepared.stats.clone(), cfg, 55);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     let eval_cfg = bench_eval_cfg();
@@ -61,7 +65,13 @@ fn main() {
     criterion.bench_function("fig2a/overwrite_500_per_layer", |b| {
         b.iter(|| {
             let mut attacked = deployed.clone();
-            overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 500, seed: 1 });
+            overwrite_attack(
+                &mut attacked,
+                &OverwriteConfig {
+                    per_layer: 500,
+                    seed: 1,
+                },
+            );
             attacked
         })
     });

@@ -14,10 +14,17 @@ use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark_eval::report::evaluate_quality;
 
 fn main() {
-    print_header("FIGURE 2(b)", "re-watermark attack sweep (adversary: α=1, β=1.5, seed 22)");
+    print_header(
+        "FIGURE 2(b)",
+        "re-watermark attack sweep (adversary: α=1, β=1.5, seed 22)",
+    );
     let prepared = prepare_target();
     let original = awq_int4(&prepared);
-    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 16,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, prepared.stats.clone(), cfg, 66);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     let eval_cfg = bench_eval_cfg();
@@ -30,8 +37,13 @@ fn main() {
     );
 
     // Adversary's calibration: public test-distribution text.
-    let adv_calib: Vec<Vec<u32>> =
-        prepared.corpus.test.chunks(24).take(12).map(|c| c.to_vec()).collect();
+    let adv_calib: Vec<Vec<u32>> = prepared
+        .corpus
+        .test
+        .chunks(24)
+        .take(12)
+        .map(|c| c.to_vec())
+        .collect();
     let strengths = [0usize, 100, 150, 200, 250, 300];
     let points = rewatermark_sweep(
         &secrets,
@@ -66,7 +78,10 @@ fn main() {
             rewatermark_attack(
                 &mut attacked,
                 &adv_stats,
-                &RewatermarkConfig { per_layer: 300, ..Default::default() },
+                &RewatermarkConfig {
+                    per_layer: 300,
+                    ..Default::default()
+                },
             );
             attacked
         })

@@ -36,7 +36,11 @@ fn main() {
         // ratio as density rises (the paper's 50x pool assumes layers
         // 1000x larger than ours).
         let pool_ratio = ((smallest * 8 / 10) / bits).clamp(2, 50);
-        let cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: bits,
+            pool_ratio,
+            ..Default::default()
+        };
         let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 77);
         match secrets.watermark_for_deployment() {
             Ok(deployed) => {
@@ -60,7 +64,11 @@ fn main() {
 
     // Criterion: insertion cost at the paper's 100-bit capacity point.
     let pool_ratio = ((smallest * 8 / 10) / 100).clamp(2, 50);
-    let cfg = WatermarkConfig { bits_per_layer: 100, pool_ratio, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 100,
+        pool_ratio,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 77);
     let mut criterion = Criterion::default().sample_size(10).configure_from_args();
     criterion.bench_function("fig3/insert_100_bits_per_layer", |b| {

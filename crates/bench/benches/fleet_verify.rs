@@ -1,0 +1,158 @@
+//! **Fleet verification** — batch ownership proof and leak tracing at
+//! deployment scale, the scenario the paper's IP-protection story
+//! implies: one watermarked model shipped to many edge devices, later
+//! verified wholesale against the device registry.
+//!
+//! Compares the naive path (per artifact × per device: rebuild the
+//! base-watermarked reference, re-score every layer, re-derive the
+//! candidate pools) with the [`emmark_core::fleet::FleetVerifier`]
+//! engine (score/pool/locations cached once per model family; artifacts
+//! stream through the deploy codec and fan out across worker threads).
+//! Both paths must produce bit-for-bit identical verdicts.
+
+use criterion::Criterion;
+use emmark_bench::print_header;
+use emmark_core::deploy::{decode_model, encode_model};
+use emmark_core::fingerprint::Fleet;
+use emmark_core::fleet::FleetVerifier;
+use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark_nanolm::config::ModelConfig;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use std::time::Instant;
+
+const DEVICES: usize = 16;
+
+fn build_fleet() -> (Fleet, Vec<Vec<u8>>) {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut model = TransformerModel::new(cfg);
+    let calib: Vec<Vec<u32>> = (0..8u32)
+        .map(|s| (0..24u32).map(|i| (i * 7 + s * 5) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+    let base_cfg = WatermarkConfig {
+        bits_per_layer: 8,
+        pool_ratio: 20,
+        ..Default::default()
+    };
+    let base = OwnerSecrets::new(quantized, stats, base_cfg, 0xF1EE7);
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 20,
+        selection_seed: 0xDE11CE,
+        ..Default::default()
+    };
+    let mut fleet = Fleet::new(base, fp_cfg);
+    let artifacts: Vec<Vec<u8>> = (0..DEVICES)
+        .map(|i| {
+            let deployed = fleet.provision(&format!("edge-{i:04}")).expect("provision");
+            encode_model(&deployed).to_vec()
+        })
+        .collect();
+    (fleet, artifacts)
+}
+
+/// The uncached reference path: decode each artifact, then run the
+/// serial `Fleet` API, which re-derives every location set per check.
+fn naive_verify(fleet: &Fleet, artifacts: &[Vec<u8>]) -> Vec<(String, f64)> {
+    artifacts
+        .iter()
+        .map(|bytes| {
+            let suspect = decode_model(bytes).expect("decode");
+            let ownership = fleet.base.verify(&suspect).expect("verify");
+            let traced = fleet
+                .identify_leak(&suspect, -6.0)
+                .expect("identify")
+                .map(|(d, _)| d.device_id.clone())
+                .unwrap_or_default();
+            (traced, ownership.wer())
+        })
+        .collect()
+}
+
+fn main() {
+    print_header(
+        "FLEET",
+        &format!("batch verification of {DEVICES} fingerprinted device artifacts"),
+    );
+    let (fleet, artifacts) = build_fleet();
+    let total_bytes: usize = artifacts.iter().map(Vec::len).sum();
+    println!(
+        "{} artifacts ({:.1} KiB total), {} registered devices",
+        artifacts.len(),
+        total_bytes as f64 / 1024.0,
+        fleet.devices().len()
+    );
+
+    // One timed pass of each path, plus an agreement check.
+    let start = Instant::now();
+    let naive = naive_verify(&fleet, &artifacts);
+    let naive_time = start.elapsed();
+
+    let start = Instant::now();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let cache_time = start.elapsed();
+    let start = Instant::now();
+    let verdicts = verifier.verify_batch(&artifacts, -6.0, None);
+    let cached_time = start.elapsed();
+
+    for (i, (verdict, (naive_dev, naive_wer))) in verdicts.iter().zip(&naive).enumerate() {
+        let v = verdict.as_ref().expect("verdict");
+        assert_eq!(
+            v.ownership.wer(),
+            *naive_wer,
+            "artifact {i}: ownership WER diverged"
+        );
+        let cached_dev = v
+            .attribution
+            .as_ref()
+            .map(|(d, _)| d.device_id.clone())
+            .unwrap_or_default();
+        assert_eq!(&cached_dev, naive_dev, "artifact {i}: attribution diverged");
+        assert_eq!(
+            cached_dev,
+            format!("edge-{i:04}"),
+            "artifact {i}: misattributed"
+        );
+    }
+    let speedup = naive_time.as_secs_f64() / (cache_time + cached_time).as_secs_f64();
+    println!("\n{:<44} {:>12}", "path", "wall time");
+    println!(
+        "{:<44} {:>9.1} ms",
+        "naive (re-derive per device per artifact)",
+        naive_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<44} {:>9.1} ms",
+        "fleet engine (cache build + parallel batch)",
+        (cache_time + cached_time).as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<44} {:>9.1} ms",
+        "  of which one-time cache build",
+        cache_time.as_secs_f64() * 1e3
+    );
+    println!("\nspeedup {speedup:.1}x, verdicts bit-for-bit identical on all {DEVICES} artifacts");
+    assert!(
+        speedup > 1.0,
+        "shared-cache path must beat naive recomputation (got {speedup:.2}x)"
+    );
+
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("fleet/naive_16_artifacts", |b| {
+        b.iter(|| naive_verify(&fleet, &artifacts))
+    });
+    criterion.bench_function("fleet/cached_parallel_16_artifacts", |b| {
+        b.iter(|| verifier.verify_batch(&artifacts, -6.0, None))
+    });
+    criterion.bench_function("fleet/cached_serial_16_artifacts", |b| {
+        b.iter(|| verifier.verify_batch(&artifacts, -6.0, Some(1)))
+    });
+    criterion.bench_function("fleet/cache_build", |b| {
+        b.iter(|| FleetVerifier::new(&fleet).expect("cache"))
+    });
+    criterion.final_summary();
+}

@@ -11,7 +11,10 @@ use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark_tensor::stats::log10_binomial_tail;
 
 fn main() {
-    print_header("FORGING (§5.3)", "counterfeit claims and chance-match strength");
+    print_header(
+        "FORGING (§5.3)",
+        "counterfeit claims and chance-match strength",
+    );
 
     // The paper's strength arithmetic, reproduced exactly.
     println!("chance-match strength (Eq. 8):");
@@ -27,14 +30,21 @@ fn main() {
 
     let prepared = prepare_target();
     let original = awq_int4(&prepared);
-    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 16,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, prepared.stats.clone(), cfg, 88);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     let mut fp = prepared.fp.clone();
 
     println!("\nsetting (i): counterfeit locations with a fake signature");
     let forged = forge_counterfeit_claim(&deployed, &prepared.calibration, 16, 0xBAD);
-    println!("  naive delta-only check : {:>6.1}% (fooled)", naive_delta_check(&forged, &deployed));
+    println!(
+        "  naive delta-only check : {:>6.1}% (fooled)",
+        naive_delta_check(&forged, &deployed)
+    );
     let verdict = validate_claim(&forged, &deployed, None, &prepared.calibration, 90.0);
     println!(
         "  full validation        : stats_reproducible={}, locations_reproducible={}, accepted={}",
@@ -44,8 +54,13 @@ fn main() {
 
     println!("\nthe owner's claim under the identical protocol:");
     let owner_claim = OwnershipClaim::from_secrets(&secrets).expect("claim");
-    let owner =
-        validate_claim(&owner_claim, &deployed, Some(&mut fp), &prepared.calibration, 90.0);
+    let owner = validate_claim(
+        &owner_claim,
+        &deployed,
+        Some(&mut fp),
+        &prepared.calibration,
+        90.0,
+    );
     println!(
         "  WER at reproduced locations {:.1}%, accepted={}",
         owner.wer_at_reproduced_locations, owner.accepted
@@ -57,7 +72,13 @@ fn main() {
     criterion.bench_function("forging/validate_owner_claim", |b| {
         b.iter(|| {
             let mut fp_local = prepared.fp.clone();
-            validate_claim(&owner_claim, &deployed, Some(&mut fp_local), &prepared.calibration, 90.0)
+            validate_claim(
+                &owner_claim,
+                &deployed,
+                Some(&mut fp_local),
+                &prepared.calibration,
+                90.0,
+            )
         })
     });
     criterion.final_summary();

@@ -35,11 +35,17 @@ struct Row {
 fn schemes_for(bits_per_layer: usize, pool_ratio: usize) -> Vec<Box<dyn WatermarkScheme>> {
     vec![
         Box::new(SpecMarkScheme {
-            config: SpecMarkConfig { bits_per_layer, ..Default::default() },
+            config: SpecMarkConfig {
+                bits_per_layer,
+                ..Default::default()
+            },
             signature_seed: 7,
         }),
         Box::new(RandomWmScheme {
-            config: RandomWmConfig { bits_per_layer, seed: 100 },
+            config: RandomWmConfig {
+                bits_per_layer,
+                seed: 100,
+            },
             signature_seed: 7,
         }),
         Box::new(EmMarkScheme {
@@ -79,11 +85,16 @@ fn run_grid(
             acc: base_quality.zero_shot_acc,
             wer: f64::NAN,
         });
-        for (slot, scheme) in schemes_for(bits_per_layer, pool_ratio).into_iter().enumerate() {
+        for (slot, scheme) in schemes_for(bits_per_layer, pool_ratio)
+            .into_iter()
+            .enumerate()
+        {
             let mut deployed = original.clone();
             scheme.insert(&mut deployed, &p.stats).expect("insertion");
             let quality = evaluate_quality(&deployed, &p.corpus, &eval_cfg);
-            let report = scheme.extract(&deployed, &original, &p.stats).expect("extraction");
+            let report = scheme
+                .extract(&deployed, &original, &p.stats)
+                .expect("extraction");
             by_scheme[slot + 1].1.push(Row {
                 model: p.spec.name(),
                 ppl: quality.ppl,
@@ -132,15 +143,20 @@ fn print_grid(title: &str, grid: &[(String, Vec<Row>)]) {
 }
 
 fn main() {
-    print_header("TABLE 1", "fidelity of watermarked embedded LLMs (9-model grid)");
+    print_header(
+        "TABLE 1",
+        "fidelity of watermarked embedded LLMs (9-model grid)",
+    );
     println!(
         "watermark densities: INT8 {BITS_INT8} bits/layer, INT4 {BITS_INT4} bits/layer \
          (paper: 300/40 at OPT scale; see DESIGN.md §4)"
     );
     let effort = TrainEffort::bench_from_env();
     println!("training nine models ({} steps each)…", effort.steps);
-    let prepared: Vec<Prepared> =
-        full_grid().iter().map(|spec| prepare(spec, effort)).collect();
+    let prepared: Vec<Prepared> = full_grid()
+        .iter()
+        .map(|spec| prepare(spec, effort))
+        .collect();
 
     // INT8: SmoothQuant for Sim-OPT (as the paper), LLM.int8 for Sim-LLaMA.
     let int8 = run_grid(
@@ -199,21 +215,33 @@ fn main() {
     for bits in [16usize, 64, 128] {
         let pool_ratio = ((smallest * 8 / 10) / bits).clamp(2, 50);
         let em = EmMarkScheme {
-            config: WatermarkConfig { bits_per_layer: bits, pool_ratio, ..Default::default() },
+            config: WatermarkConfig {
+                bits_per_layer: bits,
+                pool_ratio,
+                ..Default::default()
+            },
             signature_seed: 9,
         };
         let mut em_model = original.clone();
-        em.insert(&mut em_model, &target.stats).expect("emmark insert");
+        em.insert(&mut em_model, &target.stats)
+            .expect("emmark insert");
         let em_q = evaluate_quality(&em_model, &target.corpus, &eval_cfg);
 
         let rw = RandomWmScheme {
-            config: RandomWmConfig { bits_per_layer: bits, seed: 100 },
+            config: RandomWmConfig {
+                bits_per_layer: bits,
+                seed: 100,
+            },
             signature_seed: 9,
         };
         let mut rw_model = original.clone();
-        rw.insert(&mut rw_model, &target.stats).expect("randomwm insert");
+        rw.insert(&mut rw_model, &target.stats)
+            .expect("randomwm insert");
         let rw_q = evaluate_quality(&rw_model, &target.corpus, &eval_cfg);
-        let rw_wer = rw.extract(&rw_model, &original, &target.stats).expect("extract").wer();
+        let rw_wer = rw
+            .extract(&rw_model, &original, &target.stats)
+            .expect("extract")
+            .wer();
         let wraps: usize = rw_model
             .layers
             .iter()
@@ -236,7 +264,11 @@ fn main() {
     let target = &prepared[2];
     let original = awq_int4(target);
     let scheme = EmMarkScheme {
-        config: WatermarkConfig { bits_per_layer: BITS_INT4, pool_ratio: 50, ..Default::default() },
+        config: WatermarkConfig {
+            bits_per_layer: BITS_INT4,
+            pool_ratio: 50,
+            ..Default::default()
+        },
         signature_seed: 7,
     };
     criterion.bench_function("table1/emmark_insert_sim_opt_2.7b_int4", |b| {

@@ -16,18 +16,32 @@ use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
 use std::time::Instant;
 
 fn main() {
-    print_header("TABLE 2", "watermark insertion time per layer and GPU memory");
-    let spec =
-        sim_opt_grid().into_iter().last().expect("grid non-empty"); // sim-opt-30b
+    print_header(
+        "TABLE 2",
+        "watermark insertion time per layer and GPU memory",
+    );
+    let spec = sim_opt_grid().into_iter().last().expect("grid non-empty"); // sim-opt-30b
     println!("target: {} (largest grid model)", spec.name());
     let prepared = prepare(&spec, TrainEffort::bench_from_env());
 
     let mut rows = Vec::new();
     for (label, bits_per_layer, model) in [
-        ("INT8", 12usize, smoothquant(&prepared.fp, &prepared.stats, &SmoothQuantConfig::default())),
-        ("INT4", 6, awq(&prepared.fp, &prepared.stats, &AwqConfig::default())),
+        (
+            "INT8",
+            12usize,
+            smoothquant(&prepared.fp, &prepared.stats, &SmoothQuantConfig::default()),
+        ),
+        (
+            "INT4",
+            6,
+            awq(&prepared.fp, &prepared.stats, &AwqConfig::default()),
+        ),
     ] {
-        let cfg = WatermarkConfig { bits_per_layer, pool_ratio: 50, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer,
+            pool_ratio: 50,
+            ..Default::default()
+        };
         let sig = Signature::generate(cfg.signature_len(model.layer_count()), 1);
         // Wall-clock measurement over several repetitions.
         let reps = 5;
@@ -41,7 +55,10 @@ fn main() {
         rows.push((label, per_layer, per_model, model.layer_count()));
     }
 
-    println!("\n{:<8} {:>16} {:>16} {:>12}", "quant", "time/layer (s)", "time/model (s)", "GPU mem (GB)");
+    println!(
+        "\n{:<8} {:>16} {:>16} {:>12}",
+        "quant", "time/layer (s)", "time/model (s)", "GPU mem (GB)"
+    );
     for (label, per_layer, per_model, _layers) in &rows {
         println!("{label:<8} {per_layer:>16.4} {per_model:>16.4} {:>12}", 0);
     }
@@ -50,7 +67,11 @@ fn main() {
 
     // Criterion measurement of the INT4 per-layer path.
     let model = awq(&prepared.fp, &prepared.stats, &AwqConfig::default());
-    let cfg = WatermarkConfig { bits_per_layer: 6, pool_ratio: 50, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 6,
+        pool_ratio: 50,
+        ..Default::default()
+    };
     let sig = Signature::generate(cfg.signature_len(model.layer_count()), 1);
     let mut criterion = Criterion::default().sample_size(10).configure_from_args();
     criterion.bench_function("table2/insert_full_model_int4", |b| {

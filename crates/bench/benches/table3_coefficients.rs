@@ -24,7 +24,10 @@ fn main() {
         base.zero_shot_acc
     );
 
-    println!("\n{:>12} {:>9} {:>18} {:>8}", "(α, β)", "PPL", "zero-shot acc (%)", "WER (%)");
+    println!(
+        "\n{:>12} {:>9} {:>18} {:>8}",
+        "(α, β)", "PPL", "zero-shot acc (%)", "WER (%)"
+    );
     for (alpha, beta) in [(1.0, 0.0), (0.5, 0.5), (0.0, 1.0)] {
         let cfg = WatermarkConfig {
             alpha,

@@ -14,28 +14,47 @@ use emmark_nanolm::train::{finetune, TrainConfig};
 use emmark_quant::gptq::{gptq, GptqConfig};
 
 fn main() {
-    print_header("TABLE 4", "integrity on watermarked vs non-watermarked models");
+    print_header(
+        "TABLE 4",
+        "integrity on watermarked vs non-watermarked models",
+    );
     let prepared = prepare_target();
     let original = awq_int4(&prepared);
-    let cfg = WatermarkConfig { bits_per_layer: 16, pool_ratio: 20, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 16,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original.clone(), prepared.stats.clone(), cfg, 44);
     let deployed = secrets.watermark_for_deployment().expect("insert");
 
     // non-WM 2: fine-tune on 4k SynAlpaca tokens, requantize with AWQ.
-    let ft_cfg = TrainConfig { steps: 60, batch_size: 8, seq_len: 24, lr: 1e-3, ..Default::default() };
+    let ft_cfg = TrainConfig {
+        steps: 60,
+        batch_size: 8,
+        seq_len: 24,
+        lr: 1e-3,
+        ..Default::default()
+    };
     let alpaca = Grammar::synalpaca(99).generate(4_000);
     let mut ft_alpaca = prepared.fp.clone();
     finetune(&mut ft_alpaca, &alpaca, &ft_cfg, 10_000);
     let stats_alpaca = ft_alpaca.collect_activation_stats(&prepared.calibration);
-    let non_wm2 =
-        emmark_quant::awq::awq(&ft_alpaca, &stats_alpaca, &emmark_quant::awq::AwqConfig::default());
+    let non_wm2 = emmark_quant::awq::awq(
+        &ft_alpaca,
+        &stats_alpaca,
+        &emmark_quant::awq::AwqConfig::default(),
+    );
 
     // non-WM 3: fine-tune further on SynWiki, requantize with AWQ.
     let mut ft_wiki = prepared.fp.clone();
     finetune(&mut ft_wiki, &prepared.corpus.train, &ft_cfg, 10_000);
     let stats_wiki = ft_wiki.collect_activation_stats(&prepared.calibration);
-    let non_wm3 =
-        emmark_quant::awq::awq(&ft_wiki, &stats_wiki, &emmark_quant::awq::AwqConfig::default());
+    let non_wm3 = emmark_quant::awq::awq(
+        &ft_wiki,
+        &stats_wiki,
+        &emmark_quant::awq::AwqConfig::default(),
+    );
 
     // non-WM 4: GPTQ of the same full-precision model.
     let mut fp = prepared.fp.clone();
@@ -48,10 +67,17 @@ fn main() {
         ("non-WM 3 (SynWiki FT + AWQ)", &non_wm3),
         ("non-WM 4 (GPTQ)", &non_wm4),
     ];
-    println!("\n{:<32} {:>8} {:>20}", "model", "WER (%)", "log10 p_chance");
+    println!(
+        "\n{:<32} {:>8} {:>20}",
+        "model", "WER (%)", "log10 p_chance"
+    );
     for (name, suspect) in suspects {
         let report = secrets.verify(suspect).expect("extract");
-        println!("{name:<32} {:>8.1} {:>20.1}", report.wer(), report.log10_p_chance());
+        println!(
+            "{name:<32} {:>8.1} {:>20.1}",
+            report.wer(),
+            report.log10_p_chance()
+        );
     }
     println!("\npaper row: 100 / 0 / 0 / 0 / 0");
 

@@ -38,10 +38,21 @@ pub const CORPUS_SEED: u64 = 2024;
 pub fn prepare(spec: &ModelSpec, effort: TrainEffort) -> Prepared {
     let trained = train_spec(spec, effort, CORPUS_SEED);
     let mut fp = trained.model;
-    let calibration: Vec<Vec<u32>> =
-        trained.corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = trained
+        .corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
-    Prepared { spec: spec.clone(), fp, corpus: trained.corpus, calibration, stats }
+    Prepared {
+        spec: spec.clone(),
+        fp,
+        corpus: trained.corpus,
+        calibration,
+        stats,
+    }
 }
 
 /// The robustness/ablation target: the Sim-OPT-2.7b stand-in (the paper
@@ -62,7 +73,12 @@ pub fn awq_int4(prepared: &Prepared) -> QuantizedModel {
 /// Evaluation sizing for bench runs: large enough for stable two-decimal
 /// reporting, small enough to keep `cargo bench` tractable.
 pub fn bench_eval_cfg() -> EvalConfig {
-    EvalConfig { ppl_tokens: 1200, window: 32, task_items: 30, seed: 1234 }
+    EvalConfig {
+        ppl_tokens: 1200,
+        window: 32,
+        task_items: 30,
+        seed: 1234,
+    }
 }
 
 /// Prints a standard experiment header.
@@ -90,7 +106,13 @@ mod tests {
     #[test]
     fn prepare_builds_consistent_bundle() {
         let spec = &sim_opt_grid()[0];
-        let p = prepare(spec, TrainEffort { steps: 5, batch_size: 2 });
+        let p = prepare(
+            spec,
+            TrainEffort {
+                steps: 5,
+                batch_size: 2,
+            },
+        );
         assert_eq!(p.stats.layer_count(), p.fp.cfg.quant_layer_count());
         assert!(!p.calibration.is_empty());
         let qm = awq_int4(&p);

@@ -33,7 +33,10 @@ pub struct RandomWmConfig {
 
 impl Default for RandomWmConfig {
     fn default() -> Self {
-        Self { bits_per_layer: 8, seed: 100 }
+        Self {
+            bits_per_layer: 8,
+            seed: 100,
+        }
     }
 }
 
@@ -62,7 +65,11 @@ pub fn randomwm_insert(
     cfg: &RandomWmConfig,
 ) -> Locations {
     let n = model.layer_count();
-    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    assert_eq!(
+        signature.len(),
+        cfg.bits_per_layer * n,
+        "signature length mismatch"
+    );
     let locations = randomwm_locations(model, cfg);
     for (l, locs) in locations.iter().enumerate() {
         let bits = signature.layer_bits(l, n);
@@ -101,7 +108,10 @@ pub fn randomwm_extract(
             total += 1;
         }
     }
-    ExtractionReport { total_bits: total, matched_bits: matched }
+    ExtractionReport {
+        total_bits: total,
+        matched_bits: matched,
+    }
 }
 
 /// SpecMark configuration.
@@ -122,7 +132,13 @@ pub struct SpecMarkConfig {
 
 impl Default for SpecMarkConfig {
     fn default() -> Self {
-        Self { bits_per_layer: 8, seed: 100, epsilon: 0.01, band_fraction: 0.25, block: 256 }
+        Self {
+            bits_per_layer: 8,
+            seed: 100,
+            epsilon: 0.01,
+            band_fraction: 0.25,
+            block: 256,
+        }
     }
 }
 
@@ -220,7 +236,11 @@ pub fn specmark_insert_quantized(
     cfg: &SpecMarkConfig,
 ) {
     let n = model.layer_count();
-    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    assert_eq!(
+        signature.len(),
+        cfg.bits_per_layer * n,
+        "signature length mismatch"
+    );
     let seeds = specmark_layer_seeds(cfg.seed, n);
     for (l, seed) in seeds.iter().enumerate() {
         let bits = signature.layer_bits(l, n);
@@ -253,13 +273,24 @@ pub fn specmark_extract_quantized(
     let mut total = 0;
     for (l, seed) in seeds.iter().enumerate() {
         let bits = signature.layer_bits(l, n);
-        let sus: Vec<f64> = suspect.layers[l].q_values().iter().map(|&q| q as f64).collect();
-        let orig: Vec<f64> = original.layers[l].q_values().iter().map(|&q| q as f64).collect();
+        let sus: Vec<f64> = suspect.layers[l]
+            .q_values()
+            .iter()
+            .map(|&q| q as f64)
+            .collect();
+        let orig: Vec<f64> = original.layers[l]
+            .q_values()
+            .iter()
+            .map(|&q| q as f64)
+            .collect();
         let (m, t) = extract_from_values(&sus, &orig, cfg, *seed, bits);
         matched += m;
         total += t;
     }
-    ExtractionReport { total_bits: total, matched_bits: matched }
+    ExtractionReport {
+        total_bits: total,
+        matched_bits: matched,
+    }
 }
 
 /// Inserts SpecMark into a *full-precision* model — the regime the
@@ -276,14 +307,16 @@ pub fn specmark_insert_fp(
     cfg: &SpecMarkConfig,
 ) {
     let n = model.cfg.quant_layer_count();
-    assert_eq!(signature.len(), cfg.bits_per_layer * n, "signature length mismatch");
+    assert_eq!(
+        signature.len(),
+        cfg.bits_per_layer * n,
+        "signature length mismatch"
+    );
     let seeds = specmark_layer_seeds(cfg.seed, n);
     for (l, lin) in model.linear_layers_mut().into_iter().enumerate() {
         let bits_start = l * cfg.bits_per_layer;
-        let bits: Vec<i8> =
-            signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
-        let mut values: Vec<f64> =
-            lin.weight.value.iter().map(|&w| w as f64).collect();
+        let bits: Vec<i8> = signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
+        let mut values: Vec<f64> = lin.weight.value.iter().map(|&w| w as f64).collect();
         embed_in_values(&mut values, cfg, seeds[l], &bits);
         for (w, v) in lin.weight.value.iter_mut().zip(values.iter()) {
             *w = *v as f32;
@@ -311,15 +344,27 @@ pub fn specmark_extract_fp(
     let mut total = 0;
     for l in 0..n {
         let bits_start = l * cfg.bits_per_layer;
-        let bits: Vec<i8> =
-            signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
-        let sus: Vec<f64> = sus_layers[l].weight.value.iter().map(|&w| w as f64).collect();
-        let orig: Vec<f64> = orig_layers[l].weight.value.iter().map(|&w| w as f64).collect();
+        let bits: Vec<i8> = signature.bits()[bits_start..bits_start + cfg.bits_per_layer].to_vec();
+        let sus: Vec<f64> = sus_layers[l]
+            .weight
+            .value
+            .iter()
+            .map(|&w| w as f64)
+            .collect();
+        let orig: Vec<f64> = orig_layers[l]
+            .weight
+            .value
+            .iter()
+            .map(|&w| w as f64)
+            .collect();
         let (m, t) = extract_from_values(&sus, &orig, cfg, seeds[l], &bits);
         matched += m;
         total += t;
     }
-    ExtractionReport { total_bits: total, matched_bits: matched }
+    ExtractionReport {
+        total_bits: total,
+        matched_bits: matched,
+    }
 }
 
 #[cfg(test)]
@@ -340,7 +385,10 @@ mod tests {
     fn randomwm_roundtrip_extracts_nearly_all_bits() {
         let original = quantized_tiny(8);
         let mut deployed = original.clone();
-        let cfg = RandomWmConfig { bits_per_layer: 6, seed: 9 };
+        let cfg = RandomWmConfig {
+            bits_per_layer: 6,
+            seed: 9,
+        };
         let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 1);
         randomwm_insert(&mut deployed, &sig, &cfg);
         let report = randomwm_extract(&deployed, &original, &sig, &cfg);
@@ -354,7 +402,10 @@ mod tests {
     fn randomwm_wraps_at_extreme_levels() {
         let original = quantized_tiny(4);
         let mut deployed = original.clone();
-        let cfg = RandomWmConfig { bits_per_layer: 40, seed: 3 };
+        let cfg = RandomWmConfig {
+            bits_per_layer: 40,
+            seed: 3,
+        };
         let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 2);
         randomwm_insert(&mut deployed, &sig, &cfg);
         // Count wrapped cells: |delta| == 2*qmax+1.
@@ -386,11 +437,17 @@ mod tests {
         for bits in [8u8, 4] {
             let original = quantized_tiny(bits);
             let mut deployed = original.clone();
-            let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
+            let cfg = SpecMarkConfig {
+                bits_per_layer: 6,
+                ..Default::default()
+            };
             let sig = Signature::generate(cfg.bits_per_layer * original.layer_count(), 5);
             specmark_insert_quantized(&mut deployed, &sig, &cfg);
             // Quantized weights are unchanged: epsilon rounds away.
-            assert!(deployed.same_weights(&original), "ε must round away on INT{bits}");
+            assert!(
+                deployed.same_weights(&original),
+                "ε must round away on INT{bits}"
+            );
             let report = specmark_extract_quantized(&deployed, &original, &sig, &cfg);
             assert_eq!(report.wer(), 0.0, "INT{bits} WER");
         }
@@ -400,15 +457,25 @@ mod tests {
     fn specmark_succeeds_on_full_precision_models() {
         let original = TransformerModel::new(ModelConfig::tiny_test());
         let mut deployed = original.clone();
-        let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
-        let sig =
-            Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 6);
+        let cfg = SpecMarkConfig {
+            bits_per_layer: 6,
+            ..Default::default()
+        };
+        let sig = Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 6);
         specmark_insert_fp(&mut deployed, &sig, &cfg);
         let report = specmark_extract_fp(&deployed, &original, &sig, &cfg);
-        assert_eq!(report.wer(), 100.0, "SpecMark must work where it was designed to");
+        assert_eq!(
+            report.wer(),
+            100.0,
+            "SpecMark must work where it was designed to"
+        );
         // And the weight perturbation is tiny.
         let mut max_delta = 0.0f32;
-        for (s, o) in deployed.linear_layers().iter().zip(original.linear_layers().iter()) {
+        for (s, o) in deployed
+            .linear_layers()
+            .iter()
+            .zip(original.linear_layers().iter())
+        {
             for (a, b) in s.weight.value.iter().zip(o.weight.value.iter()) {
                 max_delta = max_delta.max((a - b).abs());
             }
@@ -419,16 +486,21 @@ mod tests {
     #[test]
     fn specmark_unwatermarked_fp_model_extracts_nothing() {
         let original = TransformerModel::new(ModelConfig::tiny_test());
-        let cfg = SpecMarkConfig { bits_per_layer: 6, ..Default::default() };
-        let sig =
-            Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 8);
+        let cfg = SpecMarkConfig {
+            bits_per_layer: 6,
+            ..Default::default()
+        };
+        let sig = Signature::generate(cfg.bits_per_layer * original.cfg.quant_layer_count(), 8);
         let report = specmark_extract_fp(&original, &original, &sig, &cfg);
         assert_eq!(report.matched_bits, 0);
     }
 
     #[test]
     fn specmark_slots_are_high_frequency_and_distinct() {
-        let cfg = SpecMarkConfig { bits_per_layer: 10, ..Default::default() };
+        let cfg = SpecMarkConfig {
+            bits_per_layer: 10,
+            ..Default::default()
+        };
         let slots = specmark_slots(1000, &cfg, 42);
         assert_eq!(slots.len(), 10);
         let mut dedup = slots.clone();

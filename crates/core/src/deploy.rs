@@ -256,7 +256,9 @@ impl Reader {
                 let bias = self.matrix("layernorm bias")?;
                 Ok(Norm::Layer(LayerNorm::from_params(gain, bias)))
             }
-            1 => Ok(Norm::Rms(RmsNorm::from_params(self.matrix("rmsnorm gain")?))),
+            1 => Ok(Norm::Rms(RmsNorm::from_params(
+                self.matrix("rmsnorm gain")?,
+            ))),
             t => Err(CodecError::Corrupt(format!("unknown norm tag {t}"))),
         }
     }
@@ -290,8 +292,11 @@ impl Reader {
         for _ in 0..n_outliers {
             rows.push(self.u32("outlier row")? as usize);
         }
-        let outlier_weights =
-            if self.u8("outlier weights flag")? == 1 { Some(self.matrix("outlier weights")?) } else { None };
+        let outlier_weights = if self.u8("outlier weights flag")? == 1 {
+            Some(self.matrix("outlier weights")?)
+        } else {
+            None
+        };
         let bias = self.opt_f32_vec("bias")?;
         let act_quant = match self.u8("act quant")? {
             0 => ActQuant::None,
@@ -299,7 +304,15 @@ impl Reader {
             t => return Err(CodecError::Corrupt(format!("unknown act-quant tag {t}"))),
         };
         let mut layer = QuantizedLinear::new(
-            q, in_f, out_f, bits, granularity, scales, input_scale, bias, act_quant,
+            q,
+            in_f,
+            out_f,
+            bits,
+            granularity,
+            scales,
+            input_scale,
+            bias,
+            act_quant,
         );
         if let Some(w) = outlier_weights {
             layer.set_outliers(rows, w);
@@ -317,7 +330,9 @@ impl Reader {
 /// Returns a [`CodecError`] on malformed input; round-trips of
 /// [`encode_model`] output never fail.
 pub fn decode_model(bytes: &[u8]) -> Result<QuantizedModel, CodecError> {
-    let mut r = Reader { buf: Bytes::copy_from_slice(bytes) };
+    let mut r = Reader {
+        buf: Bytes::copy_from_slice(bytes),
+    };
     r.need(4, "magic")?;
     let mut magic = [0u8; 4];
     r.buf.copy_to_slice(&mut magic);
@@ -395,7 +410,9 @@ pub fn decode_model(bytes: &[u8]) -> Result<QuantizedModel, CodecError> {
         layers.push(r.qlinear()?);
     }
     let scheme = r.string("scheme")?;
-    Ok(QuantizedModel::from_parts(cfg, emb, norm_pairs, final_norm, layers, scheme))
+    Ok(QuantizedModel::from_parts(
+        cfg, emb, norm_pairs, final_norm, layers, scheme,
+    ))
 }
 
 #[cfg(test)]
@@ -424,7 +441,11 @@ mod tests {
         for model in models_to_roundtrip() {
             let bytes = encode_model(&model);
             let back = decode_model(&bytes).expect("decode");
-            assert!(model.same_weights(&back), "{}: integer grids differ", model.scheme);
+            assert!(
+                model.same_weights(&back),
+                "{}: integer grids differ",
+                model.scheme
+            );
             assert_eq!(model.scheme, back.scheme);
             assert_eq!(model.cfg, back.cfg);
             // Behavioral equality: identical logits.
@@ -446,7 +467,10 @@ mod tests {
         let model = &models_to_roundtrip()[0];
         let mut bytes = encode_model(model).to_vec();
         bytes[4] = 99; // version low byte
-        assert_eq!(decode_model(&bytes).unwrap_err(), CodecError::BadVersion(99));
+        assert_eq!(
+            decode_model(&bytes).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
     }
 
     #[test]
@@ -465,6 +489,8 @@ mod tests {
     #[test]
     fn codec_error_messages_are_informative() {
         assert!(CodecError::BadMagic.to_string().contains("magic"));
-        assert!(CodecError::Truncated("scales").to_string().contains("scales"));
+        assert!(CodecError::Truncated("scales")
+            .to_string()
+            .contains("scales"));
     }
 }

@@ -13,7 +13,8 @@
 use crate::scoring::{candidate_pool, score_layer};
 use crate::signature::Signature;
 use crate::watermark::{
-    locate_watermark, ExtractionReport, Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
+    extract_with_locations, locate_watermark, ExtractionReport, Locations, OwnerSecrets,
+    WatermarkConfig, WatermarkError,
 };
 use emmark_quant::QuantizedModel;
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
@@ -44,7 +45,11 @@ pub struct Fleet {
 impl Fleet {
     /// Creates a fleet around existing owner secrets.
     pub fn new(base: OwnerSecrets, fingerprint_config: WatermarkConfig) -> Self {
-        Self { base, fingerprint_config, devices: Vec::new() }
+        Self {
+            base,
+            fingerprint_config,
+            devices: Vec::new(),
+        }
     }
 
     /// Registered devices.
@@ -61,27 +66,18 @@ impl Fleet {
         base_deployed: &QuantizedModel,
         selection_seed: u64,
     ) -> Result<Locations, WatermarkError> {
-        let base_locs =
-            locate_watermark(&self.base.original, &self.base.stats, &self.base.config)?;
-        let cfg = &self.fingerprint_config;
-        let coeffs = cfg.coefficients();
-        let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
-        let mut sm = SplitMix64::new(selection_seed);
-        let mut locations = Vec::with_capacity(base_deployed.layer_count());
-        for (l, layer) in base_deployed.layers.iter().enumerate() {
-            let layer_seed = sm.next_u64();
-            let mut scores =
-                score_layer(layer, &self.base.stats.per_layer[l].mean_abs, &coeffs);
-            for &f in &base_locs[l] {
-                scores[f] = f64::INFINITY;
-            }
-            let pool = candidate_pool(&scores, pool_size)
-                .map_err(|source| WatermarkError::Pool { layer: l, source })?;
-            let mut rng = Xoshiro256::seed_from_u64(layer_seed);
-            let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
-            locations.push(picks.into_iter().map(|p| pool[p]).collect::<Vec<_>>());
-        }
-        Ok(locations)
+        let base_locs = locate_watermark(&self.base.original, &self.base.stats, &self.base.config)?;
+        let pools = fingerprint_pools(
+            base_deployed,
+            &self.base.stats,
+            &base_locs,
+            &self.fingerprint_config,
+        )?;
+        Ok(sample_from_pools(
+            &pools,
+            &self.fingerprint_config,
+            selection_seed,
+        ))
     }
 
     /// Registers a device and produces its fingerprinted deployment:
@@ -93,12 +89,7 @@ impl Fleet {
     /// Propagates insertion errors.
     pub fn provision(&mut self, device_id: &str) -> Result<QuantizedModel, WatermarkError> {
         // Derive per-device seeds from the id, deterministically.
-        let h = fxhash(device_id.as_bytes());
-        let fp = DeviceFingerprint {
-            device_id: device_id.to_string(),
-            selection_seed: self.fingerprint_config.selection_seed ^ h,
-            signature_seed: h.rotate_left(17),
-        };
+        let fp = derive_device(&self.fingerprint_config, device_id);
         let mut deployed = self.base.watermark_for_deployment()?;
         let n = deployed.layer_count();
         let sig = Signature::generate(self.fingerprint_config.signature_len(n), fp.signature_seed);
@@ -125,13 +116,6 @@ impl Fleet {
         leaked: &QuantizedModel,
     ) -> Result<ExtractionReport, WatermarkError> {
         let n = self.base.original.layer_count();
-        if leaked.layer_count() != n {
-            return Err(WatermarkError::ShapeMismatch(format!(
-                "leaked model has {} layers, fleet base {}",
-                leaked.layer_count(),
-                n
-            )));
-        }
         let sig = Signature::generate(
             self.fingerprint_config.signature_len(n),
             device.signature_seed,
@@ -140,20 +124,7 @@ impl Fleet {
         // model (the state every device shares before fingerprinting).
         let base_deployed = self.base.watermark_for_deployment()?;
         let locations = self.fingerprint_locations(&base_deployed, device.selection_seed)?;
-        let mut matched = 0usize;
-        let mut total = 0usize;
-        for (l, locs) in locations.iter().enumerate() {
-            let bits = sig.layer_bits(l, n);
-            for (&f, &b) in locs.iter().zip(bits) {
-                let delta = leaked.layers[l].q_at_flat(f) as i16
-                    - base_deployed.layers[l].q_at_flat(f) as i16;
-                if delta == b as i16 {
-                    matched += 1;
-                }
-                total += 1;
-            }
-        }
-        Ok(ExtractionReport { total_bits: total, matched_bits: matched })
+        extract_with_locations(leaked, &base_deployed, &locations, &sig)
     }
 
     /// Identifies the leaking device: the registered fingerprint whose
@@ -186,6 +157,70 @@ impl Fleet {
     }
 }
 
+/// The device-*independent* half of fingerprint location reproduction:
+/// per-layer candidate pools over the base-watermarked model, with the
+/// base watermark's own cells score-excluded. The pools depend only on
+/// the model family (base weights, activation profile, coefficients),
+/// so a batch verifier ([`crate::fleet`]) computes them once and reuses
+/// them for every device instead of re-scoring per verification.
+///
+/// # Errors
+///
+/// Returns [`WatermarkError::Pool`] if a layer cannot fill its pool.
+pub(crate) fn fingerprint_pools(
+    base_deployed: &QuantizedModel,
+    stats: &emmark_nanolm::model::ActivationStats,
+    base_locs: &Locations,
+    cfg: &WatermarkConfig,
+) -> Result<Vec<Vec<usize>>, WatermarkError> {
+    let coeffs = cfg.coefficients();
+    let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
+    let mut pools = Vec::with_capacity(base_deployed.layer_count());
+    for (l, layer) in base_deployed.layers.iter().enumerate() {
+        let mut scores = score_layer(layer, &stats.per_layer[l].mean_abs, &coeffs);
+        for &f in &base_locs[l] {
+            scores[f] = f64::INFINITY;
+        }
+        let pool = candidate_pool(&scores, pool_size)
+            .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+        pools.push(pool);
+    }
+    Ok(pools)
+}
+
+/// The device-*dependent* half: draws `bits_per_layer` cells per layer
+/// from the shared pools under the device's selection seed. Cheap (pure
+/// PRNG sampling) compared to [`fingerprint_pools`].
+pub(crate) fn sample_from_pools(
+    pools: &[Vec<usize>],
+    cfg: &WatermarkConfig,
+    selection_seed: u64,
+) -> Locations {
+    let mut sm = SplitMix64::new(selection_seed);
+    let mut locations = Vec::with_capacity(pools.len());
+    for pool in pools {
+        let layer_seed = sm.next_u64();
+        let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+        let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
+        locations.push(picks.into_iter().map(|p| pool[p]).collect::<Vec<_>>());
+    }
+    locations
+}
+
+/// Derives the deterministic per-device fingerprint material for a
+/// device id, shared by [`Fleet::provision`] and registry tooling.
+pub(crate) fn derive_device(
+    fingerprint_config: &WatermarkConfig,
+    device_id: &str,
+) -> DeviceFingerprint {
+    let h = fxhash(device_id.as_bytes());
+    DeviceFingerprint {
+        device_id: device_id.to_string(),
+        selection_seed: fingerprint_config.selection_seed ^ h,
+        signature_seed: h.rotate_left(17),
+    }
+}
+
 /// Tiny stable FNV-style hash (not cryptographic; seeds only).
 fn fxhash(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -210,7 +245,11 @@ mod tests {
             .collect();
         let stats = model.collect_activation_stats(&calib);
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let base_cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let base_cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         let base = OwnerSecrets::new(qm, stats, base_cfg, 0xF1EE7);
         let fp_cfg = WatermarkConfig {
             bits_per_layer: 3,
@@ -231,7 +270,11 @@ mod tests {
         // fingerprint locations exclude the base watermark's cells.
         for leaked in [&a, &b] {
             let report = fleet.base.verify(leaked).expect("verify");
-            assert_eq!(report.wer(), 100.0, "fingerprint corrupted the base watermark");
+            assert_eq!(
+                report.wer(),
+                100.0,
+                "fingerprint corrupted the base watermark"
+            );
             assert!(report.proves_ownership(-9.0));
         }
     }
@@ -240,11 +283,15 @@ mod tests {
     fn leak_is_attributed_to_the_right_device() {
         let mut fleet = fleet();
         let ids = ["alice", "bob", "carol"];
-        let deployments: Vec<QuantizedModel> =
-            ids.iter().map(|id| fleet.provision(id).expect("provision")).collect();
+        let deployments: Vec<QuantizedModel> = ids
+            .iter()
+            .map(|id| fleet.provision(id).expect("provision"))
+            .collect();
         for (i, leaked) in deployments.iter().enumerate() {
-            let (device, report) =
-                fleet.identify_leak(leaked, -6.0).expect("identify").expect("found");
+            let (device, report) = fleet
+                .identify_leak(leaked, -6.0)
+                .expect("identify")
+                .expect("found");
             assert_eq!(device.device_id, ids[i], "leak misattributed");
             assert!(report.wer() >= 90.0);
         }

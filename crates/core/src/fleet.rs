@@ -1,0 +1,676 @@
+//! Fleet-scale batch verification — the deployment half of the paper's
+//! IP-protection story.
+//!
+//! A proprietor ships one watermarked model to thousands of edge
+//! devices ([`crate::fingerprint`] gives each a traitor-tracing
+//! fingerprint on top of the shared ownership watermark). Ownership
+//! disputes and leak tracing then have to run against the *whole fleet*:
+//! many suspect artifacts, many registered devices. Doing that with the
+//! serial [`Fleet`] API repeats two expensive, device-independent
+//! computations per check — reproducing the ownership locations
+//! (score + sort every layer) and rebuilding the base-watermarked
+//! reference model.
+//!
+//! [`FleetVerifier`] hoists everything device-independent into a
+//! one-time cache per model family:
+//!
+//! * the ownership watermark locations,
+//! * the base-watermarked reference weights, and
+//! * the per-layer fingerprint candidate pools (base-excluded),
+//!
+//! after which verifying one artifact is pure PRNG sampling plus integer
+//! diffs, and a batch of artifacts fans out across a thread pool.
+//! Artifacts stream through the [`crate::deploy`] codec: each worker
+//! decodes one suspect, verifies it against the shared cache by
+//! reference, and drops it — no clone of any model is ever taken.
+//!
+//! Cached and uncached paths are bit-for-bit identical; the test suite
+//! and `tests/fleet_engine.rs` pin that equivalence.
+
+use crate::deploy::{decode_model, CodecError};
+use crate::fingerprint::{
+    derive_device, fingerprint_pools, sample_from_pools, DeviceFingerprint, Fleet,
+};
+use crate::signature::Signature;
+use crate::watermark::{
+    extract_with_locations, locate_watermark, ExtractionReport, Locations, OwnerSecrets,
+    WatermarkConfig, WatermarkError,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use emmark_quant::QuantizedModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Errors of fleet verification: a suspect artifact that fails to
+/// decode, or watermark extraction failing on the decoded model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The artifact bytes are not a valid deploy-codec model.
+    Codec(CodecError),
+    /// Extraction failed (shape mismatch, pool shortage, …).
+    Watermark(WatermarkError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Codec(e) => write!(f, "artifact decode failed: {e}"),
+            FleetError::Watermark(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Codec(e) => Some(e),
+            FleetError::Watermark(e) => Some(e),
+        }
+    }
+}
+
+impl From<CodecError> for FleetError {
+    fn from(e: CodecError) -> Self {
+        FleetError::Codec(e)
+    }
+}
+
+impl From<WatermarkError> for FleetError {
+    fn from(e: WatermarkError) -> Self {
+        FleetError::Watermark(e)
+    }
+}
+
+/// Outcome of verifying one suspect artifact against the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetVerdict {
+    /// Ownership watermark extraction (Eqs. 6–8) against the base
+    /// secrets.
+    pub ownership: ExtractionReport,
+    /// The traced device and its fingerprint report, when one clears
+    /// the significance threshold.
+    pub attribution: Option<(DeviceFingerprint, ExtractionReport)>,
+}
+
+impl FleetVerdict {
+    /// Whether the ownership watermark clears `log10_threshold`.
+    pub fn proves_ownership(&self, log10_threshold: f64) -> bool {
+        self.ownership.proves_ownership(log10_threshold)
+    }
+}
+
+/// Batch verification engine over a registry of device fingerprints.
+///
+/// Construction pays the device-independent costs once (ownership
+/// locations, base-watermarked reference, fingerprint candidate pools,
+/// per-device signatures and locations); every verification afterwards
+/// is read-only, so batches parallelize freely.
+#[derive(Debug, Clone)]
+pub struct FleetVerifier {
+    base: OwnerSecrets,
+    fingerprint_config: WatermarkConfig,
+    devices: Vec<DeviceFingerprint>,
+    /// Cached ownership watermark locations (Eq. 2–4 scoring, once).
+    base_locations: Locations,
+    /// Cached base-watermarked reference weights (fingerprint diffs are
+    /// taken against this shared state).
+    base_deployed: QuantizedModel,
+    /// Cached per-layer fingerprint candidate pools, base-excluded.
+    pools: Vec<Vec<usize>>,
+    /// Per registered device: its signature and sampled locations.
+    device_material: Vec<(Signature, Locations)>,
+}
+
+impl FleetVerifier {
+    /// Builds the engine from a serial [`Fleet`] (same registry, same
+    /// verdicts, cached hot path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates location-reproduction errors.
+    pub fn new(fleet: &Fleet) -> Result<Self, WatermarkError> {
+        Self::from_parts(
+            fleet.base.clone(),
+            fleet.fingerprint_config,
+            fleet.devices().to_vec(),
+        )
+    }
+
+    /// Builds the engine from raw parts — typically secrets loaded from
+    /// the vault plus a registry loaded with [`decode_registry`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an inconsistent secret bundle
+    /// ([`WatermarkError::SignatureLength`], [`WatermarkError::InvalidConfig`])
+    /// and propagates location-reproduction errors.
+    pub fn from_parts(
+        base: OwnerSecrets,
+        fingerprint_config: WatermarkConfig,
+        devices: Vec<DeviceFingerprint>,
+    ) -> Result<Self, WatermarkError> {
+        // Corrupt or hand-edited inputs (vault, registry) must surface as
+        // errors here, not panics inside batch workers.
+        fingerprint_config.validate()?;
+        let expected = base.config.signature_len(base.original.layer_count());
+        if base.signature.len() != expected {
+            return Err(WatermarkError::SignatureLength {
+                expected,
+                got: base.signature.len(),
+            });
+        }
+        let base_locations = locate_watermark(&base.original, &base.stats, &base.config)?;
+        // Apply the base watermark at the cached locations (identical to
+        // `OwnerSecrets::watermark_for_deployment`, without re-locating).
+        let mut base_deployed = base.original.clone();
+        let n = base_deployed.layer_count();
+        for (l, layer_locs) in base_locations.iter().enumerate() {
+            let bits = base.signature.layer_bits(l, n);
+            for (&f, &b) in layer_locs.iter().zip(bits) {
+                base_deployed.layers[l].bump_q_flat(f, b);
+            }
+        }
+        let pools = fingerprint_pools(
+            &base_deployed,
+            &base.stats,
+            &base_locations,
+            &fingerprint_config,
+        )?;
+        let device_material = devices
+            .iter()
+            .map(|d| {
+                let sig =
+                    Signature::generate(fingerprint_config.signature_len(n), d.signature_seed);
+                let locs = sample_from_pools(&pools, &fingerprint_config, d.selection_seed);
+                (sig, locs)
+            })
+            .collect();
+        Ok(Self {
+            base,
+            fingerprint_config,
+            devices,
+            base_locations,
+            base_deployed,
+            pools,
+            device_material,
+        })
+    }
+
+    /// The registered devices, in registration order.
+    pub fn devices(&self) -> &[DeviceFingerprint] {
+        &self.devices
+    }
+
+    /// The fingerprint parameters the registry was provisioned with.
+    pub fn fingerprint_config(&self) -> &WatermarkConfig {
+        &self.fingerprint_config
+    }
+
+    /// Ownership watermark extraction against the cached locations —
+    /// bit-for-bit the report [`OwnerSecrets::verify`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::ShapeMismatch`] on a foreign layer grid.
+    pub fn ownership_report(
+        &self,
+        suspect: &QuantizedModel,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        extract_with_locations(
+            suspect,
+            &self.base.original,
+            &self.base_locations,
+            &self.base.signature,
+        )
+    }
+
+    /// Fingerprint extraction for one device — bit-for-bit the report
+    /// [`Fleet::device_report`] produces, using the cached pools instead
+    /// of re-scoring every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::ShapeMismatch`] on a foreign layer grid.
+    pub fn device_report(
+        &self,
+        device: &DeviceFingerprint,
+        leaked: &QuantizedModel,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        match self.devices.iter().position(|d| d == device) {
+            Some(i) => {
+                let (sig, locs) = &self.device_material[i];
+                extract_with_locations(leaked, &self.base_deployed, locs, sig)
+            }
+            None => {
+                // Unregistered fingerprint: derive its material on the
+                // fly from the shared pools.
+                let n = self.base_deployed.layer_count();
+                let sig = Signature::generate(
+                    self.fingerprint_config.signature_len(n),
+                    device.signature_seed,
+                );
+                let locs =
+                    sample_from_pools(&self.pools, &self.fingerprint_config, device.selection_seed);
+                extract_with_locations(leaked, &self.base_deployed, &locs, &sig)
+            }
+        }
+    }
+
+    /// Traces a leaked model to the registered device whose fingerprint
+    /// clears `log10_threshold` with the best margin — the cached
+    /// counterpart of [`Fleet::identify_leak`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn identify_leak(
+        &self,
+        leaked: &QuantizedModel,
+        log10_threshold: f64,
+    ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
+        let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        for (device, (sig, locs)) in self.devices.iter().zip(&self.device_material) {
+            let report = extract_with_locations(leaked, &self.base_deployed, locs, sig)?;
+            if !report.proves_ownership(log10_threshold) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, b)) => report.log10_p_chance() < b.log10_p_chance(),
+            };
+            if better {
+                best = Some((device, report));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Full verdict for one decoded suspect: ownership proof plus leak
+    /// attribution at `log10_threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn verify_model(
+        &self,
+        suspect: &QuantizedModel,
+        log10_threshold: f64,
+    ) -> Result<FleetVerdict, WatermarkError> {
+        let ownership = self.ownership_report(suspect)?;
+        let attribution = self
+            .identify_leak(suspect, log10_threshold)?
+            .map(|(d, r)| (d.clone(), r));
+        Ok(FleetVerdict {
+            ownership,
+            attribution,
+        })
+    }
+
+    /// Decodes one deploy-codec artifact and verifies it. The decoded
+    /// model lives only for the duration of the call; the cache is read
+    /// by reference (no clones).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Codec`] for malformed bytes, otherwise
+    /// propagates extraction errors.
+    pub fn verify_artifact(
+        &self,
+        artifact: &[u8],
+        log10_threshold: f64,
+    ) -> Result<FleetVerdict, FleetError> {
+        let suspect = decode_model(artifact)?;
+        Ok(self.verify_model(&suspect, log10_threshold)?)
+    }
+
+    /// Verifies a batch of deploy-codec artifacts in parallel on `jobs`
+    /// worker threads (`None` = one per available core). Output order
+    /// matches input order, and every verdict is bit-for-bit what
+    /// [`Self::verify_artifact`] returns serially.
+    pub fn verify_batch<A: AsRef<[u8]> + Sync>(
+        &self,
+        artifacts: &[A],
+        log10_threshold: f64,
+        jobs: Option<usize>,
+    ) -> Vec<Result<FleetVerdict, FleetError>> {
+        let jobs = jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        par_map(artifacts, jobs, |a| {
+            self.verify_artifact(a.as_ref(), log10_threshold)
+        })
+    }
+}
+
+/// Derives the registry entry [`Fleet::provision`] would create for a
+/// device id under this fingerprint config, without inserting anything.
+pub fn registry_entry(fingerprint_config: &WatermarkConfig, device_id: &str) -> DeviceFingerprint {
+    derive_device(fingerprint_config, device_id)
+}
+
+/// Order-preserving parallel map over a slice: a work queue drained by
+/// `jobs` scoped threads (the offline stand-in for `rayon`'s
+/// `par_iter`, see DESIGN.md §6).
+fn par_map<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(item)));
+                }
+                collected
+                    .lock()
+                    .expect("fleet worker panicked")
+                    .extend(local);
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().expect("fleet worker panicked");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+const REGISTRY_MAGIC: &[u8; 4] = b"EMFR";
+const REGISTRY_VERSION: u32 = 1;
+
+/// Serializes a fleet registry: the fingerprint parameters plus every
+/// registered device, in the same versioned little-endian style as the
+/// deploy codec.
+pub fn encode_registry(
+    fingerprint_config: &WatermarkConfig,
+    devices: &[DeviceFingerprint],
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + devices.len() * 48);
+    buf.put_slice(REGISTRY_MAGIC);
+    buf.put_u32_le(REGISTRY_VERSION);
+    buf.put_f64_le(fingerprint_config.alpha);
+    buf.put_f64_le(fingerprint_config.beta);
+    buf.put_u32_le(fingerprint_config.bits_per_layer as u32);
+    buf.put_u32_le(fingerprint_config.pool_ratio as u32);
+    buf.put_u64_le(fingerprint_config.selection_seed);
+    buf.put_u32_le(devices.len() as u32);
+    for d in devices {
+        buf.put_u32_le(d.device_id.len() as u32);
+        buf.put_slice(d.device_id.as_bytes());
+        buf.put_u64_le(d.selection_seed);
+        buf.put_u64_le(d.signature_seed);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a fleet registry written by [`encode_registry`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input.
+pub fn decode_registry(
+    bytes: &[u8],
+) -> Result<(WatermarkConfig, Vec<DeviceFingerprint>), CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let need = |buf: &Bytes, n: usize, what: &'static str| -> Result<(), CodecError> {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated(what))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8, "registry header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != REGISTRY_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != REGISTRY_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    need(&buf, 8 + 8 + 4 + 4 + 8, "registry config")?;
+    let config = WatermarkConfig {
+        alpha: buf.get_f64_le(),
+        beta: buf.get_f64_le(),
+        bits_per_layer: buf.get_u32_le() as usize,
+        pool_ratio: buf.get_u32_le() as usize,
+        selection_seed: buf.get_u64_le(),
+    };
+    config
+        .validate()
+        .map_err(|e| CodecError::Corrupt(format!("fingerprint config: {e}")))?;
+    need(&buf, 4, "device count")?;
+    let count = buf.get_u32_le() as usize;
+    // Each entry is at least 20 bytes (id length + two seeds); bound the
+    // allocation by the bytes actually present before trusting `count`.
+    need(&buf, count.saturating_mul(20), "device entries")?;
+    let mut devices = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 4, "device id length")?;
+        let id_len = buf.get_u32_le() as usize;
+        need(&buf, id_len + 16, "device entry")?;
+        let id_bytes = buf.copy_to_bytes(id_len);
+        let device_id = String::from_utf8(id_bytes.to_vec())
+            .map_err(|_| CodecError::Corrupt("device id: invalid utf-8".into()))?;
+        devices.push(DeviceFingerprint {
+            device_id,
+            selection_seed: buf.get_u64_le(),
+            signature_seed: buf.get_u64_le(),
+        });
+    }
+    Ok((config, devices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::encode_model;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+
+    fn fleet_with_devices(ids: &[&str]) -> (Fleet, Vec<Vec<u8>>) {
+        let mut model = TransformerModel::new(ModelConfig::tiny_test());
+        let calib: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s) % 31).collect())
+            .collect();
+        let stats = model.collect_activation_stats(&calib);
+        let qm = awq(&model, &stats, &AwqConfig::default());
+        let base_cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
+        let base = OwnerSecrets::new(qm, stats, base_cfg, 0xF1EE7);
+        let fp_cfg = WatermarkConfig {
+            bits_per_layer: 3,
+            pool_ratio: 10,
+            selection_seed: 0xDE11CE,
+            ..Default::default()
+        };
+        let mut fleet = Fleet::new(base, fp_cfg);
+        let artifacts = ids
+            .iter()
+            .map(|id| encode_model(&fleet.provision(id).expect("provision")).to_vec())
+            .collect();
+        (fleet, artifacts)
+    }
+
+    #[test]
+    fn cached_ownership_report_matches_owner_secrets_verify() {
+        let (fleet, artifacts) = fleet_with_devices(&["a", "b"]);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        for artifact in &artifacts {
+            let suspect = decode_model(artifact).expect("decode");
+            let cached = verifier.ownership_report(&suspect).expect("cached");
+            let uncached = fleet.base.verify(&suspect).expect("uncached");
+            assert_eq!(cached, uncached);
+        }
+    }
+
+    #[test]
+    fn cached_device_reports_match_fleet_device_report() {
+        let (fleet, artifacts) = fleet_with_devices(&["a", "b", "c"]);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        for artifact in &artifacts {
+            let leaked = decode_model(artifact).expect("decode");
+            for device in fleet.devices() {
+                let cached = verifier.device_report(device, &leaked).expect("cached");
+                let uncached = fleet.device_report(device, &leaked).expect("uncached");
+                assert_eq!(cached, uncached, "device {}", device.device_id);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_identification_matches_serial_identification() {
+        let (fleet, artifacts) = fleet_with_devices(&["alice", "bob", "carol"]);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        for (i, artifact) in artifacts.iter().enumerate() {
+            let leaked = decode_model(artifact).expect("decode");
+            let (cached_dev, cached_rep) = verifier
+                .identify_leak(&leaked, -6.0)
+                .expect("identify")
+                .expect("attributed");
+            let (serial_dev, serial_rep) = fleet
+                .identify_leak(&leaked, -6.0)
+                .expect("identify")
+                .expect("attributed");
+            assert_eq!(cached_dev, serial_dev, "artifact {i}");
+            assert_eq!(cached_rep, serial_rep, "artifact {i}");
+        }
+    }
+
+    #[test]
+    fn unregistered_device_report_falls_back_to_pool_sampling() {
+        let (fleet, artifacts) = fleet_with_devices(&["a"]);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        let leaked = decode_model(&artifacts[0]).expect("decode");
+        let stranger = registry_entry(&fleet.fingerprint_config, "never-registered");
+        let cached = verifier.device_report(&stranger, &leaked).expect("cached");
+        let uncached = fleet.device_report(&stranger, &leaked).expect("uncached");
+        assert_eq!(cached, uncached);
+        assert!(
+            !cached.proves_ownership(-6.0),
+            "stranger must not be attributed"
+        );
+    }
+
+    #[test]
+    fn batch_verdicts_are_identical_serial_and_parallel() {
+        let ids: Vec<String> = (0..6).map(|i| format!("edge-{i:02}")).collect();
+        let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let (fleet, artifacts) = fleet_with_devices(&id_refs);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        let serial = verifier.verify_batch(&artifacts, -6.0, Some(1));
+        let parallel = verifier.verify_batch(&artifacts, -6.0, Some(4));
+        assert_eq!(serial, parallel);
+        for (i, verdict) in serial.iter().enumerate() {
+            let verdict = verdict.as_ref().expect("verdict");
+            assert_eq!(verdict.ownership.wer(), 100.0);
+            let (device, _) = verdict.attribution.as_ref().expect("attributed");
+            assert_eq!(device.device_id, ids[i]);
+        }
+    }
+
+    #[test]
+    fn malformed_artifacts_fail_without_poisoning_the_batch() {
+        let (fleet, mut artifacts) = fleet_with_devices(&["a", "b"]);
+        artifacts.insert(1, b"NOPE".to_vec());
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        let verdicts = verifier.verify_batch(&artifacts, -6.0, Some(2));
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(verdicts[1], Err(FleetError::Codec(_))));
+        assert!(verdicts[2].is_ok());
+        let msg = verdicts[1].as_ref().unwrap_err().to_string();
+        assert!(msg.contains("decode"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn registry_roundtrips_and_rejects_garbage() {
+        let (fleet, _) = fleet_with_devices(&["alpha", "beta"]);
+        let bytes = encode_registry(&fleet.fingerprint_config, fleet.devices());
+        let (cfg, devices) = decode_registry(&bytes).expect("decode");
+        assert_eq!(cfg, fleet.fingerprint_config);
+        assert_eq!(devices, fleet.devices());
+        assert!(matches!(
+            decode_registry(b"EMQM1234"),
+            Err(CodecError::BadMagic)
+        ));
+        for cut in [2usize, 10, bytes.len() / 2, bytes.len() - 3] {
+            assert!(
+                decode_registry(&bytes[..cut]).is_err(),
+                "cut {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_with_invalid_config_is_rejected_not_panicking() {
+        let (fleet, _) = fleet_with_devices(&["a"]);
+        let mut bad_cfg = fleet.fingerprint_config;
+        bad_cfg.pool_ratio = 0;
+        let bytes = encode_registry(&bad_cfg, fleet.devices());
+        assert!(
+            matches!(decode_registry(&bytes), Err(CodecError::Corrupt(_))),
+            "pool_ratio=0 must fail registry decode"
+        );
+    }
+
+    #[test]
+    fn registry_with_huge_device_count_is_truncated_not_oom() {
+        let (fleet, _) = fleet_with_devices(&[]);
+        let mut bytes = encode_registry(&fleet.fingerprint_config, &[]).to_vec();
+        // Overwrite the trailing device-count field with u32::MAX.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(decode_registry(&bytes), Err(CodecError::Truncated(_))),
+            "absurd device count must be a codec error, not an allocation"
+        );
+    }
+
+    #[test]
+    fn corrupt_secret_bundle_is_rejected_at_cache_build() {
+        let (fleet, _) = fleet_with_devices(&["a"]);
+        // Signature length no longer matching bits_per_layer × layers —
+        // the serial path errors, so the cached path must too.
+        let mut bad = fleet.base.clone();
+        bad.signature = crate::signature::Signature::generate(bad.signature.len() + 1, 9);
+        let err = FleetVerifier::from_parts(bad, fleet.fingerprint_config, Vec::new())
+            .expect_err("must reject");
+        assert!(matches!(err, WatermarkError::SignatureLength { .. }));
+
+        let mut bad_fp = fleet.fingerprint_config;
+        bad_fp.bits_per_layer = 0;
+        let err = FleetVerifier::from_parts(fleet.base.clone(), bad_fp, Vec::new())
+            .expect_err("must reject");
+        assert!(matches!(err, WatermarkError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_job_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = par_map(&items, jobs, |&i| i * i);
+            assert_eq!(
+                out,
+                items.iter().map(|&i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(par_map::<usize, usize, _>(&[], 4, |&i| i).is_empty());
+    }
+}

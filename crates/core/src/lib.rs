@@ -12,7 +12,13 @@
 //! * [`baselines`] — the paper's comparison schemes RandomWM and
 //!   SpecMark (including the full-precision SpecMark control);
 //! * [`scheme`] — one trait over all three for the experiment harness;
-//! * [`deploy`] — the versioned binary format of the deployed artifact.
+//! * [`deploy`] — the versioned binary format of the deployed artifact;
+//! * [`fingerprint`] — per-device traitor-tracing fingerprints on top of
+//!   the shared ownership watermark;
+//! * [`fleet`] — the parallel batch verification engine
+//!   ([`fleet::FleetVerifier`]) with its one-time per-model-family cache,
+//!   plus the on-disk device registry;
+//! * [`vault`] — versioned serialization of the owner's secret bundle.
 //!
 //! # Examples
 //!
@@ -46,15 +52,17 @@
 pub mod baselines;
 pub mod deploy;
 pub mod fingerprint;
+pub mod fleet;
 pub mod scheme;
 pub mod scoring;
 pub mod signature;
 pub mod vault;
 pub mod watermark;
 
+pub use fleet::{FleetError, FleetVerdict, FleetVerifier};
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
 pub use watermark::{
-    extract_watermark, insert_watermark, locate_watermark, ExtractionReport, OwnerSecrets,
-    WatermarkConfig, WatermarkError,
+    extract_watermark, extract_with_locations, insert_watermark, locate_watermark,
+    ExtractionReport, OwnerSecrets, WatermarkConfig, WatermarkError,
 };

@@ -58,7 +58,10 @@ pub struct EmMarkScheme {
 
 impl EmMarkScheme {
     fn signature_for(&self, model: &QuantizedModel) -> Signature {
-        Signature::generate(self.config.signature_len(model.layer_count()), self.signature_seed)
+        Signature::generate(
+            self.config.signature_len(model.layer_count()),
+            self.signature_seed,
+        )
     }
 }
 
@@ -98,7 +101,10 @@ pub struct RandomWmScheme {
 
 impl RandomWmScheme {
     fn signature_for(&self, model: &QuantizedModel) -> Signature {
-        Signature::generate(self.config.bits_per_layer * model.layer_count(), self.signature_seed)
+        Signature::generate(
+            self.config.bits_per_layer * model.layer_count(),
+            self.signature_seed,
+        )
     }
 }
 
@@ -140,7 +146,10 @@ pub struct SpecMarkScheme {
 
 impl SpecMarkScheme {
     fn signature_for(&self, model: &QuantizedModel) -> Signature {
-        Signature::generate(self.config.bits_per_layer * model.layer_count(), self.signature_seed)
+        Signature::generate(
+            self.config.bits_per_layer * model.layer_count(),
+            self.signature_seed,
+        )
     }
 }
 
@@ -166,7 +175,12 @@ impl WatermarkScheme for SpecMarkScheme {
         _stats: &ActivationStats,
     ) -> Result<ExtractionReport, WatermarkError> {
         let sig = self.signature_for(original);
-        Ok(specmark_extract_quantized(suspect, original, &sig, &self.config))
+        Ok(specmark_extract_quantized(
+            suspect,
+            original,
+            &sig,
+            &self.config,
+        ))
     }
 }
 
@@ -199,11 +213,17 @@ mod tests {
                 signature_seed: 11,
             }),
             Box::new(RandomWmScheme {
-                config: RandomWmConfig { bits_per_layer: 4, seed: 100 },
+                config: RandomWmConfig {
+                    bits_per_layer: 4,
+                    seed: 100,
+                },
                 signature_seed: 11,
             }),
             Box::new(SpecMarkScheme {
-                config: SpecMarkConfig { bits_per_layer: 4, ..Default::default() },
+                config: SpecMarkConfig {
+                    bits_per_layer: 4,
+                    ..Default::default()
+                },
                 signature_seed: 11,
             }),
         ]
@@ -216,13 +236,18 @@ mod tests {
         for scheme in schemes() {
             let mut deployed = original.clone();
             scheme.insert(&mut deployed, &stats).expect("insert");
-            let report = scheme.extract(&deployed, &original, &stats).expect("extract");
+            let report = scheme
+                .extract(&deployed, &original, &stats)
+                .expect("extract");
             wers.push((scheme.name(), report.wer()));
         }
         let by_name: std::collections::HashMap<_, _> = wers.into_iter().collect();
         assert_eq!(by_name["EmMark"], 100.0);
         assert!(by_name["RandomWM"] > 80.0);
-        assert_eq!(by_name["SpecMark"], 0.0, "SpecMark must fail on quantized grids");
+        assert_eq!(
+            by_name["SpecMark"], 0.0,
+            "SpecMark must fail on quantized grids"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct ScoreCoefficients {
 impl Default for ScoreCoefficients {
     /// The paper's default `(0.5, 0.5)`.
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.5 }
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+        }
     }
 }
 
@@ -84,10 +87,16 @@ pub fn score_layer(
             // A zero coefficient disables its term entirely (otherwise
             // 0 · ∞ from the excluded minimum-activation channel would
             // poison the score with NaN).
-            let term_q =
-                if coeffs.alpha == 0.0 { 0.0 } else { coeffs.alpha / (q as f64).abs() };
-            let term_r =
-                if coeffs.beta == 0.0 { 0.0 } else { coeffs.beta * s_r[channel] };
+            let term_q = if coeffs.alpha == 0.0 {
+                0.0
+            } else {
+                coeffs.alpha / (q as f64).abs()
+            };
+            let term_r = if coeffs.beta == 0.0 {
+                0.0
+            } else {
+                coeffs.beta * s_r[channel]
+            };
             term_q + term_r
         })
         .collect()
@@ -127,9 +136,16 @@ pub fn candidate_pool(scores: &[f64], pool_size: usize) -> Result<Vec<usize>, Po
         .map(|(i, &s)| (s, i))
         .collect();
     if indexed.len() < pool_size {
-        return Err(PoolError { needed: pool_size, available: indexed.len() });
+        return Err(PoolError {
+            needed: pool_size,
+            available: indexed.len(),
+        });
     }
-    indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores").then(a.1.cmp(&b.1)));
+    indexed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite scores")
+            .then(a.1.cmp(&b.1))
+    });
     indexed.truncate(pool_size);
     Ok(indexed.into_iter().map(|(_, i)| i).collect())
 }
@@ -191,7 +207,10 @@ mod tests {
         // One channel (so S_r is constant-infinite except...); use two
         // channels to keep S_r finite on channel 1.
         let layer = layer_with(vec![1, 2, 100, -100], 2, 2);
-        let coeffs = ScoreCoefficients { alpha: 1.0, beta: 0.0 };
+        let coeffs = ScoreCoefficients {
+            alpha: 1.0,
+            beta: 0.0,
+        };
         let s = score_layer(&layer, &[1.0, 2.0], &coeffs);
         assert!(s[2] < s[0], "larger |q| must score lower");
         assert_eq!(s[2], s[3], "sign does not matter");
@@ -216,9 +235,23 @@ mod tests {
         // most salient channel. α-heavy scoring picks A, β-heavy picks B.
         let layer = layer_with(vec![100, 0, 0, 2], 2, 2);
         let act = [1.0f32, 50.0];
-        let alpha_heavy = score_layer(&layer, &act, &ScoreCoefficients { alpha: 1.0, beta: 0.0 });
+        let alpha_heavy = score_layer(
+            &layer,
+            &act,
+            &ScoreCoefficients {
+                alpha: 1.0,
+                beta: 0.0,
+            },
+        );
         assert!(alpha_heavy[0] < alpha_heavy[3]);
-        let beta_heavy = score_layer(&layer, &act, &ScoreCoefficients { alpha: 0.0, beta: 1.0 });
+        let beta_heavy = score_layer(
+            &layer,
+            &act,
+            &ScoreCoefficients {
+                alpha: 0.0,
+                beta: 1.0,
+            },
+        );
         assert!(beta_heavy[3] < beta_heavy[0]);
     }
 
@@ -230,15 +263,36 @@ mod tests {
         let pool4 = candidate_pool(&scores, 4).expect("enough candidates");
         assert_eq!(pool4, vec![2, 4, 0, 3]);
         let err = candidate_pool(&scores, 5).expect_err("only 4 finite");
-        assert_eq!(err, PoolError { needed: 5, available: 4 });
+        assert_eq!(
+            err,
+            PoolError {
+                needed: 5,
+                available: 4
+            }
+        );
         assert!(err.to_string().contains("5"));
     }
 
     #[test]
     fn coefficient_validation() {
         assert!(ScoreCoefficients::default().validate().is_ok());
-        assert!(ScoreCoefficients { alpha: -0.1, beta: 1.0 }.validate().is_err());
-        assert!(ScoreCoefficients { alpha: 0.0, beta: 0.0 }.validate().is_err());
-        assert!(ScoreCoefficients { alpha: 0.0, beta: 1.0 }.validate().is_ok());
+        assert!(ScoreCoefficients {
+            alpha: -0.1,
+            beta: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ScoreCoefficients {
+            alpha: 0.0,
+            beta: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ScoreCoefficients {
+            alpha: 0.0,
+            beta: 1.0
+        }
+        .validate()
+        .is_ok());
     }
 }

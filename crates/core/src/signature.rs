@@ -34,7 +34,10 @@ impl Signature {
     ///
     /// Panics if any bit is not `±1`.
     pub fn from_bits(bits: Vec<i8>) -> Self {
-        assert!(bits.iter().all(|&b| b == 1 || b == -1), "signature bits must be ±1");
+        assert!(
+            bits.iter().all(|&b| b == 1 || b == -1),
+            "signature bits must be ±1"
+        );
         Self { bits }
     }
 
@@ -62,7 +65,11 @@ impl Signature {
     /// Panics if `len` is not divisible by `n_layers` or `l` is out of
     /// range.
     pub fn layer_bits(&self, l: usize, n_layers: usize) -> &[i8] {
-        assert_eq!(self.bits.len() % n_layers, 0, "|B| must divide evenly over layers");
+        assert_eq!(
+            self.bits.len() % n_layers,
+            0,
+            "|B| must divide evenly over layers"
+        );
         let per = self.bits.len() / n_layers;
         assert!(l < n_layers, "layer index out of range");
         &self.bits[l * per..(l + 1) * per]

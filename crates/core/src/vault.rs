@@ -82,7 +82,13 @@ pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
     let bits_per_layer = buf.get_u32_le() as usize;
     let pool_ratio = buf.get_u32_le() as usize;
     let selection_seed = buf.get_u64_le();
-    let config = WatermarkConfig { alpha, beta, bits_per_layer, pool_ratio, selection_seed };
+    let config = WatermarkConfig {
+        alpha,
+        beta,
+        bits_per_layer,
+        pool_ratio,
+        selection_seed,
+    };
 
     need(&buf, 4, "signature length")?;
     let sig_len = buf.get_u32_le() as usize;
@@ -122,7 +128,12 @@ pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
             original.layer_count()
         )));
     }
-    Ok(OwnerSecrets { original, stats, signature, config })
+    Ok(OwnerSecrets {
+        original,
+        stats,
+        signature,
+        config,
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +148,11 @@ mod tests {
         let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
         let stats = model.collect_activation_stats(&calib);
         let qm = awq(&model, &stats, &AwqConfig::default());
-        let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..Default::default()
+        };
         OwnerSecrets::new(qm, stats, cfg, 0x5EC2)
     }
 
@@ -159,8 +174,14 @@ mod tests {
 
     #[test]
     fn vault_rejects_garbage() {
-        assert!(matches!(decode_secrets(b"EMQM1234"), Err(CodecError::BadMagic)));
-        assert!(matches!(decode_secrets(b"EM"), Err(CodecError::Truncated(_))));
+        assert!(matches!(
+            decode_secrets(b"EMQM1234"),
+            Err(CodecError::BadMagic)
+        ));
+        assert!(matches!(
+            decode_secrets(b"EM"),
+            Err(CodecError::Truncated(_))
+        ));
         let bytes = encode_secrets(&secrets());
         for cut in [10usize, 40, bytes.len() / 2, bytes.len() - 5] {
             assert!(
@@ -176,6 +197,9 @@ mod tests {
         // Signature bits start after magic(4)+version(4)+config(32)+len(4).
         let mut corrupted = bytes.clone();
         corrupted[4 + 4 + 32 + 4] = 3; // not ±1
-        assert!(matches!(decode_secrets(&corrupted), Err(CodecError::Corrupt(_))));
+        assert!(matches!(
+            decode_secrets(&corrupted),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

@@ -35,7 +35,13 @@ pub struct WatermarkConfig {
 
 impl Default for WatermarkConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.5, bits_per_layer: 8, pool_ratio: 50, selection_seed: 100 }
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+            bits_per_layer: 8,
+            pool_ratio: 50,
+            selection_seed: 100,
+        }
     }
 }
 
@@ -43,17 +49,26 @@ impl WatermarkConfig {
     /// Scaled default for INT8 grids (paper: 300 bits/layer at OPT scale;
     /// 24 here — DESIGN.md §4 records the density mapping).
     pub fn int8_default() -> Self {
-        Self { bits_per_layer: 24, ..Self::default() }
+        Self {
+            bits_per_layer: 24,
+            ..Self::default()
+        }
     }
 
     /// Scaled default for INT4 grids (paper: 40 bits/layer; 8 here).
     pub fn int4_default() -> Self {
-        Self { bits_per_layer: 8, ..Self::default() }
+        Self {
+            bits_per_layer: 8,
+            ..Self::default()
+        }
     }
 
     /// The coefficients as a [`ScoreCoefficients`].
     pub fn coefficients(&self) -> ScoreCoefficients {
-        ScoreCoefficients { alpha: self.alpha, beta: self.beta }
+        ScoreCoefficients {
+            alpha: self.alpha,
+            beta: self.beta,
+        }
     }
 
     /// Total signature length for a model with `n_layers` quantized
@@ -72,10 +87,14 @@ impl WatermarkConfig {
             .validate()
             .map_err(WatermarkError::InvalidConfig)?;
         if self.bits_per_layer == 0 {
-            return Err(WatermarkError::InvalidConfig("bits_per_layer must be positive".into()));
+            return Err(WatermarkError::InvalidConfig(
+                "bits_per_layer must be positive".into(),
+            ));
         }
         if self.pool_ratio < 1 {
-            return Err(WatermarkError::InvalidConfig("pool_ratio must be at least 1".into()));
+            return Err(WatermarkError::InvalidConfig(
+                "pool_ratio must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -112,7 +131,10 @@ impl std::fmt::Display for WatermarkError {
             }
             WatermarkError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             WatermarkError::SignatureLength { expected, got } => {
-                write!(f, "signature length {got} does not match required {expected}")
+                write!(
+                    f,
+                    "signature length {got} does not match required {expected}"
+                )
             }
             WatermarkError::ShapeMismatch(msg) => write!(f, "model shape mismatch: {msg}"),
         }
@@ -197,7 +219,10 @@ pub fn insert_watermark(
 ) -> Result<InsertedWatermark, WatermarkError> {
     let expected = cfg.signature_len(model.layer_count());
     if signature.len() != expected {
-        return Err(WatermarkError::SignatureLength { expected, got: signature.len() });
+        return Err(WatermarkError::SignatureLength {
+            expected,
+            got: signature.len(),
+        });
     }
     let locations = locate_watermark(model, stats, cfg)?;
     let n = model.layer_count();
@@ -208,7 +233,10 @@ pub fn insert_watermark(
             model.layers[l].bump_q_flat(f, b);
         }
     }
-    Ok(InsertedWatermark { locations, bits: signature.len() })
+    Ok(InsertedWatermark {
+        locations,
+        bits: signature.len(),
+    })
 }
 
 /// Result of watermark extraction (Eqs. 6–8).
@@ -242,6 +270,77 @@ impl ExtractionReport {
     }
 }
 
+/// Checks that `suspect` has the same layer grid as `reference`.
+///
+/// # Errors
+///
+/// Returns [`WatermarkError::ShapeMismatch`] describing the first
+/// divergence.
+pub fn check_same_grid(
+    suspect: &QuantizedModel,
+    reference: &QuantizedModel,
+) -> Result<(), WatermarkError> {
+    if suspect.layer_count() != reference.layer_count() {
+        return Err(WatermarkError::ShapeMismatch(format!(
+            "suspect has {} layers, original {}",
+            suspect.layer_count(),
+            reference.layer_count()
+        )));
+    }
+    for (l, (a, b)) in suspect.layers.iter().zip(&reference.layers).enumerate() {
+        if a.in_features() != b.in_features() || a.out_features() != b.out_features() {
+            return Err(WatermarkError::ShapeMismatch(format!(
+                "layer {l}: suspect {}x{}, original {}x{}",
+                a.in_features(),
+                a.out_features(),
+                b.in_features(),
+                b.out_features()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Eqs. 6–7 with *pre-reproduced* locations: diffs `suspect` against
+/// `reference` at `locations` and counts exact `ΔW == b` matches.
+///
+/// This is the hot inner step of extraction. [`extract_watermark`]
+/// re-derives the locations every call; batch verification (the
+/// [`crate::fleet`] engine) reproduces them once per model family and
+/// calls this directly for every device artifact.
+///
+/// # Errors
+///
+/// Returns [`WatermarkError::ShapeMismatch`] if the suspect's layer grid
+/// does not line up with the reference's.
+pub fn extract_with_locations(
+    suspect: &QuantizedModel,
+    reference: &QuantizedModel,
+    locations: &Locations,
+    signature: &Signature,
+) -> Result<ExtractionReport, WatermarkError> {
+    check_same_grid(suspect, reference)?;
+    let n = reference.layer_count();
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for (l, layer_locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in layer_locs.iter().zip(bits) {
+            // Eq. 6: ΔW[L] = W'[L] − W[L]; exact match required.
+            let delta =
+                suspect.layers[l].q_at_flat(f) as i16 - reference.layers[l].q_at_flat(f) as i16;
+            if delta == b as i16 {
+                matched += 1;
+            }
+            total += 1;
+        }
+    }
+    Ok(ExtractionReport {
+        total_bits: total,
+        matched_bits: matched,
+    })
+}
+
 /// Extracts the watermark from `suspect` using the owner's secret
 /// material, and scores the match (Eqs. 6–7).
 ///
@@ -258,43 +357,14 @@ pub fn extract_watermark(
 ) -> Result<ExtractionReport, WatermarkError> {
     let expected = cfg.signature_len(original.layer_count());
     if signature.len() != expected {
-        return Err(WatermarkError::SignatureLength { expected, got: signature.len() });
+        return Err(WatermarkError::SignatureLength {
+            expected,
+            got: signature.len(),
+        });
     }
-    if suspect.layer_count() != original.layer_count() {
-        return Err(WatermarkError::ShapeMismatch(format!(
-            "suspect has {} layers, original {}",
-            suspect.layer_count(),
-            original.layer_count()
-        )));
-    }
-    for (l, (a, b)) in suspect.layers.iter().zip(&original.layers).enumerate() {
-        if a.in_features() != b.in_features() || a.out_features() != b.out_features() {
-            return Err(WatermarkError::ShapeMismatch(format!(
-                "layer {l}: suspect {}x{}, original {}x{}",
-                a.in_features(),
-                a.out_features(),
-                b.in_features(),
-                b.out_features()
-            )));
-        }
-    }
+    check_same_grid(suspect, original)?;
     let locations = locate_watermark(original, stats, cfg)?;
-    let n = original.layer_count();
-    let mut matched = 0usize;
-    let mut total = 0usize;
-    for (l, layer_locs) in locations.iter().enumerate() {
-        let bits = signature.layer_bits(l, n);
-        for (&f, &b) in layer_locs.iter().zip(bits) {
-            // Eq. 6: ΔW[L] = W'[L] − W[L]; exact match required.
-            let delta =
-                suspect.layers[l].q_at_flat(f) as i16 - original.layers[l].q_at_flat(f) as i16;
-            if delta == b as i16 {
-                matched += 1;
-            }
-            total += 1;
-        }
-    }
-    Ok(ExtractionReport { total_bits: total, matched_bits: matched })
+    extract_with_locations(suspect, original, &locations, signature)
 }
 
 /// Everything the model owner keeps confidential: the original quantized
@@ -323,7 +393,12 @@ impl OwnerSecrets {
     ) -> Self {
         let signature =
             Signature::generate(config.signature_len(original.layer_count()), signature_seed);
-        Self { original, stats, signature, config }
+        Self {
+            original,
+            stats,
+            signature,
+            config,
+        }
     }
 
     /// Produces the watermarked model to deploy (the original stays
@@ -344,7 +419,13 @@ impl OwnerSecrets {
     ///
     /// Propagates [`extract_watermark`] errors.
     pub fn verify(&self, suspect: &QuantizedModel) -> Result<ExtractionReport, WatermarkError> {
-        extract_watermark(suspect, &self.original, &self.stats, &self.signature, &self.config)
+        extract_watermark(
+            suspect,
+            &self.original,
+            &self.stats,
+            &self.signature,
+            &self.config,
+        )
     }
 }
 
@@ -375,7 +456,11 @@ mod tests {
 
     fn small_cfg() -> WatermarkConfig {
         // tiny_test layers are 16x16=256 cells; keep pool small.
-        WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..WatermarkConfig::default() }
+        WatermarkConfig {
+            bits_per_layer: 4,
+            pool_ratio: 10,
+            ..WatermarkConfig::default()
+        }
     }
 
     #[test]
@@ -385,7 +470,10 @@ mod tests {
         let a = locate_watermark(&qm, &stats, &cfg).expect("locate");
         let b = locate_watermark(&qm, &stats, &cfg).expect("locate");
         assert_eq!(a, b);
-        let cfg2 = WatermarkConfig { selection_seed: 101, ..cfg };
+        let cfg2 = WatermarkConfig {
+            selection_seed: 101,
+            ..cfg
+        };
         let c = locate_watermark(&qm, &stats, &cfg2).expect("locate");
         assert_ne!(a, c);
         // Distinct locations within a layer.
@@ -474,7 +562,11 @@ mod tests {
     #[test]
     fn oversized_pool_reports_layer() {
         let (mut qm, stats) = test_setup(8);
-        let cfg = WatermarkConfig { bits_per_layer: 64, pool_ratio: 50, ..Default::default() };
+        let cfg = WatermarkConfig {
+            bits_per_layer: 64,
+            pool_ratio: 50,
+            ..Default::default()
+        };
         let sig = Signature::generate(cfg.signature_len(qm.layer_count()), 1);
         let err = insert_watermark(&mut qm, &stats, &sig, &cfg).expect_err("pool too big");
         match err {
@@ -501,11 +593,17 @@ mod tests {
 
     #[test]
     fn extraction_report_statistics() {
-        let r = ExtractionReport { total_bits: 40, matched_bits: 40 };
+        let r = ExtractionReport {
+            total_bits: 40,
+            matched_bits: 40,
+        };
         assert_eq!(r.wer(), 100.0);
         // Paper: 9.09e-13 for a fully matched 40-bit layer signature.
         assert!((r.log10_p_chance() - (-12.04)).abs() < 0.01);
-        let half = ExtractionReport { total_bits: 40, matched_bits: 20 };
+        let half = ExtractionReport {
+            total_bits: 40,
+            matched_bits: 20,
+        };
         assert!(half.wer() == 50.0);
         assert!(!half.proves_ownership(-6.0));
     }

@@ -60,6 +60,9 @@ mod tests {
     fn perplexity_is_deterministic() {
         let model = TransformerModel::new(ModelConfig::tiny_test());
         let stream: Vec<u32> = (0..100u32).map(|i| i % 31).collect();
-        assert_eq!(perplexity(&model, &stream, 12), perplexity(&model, &stream, 12));
+        assert_eq!(
+            perplexity(&model, &stream, 12),
+            perplexity(&model, &stream, 12)
+        );
     }
 }

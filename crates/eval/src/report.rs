@@ -22,14 +22,24 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { ppl_tokens: 3000, window: 32, task_items: 120, seed: 1234 }
+        Self {
+            ppl_tokens: 3000,
+            window: 32,
+            task_items: 120,
+            seed: 1234,
+        }
     }
 }
 
 impl EvalConfig {
     /// Fast preset for unit tests.
     pub fn tiny_test() -> Self {
-        Self { ppl_tokens: 400, window: 16, task_items: 20, seed: 1234 }
+        Self {
+            ppl_tokens: 400,
+            window: 16,
+            task_items: 20,
+            seed: 1234,
+        }
     }
 }
 
@@ -77,7 +87,11 @@ pub fn evaluate_quality<M: LogitsModel + ?Sized>(
         corpus.test.len(),
         cfg.ppl_tokens
     );
-    let ppl = perplexity(model, &corpus.test[..cfg.ppl_tokens], cfg.window.min(model.max_seq()));
+    let ppl = perplexity(
+        model,
+        &corpus.test[..cfg.ppl_tokens],
+        cfg.window.min(model.max_seq()),
+    );
     let mut task_accuracy = Vec::with_capacity(4);
     let mut sum = 0.0;
     for kind in TaskKind::all() {
@@ -86,7 +100,11 @@ pub fn evaluate_quality<M: LogitsModel + ?Sized>(
         sum += acc;
         task_accuracy.push((kind.name().to_string(), acc));
     }
-    QualityReport { ppl, task_accuracy, zero_shot_acc: 100.0 * sum / 4.0 }
+    QualityReport {
+        ppl,
+        task_accuracy,
+        zero_shot_acc: 100.0 * sum / 4.0,
+    }
 }
 
 #[cfg(test)]
@@ -115,12 +133,20 @@ mod tests {
         let mut cfg = ModelConfig::tiny_test();
         cfg.vocab_size = corpus.grammar.vocab_size();
         let mut model = TransformerModel::new(cfg);
-        let eval_cfg = EvalConfig { task_items: 40, ..EvalConfig::tiny_test() };
+        let eval_cfg = EvalConfig {
+            task_items: 40,
+            ..EvalConfig::tiny_test()
+        };
         let before = evaluate_quality(&model, &corpus, &eval_cfg);
         train(
             &mut model,
             &corpus,
-            &TrainConfig { steps: 120, batch_size: 8, seq_len: 16, ..TrainConfig::default() },
+            &TrainConfig {
+                steps: 120,
+                batch_size: 8,
+                seq_len: 16,
+                ..TrainConfig::default()
+            },
         );
         let after = evaluate_quality(&model, &corpus, &eval_cfg);
         assert!(after.ppl < before.ppl);

@@ -39,7 +39,12 @@ pub enum TaskKind {
 impl TaskKind {
     /// All four kinds, in reporting order.
     pub fn all() -> [TaskKind; 4] {
-        [TaskKind::LastToken, TaskKind::Continuation, TaskKind::Plausibility, TaskKind::Agreement]
+        [
+            TaskKind::LastToken,
+            TaskKind::Continuation,
+            TaskKind::Plausibility,
+            TaskKind::Agreement,
+        ]
     }
 
     /// Short display name.
@@ -139,7 +144,10 @@ fn continuation_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
         // Distractor: tail of an unrelated sentence with the same length
         // where possible.
         let other = long_sentence(grammar, rng, 4);
-        let cut = other.len().saturating_sub(true_cont.len()).min(other.len() - 1);
+        let cut = other
+            .len()
+            .saturating_sub(true_cont.len())
+            .min(other.len() - 1);
         let cand = other[cut..].to_vec();
         if cand != true_cont {
             choices.push(cand);
@@ -150,7 +158,12 @@ fn continuation_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
     rng.shuffle(&mut order);
     let correct = order.iter().position(|&o| o == 0).expect("index present");
     let choices = order.into_iter().map(|o| choices[o].clone()).collect();
-    TaskItem { context, choices, correct, greedy: false }
+    TaskItem {
+        context,
+        choices,
+        correct,
+        greedy: false,
+    }
 }
 
 fn plausibility_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
@@ -163,8 +176,17 @@ fn plausibility_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
         corrupt.swap(0, 2);
     }
     let correct = rng.below(2);
-    let choices = if correct == 0 { vec![real, corrupt] } else { vec![corrupt, real] };
-    TaskItem { context: Vec::new(), choices, correct, greedy: false }
+    let choices = if correct == 0 {
+        vec![real, corrupt]
+    } else {
+        vec![corrupt, real]
+    };
+    TaskItem {
+        context: Vec::new(),
+        choices,
+        correct,
+        greedy: false,
+    }
 }
 
 fn agreement_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
@@ -196,7 +218,12 @@ fn agreement_item(grammar: &Grammar, rng: &mut Xoshiro256) -> TaskItem {
         } else {
             vec![with_wrong, with_right]
         };
-        return TaskItem { context: Vec::new(), choices, correct, greedy: false };
+        return TaskItem {
+            context: Vec::new(),
+            choices,
+            correct,
+            greedy: false,
+        };
     }
 }
 
@@ -261,7 +288,11 @@ pub fn score_item<M: LogitsModel + ?Sized>(model: &M, item: &TaskItem) -> bool {
 
 /// Accuracy of the model on a task.
 pub fn evaluate_task<M: LogitsModel + ?Sized>(model: &M, task: &Task) -> f64 {
-    let correct = task.items.iter().filter(|item| score_item(model, item)).count();
+    let correct = task
+        .items
+        .iter()
+        .filter(|item| score_item(model, item))
+        .count();
     correct as f64 / task.items.len() as f64
 }
 
@@ -281,7 +312,12 @@ mod tests {
         train(
             &mut model,
             &corpus,
-            &TrainConfig { steps: 120, batch_size: 8, seq_len: 16, ..TrainConfig::default() },
+            &TrainConfig {
+                steps: 120,
+                batch_size: 8,
+                seq_len: 16,
+                ..TrainConfig::default()
+            },
         );
         (model, corpus.grammar)
     }
@@ -321,8 +357,7 @@ mod tests {
             let a = &item.choices[0];
             let b = &item.choices[1];
             assert_eq!(a.len(), b.len());
-            let diffs: Vec<usize> =
-                (0..a.len()).filter(|&i| a[i] != b[i]).collect();
+            let diffs: Vec<usize> = (0..a.len()).filter(|&i| a[i] != b[i]).collect();
             assert_eq!(diffs.len(), 1, "exactly one token must differ");
             assert_eq!(g.class_of(a[diffs[0]]), TokenClass::Noun);
         }
@@ -331,7 +366,11 @@ mod tests {
     #[test]
     fn trained_model_beats_chance_on_ranking_tasks() {
         let (model, grammar) = trained_tiny();
-        for kind in [TaskKind::Continuation, TaskKind::Plausibility, TaskKind::Agreement] {
+        for kind in [
+            TaskKind::Continuation,
+            TaskKind::Plausibility,
+            TaskKind::Agreement,
+        ] {
             let task = build_task(&grammar, kind, 60, 13);
             let acc = evaluate_task(&model, &task);
             assert!(

@@ -143,7 +143,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("MultiHeadAttention::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward before forward");
         let t = dy.rows();
         let d = cache.q.cols();
         let dh = d / self.n_heads;
@@ -202,7 +205,9 @@ mod tests {
     use super::*;
 
     fn loss_of(y: &Matrix) -> f64 {
-        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) + 0.1 * v as f64).sum()
+        y.iter()
+            .map(|&v| 0.5 * (v as f64) * (v as f64) + 0.1 * v as f64)
+            .sum()
     }
 
     fn dloss_of(y: &Matrix) -> Matrix {

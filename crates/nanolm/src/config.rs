@@ -44,7 +44,11 @@ pub struct OutlierProfile {
 
 impl Default for OutlierProfile {
     fn default() -> Self {
-        Self { channels: 4, factor: 4.0, seed: 0xEDA }
+        Self {
+            channels: 4,
+            factor: 4.0,
+            seed: 0xEDA,
+        }
     }
 }
 

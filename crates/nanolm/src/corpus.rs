@@ -128,13 +128,21 @@ pub struct Grammar {
 impl Grammar {
     /// The "SynWiki" distribution used for pre-training and perplexity.
     pub fn synwiki(seed: u64) -> Self {
-        Self { seed, flavor: 0, zipf_s: 1.1 }
+        Self {
+            seed,
+            flavor: 0,
+            zipf_s: 1.1,
+        }
     }
 
     /// The "SynAlpaca" distribution used for the fine-tuned Table 4
     /// integrity control.
     pub fn synalpaca(seed: u64) -> Self {
-        Self { seed, flavor: 1, zipf_s: 0.7 }
+        Self {
+            seed,
+            flavor: 1,
+            zipf_s: 0.7,
+        }
     }
 
     /// Vocabulary size implied by the class layout.
@@ -172,15 +180,21 @@ impl Grammar {
 
     fn zipf_pick(&self, rng: &mut Xoshiro256, count: usize) -> usize {
         // Zipf weights 1/r^s over ranks 1..=count.
-        let weights: Vec<f64> =
-            (1..=count).map(|r| 1.0 / (r as f64).powf(self.zipf_s)).collect();
+        let weights: Vec<f64> = (1..=count)
+            .map(|r| 1.0 / (r as f64).powf(self.zipf_s))
+            .collect();
         rng.weighted_index(&weights)
     }
 
     /// Emits one token of `class`, honoring gender agreement: when a
     /// determiner has been emitted, the following noun must share its
     /// gender half.
-    fn emit(&self, rng: &mut Xoshiro256, class: TokenClass, pending_gender: &mut Option<usize>) -> u32 {
+    fn emit(
+        &self,
+        rng: &mut Xoshiro256,
+        class: TokenClass,
+        pending_gender: &mut Option<usize>,
+    ) -> u32 {
         let (start, count) = self.class_range(class);
         match class {
             TokenClass::Determiner => {
@@ -270,7 +284,12 @@ impl Corpus {
         let t = grammar.generate_seeded(grammar.seed.wrapping_add(1), train);
         let v = grammar.generate_seeded(grammar.seed.wrapping_add(2), valid);
         let te = grammar.generate_seeded(grammar.seed.wrapping_add(3), test);
-        Self { train: t, valid: v, test: te, grammar }
+        Self {
+            train: t,
+            valid: v,
+            test: te,
+            grammar,
+        }
     }
 
     /// Default-size corpus for experiments (48k/6k/6k tokens).

@@ -86,12 +86,54 @@ fn fxhash(bytes: &[u8]) -> u64 {
 pub fn sim_opt_grid() -> Vec<ModelSpec> {
     use Family::SimOpt;
     vec![
-        ModelSpec { family: SimOpt, label: "125m", d_model: 32, n_layers: 2, n_heads: 2, d_ff: 128 },
-        ModelSpec { family: SimOpt, label: "1.3b", d_model: 48, n_layers: 2, n_heads: 4, d_ff: 192 },
-        ModelSpec { family: SimOpt, label: "2.7b", d_model: 64, n_layers: 3, n_heads: 4, d_ff: 256 },
-        ModelSpec { family: SimOpt, label: "6.7b", d_model: 80, n_layers: 3, n_heads: 4, d_ff: 320 },
-        ModelSpec { family: SimOpt, label: "13b", d_model: 96, n_layers: 4, n_heads: 6, d_ff: 384 },
-        ModelSpec { family: SimOpt, label: "30b", d_model: 112, n_layers: 4, n_heads: 8, d_ff: 448 },
+        ModelSpec {
+            family: SimOpt,
+            label: "125m",
+            d_model: 32,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 128,
+        },
+        ModelSpec {
+            family: SimOpt,
+            label: "1.3b",
+            d_model: 48,
+            n_layers: 2,
+            n_heads: 4,
+            d_ff: 192,
+        },
+        ModelSpec {
+            family: SimOpt,
+            label: "2.7b",
+            d_model: 64,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 256,
+        },
+        ModelSpec {
+            family: SimOpt,
+            label: "6.7b",
+            d_model: 80,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 320,
+        },
+        ModelSpec {
+            family: SimOpt,
+            label: "13b",
+            d_model: 96,
+            n_layers: 4,
+            n_heads: 6,
+            d_ff: 384,
+        },
+        ModelSpec {
+            family: SimOpt,
+            label: "30b",
+            d_model: 112,
+            n_layers: 4,
+            n_heads: 8,
+            d_ff: 448,
+        },
     ]
 }
 
@@ -99,9 +141,30 @@ pub fn sim_opt_grid() -> Vec<ModelSpec> {
 pub fn sim_llama_grid() -> Vec<ModelSpec> {
     use Family::SimLlama;
     vec![
-        ModelSpec { family: SimLlama, label: "7b", d_model: 64, n_layers: 3, n_heads: 4, d_ff: 192 },
-        ModelSpec { family: SimLlama, label: "13b", d_model: 80, n_layers: 3, n_heads: 4, d_ff: 256 },
-        ModelSpec { family: SimLlama, label: "70b", d_model: 112, n_layers: 4, n_heads: 8, d_ff: 320 },
+        ModelSpec {
+            family: SimLlama,
+            label: "7b",
+            d_model: 64,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 192,
+        },
+        ModelSpec {
+            family: SimLlama,
+            label: "13b",
+            d_model: 80,
+            n_layers: 3,
+            n_heads: 4,
+            d_ff: 256,
+        },
+        ModelSpec {
+            family: SimLlama,
+            label: "70b",
+            d_model: 112,
+            n_layers: 4,
+            n_heads: 8,
+            d_ff: 320,
+        },
     ]
 }
 
@@ -151,7 +214,11 @@ pub fn train_spec(spec: &ModelSpec, effort: TrainEffort, corpus_seed: u64) -> Tr
         seed: 42,
     };
     let report = train(&mut model, &corpus, &tcfg);
-    TrainedModel { model, corpus, report }
+    TrainedModel {
+        model,
+        corpus,
+        report,
+    }
 }
 
 /// Training effort preset.
@@ -166,12 +233,18 @@ pub struct TrainEffort {
 impl TrainEffort {
     /// Fast preset for unit/integration tests.
     pub fn test() -> Self {
-        Self { steps: 60, batch_size: 4 }
+        Self {
+            steps: 60,
+            batch_size: 4,
+        }
     }
 
     /// Benchmark preset (used by the table/figure regenerators).
     pub fn bench() -> Self {
-        Self { steps: 280, batch_size: 8 }
+        Self {
+            steps: 280,
+            batch_size: 8,
+        }
     }
 
     /// Reads `EMMARK_TRAIN_STEPS` to optionally override the bench preset
@@ -199,8 +272,10 @@ mod tests {
         assert!(names.contains(&"sim-opt-125m".to_string()));
         assert!(names.contains(&"sim-llama-70b".to_string()));
         // Strictly non-decreasing parameter counts within each family.
-        let params: Vec<usize> =
-            sim_opt_grid().iter().map(|s| s.config(54).param_count()).collect();
+        let params: Vec<usize> = sim_opt_grid()
+            .iter()
+            .map(|s| s.config(54).param_count())
+            .collect();
         assert!(params.windows(2).all(|w| w[0] < w[1]), "{params:?}");
     }
 
@@ -219,16 +294,33 @@ mod tests {
     #[test]
     fn pool_ratio_rule_matches_paper_split() {
         let grid = full_grid();
-        let large: Vec<&str> =
-            grid.iter().filter(|s| is_large(s)).map(|s| s.label).collect();
+        let large: Vec<&str> = grid
+            .iter()
+            .filter(|s| is_large(s))
+            .map(|s| s.label)
+            .collect();
         assert_eq!(large, vec!["6.7b", "13b", "30b", "7b", "13b", "70b"]);
     }
 
     #[test]
     fn train_spec_is_deterministic() {
         let spec = &sim_opt_grid()[0];
-        let a = train_spec(spec, TrainEffort { steps: 5, batch_size: 2 }, 1);
-        let b = train_spec(spec, TrainEffort { steps: 5, batch_size: 2 }, 1);
+        let a = train_spec(
+            spec,
+            TrainEffort {
+                steps: 5,
+                batch_size: 2,
+            },
+            1,
+        );
+        let b = train_spec(
+            spec,
+            TrainEffort {
+                steps: 5,
+                batch_size: 2,
+            },
+            1,
+        );
         let la = crate::model::LogitsModel::logits(&a.model, &[1, 2, 3]);
         let lb = crate::model::LogitsModel::logits(&b.model, &[1, 2, 3]);
         assert_eq!(la, lb);

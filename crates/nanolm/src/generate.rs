@@ -35,7 +35,11 @@ pub struct GenerateConfig {
 
 impl Default for GenerateConfig {
     fn default() -> Self {
-        Self { max_new_tokens: 32, sampling: Sampling::Greedy, seed: 0 }
+        Self {
+            max_new_tokens: 32,
+            sampling: Sampling::Greedy,
+            seed: 0,
+        }
     }
 }
 
@@ -90,15 +94,25 @@ fn argmax(xs: &[f32]) -> usize {
         .expect("non-empty logits")
 }
 
-fn weighted_sample(logits: &[f32], temperature: f32, top_k: Option<usize>, rng: &mut Xoshiro256) -> u32 {
+fn weighted_sample(
+    logits: &[f32],
+    temperature: f32,
+    top_k: Option<usize>,
+    rng: &mut Xoshiro256,
+) -> u32 {
     let mut indexed: Vec<(usize, f32)> = logits.iter().cloned().enumerate().collect();
     if let Some(k) = top_k {
         indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite logits"));
         indexed.truncate(k.min(indexed.len()));
     }
-    let max = indexed.iter().map(|&(_, v)| v).fold(f32::NEG_INFINITY, f32::max);
-    let weights: Vec<f64> =
-        indexed.iter().map(|&(_, v)| (((v - max) / temperature) as f64).exp()).collect();
+    let max = indexed
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f64> = indexed
+        .iter()
+        .map(|&(_, v)| (((v - max) / temperature) as f64).exp())
+        .collect();
     let pick = rng.weighted_index(&weights);
     indexed[pick].0 as u32
 }
@@ -119,7 +133,12 @@ mod tests {
         train(
             &mut model,
             &corpus,
-            &TrainConfig { steps: 120, batch_size: 8, seq_len: 16, ..TrainConfig::default() },
+            &TrainConfig {
+                steps: 120,
+                batch_size: 8,
+                seq_len: 16,
+                ..TrainConfig::default()
+            },
         );
         (model, corpus.grammar)
     }
@@ -127,7 +146,10 @@ mod tests {
     #[test]
     fn greedy_generation_is_deterministic() {
         let (model, _) = trained();
-        let cfg = GenerateConfig { max_new_tokens: 12, ..Default::default() };
+        let cfg = GenerateConfig {
+            max_new_tokens: 12,
+            ..Default::default()
+        };
         let a = generate(&model, &[1, 2, 3], &cfg);
         let b = generate(&model, &[1, 2, 3], &cfg);
         assert_eq!(a, b);
@@ -155,7 +177,10 @@ mod tests {
         let long_prompt: Vec<u32> = (0..50).map(|i| i % 31).collect(); // > max_seq
         let cfg = GenerateConfig {
             max_new_tokens: 8,
-            sampling: Sampling::TopK { k: 5, temperature: 0.8 },
+            sampling: Sampling::TopK {
+                k: 5,
+                temperature: 0.8,
+            },
             seed: 9,
         };
         let out = generate(&model, &long_prompt, &cfg);
@@ -174,8 +199,14 @@ mod tests {
             seed: 11,
         };
         let out = generate(&model, &[0], &cfg);
-        let stops = out.iter().filter(|&&t| grammar.class_of(t) == TokenClass::Stop).count();
-        assert!(stops >= 8, "only {stops} stop tokens in 120 — text is not sentence-like");
+        let stops = out
+            .iter()
+            .filter(|&&t| grammar.class_of(t) == TokenClass::Stop)
+            .count();
+        assert!(
+            stops >= 8,
+            "only {stops} stop tokens in 120 — text is not sentence-like"
+        );
     }
 
     #[test]

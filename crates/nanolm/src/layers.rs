@@ -25,7 +25,12 @@ impl Param {
     /// Wraps a value tensor with zeroed gradient and moments.
     pub fn new(value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+        Self {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
     }
 
     /// Clears the accumulated gradient.
@@ -77,7 +82,11 @@ pub struct ChannelAccum {
 impl ChannelAccum {
     /// Creates an accumulator over `channels` input channels.
     pub fn new(channels: usize) -> Self {
-        Self { sum_abs: vec![0.0; channels], max_abs: vec![0.0; channels], count: 0 }
+        Self {
+            sum_abs: vec![0.0; channels],
+            max_abs: vec![0.0; channels],
+            count: 0,
+        }
     }
 
     /// Accumulates one batch of layer inputs (rows = positions).
@@ -99,7 +108,10 @@ impl ChannelAccum {
     /// Panics if nothing was recorded.
     pub fn mean_abs(&self) -> Vec<f32> {
         assert!(self.count > 0, "no activations recorded");
-        self.sum_abs.iter().map(|&s| (s / self.count as f64) as f32).collect()
+        self.sum_abs
+            .iter()
+            .map(|&s| (s / self.count as f64) as f32)
+            .collect()
     }
 
     /// Maximum absolute activation per channel.
@@ -220,7 +232,10 @@ impl Linear {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.cache_input.take().expect("Linear::backward before forward");
+        let x = self
+            .cache_input
+            .take()
+            .expect("Linear::backward before forward");
         self.weight.grad.add_assign(&x.transa_matmul(dy));
         if let Some(b) = &mut self.bias {
             for i in 0..dy.rows() {
@@ -249,7 +264,11 @@ impl Embedding {
     pub fn new(vocab: usize, max_seq: usize, d_model: usize, rng: &mut Xoshiro256) -> Self {
         let tok = Matrix::from_fn(vocab, d_model, |_, _| rng.normal_f32(0.0, 0.1));
         let pos = Matrix::from_fn(max_seq, d_model, |_, _| rng.normal_f32(0.0, 0.05));
-        Self { tok: Param::new(tok), pos: Param::new(pos), cache_tokens: None }
+        Self {
+            tok: Param::new(tok),
+            pos: Param::new(pos),
+            cache_tokens: None,
+        }
     }
 
     /// Reconstructs an embedding from raw tables (deserialization path).
@@ -259,7 +278,11 @@ impl Embedding {
     /// Panics if the tables have different widths.
     pub fn from_tables(tok: Matrix, pos: Matrix) -> Self {
         assert_eq!(tok.cols(), pos.cols(), "embedding width mismatch");
-        Self { tok: Param::new(tok), pos: Param::new(pos), cache_tokens: None }
+        Self {
+            tok: Param::new(tok),
+            pos: Param::new(pos),
+            cache_tokens: None,
+        }
     }
 
     /// Embeds a token sequence into `[T, d_model]`, caching for backward.
@@ -280,7 +303,10 @@ impl Embedding {
     }
 
     fn embed(&self, tokens: &[u32]) -> Matrix {
-        assert!(tokens.len() <= self.pos.value.rows(), "sequence longer than max_seq");
+        assert!(
+            tokens.len() <= self.pos.value.rows(),
+            "sequence longer than max_seq"
+        );
         let d = self.tok.value.cols();
         Matrix::from_fn(tokens.len(), d, |t, j| {
             self.tok.value.at(tokens[t] as usize, j) + self.pos.value.at(t, j)
@@ -293,7 +319,10 @@ impl Embedding {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) {
-        let tokens = self.cache_tokens.take().expect("Embedding::backward before forward");
+        let tokens = self
+            .cache_tokens
+            .take()
+            .expect("Embedding::backward before forward");
         for (t, &tok) in tokens.iter().enumerate() {
             let row = dy.row(t);
             for (j, &d) in row.iter().enumerate() {
@@ -332,7 +361,11 @@ impl LayerNorm {
     /// Reconstructs from raw gain/bias rows (deserialization path).
     pub fn from_params(gain: Matrix, bias: Matrix) -> Self {
         assert_eq!(gain.shape(), bias.shape(), "gain/bias shape mismatch");
-        Self { gain: Param::new(gain), bias: Param::new(bias), cache: None }
+        Self {
+            gain: Param::new(gain),
+            bias: Param::new(bias),
+            cache: None,
+        }
     }
 
     /// Training forward.
@@ -381,7 +414,10 @@ impl LayerNorm {
     // would obscure the formula being implemented.
     #[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let (xhat, inv_stds) = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward before forward");
         let d = dy.cols();
         let mut dx = Matrix::zeros(dy.rows(), d);
         for i in 0..dy.rows() {
@@ -406,7 +442,11 @@ impl LayerNorm {
             let n = d as f32;
             for j in 0..d {
                 let xh = xhat.at(i, j);
-                dx.set(i, j, inv_std * (dxhat[j] - sum_dxhat / n - xh * sum_dxhat_xhat / n));
+                dx.set(
+                    i,
+                    j,
+                    inv_std * (dxhat[j] - sum_dxhat / n - xh * sum_dxhat_xhat / n),
+                );
             }
         }
         dx
@@ -425,12 +465,18 @@ pub struct RmsNorm {
 impl RmsNorm {
     /// Identity-initialized RMSNorm over `d` channels.
     pub fn new(d: usize) -> Self {
-        Self { gain: Param::new(Matrix::full(1, d, 1.0)), cache: None }
+        Self {
+            gain: Param::new(Matrix::full(1, d, 1.0)),
+            cache: None,
+        }
     }
 
     /// Reconstructs from a raw gain row (deserialization path).
     pub fn from_params(gain: Matrix) -> Self {
-        Self { gain: Param::new(gain), cache: None }
+        Self {
+            gain: Param::new(gain),
+            cache: None,
+        }
     }
 
     /// Training forward.
@@ -450,8 +496,7 @@ impl RmsNorm {
     fn inv_rms(x: &Matrix) -> Vec<f32> {
         (0..x.rows())
             .map(|i| {
-                let ms: f32 =
-                    x.row(i).iter().map(|&v| v * v).sum::<f32>() / x.cols() as f32;
+                let ms: f32 = x.row(i).iter().map(|&v| v * v).sum::<f32>() / x.cols() as f32;
                 1.0 / (ms + NORM_EPS).sqrt()
             })
             .collect()
@@ -600,7 +645,9 @@ mod tests {
 
     fn loss_of(y: &Matrix) -> f64 {
         // A fixed quadratic-ish loss: sum of 0.5*y^2 + 0.3*y.
-        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) + 0.3 * v as f64).sum()
+        y.iter()
+            .map(|&v| 0.5 * (v as f64) * (v as f64) + 0.3 * v as f64)
+            .sum()
     }
 
     fn dloss_of(y: &Matrix) -> Matrix {

@@ -36,11 +36,19 @@ impl LoraAdapter {
     /// # Panics
     ///
     /// Panics if `rank` is zero.
-    pub fn new(in_features: usize, out_features: usize, rank: usize, scale: f32, rng: &mut Xoshiro256) -> Self {
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        rank: usize,
+        scale: f32,
+        rng: &mut Xoshiro256,
+    ) -> Self {
         assert!(rank > 0, "rank must be positive");
         let std = 1.0 / (in_features as f32).sqrt();
         Self {
-            a: Param::new(Matrix::from_fn(in_features, rank, |_, _| rng.normal_f32(0.0, std))),
+            a: Param::new(Matrix::from_fn(in_features, rank, |_, _| {
+                rng.normal_f32(0.0, std)
+            })),
             b: Param::new(Matrix::zeros(rank, out_features)),
             scale,
             cache: None,
@@ -63,7 +71,9 @@ impl LoraAdapter {
 
     /// Cache-free contribution.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.a.value).matmul(&self.b.value).scale(self.scale)
+        x.matmul(&self.a.value)
+            .matmul(&self.b.value)
+            .scale(self.scale)
     }
 
     /// Backward pass; accumulates adapter gradients, returns `dx`.
@@ -72,7 +82,10 @@ impl LoraAdapter {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (x, xa) = self.cache.take().expect("LoraAdapter::backward before forward");
+        let (x, xa) = self
+            .cache
+            .take()
+            .expect("LoraAdapter::backward before forward");
         let dy_scaled = dy.scale(self.scale);
         // dB += (xA)^T dy ; dXA = dy B^T ; dA += x^T dXA ; dx = dXA A^T
         self.b.grad.add_assign(&xa.transa_matmul(&dy_scaled));
@@ -163,8 +176,7 @@ mod tests {
             adapter.a.adam_step(5e-2, 0.9, 0.999, 1e-8, t);
             adapter.b.adam_step(5e-2, 0.9, 0.999, 1e-8, t);
         }
-        let err = adapter.delta_weight().sub(&target).frobenius_norm()
-            / target.frobenius_norm();
+        let err = adapter.delta_weight().sub(&target).frobenius_norm() / target.frobenius_norm();
         assert!(err < 0.1, "adapter failed to learn: rel err {err}");
     }
 

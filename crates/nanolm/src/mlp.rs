@@ -46,7 +46,10 @@ impl GeluMlp {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let h = self.cache_pre_act.take().expect("GeluMlp::backward before forward");
+        let h = self
+            .cache_pre_act
+            .take()
+            .expect("GeluMlp::backward before forward");
         let da = self.fc2.backward(dy);
         let dh = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
             da.at(i, j) * gelu_deriv(h.at(i, j))
@@ -102,14 +105,15 @@ impl GatedMlp {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (g, u) = self.cache.take().expect("GatedMlp::backward before forward");
+        let (g, u) = self
+            .cache
+            .take()
+            .expect("GatedMlp::backward before forward");
         let da = self.down.backward(dy);
         let dg = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
             da.at(i, j) * u.at(i, j) * silu_deriv(g.at(i, j))
         });
-        let du = Matrix::from_fn(da.rows(), da.cols(), |i, j| {
-            da.at(i, j) * silu(g.at(i, j))
-        });
+        let du = Matrix::from_fn(da.rows(), da.cols(), |i, j| da.at(i, j) * silu(g.at(i, j)));
         let mut dx = self.gate.backward(&dg);
         dx.add_assign(&self.up.backward(&du));
         dx
@@ -158,7 +162,9 @@ mod tests {
     use super::*;
 
     fn loss_of(y: &Matrix) -> f64 {
-        y.iter().map(|&v| 0.5 * (v as f64) * (v as f64) - 0.2 * v as f64).sum()
+        y.iter()
+            .map(|&v| 0.5 * (v as f64) * (v as f64) - 0.2 * v as f64)
+            .sum()
     }
 
     fn dloss_of(y: &Matrix) -> Matrix {

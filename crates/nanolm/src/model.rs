@@ -3,7 +3,7 @@
 
 use crate::attention::MultiHeadAttention;
 use crate::config::{MlpKind, ModelConfig, NormKind};
-use crate::layers::{Embedding, Linear, LayerNorm, Norm, Param, RmsNorm};
+use crate::layers::{Embedding, LayerNorm, Linear, Norm, Param, RmsNorm};
 use crate::mlp::{GatedMlp, GeluMlp, Mlp};
 use emmark_tensor::rng::Xoshiro256;
 use emmark_tensor::Matrix;
@@ -144,16 +144,25 @@ impl TransformerModel {
     ///
     /// Panics if the config is invalid.
     pub fn new(cfg: ModelConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         let mut rng = Xoshiro256::seed_from_u64(cfg.init_seed);
         let emb = Embedding::new(cfg.vocab_size, cfg.max_seq, cfg.d_model, &mut rng);
-        let blocks = (0..cfg.n_layers).map(|_| Block::new(&cfg, &mut rng)).collect();
+        let blocks = (0..cfg.n_layers)
+            .map(|_| Block::new(&cfg, &mut rng))
+            .collect();
         let final_norm = match cfg.norm {
             NormKind::LayerNorm => Norm::Layer(LayerNorm::new(cfg.d_model)),
             NormKind::RmsNorm => Norm::Rms(RmsNorm::new(cfg.d_model)),
         };
         let head = Linear::new(cfg.d_model, cfg.vocab_size, false, &mut rng);
-        let mut model = Self { cfg, emb, blocks, final_norm, head };
+        let mut model = Self {
+            cfg,
+            emb,
+            blocks,
+            final_norm,
+            head,
+        };
         model.apply_outlier_profile();
         model
     }
@@ -161,10 +170,12 @@ impl TransformerModel {
     /// Amplifies a seeded subset of channels to mimic the activation
     /// outliers of large LLMs (see `OutlierProfile`).
     fn apply_outlier_profile(&mut self) {
-        let Some(profile) = self.cfg.outliers else { return };
+        let Some(profile) = self.cfg.outliers else {
+            return;
+        };
         let mut rng = Xoshiro256::seed_from_u64(profile.seed);
-        let channels =
-            rng.sample_without_replacement(self.cfg.d_model, profile.channels.min(self.cfg.d_model));
+        let channels = rng
+            .sample_without_replacement(self.cfg.d_model, profile.channels.min(self.cfg.d_model));
         for &c in &channels {
             for r in 0..self.emb.tok.value.rows() {
                 let v = self.emb.tok.value.at(r, c);
@@ -199,7 +210,10 @@ impl TransformerModel {
     ///
     /// Panics if `tokens.len() < 2`.
     pub fn loss_and_backward(&mut self, tokens: &[u32]) -> f64 {
-        assert!(tokens.len() >= 2, "need at least two tokens for next-token loss");
+        assert!(
+            tokens.len() >= 2,
+            "need at least two tokens for next-token loss"
+        );
         let inputs = &tokens[..tokens.len() - 1];
         let targets = &tokens[1..];
         let logits = self.forward(inputs);
@@ -235,8 +249,12 @@ impl TransformerModel {
                     Norm::Rms(n) => f(&mut n.gain),
                 }
             }
-            for lin in [&mut block.attn.wq, &mut block.attn.wk, &mut block.attn.wv, &mut block.attn.wo]
-            {
+            for lin in [
+                &mut block.attn.wq,
+                &mut block.attn.wk,
+                &mut block.attn.wv,
+                &mut block.attn.wo,
+            ] {
                 f(&mut lin.weight);
                 if let Some(b) = &mut lin.bias {
                     f(b);
@@ -334,7 +352,10 @@ impl TransformerModel {
             .into_iter()
             .map(|lin| {
                 let acc = lin.take_recording().expect("recording was enabled");
-                LayerActivation { mean_abs: acc.mean_abs(), max_abs: acc.max_abs() }
+                LayerActivation {
+                    mean_abs: acc.mean_abs(),
+                    max_abs: acc.max_abs(),
+                }
             })
             .collect();
         ActivationStats { per_layer }
@@ -426,7 +447,10 @@ pub fn cross_entropy(logits: &Matrix, targets: &[u32]) -> (f64, Matrix) {
 /// length + 1, or the stream is shorter than 2 tokens.
 pub fn stream_nll<M: LogitsModel + ?Sized>(model: &M, stream: &[u32], window: usize) -> f64 {
     assert!(window >= 2, "window must cover at least one prediction");
-    assert!(window <= model.max_seq() + 1, "window exceeds model max_seq");
+    assert!(
+        window <= model.max_seq() + 1,
+        "window exceeds model max_seq"
+    );
     assert!(stream.len() >= 2, "stream too short");
     let mut total = 0.0f64;
     let mut predicted = 0usize;
@@ -597,7 +621,11 @@ mod tests {
     #[test]
     fn outlier_profile_amplifies_selected_channels() {
         let mut cfg = ModelConfig::tiny_test();
-        cfg.outliers = Some(crate::config::OutlierProfile { channels: 2, factor: 8.0, seed: 1 });
+        cfg.outliers = Some(crate::config::OutlierProfile {
+            channels: 2,
+            factor: 8.0,
+            seed: 1,
+        });
         let mut with = TransformerModel::new(cfg);
         let mut without = TransformerModel::new(ModelConfig::tiny_test());
         let calib: Vec<Vec<u32>> = vec![(0..20u32).map(|i| i % 31).collect()];

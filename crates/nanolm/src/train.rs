@@ -26,14 +26,27 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { steps: 300, batch_size: 8, seq_len: 24, lr: 3e-3, warmup: 20, clip: 1.0, seed: 42 }
+        Self {
+            steps: 300,
+            batch_size: 8,
+            seq_len: 24,
+            lr: 3e-3,
+            warmup: 20,
+            clip: 1.0,
+            seed: 42,
+        }
     }
 }
 
 impl TrainConfig {
     /// A very short schedule for unit tests.
     pub fn tiny_test() -> Self {
-        Self { steps: 40, batch_size: 4, seq_len: 12, ..Self::default() }
+        Self {
+            steps: 40,
+            batch_size: 4,
+            seq_len: 12,
+            ..Self::default()
+        }
     }
 
     fn lr_at(&self, step: u64) -> f32 {
@@ -41,8 +54,7 @@ impl TrainConfig {
             self.lr * step as f32 / self.warmup.max(1) as f32
         } else {
             // Cosine decay to 10% of peak.
-            let progress =
-                (step - self.warmup) as f32 / (self.steps - self.warmup).max(1) as f32;
+            let progress = (step - self.warmup) as f32 / (self.steps - self.warmup).max(1) as f32;
             let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
             self.lr * (0.1 + 0.9 * cos)
         }
@@ -62,7 +74,10 @@ pub struct TrainReport {
 
 /// Samples a random `seq_len`-token window from `stream`.
 fn sample_window<'s>(stream: &'s [u32], seq_len: usize, rng: &mut Xoshiro256) -> &'s [u32] {
-    assert!(stream.len() > seq_len, "corpus shorter than sequence length");
+    assert!(
+        stream.len() > seq_len,
+        "corpus shorter than sequence length"
+    );
     let start = rng.below(stream.len() - seq_len);
     &stream[start..start + seq_len]
 }
@@ -148,7 +163,12 @@ mod tests {
 
     #[test]
     fn lr_schedule_warms_up_and_decays() {
-        let cfg = TrainConfig { steps: 100, warmup: 10, lr: 1.0, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            steps: 100,
+            warmup: 10,
+            lr: 1.0,
+            ..TrainConfig::default()
+        };
         assert!(cfg.lr_at(1) < 0.2);
         assert!((cfg.lr_at(10) - 1.0).abs() < 1e-6);
         assert!(cfg.lr_at(100) < 0.2);
@@ -169,7 +189,10 @@ mod tests {
         let report = train(&mut model, &corpus, &TrainConfig::tiny_test());
         let after = crate::model::stream_nll(&model, &corpus.test[..200], 20);
         assert!(report.final_loss < report.initial_loss);
-        assert!(after < before, "held-out NLL did not improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "held-out NLL did not improve: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -180,7 +203,12 @@ mod tests {
 
         let alpaca = Grammar::synalpaca(3).generate(4000);
         let before_alpaca = crate::model::stream_nll(&model, &alpaca[..200], 20);
-        finetune(&mut model, &alpaca, &TrainConfig::tiny_test(), TrainConfig::tiny_test().steps);
+        finetune(
+            &mut model,
+            &alpaca,
+            &TrainConfig::tiny_test(),
+            TrainConfig::tiny_test().steps,
+        );
         let after_alpaca = crate::model::stream_nll(&model, &alpaca[..200], 20);
         assert!(
             after_alpaca < before_alpaca,

@@ -40,8 +40,7 @@ impl Default for AwqConfig {
 
 /// Per-channel AWQ scale for a given exponent.
 pub fn awq_scales(act_mean: &[f32], gamma: f32, clamp: (f32, f32)) -> Vec<f32> {
-    let positive: Vec<f64> =
-        act_mean.iter().map(|&a| (a.max(1e-8)) as f64).collect();
+    let positive: Vec<f64> = act_mean.iter().map(|&a| (a.max(1e-8)) as f64).collect();
     let geo = emmark_tensor::stats::geometric_mean(&positive) as f32;
     act_mean
         .iter()
@@ -94,14 +93,20 @@ pub fn awq_layer(linear: &Linear, act_mean: &[f32], cfg: &AwqConfig) -> AwqLayer
         let ql = quantize_weight(
             &scaled,
             4,
-            Granularity::Grouped { group_size: cfg.group_size },
+            Granularity::Grouped {
+                group_size: cfg.group_size,
+            },
             Some(s),
             bias.clone(),
             ActQuant::None,
         );
         let err = weighted_error(w, &ql, act_mean);
         if best.as_ref().is_none_or(|b| err < b.error) {
-            best = Some(AwqLayer { layer: ql, gamma, error: err });
+            best = Some(AwqLayer {
+                layer: ql,
+                gamma,
+                error: err,
+            });
         }
     }
     best.expect("gamma grid must be non-empty")
@@ -170,7 +175,9 @@ mod tests {
             let ql = quantize_weight(
                 &lin.weight.value,
                 4,
-                Granularity::Grouped { group_size: cfg.group_size },
+                Granularity::Grouped {
+                    group_size: cfg.group_size,
+                },
                 Some(s),
                 None,
                 ActQuant::None,
@@ -182,7 +189,10 @@ mod tests {
             "grid search ({}) worse than plain INT4 ({plain})",
             chosen.error
         );
-        assert!(chosen.gamma > 0.0, "grid search should prefer activation-aware scaling");
+        assert!(
+            chosen.gamma > 0.0,
+            "grid search should prefer activation-aware scaling"
+        );
     }
 
     #[test]

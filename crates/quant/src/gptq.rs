@@ -27,7 +27,11 @@ pub struct GptqConfig {
 
 impl Default for GptqConfig {
     fn default() -> Self {
-        Self { bits: 4, group_size: 16, percdamp: 0.01 }
+        Self {
+            bits: 4,
+            group_size: 16,
+            percdamp: 0.01,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ pub fn gptq_layer(linear: &Linear, hessian: &Matrix, cfg: &GptqConfig) -> Quanti
                 let absmax = (i..hi)
                     .map(|r| w[r * out_f + j].abs())
                     .fold(0.0f64, f64::max);
-                scales[g * out_f + j] = if absmax == 0.0 { 1.0 } else { (absmax / qmax) as f32 };
+                scales[g * out_f + j] = if absmax == 0.0 {
+                    1.0
+                } else {
+                    (absmax / qmax) as f32
+                };
             }
         }
         let d = u[i * in_f + i];
@@ -115,7 +123,9 @@ pub fn gptq_layer(linear: &Linear, hessian: &Matrix, cfg: &GptqConfig) -> Quanti
         in_f,
         out_f,
         cfg.bits,
-        Granularity::Grouped { group_size: cfg.group_size },
+        Granularity::Grouped {
+            group_size: cfg.group_size,
+        },
         scales,
         None,
         bias,
@@ -168,7 +178,11 @@ mod tests {
         let lin = Linear::new(dim, out, false, &mut rng);
         let x = correlated_inputs(200, dim, 2);
         let h = x.transa_matmul(&x);
-        let cfg = GptqConfig { bits: 4, group_size: 8, percdamp: 0.01 };
+        let cfg = GptqConfig {
+            bits: 4,
+            group_size: 8,
+            percdamp: 0.01,
+        };
         let gq = gptq_layer(&lin, &h, &cfg);
         let rq = quantize_weight(
             &lin.weight.value,
@@ -206,7 +220,15 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(5);
         let lin = Linear::new(8, 4, false, &mut rng);
         let h = Matrix::zeros(8, 8);
-        let gq = gptq_layer(&lin, &h, &GptqConfig { bits: 4, group_size: 4, percdamp: 0.01 });
+        let gq = gptq_layer(
+            &lin,
+            &h,
+            &GptqConfig {
+                bits: 4,
+                group_size: 4,
+                percdamp: 0.01,
+            },
+        );
         let deq = gq.dequantize();
         assert!(deq.iter().all(|v| v.is_finite()));
         let err = deq.sub(&lin.weight.value).frobenius_norm();
@@ -220,7 +242,10 @@ mod tests {
             ActQuant::None,
         );
         let err_rtn = rq.dequantize().sub(&lin.weight.value).frobenius_norm();
-        assert!((err - err_rtn).abs() / err_rtn.max(1e-9) < 0.35, "{err} vs {err_rtn}");
+        assert!(
+            (err - err_rtn).abs() / err_rtn.max(1e-9) < 0.35,
+            "{err} vs {err_rtn}"
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ mod tests {
         assert_eq!(ql.outlier_rows(), &[2]);
         let deq = ql.dequantize();
         for j in 0..3 {
-            assert_eq!(deq.at(2, j), lin.weight.value.at(2, j), "outlier row not exact");
+            assert_eq!(
+                deq.at(2, j),
+                lin.weight.value.at(2, j),
+                "outlier row not exact"
+            );
         }
     }
 
@@ -141,8 +145,11 @@ mod tests {
         // quantization destroys information; the mixed-precision path
         // should recover most of it.
         let mut cfg = ModelConfig::tiny_test();
-        cfg.outliers =
-            Some(emmark_nanolm::config::OutlierProfile { channels: 2, factor: 16.0, seed: 5 });
+        cfg.outliers = Some(emmark_nanolm::config::OutlierProfile {
+            channels: 2,
+            factor: 16.0,
+            seed: 5,
+        });
         let mut model = emmark_nanolm::TransformerModel::new(cfg);
         let calib: Vec<Vec<u32>> = (0..4u32)
             .map(|s| (0..16u32).map(|i| (i * 11 + s) % 31).collect())
@@ -171,13 +178,20 @@ mod tests {
     #[test]
     fn full_pipeline_marks_outlier_cells_unwatermarkable() {
         let mut cfg = ModelConfig::tiny_test();
-        cfg.outliers =
-            Some(emmark_nanolm::config::OutlierProfile { channels: 2, factor: 16.0, seed: 7 });
+        cfg.outliers = Some(emmark_nanolm::config::OutlierProfile {
+            channels: 2,
+            factor: 16.0,
+            seed: 7,
+        });
         let mut model = emmark_nanolm::TransformerModel::new(cfg);
         let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
         let stats = model.collect_activation_stats(&calib);
         let qm = llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9));
-        let with_outliers = qm.layers.iter().filter(|l| !l.outlier_rows().is_empty()).count();
+        let with_outliers = qm
+            .layers
+            .iter()
+            .filter(|l| !l.outlier_rows().is_empty())
+            .count();
         assert!(with_outliers > 0, "no layer detected outliers");
         for layer in &qm.layers {
             for &r in layer.outlier_rows() {

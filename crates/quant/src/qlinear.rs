@@ -77,7 +77,11 @@ impl QuantizedLinear {
         bias: Option<Vec<f32>>,
         act_quant: ActQuant,
     ) -> Self {
-        assert_eq!(q.len(), in_features * out_features, "q buffer size mismatch");
+        assert_eq!(
+            q.len(),
+            in_features * out_features,
+            "q buffer size mismatch"
+        );
         assert!(bits == 4 || bits == 8, "only INT4 and INT8 are supported");
         let expected_scales = match granularity {
             Granularity::PerTensor => 1,
@@ -128,8 +132,15 @@ impl QuantizedLinear {
     pub fn set_outliers(&mut self, mut rows: Vec<usize>, weights: Matrix) {
         rows.sort_unstable();
         rows.dedup();
-        assert!(rows.iter().all(|&r| r < self.in_features), "outlier row out of range");
-        assert_eq!(weights.shape(), (rows.len(), self.out_features), "outlier weights shape");
+        assert!(
+            rows.iter().all(|&r| r < self.in_features),
+            "outlier row out of range"
+        );
+        assert_eq!(
+            weights.shape(),
+            (rows.len(), self.out_features),
+            "outlier weights shape"
+        );
         for &r in &rows {
             for j in 0..self.out_features {
                 self.q[r * self.out_features + j] = 0;
@@ -257,7 +268,9 @@ impl QuantizedLinear {
     /// Whether the cell belongs to a full-precision outlier row (inert
     /// integer storage; not watermarkable).
     pub fn is_outlier_flat(&self, f: usize) -> bool {
-        self.outlier_rows.binary_search(&self.channel_of_flat(f)).is_ok()
+        self.outlier_rows
+            .binary_search(&self.channel_of_flat(f))
+            .is_ok()
     }
 
     /// Outlier rows (sorted).
@@ -304,7 +317,11 @@ impl QuantizedLinear {
         let mut w = Matrix::zeros(self.in_features, self.out_features);
         for i in 0..self.in_features {
             for j in 0..self.out_features {
-                w.set(i, j, self.q[i * self.out_features + j] as f32 * self.scale_at(i, j));
+                w.set(
+                    i,
+                    j,
+                    self.q[i * self.out_features + j] as f32 * self.scale_at(i, j),
+                );
             }
         }
         if let (Some(ow), rows) = (&self.outlier_weights, &self.outlier_rows) {
@@ -409,7 +426,11 @@ impl QuantizedLinear {
                 continue;
             }
             for j in 0..self.out_features {
-                w.set(i, j, self.q[i * self.out_features + j] as f32 * self.scale_at(i, j));
+                w.set(
+                    i,
+                    j,
+                    self.q[i * self.out_features + j] as f32 * self.scale_at(i, j),
+                );
             }
         }
         w

@@ -117,7 +117,10 @@ mod tests {
         let a = base.logits(&tokens);
         let b = qlora.logits(&tokens);
         for (x, y) in a.iter().zip(b.iter()) {
-            assert!((x - y).abs() < 1e-6, "zero-init adapter must be transparent");
+            assert!(
+                (x - y).abs() < 1e-6,
+                "zero-init adapter must be transparent"
+            );
         }
     }
 
@@ -130,7 +133,10 @@ mod tests {
         let before = stream_nll(&qlora, &alpaca[..300], 16);
         qlora.finetune(&alpaca, 150, 16, 5e-3, 3);
         let after = stream_nll(&qlora, &alpaca[..300], 16);
-        assert!(after < before, "adapter failed to adapt: {before} -> {after}");
+        assert!(
+            after < before,
+            "adapter failed to adapt: {before} -> {after}"
+        );
         // The paper's point: the quantized weights are bit-identical.
         assert!(qlora.base.same_weights(&frozen_reference));
     }

@@ -85,9 +85,20 @@ impl QuantizedModel {
         layers: Vec<QuantizedLinear>,
         scheme: String,
     ) -> Self {
-        assert_eq!(layers.len(), cfg.quant_layer_count(), "layer count mismatch");
+        assert_eq!(
+            layers.len(),
+            cfg.quant_layer_count(),
+            "layer count mismatch"
+        );
         assert_eq!(norm_pairs.len(), cfg.n_layers, "norm pair count mismatch");
-        Self { cfg, emb, norm_pairs, final_norm, layers, scheme }
+        Self {
+            cfg,
+            emb,
+            norm_pairs,
+            final_norm,
+            layers,
+            scheme,
+        }
     }
 
     /// The full-precision embedding tables.
@@ -168,9 +179,8 @@ impl QuantizedModel {
                     record(&mut recorders, base + 5, &xn2);
                     let g = self.layers[base + 4].forward(&xn2);
                     let u = self.layers[base + 5].forward(&xn2);
-                    let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| {
-                        silu(g.at(i, j)) * u.at(i, j)
-                    });
+                    let a =
+                        Matrix::from_fn(g.rows(), g.cols(), |i, j| silu(g.at(i, j)) * u.at(i, j));
                     record(&mut recorders, base + 6, &a);
                     self.layers[base + 6].forward(&a)
                 }
@@ -205,9 +215,8 @@ impl QuantizedModel {
                 MlpKind::GatedSilu => {
                     let g = self.layers[base + 4].forward(&xn2);
                     let u = self.layers[base + 5].forward(&xn2);
-                    let a = Matrix::from_fn(g.rows(), g.cols(), |i, j| {
-                        silu(g.at(i, j)) * u.at(i, j)
-                    });
+                    let a =
+                        Matrix::from_fn(g.rows(), g.cols(), |i, j| silu(g.at(i, j)) * u.at(i, j));
                     self.layers[base + 6].forward(&a)
                 }
             };
@@ -220,15 +229,21 @@ impl QuantizedModel {
     /// what an adversary without the full-precision model can compute
     /// (the paper's re-watermark attack uses exactly this, §5.3).
     pub fn collect_activation_stats(&self, calibration: &[Vec<u32>]) -> ActivationStats {
-        let mut recorders: Vec<ChannelAccum> =
-            self.layers.iter().map(|l| ChannelAccum::new(l.in_features())).collect();
+        let mut recorders: Vec<ChannelAccum> = self
+            .layers
+            .iter()
+            .map(|l| ChannelAccum::new(l.in_features()))
+            .collect();
         for seq in calibration {
             let _ = self.forward_internal(seq, Some(&mut recorders));
         }
         ActivationStats {
             per_layer: recorders
                 .into_iter()
-                .map(|r| LayerActivation { mean_abs: r.mean_abs(), max_abs: r.max_abs() })
+                .map(|r| LayerActivation {
+                    mean_abs: r.mean_abs(),
+                    max_abs: r.max_abs(),
+                })
                 .collect(),
         }
     }
@@ -333,7 +348,10 @@ mod tests {
                 identical = false;
             }
         }
-        assert!(!identical, "quantized stats should differ at least slightly");
+        assert!(
+            !identical,
+            "quantized stats should differ at least slightly"
+        );
     }
 
     #[test]

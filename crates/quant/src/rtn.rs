@@ -76,7 +76,17 @@ pub fn quantize_weight(
             }
         }
     }
-    QuantizedLinear::new(q, in_f, out_f, bits, granularity, scales, input_scale, bias, act_quant)
+    QuantizedLinear::new(
+        q,
+        in_f,
+        out_f,
+        bits,
+        granularity,
+        scales,
+        input_scale,
+        bias,
+        act_quant,
+    )
 }
 
 /// Quantizes an `emmark-nanolm` [`Linear`](emmark_nanolm::layers::Linear)
@@ -88,7 +98,14 @@ pub fn quantize_linear_rtn(
     act_quant: ActQuant,
 ) -> QuantizedLinear {
     let bias = linear.bias.as_ref().map(|b| b.value.as_slice().to_vec());
-    quantize_weight(&linear.weight.value, bits, granularity, None, bias, act_quant)
+    quantize_weight(
+        &linear.weight.value,
+        bits,
+        granularity,
+        None,
+        bias,
+        act_quant,
+    )
 }
 
 #[cfg(test)]
@@ -129,7 +146,14 @@ mod tests {
     #[test]
     fn per_out_channel_scales_are_independent() {
         let w = Matrix::from_rows(&[&[1.0, 100.0], &[-1.0, -50.0]]);
-        let ql = quantize_weight(&w, 8, Granularity::PerOutChannel, None, None, ActQuant::None);
+        let ql = quantize_weight(
+            &w,
+            8,
+            Granularity::PerOutChannel,
+            None,
+            None,
+            ActQuant::None,
+        );
         let deq = ql.dequantize();
         // Column 0 has absmax 1 -> error <= 1/254; column 1 absmax 100.
         assert!((deq.at(0, 0) - 1.0).abs() < 1e-2);
@@ -163,7 +187,9 @@ mod tests {
         // small weights to zero.
         let fine_err = |ql: &QuantizedLinear| {
             let deq = ql.dequantize();
-            deq.slice_rows(32, 64).sub(&w.slice_rows(32, 64)).frobenius_norm()
+            deq.slice_rows(32, 64)
+                .sub(&w.slice_rows(32, 64))
+                .frobenius_norm()
         };
         assert!(
             fine_err(&grouped) < fine_err(&per_tensor) * 0.2,
@@ -177,8 +203,14 @@ mod tests {
     fn int4_grid_never_exceeds_seven() {
         let mut rng = Xoshiro256::seed_from_u64(3);
         let w = Matrix::from_fn(16, 16, |_, _| rng.normal_f32(0.0, 2.0));
-        let ql =
-            quantize_weight(&w, 4, Granularity::Grouped { group_size: 8 }, None, None, ActQuant::None);
+        let ql = quantize_weight(
+            &w,
+            4,
+            Granularity::Grouped { group_size: 8 },
+            None,
+            None,
+            ActQuant::None,
+        );
         assert!(ql.q_values().iter().all(|&q| (-7..=7).contains(&q)));
     }
 

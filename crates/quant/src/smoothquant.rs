@@ -27,7 +27,10 @@ pub struct SmoothQuantConfig {
 
 impl Default for SmoothQuantConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, scale_floor: 1e-5 }
+        Self {
+            alpha: 0.5,
+            scale_floor: 1e-5,
+        }
     }
 }
 
@@ -127,7 +130,10 @@ mod tests {
     #[test]
     fn alpha_zero_ignores_activations() {
         let w = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
-        let cfg = SmoothQuantConfig { alpha: 0.0, ..Default::default() };
+        let cfg = SmoothQuantConfig {
+            alpha: 0.0,
+            ..Default::default()
+        };
         let s = migration_scales(&[100.0, 1.0], &w, &cfg);
         // s_j = 1 / w_rowmax_j
         assert!((s[0] - 0.5).abs() < 1e-6);
@@ -147,8 +153,11 @@ mod tests {
         // SmoothQuant exists for: W8A8 with per-token activation quant
         // should be no worse than naive W8A8 without migration.
         let mut cfg = ModelConfig::tiny_test();
-        cfg.outliers =
-            Some(emmark_nanolm::config::OutlierProfile { channels: 3, factor: 10.0, seed: 3 });
+        cfg.outliers = Some(emmark_nanolm::config::OutlierProfile {
+            channels: 3,
+            factor: 10.0,
+            seed: 3,
+        });
         let mut model = emmark_nanolm::TransformerModel::new(cfg);
         let calib: Vec<Vec<u32>> = (0..4u32)
             .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())

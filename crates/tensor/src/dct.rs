@@ -34,7 +34,11 @@ pub fn dct2(input: &[f64]) -> Vec<f64> {
         for (i, &x) in input.iter().enumerate() {
             acc += x * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
         }
-        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        let scale = if k == 0 {
+            (1.0 / nf).sqrt()
+        } else {
+            (2.0 / nf).sqrt()
+        };
         out.push(acc * scale);
     }
     out
@@ -67,7 +71,10 @@ pub fn dct3(input: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `fraction` is outside `(0, 1]`.
 pub fn high_frequency_start(n: usize, fraction: f64) -> usize {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let band = ((n as f64) * fraction).ceil() as usize;
     n.saturating_sub(band.max(1))
 }

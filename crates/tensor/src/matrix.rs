@@ -39,12 +39,20 @@ impl Matrix {
     /// assert!(m.iter().all(|&v| v == 0.0));
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -86,7 +94,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows are not allowed");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix whose entry `(i, j)` is `f(i, j)`.
@@ -292,8 +304,17 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise accumulation `self += other`.
@@ -327,14 +348,27 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns `self` scaled by `alpha`.
     pub fn scale(&self, alpha: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every element in place.
@@ -351,14 +385,27 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Maximum absolute value over all elements (0.0 for an empty matrix).
@@ -368,7 +415,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Mean of all elements (0.0 for an empty matrix).
@@ -398,7 +449,9 @@ impl Matrix {
                 out[j] += v.abs() as f64;
             }
         }
-        out.iter().map(|&s| (s / self.rows.max(1) as f64) as f32).collect()
+        out.iter()
+            .map(|&s| (s / self.rows.max(1) as f64) as f32)
+            .collect()
     }
 
     /// Per-row maximum absolute value.
@@ -431,7 +484,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vstack column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

@@ -62,7 +62,9 @@ impl Xoshiro256 {
     /// recommended by the xoshiro authors.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Returns the next 64 pseudo-random bits.
@@ -177,7 +179,10 @@ impl Xoshiro256 {
     /// Panics if the weights are empty or sum to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "weighted_index requires a positive total weight");
+        assert!(
+            total > 0.0,
+            "weighted_index requires a positive total weight"
+        );
         let mut target = self.uniform() * total;
         for (i, &w) in weights.iter().enumerate() {
             target -= w;

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits in [8u64, 20, 40, 100, 300] {
         println!("{:>12}  {:>16.2}", bits, log10_binomial_tail(bits, bits));
     }
-    println!("\n(the paper quotes 9.09e-13 for 40 bits — that is 10^{:.2})\n", log10_binomial_tail(40, 40));
+    println!(
+        "\n(the paper quotes 9.09e-13 for 40 bits — that is 10^{:.2})\n",
+        log10_binomial_tail(40, 40)
+    );
 
     println!("training a nano-LM to sweep insertion density…");
     let corpus = Corpus::sample(Grammar::synwiki(31), 12_000, 1_000, 2_000);
@@ -32,13 +35,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut model,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = model.collect_activation_stats(&calibration);
     let quantized = awq(&model, &stats, &AwqConfig::default());
-    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let eval_cfg = EvalConfig {
+        ppl_tokens: 1500,
+        task_items: 60,
+        ..EvalConfig::default()
+    };
     let baseline = evaluate_quality(&quantized, &corpus, &eval_cfg);
     let smallest_layer = quantized.layers.iter().map(|l| l.len()).min().unwrap_or(0);
     println!(
@@ -53,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits_per_layer in [2usize, 4, 8, 16, 32] {
         // Keep the pool inside the smallest layer.
         let pool_ratio = (smallest_layer / bits_per_layer).clamp(2, 20);
-        let wm_cfg = WatermarkConfig { bits_per_layer, pool_ratio, ..Default::default() };
+        let wm_cfg = WatermarkConfig {
+            bits_per_layer,
+            pool_ratio,
+            ..Default::default()
+        };
         let secrets = OwnerSecrets::new(quantized.clone(), stats.clone(), wm_cfg, 0xCAFE);
         match secrets.watermark_for_deployment() {
             Ok(deployed) => {

@@ -29,13 +29,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut model,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = model.collect_activation_stats(&calibration);
 
-    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let eval_cfg = EvalConfig {
+        ppl_tokens: 1500,
+        task_items: 60,
+        ..EvalConfig::default()
+    };
     let fp_quality = evaluate_quality(&model, &corpus, &eval_cfg);
     println!(
         "full precision      : PPL {:>7.3}  acc {:>5.1}%",
@@ -58,9 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bits = qm.layers[0].bits();
         // Per-scheme watermark density, as the paper scales INT8 vs INT4.
         let wm_cfg = if bits == 8 {
-            WatermarkConfig { bits_per_layer: 12, pool_ratio: 20, ..Default::default() }
+            WatermarkConfig {
+                bits_per_layer: 12,
+                pool_ratio: 20,
+                ..Default::default()
+            }
         } else {
-            WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() }
+            WatermarkConfig {
+                bits_per_layer: 8,
+                pool_ratio: 20,
+                ..Default::default()
+            }
         };
         let secrets = OwnerSecrets::new(qm, stats.clone(), wm_cfg, 0xE59E);
         let deployed = secrets.watermark_for_deployment()?;

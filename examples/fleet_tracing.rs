@@ -11,7 +11,9 @@
 //! ```
 
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+use emmark::core::deploy::encode_model;
 use emmark::core::fingerprint::Fleet;
+use emmark::core::fleet::FleetVerifier;
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
 use emmark::nanolm::train::{train, TrainConfig};
@@ -29,16 +31,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut fp,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
     let quantized = awq(&fp, &stats, &AwqConfig::default());
     let base = OwnerSecrets::new(
         quantized,
         stats,
-        WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() },
+        WatermarkConfig {
+            bits_per_layer: 8,
+            pool_ratio: 20,
+            ..Default::default()
+        },
         0xBA5E,
     );
     let mut fleet = Fleet::new(
@@ -51,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    let customers = ["acme-robotics", "globex-iot", "initech-devices", "umbrella-edge"];
+    let customers = [
+        "acme-robotics",
+        "globex-iot",
+        "initech-devices",
+        "umbrella-edge",
+    ];
     println!("\nprovisioning {} devices…", customers.len());
     let mut shipments = Vec::new();
     for id in customers {
@@ -67,7 +87,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\na leak appears — lightly tampered (10 overwrites/layer) copy of one device:");
     let mut leaked = shipments[1].clone();
-    overwrite_attack(&mut leaked, &OverwriteConfig { per_layer: 10, seed: 0x1EA6 });
+    overwrite_attack(
+        &mut leaked,
+        &OverwriteConfig {
+            per_layer: 10,
+            seed: 0x1EA6,
+        },
+    );
     match fleet.identify_leak(&leaked, -6.0)? {
         Some((device, report)) => {
             println!(
@@ -88,5 +114,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ownership.wer(),
         ownership.log10_p_chance()
     );
+
+    // At deployment scale, checks run through the batch engine: the
+    // scoring/pool/location work is cached once per model family, and
+    // artifacts are verified in parallel straight from their deployed
+    // bytes.
+    println!("\nre-auditing every shipment through the fleet engine:");
+    let artifacts: Vec<Vec<u8>> = shipments.iter().map(|m| encode_model(m).to_vec()).collect();
+    let verifier = FleetVerifier::new(&fleet)?;
+    for (id, verdict) in customers
+        .iter()
+        .zip(verifier.verify_batch(&artifacts, -6.0, None))
+    {
+        let verdict = verdict?;
+        let traced = verdict
+            .attribution
+            .as_ref()
+            .map(|(d, _)| d.device_id.as_str())
+            .unwrap_or("-");
+        println!(
+            "  {id:<16}: ownership WER {:>5.1}%, traced to {traced}",
+            verdict.ownership.wer()
+        );
+        assert_eq!(
+            traced, *id,
+            "audit must attribute each shipment to its own device"
+        );
+    }
     Ok(())
 }

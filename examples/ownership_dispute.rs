@@ -33,20 +33,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut fp_model,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp_model.collect_activation_stats(&calibration);
     let quantized = awq(&fp_model, &stats, &AwqConfig::default());
     let secrets = OwnerSecrets::new(
         quantized,
         stats,
-        WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() },
+        WatermarkConfig {
+            bits_per_layer: 8,
+            pool_ratio: 20,
+            ..Default::default()
+        },
         0xD15B,
     );
     let deployed = secrets.watermark_for_deployment()?;
-    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let eval_cfg = EvalConfig {
+        ppl_tokens: 1500,
+        task_items: 60,
+        ..EvalConfig::default()
+    };
     let healthy = evaluate_quality(&deployed, &corpus, &eval_cfg);
     println!(
         "deployed model: PPL {:.2}, zero-shot {:.1}%, watermark WER {:.1}%\n",
@@ -57,7 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== attack 1: blind parameter overwriting ===");
     let mut attacked = deployed.clone();
-    overwrite_attack(&mut attacked, &OverwriteConfig { per_layer: 24, seed: 666 });
+    overwrite_attack(
+        &mut attacked,
+        &OverwriteConfig {
+            per_layer: 24,
+            seed: 666,
+        },
+    );
     let q = evaluate_quality(&attacked, &corpus, &eval_cfg);
     let proof = secrets.verify(&attacked)?;
     println!(
@@ -73,14 +96,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== attack 2: re-watermarking with adversary parameters ===");
     // The adversary measures activations through the *quantized* model
     // (no access to the full-precision one) and uses α=1, β=1.5, seed 22.
-    let adv_calib: Vec<Vec<u32>> =
-        corpus.test.chunks(24).take(12).map(|c| c.to_vec()).collect();
+    let adv_calib: Vec<Vec<u32>> = corpus
+        .test
+        .chunks(24)
+        .take(12)
+        .map(|c| c.to_vec())
+        .collect();
     let adv_stats = deployed.collect_activation_stats(&adv_calib);
     let mut rewatermarked = deployed.clone();
     rewatermark_attack(
         &mut rewatermarked,
         &adv_stats,
-        &RewatermarkConfig { per_layer: 16, ..Default::default() },
+        &RewatermarkConfig {
+            per_layer: 16,
+            ..Default::default()
+        },
     );
     let q = evaluate_quality(&rewatermarked, &corpus, &eval_cfg);
     let proof = secrets.verify(&rewatermarked)?;
@@ -107,8 +137,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!verdict.accepted);
 
     let owner_claim = OwnershipClaim::from_secrets(&secrets)?;
-    let owner_verdict =
-        validate_claim(&owner_claim, &deployed, Some(&mut fp_model), &calibration, 90.0);
+    let owner_verdict = validate_claim(
+        &owner_claim,
+        &deployed,
+        Some(&mut fp_model),
+        &calibration,
+        90.0,
+    );
     println!(
         "owner's claim under the same protocol: WER {:.1}%, accepted={}",
         owner_verdict.wer_at_reproduced_locations, owner_verdict.accepted

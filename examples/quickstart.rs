@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = train(
         &mut model,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
     println!(
         "      loss {:.3} -> {:.3} over {} steps",
@@ -35,14 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Capture the full-precision activation profile A_f (the secret
     //    ingredient of EmMark's saliency score) and quantize with AWQ.
     println!("[2/6] capturing A_f and quantizing to INT4 with AWQ…");
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = model.collect_activation_stats(&calibration);
     let quantized = awq(&model, &stats, &AwqConfig::default());
 
     // 3. Watermark before deployment.
     println!("[3/6] inserting the EmMark watermark…");
-    let wm_cfg = WatermarkConfig { bits_per_layer: 8, pool_ratio: 20, ..Default::default() };
+    let wm_cfg = WatermarkConfig {
+        bits_per_layer: 8,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(quantized, stats, wm_cfg, /*signature seed*/ 2024);
     let deployed = secrets.watermark_for_deployment()?;
     println!(
@@ -53,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Check that quality is preserved.
     println!("[4/6] evaluating fidelity…");
-    let eval_cfg = EvalConfig { ppl_tokens: 1500, task_items: 60, ..EvalConfig::default() };
+    let eval_cfg = EvalConfig {
+        ppl_tokens: 1500,
+        task_items: 60,
+        ..EvalConfig::default()
+    };
     let before = evaluate_quality(&secrets.original, &corpus, &eval_cfg);
     let after = evaluate_quality(&deployed, &corpus, &eval_cfg);
     println!(

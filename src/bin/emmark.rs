@@ -8,14 +8,26 @@
 //! emmark inspect --model FILE                       layer/scheme/bit summary
 //! emmark attack --model FILE --out FILE --per-layer N [--seed S]
 //!                                                   parameter-overwriting attack
+//! emmark fleet-provision --secrets FILE --out-dir DIR --devices N
+//!                        [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
+//!                                                   fingerprint N device artifacts +
+//!                                                   write the fleet registry
+//! emmark fleet-verify --secrets FILE --registry FILE --artifacts DIR
+//!                     [--threshold L] [--jobs N]    parallel batch verification +
+//!                                                   leak tracing over a directory
 //! ```
 //!
 //! The demo subcommand exists so the whole flow can be driven without
 //! writing a line of Rust; `verify` is the command a proprietor would
-//! actually run against a seized model file.
+//! actually run against a seized model file, and `fleet-verify` is its
+//! fleet-scale counterpart: every `.emqm` artifact in a directory is
+//! checked for the ownership watermark and traced to the registered
+//! device that leaked it, in parallel, sharing one location cache.
 
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
 use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::fingerprint::Fleet;
+use emmark::core::fleet::{decode_registry, encode_registry, FleetVerifier};
 use emmark::core::vault::{decode_secrets, encode_secrets};
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
@@ -44,6 +56,8 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "inspect" => cmd_inspect(&opts),
         "attack" => cmd_attack(&opts),
+        "fleet-provision" => cmd_fleet_provision(&opts),
+        "fleet-verify" => cmd_fleet_verify(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +80,11 @@ USAGE:
   emmark demo    --out-dir DIR [--bits N] [--seed S]
   emmark verify  --secrets FILE --suspect FILE
   emmark inspect --model FILE
-  emmark attack  --model FILE --out FILE --per-layer N [--seed S]";
+  emmark attack  --model FILE --out FILE --per-layer N [--seed S]
+  emmark fleet-provision --secrets FILE --out-dir DIR --devices N
+                         [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
+  emmark fleet-verify    --secrets FILE --registry FILE --artifacts DIR
+                         [--threshold L] [--jobs N]";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -75,20 +93,30 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected an option, found `{key}`"));
         };
-        let value = it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("option --{name} needs a value"))?;
         opts.insert(name.to_string(), value.clone());
     }
     Ok(opts)
 }
 
 fn required<'o>(opts: &'o HashMap<String, String>, name: &str) -> Result<&'o str, String> {
-    opts.get(name).map(String::as_str).ok_or_else(|| format!("missing required option --{name}"))
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{name}"))
 }
 
-fn parsed<T: std::str::FromStr>(opts: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+fn parsed<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(name) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{raw}`")),
     }
 }
 
@@ -104,7 +132,8 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
     let bits: usize = parsed(opts, "bits", 8)?;
     let seed: u64 = parsed(opts, "seed", 2024)?;
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
 
     println!("training a nano-LM on SynWiki…");
     let corpus = Corpus::sample(Grammar::synwiki(seed), 12_000, 1_000, 2_000);
@@ -116,20 +145,38 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     train(
         &mut model,
         &corpus,
-        &TrainConfig { steps: 200, batch_size: 8, seq_len: 24, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 200,
+            batch_size: 8,
+            seq_len: 24,
+            ..TrainConfig::default()
+        },
     );
     println!("quantizing with AWQ INT4 and capturing A_f…");
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(24).take(16).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(24)
+        .take(16)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = model.collect_activation_stats(&calibration);
     let quantized = awq(&model, &stats, &AwqConfig::default());
 
     println!("inserting the watermark ({bits} bits/layer)…");
-    let wm_cfg = WatermarkConfig { bits_per_layer: bits, pool_ratio: 20, ..Default::default() };
+    let wm_cfg = WatermarkConfig {
+        bits_per_layer: bits,
+        pool_ratio: 20,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(quantized, stats, wm_cfg, seed ^ 0x51C);
-    let deployed = secrets.watermark_for_deployment().map_err(|e| e.to_string())?;
+    let deployed = secrets
+        .watermark_for_deployment()
+        .map_err(|e| e.to_string())?;
 
-    write_file(&out_dir.join("original.emqm"), &encode_model(&secrets.original))?;
+    write_file(
+        &out_dir.join("original.emqm"),
+        &encode_model(&secrets.original),
+    )?;
     write_file(&out_dir.join("deployed.emqm"), &encode_model(&deployed))?;
     write_file(&out_dir.join("secrets.emws"), &encode_secrets(&secrets))?;
     println!(
@@ -137,7 +184,10 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
         out_dir.display(),
         secrets.signature.len()
     );
-    println!("try: emmark verify --secrets {0}/secrets.emws --suspect {0}/deployed.emqm", out_dir.display());
+    println!(
+        "try: emmark verify --secrets {0}/secrets.emws --suspect {0}/deployed.emqm",
+        out_dir.display()
+    );
     Ok(())
 }
 
@@ -153,7 +203,10 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
         report.total_bits,
         report.wer()
     );
-    println!("chance-match probability: 10^{:.1}", report.log10_p_chance());
+    println!(
+        "chance-match probability: 10^{:.1}",
+        report.log10_p_chance()
+    );
     if report.proves_ownership(-9.0) {
         println!("verdict: OWNERSHIP PROVED (p < 1e-9)");
         Ok(())
@@ -168,14 +221,20 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("scheme  : {}", model.scheme);
     println!(
         "arch    : d_model {}, {} blocks, {} heads, d_ff {}, vocab {}",
-        model.cfg.d_model, model.cfg.n_layers, model.cfg.n_heads, model.cfg.d_ff, model.cfg.vocab_size
+        model.cfg.d_model,
+        model.cfg.n_layers,
+        model.cfg.n_heads,
+        model.cfg.d_ff,
+        model.cfg.vocab_size
     );
     println!("layers  : {} quantized", model.layer_count());
     let mut total_cells = 0usize;
     let mut clamped = 0usize;
     for layer in &model.layers {
         total_cells += layer.len();
-        clamped += (0..layer.len()).filter(|&f| layer.is_clamped_flat(f)).count();
+        clamped += (0..layer.len())
+            .filter(|&f| layer.is_clamped_flat(f))
+            .count();
     }
     println!(
         "cells   : {} total, {} at min/max level ({:.1}% unwatermarkable)",
@@ -198,10 +257,143 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
+    let secrets =
+        decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
+    let out_dir = PathBuf::from(required(opts, "out-dir")?);
+    let devices: usize = required(opts, "devices")?
+        .parse()
+        .map_err(|_| "--devices: not a number".to_string())?;
+    let prefix = opts.get("prefix").map(String::as_str).unwrap_or("device");
+    let fp_bits: usize = parsed(opts, "fp-bits", 3)?;
+    let fp_pool: usize = parsed(opts, "fp-pool", 10)?;
+    let fp_seed: u64 = parsed(opts, "fp-seed", 0xDE11CE)?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: fp_bits,
+        pool_ratio: fp_pool,
+        selection_seed: fp_seed,
+        ..Default::default()
+    };
+    let mut fleet = Fleet::new(secrets, fp_cfg);
+    for i in 0..devices {
+        let id = format!("{prefix}-{i:04}");
+        let deployment = fleet.provision(&id).map_err(|e| e.to_string())?;
+        write_file(
+            &out_dir.join(format!("{id}.emqm")),
+            &encode_model(&deployment),
+        )?;
+    }
+    let registry = encode_registry(&fleet.fingerprint_config, fleet.devices());
+    write_file(&out_dir.join("fleet.emfr"), &registry)?;
+    println!(
+        "provisioned {devices} fingerprinted artifacts in {} ({fp_bits} fingerprint bits/layer)",
+        out_dir.display()
+    );
+    println!(
+        "try: emmark fleet-verify --secrets SECRETS --registry {0}/fleet.emfr --artifacts {0}",
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let secrets =
+        decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
+    let (fp_cfg, devices) =
+        decode_registry(&read_file(required(opts, "registry")?)?).map_err(|e| e.to_string())?;
+    let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
+    let threshold: f64 = parsed(opts, "threshold", -6.0)?;
+    let jobs: usize = parsed(opts, "jobs", 0)?;
+    let jobs = if jobs == 0 { None } else { Some(jobs) };
+
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
+        .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
+    }
+
+    println!(
+        "building the verification cache ({} registered devices)…",
+        devices.len()
+    );
+    let start = std::time::Instant::now();
+    let verifier =
+        FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
+    let cache_time = start.elapsed();
+
+    let artifacts: Vec<Vec<u8>> = paths
+        .iter()
+        .map(|p| read_file(&p.display().to_string()))
+        .collect::<Result<_, _>>()?;
+    let start = std::time::Instant::now();
+    let verdicts = verifier.verify_batch(&artifacts, threshold, jobs);
+    let verify_time = start.elapsed();
+
+    println!(
+        "\n{:<28} {:>10} {:>12} {:<18} {:>12}",
+        "artifact", "WER (%)", "log10(p)", "traced device", "fp WER (%)"
+    );
+    let mut owned = 0usize;
+    let mut traced = 0usize;
+    let mut failed = 0usize;
+    for (path, verdict) in paths.iter().zip(&verdicts) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match verdict {
+            Ok(v) => {
+                if v.proves_ownership(threshold) {
+                    owned += 1;
+                }
+                let (device, fp_wer) = match &v.attribution {
+                    Some((d, r)) => {
+                        traced += 1;
+                        (d.device_id.clone(), format!("{:.1}", r.wer()))
+                    }
+                    None => ("-".to_string(), "-".to_string()),
+                };
+                println!(
+                    "{:<28} {:>10.1} {:>12.1} {:<18} {:>12}",
+                    name,
+                    v.ownership.wer(),
+                    v.ownership.log10_p_chance(),
+                    device,
+                    fp_wer
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("{name:<28} {e}");
+            }
+        }
+    }
+    println!(
+        "\n{} artifacts: {owned} prove ownership, {traced} traced to a device, {failed} failed \
+         (cache {:.1} ms, verify {:.1} ms)",
+        verdicts.len(),
+        cache_time.as_secs_f64() * 1e3,
+        verify_time.as_secs_f64() * 1e3
+    );
+    if failed > 0 {
+        return Err(format!("{failed} artifact(s) failed to verify"));
+    }
+    Ok(())
+}
+
 fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut model =
         decode_model(&read_file(required(opts, "model")?)?).map_err(|e| e.to_string())?;
-    let per_layer: usize = required(opts, "per-layer")?.parse().map_err(|_| "--per-layer: not a number".to_string())?;
+    let per_layer: usize = required(opts, "per-layer")?
+        .parse()
+        .map_err(|_| "--per-layer: not a number".to_string())?;
     let seed: u64 = parsed(opts, "seed", 666)?;
     let touched = overwrite_attack(&mut model, &OverwriteConfig { per_layer, seed });
     let out = required(opts, "out")?;

@@ -29,16 +29,34 @@ fn pipeline() -> Pipeline {
     train(
         &mut fp,
         &corpus,
-        &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 80,
+            batch_size: 6,
+            seq_len: 16,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(16)
+        .take(8)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
-    Pipeline { fp, corpus, calibration, stats }
+    Pipeline {
+        fp,
+        corpus,
+        calibration,
+        stats,
+    }
 }
 
 fn wm_cfg() -> WatermarkConfig {
-    WatermarkConfig { bits_per_layer: 6, pool_ratio: 12, ..Default::default() }
+    WatermarkConfig {
+        bits_per_layer: 6,
+        pool_ratio: 12,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -57,7 +75,10 @@ fn every_quantization_scheme_watermarks_deploys_and_verifies() {
         // Ship over the wire and verify against what came back.
         let bytes = encode_model(&deployed);
         let received = decode_model(&bytes).expect("decode");
-        assert!(received.same_weights(&deployed), "{scheme}: transit corrupted weights");
+        assert!(
+            received.same_weights(&deployed),
+            "{scheme}: transit corrupted weights"
+        );
         let report = secrets.verify(&received).expect("extract");
         assert_eq!(report.wer(), 100.0, "{scheme}: WER");
         assert!(report.proves_ownership(-9.0), "{scheme}: strength");
@@ -68,7 +89,11 @@ fn every_quantization_scheme_watermarks_deploys_and_verifies() {
 fn watermark_preserves_quality_within_noise() {
     let p = pipeline();
     let original = awq(&p.fp, &p.stats, &AwqConfig::default());
-    let eval_cfg = EvalConfig { ppl_tokens: 600, task_items: 30, ..EvalConfig::tiny_test() };
+    let eval_cfg = EvalConfig {
+        ppl_tokens: 600,
+        task_items: 30,
+        ..EvalConfig::tiny_test()
+    };
     let before = evaluate_quality(&original, &p.corpus, &eval_cfg);
     let secrets = OwnerSecrets::new(original, p.stats.clone(), wm_cfg(), 0xBEEF);
     let deployed = secrets.watermark_for_deployment().expect("insert");
@@ -99,19 +124,33 @@ fn ownership_survives_both_removal_attacks() {
     let deployed = secrets.watermark_for_deployment().expect("insert");
 
     let mut overwritten = deployed.clone();
-    overwrite_attack(&mut overwritten, &OverwriteConfig { per_layer: 12, seed: 3 });
+    overwrite_attack(
+        &mut overwritten,
+        &OverwriteConfig {
+            per_layer: 12,
+            seed: 3,
+        },
+    );
     let r1 = secrets.verify(&overwritten).expect("extract");
     assert!(r1.wer() > 80.0, "overwrite WER {}", r1.wer());
     assert!(r1.proves_ownership(-9.0));
 
-    let adv_calib: Vec<Vec<u32>> =
-        p.corpus.test.chunks(16).take(6).map(|c| c.to_vec()).collect();
+    let adv_calib: Vec<Vec<u32>> = p
+        .corpus
+        .test
+        .chunks(16)
+        .take(6)
+        .map(|c| c.to_vec())
+        .collect();
     let adv_stats = deployed.collect_activation_stats(&adv_calib);
     let mut rewatermarked = deployed.clone();
     rewatermark_attack(
         &mut rewatermarked,
         &adv_stats,
-        &RewatermarkConfig { per_layer: 10, ..Default::default() },
+        &RewatermarkConfig {
+            per_layer: 10,
+            ..Default::default()
+        },
     );
     let r2 = secrets.verify(&rewatermarked).expect("extract");
     assert!(r2.wer() > 60.0, "rewatermark WER {}", r2.wer());
@@ -137,7 +176,12 @@ fn integrity_controls_extract_nothing() {
     finetune(
         &mut ft,
         &alpaca,
-        &TrainConfig { steps: 40, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 40,
+            batch_size: 6,
+            seq_len: 16,
+            ..TrainConfig::default()
+        },
         1_000,
     );
     let ft_stats = ft.collect_activation_stats(&p.calibration);

@@ -19,16 +19,29 @@ fn fleet() -> Fleet {
     train(
         &mut fp,
         &corpus,
-        &TrainConfig { steps: 60, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 60,
+            batch_size: 6,
+            seq_len: 16,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(16)
+        .take(8)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
     let quantized = awq(&fp, &stats, &AwqConfig::default());
     let base = OwnerSecrets::new(
         quantized,
         stats,
-        WatermarkConfig { bits_per_layer: 5, pool_ratio: 12, ..Default::default() },
+        WatermarkConfig {
+            bits_per_layer: 5,
+            pool_ratio: 12,
+            ..Default::default()
+        },
         0xF1EE7,
     );
     let fp_cfg = WatermarkConfig {
@@ -54,13 +67,18 @@ fn leak_attribution_works_through_the_wire_format() {
     // Devices differ pairwise.
     for i in 0..shipped.len() {
         for j in i + 1..shipped.len() {
-            assert!(!shipped[i].same_weights(&shipped[j]), "{i} vs {j} identical");
+            assert!(
+                !shipped[i].same_weights(&shipped[j]),
+                "{i} vs {j} identical"
+            );
         }
     }
     // A copy of the third device leaks; attribution finds it and only it.
     let leaked = &shipped[2];
-    let (device, report) =
-        fleet.identify_leak(leaked, -6.0).expect("identify").expect("attributed");
+    let (device, report) = fleet
+        .identify_leak(leaked, -6.0)
+        .expect("identify")
+        .expect("attributed");
     assert_eq!(device.device_id, ids[2]);
     assert!(report.wer() >= 90.0);
     // And the base ownership proof holds on the leaked copy too.
@@ -75,8 +93,16 @@ fn attribution_survives_a_light_attack_on_the_leak() {
     let mut fleet = fleet();
     let _ = fleet.provision("edge-a").expect("provision");
     let mut leaked = fleet.provision("edge-b").expect("provision");
-    overwrite_attack(&mut leaked, &OverwriteConfig { per_layer: 8, seed: 13 });
-    let (device, _) =
-        fleet.identify_leak(&leaked, -4.0).expect("identify").expect("attributed");
+    overwrite_attack(
+        &mut leaked,
+        &OverwriteConfig {
+            per_layer: 8,
+            seed: 13,
+        },
+    );
+    let (device, _) = fleet
+        .identify_leak(&leaked, -4.0)
+        .expect("identify")
+        .expect("attributed");
     assert_eq!(device.device_id, "edge-b");
 }

@@ -1,0 +1,142 @@
+//! Fleet verification engine guarantees, pinned end to end:
+//!
+//! 1. parallel batch verification of N device artifacts agrees
+//!    bit-for-bit with the serial single-device `OwnerSecrets::verify` /
+//!    `Fleet::device_report` path, and
+//! 2. the cached-locations path returns `ExtractionReport`s identical to
+//!    the uncached path, including under tampering and for artifacts
+//!    that carry no fingerprint at all.
+
+use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::fingerprint::Fleet;
+use emmark::core::fleet::{decode_registry, encode_registry, FleetVerifier};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+
+const N_DEVICES: usize = 16;
+
+fn provisioned_fleet() -> (Fleet, Vec<String>, Vec<Vec<u8>>) {
+    let mut model = TransformerModel::new(ModelConfig::tiny_test());
+    let calib: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+    let base_cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        ..Default::default()
+    };
+    let base = OwnerSecrets::new(quantized, stats, base_cfg, 0xBA5E);
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: 3,
+        pool_ratio: 10,
+        selection_seed: 0xD1CE,
+        ..Default::default()
+    };
+    let mut fleet = Fleet::new(base, fp_cfg);
+    let ids: Vec<String> = (0..N_DEVICES).map(|i| format!("edge-{i:03}")).collect();
+    let artifacts = ids
+        .iter()
+        .map(|id| encode_model(&fleet.provision(id).expect("provision")).to_vec())
+        .collect();
+    (fleet, ids, artifacts)
+}
+
+#[test]
+fn parallel_batch_agrees_bit_for_bit_with_serial_verify() {
+    let (fleet, ids, artifacts) = provisioned_fleet();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let verdicts = verifier.verify_batch(&artifacts, -6.0, Some(8));
+    assert_eq!(verdicts.len(), N_DEVICES);
+    for (i, verdict) in verdicts.iter().enumerate() {
+        let verdict = verdict.as_ref().expect("verdict");
+        let suspect = decode_model(&artifacts[i]).expect("decode");
+        // Ownership: identical report to the serial owner-side check.
+        let serial = fleet.base.verify(&suspect).expect("serial verify");
+        assert_eq!(
+            verdict.ownership, serial,
+            "artifact {i}: ownership diverged"
+        );
+        assert_eq!(verdict.ownership.wer(), 100.0);
+        // Attribution: identical device and report to the serial path.
+        let (device, report) = verdict.attribution.as_ref().expect("attributed");
+        assert_eq!(device.device_id, ids[i]);
+        let serial_fp = fleet.device_report(device, &suspect).expect("serial fp");
+        assert_eq!(
+            *report, serial_fp,
+            "artifact {i}: fingerprint report diverged"
+        );
+    }
+}
+
+#[test]
+fn job_count_never_changes_a_verdict() {
+    let (fleet, _, artifacts) = provisioned_fleet();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let reference = verifier.verify_batch(&artifacts, -6.0, Some(1));
+    for jobs in [2, 3, 7, 32] {
+        assert_eq!(
+            verifier.verify_batch(&artifacts, -6.0, Some(jobs)),
+            reference,
+            "jobs={jobs} changed the verdicts"
+        );
+    }
+}
+
+#[test]
+fn cached_reports_match_uncached_under_tampering() {
+    let (fleet, _, artifacts) = provisioned_fleet();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let mut leaked = decode_model(&artifacts[3]).expect("decode");
+    overwrite_attack(
+        &mut leaked,
+        &OverwriteConfig {
+            per_layer: 6,
+            seed: 0x7A3,
+        },
+    );
+    let cached_own = verifier.ownership_report(&leaked).expect("cached");
+    let uncached_own = fleet.base.verify(&leaked).expect("uncached");
+    assert_eq!(cached_own, uncached_own);
+    for device in fleet.devices() {
+        let cached = verifier.device_report(device, &leaked).expect("cached");
+        let uncached = fleet.device_report(device, &leaked).expect("uncached");
+        assert_eq!(
+            cached, uncached,
+            "device {} diverged under tampering",
+            device.device_id
+        );
+    }
+}
+
+#[test]
+fn unfingerprinted_artifact_proves_ownership_but_traces_to_nobody() {
+    let (fleet, _, _) = provisioned_fleet();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let base_only = encode_model(&fleet.base.watermark_for_deployment().expect("deploy"));
+    let verdict = verifier.verify_artifact(&base_only, -6.0).expect("verdict");
+    assert_eq!(verdict.ownership.wer(), 100.0);
+    assert!(verdict.proves_ownership(-6.0));
+    assert!(
+        verdict.attribution.is_none(),
+        "false attribution: {:?}",
+        verdict.attribution
+    );
+}
+
+#[test]
+fn registry_roundtrip_rebuilds_an_equivalent_verifier() {
+    let (fleet, _, artifacts) = provisioned_fleet();
+    let direct = FleetVerifier::new(&fleet).expect("cache");
+    let registry = encode_registry(&fleet.fingerprint_config, fleet.devices());
+    let (fp_cfg, devices) = decode_registry(&registry).expect("registry");
+    let rebuilt = FleetVerifier::from_parts(fleet.base.clone(), fp_cfg, devices).expect("rebuild");
+    assert_eq!(
+        direct.verify_batch(&artifacts, -6.0, None),
+        rebuilt.verify_batch(&artifacts, -6.0, None),
+        "registry roundtrip changed verdicts"
+    );
+}

@@ -17,16 +17,29 @@ fn setup() -> (OwnerSecrets, emmark::quant::QuantizedModel, Grammar) {
     train(
         &mut fp,
         &corpus,
-        &TrainConfig { steps: 100, batch_size: 8, seq_len: 16, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 100,
+            batch_size: 8,
+            seq_len: 16,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(16)
+        .take(8)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
     let quantized = awq(&fp, &stats, &AwqConfig::default());
     let secrets = OwnerSecrets::new(
         quantized,
         stats,
-        WatermarkConfig { bits_per_layer: 6, pool_ratio: 12, ..Default::default() },
+        WatermarkConfig {
+            bits_per_layer: 6,
+            pool_ratio: 12,
+            ..Default::default()
+        },
         0x6E4,
     );
     let deployed = secrets.watermark_for_deployment().expect("insert");
@@ -36,13 +49,20 @@ fn setup() -> (OwnerSecrets, emmark::quant::QuantizedModel, Grammar) {
 #[test]
 fn watermarked_model_greedy_output_barely_changes() {
     let (secrets, deployed, _) = setup();
-    let cfg = GenerateConfig { max_new_tokens: 48, ..Default::default() };
+    let cfg = GenerateConfig {
+        max_new_tokens: 48,
+        ..Default::default()
+    };
     let prompt = [1u32, 2, 3];
     let before = generate(&secrets.original, &prompt, &cfg);
     let after = generate(&deployed, &prompt, &cfg);
     // Greedy decoding is a brutal comparison (one flipped argmax cascades),
     // so require strong prefix agreement rather than equality.
-    let agree = before.iter().zip(&after).take_while(|(a, b)| a == b).count();
+    let agree = before
+        .iter()
+        .zip(&after)
+        .take_while(|(a, b)| a == b)
+        .count();
     assert!(
         agree >= 12,
         "greedy outputs diverged immediately: {agree} common prefix tokens\nbefore: {before:?}\nafter:  {after:?}"
@@ -58,8 +78,14 @@ fn watermarked_model_still_writes_grammarlike_sentences() {
         seed: 3,
     };
     let out = generate(&deployed, &[0], &cfg);
-    let stops = out.iter().filter(|&&t| grammar.class_of(t) == TokenClass::Stop).count();
-    assert!(stops >= 8, "deployed model lost sentence structure ({stops} stops in 120 tokens)");
+    let stops = out
+        .iter()
+        .filter(|&&t| grammar.class_of(t) == TokenClass::Stop)
+        .count();
+    assert!(
+        stops >= 8,
+        "deployed model lost sentence structure ({stops} stops in 120 tokens)"
+    );
     assert!(out.iter().all(|&t| (t as usize) < grammar.vocab_size()));
 }
 
@@ -68,7 +94,10 @@ fn generation_works_through_the_deploy_codec() {
     let (_, deployed, _) = setup();
     let bytes = emmark::core::deploy::encode_model(&deployed);
     let on_device = emmark::core::deploy::decode_model(&bytes).expect("decode");
-    let cfg = GenerateConfig { max_new_tokens: 16, ..Default::default() };
+    let cfg = GenerateConfig {
+        max_new_tokens: 16,
+        ..Default::default()
+    };
     let a = generate(&deployed, &[5, 6], &cfg);
     let b = generate(&on_device, &[5, 6], &cfg);
     assert_eq!(a, b, "deserialized model must generate identically");

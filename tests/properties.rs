@@ -32,10 +32,14 @@ fn synthetic_stats(model: &QuantizedModel, seed: u64) -> emmark::nanolm::Activat
             .layers
             .iter()
             .map(|l| {
-                let mean: Vec<f32> =
-                    (0..l.in_features()).map(|_| rng.uniform_range(0.01, 4.0)).collect();
+                let mean: Vec<f32> = (0..l.in_features())
+                    .map(|_| rng.uniform_range(0.01, 4.0))
+                    .collect();
                 let max: Vec<f32> = mean.iter().map(|&m| m * 3.0).collect();
-                emmark::nanolm::model::LayerActivation { mean_abs: mean, max_abs: max }
+                emmark::nanolm::model::LayerActivation {
+                    mean_abs: mean,
+                    max_abs: max,
+                }
             })
             .collect(),
     }

@@ -20,16 +20,29 @@ fn lora_finetune_cannot_remove_the_watermark() {
     train(
         &mut fp,
         &corpus,
-        &TrainConfig { steps: 80, batch_size: 6, seq_len: 16, ..TrainConfig::default() },
+        &TrainConfig {
+            steps: 80,
+            batch_size: 6,
+            seq_len: 16,
+            ..TrainConfig::default()
+        },
     );
-    let calibration: Vec<Vec<u32>> =
-        corpus.valid.chunks(16).take(8).map(|c| c.to_vec()).collect();
+    let calibration: Vec<Vec<u32>> = corpus
+        .valid
+        .chunks(16)
+        .take(8)
+        .map(|c| c.to_vec())
+        .collect();
     let stats = fp.collect_activation_stats(&calibration);
     let quantized = awq(&fp, &stats, &AwqConfig::default());
     let secrets = OwnerSecrets::new(
         quantized,
         stats,
-        WatermarkConfig { bits_per_layer: 6, pool_ratio: 12, ..Default::default() },
+        WatermarkConfig {
+            bits_per_layer: 6,
+            pool_ratio: 12,
+            ..Default::default()
+        },
         0x10BA,
     );
     let deployed = secrets.watermark_for_deployment().expect("insert");

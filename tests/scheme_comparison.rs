@@ -11,7 +11,11 @@ use emmark::nanolm::{ModelConfig, TransformerModel};
 use emmark::quant::awq::{awq, AwqConfig};
 use emmark::quant::QuantizedModel;
 
-fn setup() -> (TransformerModel, QuantizedModel, emmark::nanolm::ActivationStats) {
+fn setup() -> (
+    TransformerModel,
+    QuantizedModel,
+    emmark::nanolm::ActivationStats,
+) {
     let mut cfg = ModelConfig::tiny_test();
     cfg.d_model = 24;
     cfg.d_ff = 64;
@@ -32,7 +36,11 @@ fn emmark_never_wraps_but_randomwm_sometimes_does() {
 
     // EmMark: all deltas are exactly ±1.
     let em = EmMarkScheme {
-        config: WatermarkConfig { bits_per_layer: 8, pool_ratio: 10, ..Default::default() },
+        config: WatermarkConfig {
+            bits_per_layer: 8,
+            pool_ratio: 10,
+            ..Default::default()
+        },
         signature_seed: 1,
     };
     let mut em_model = original.clone();
@@ -46,7 +54,10 @@ fn emmark_never_wraps_but_randomwm_sometimes_does() {
 
     // RandomWM with enough bits on an INT4 grid hits clamped cells and
     // wraps (|delta| = 15) — the Table 1 INT4 damage mechanism.
-    let cfg = RandomWmConfig { bits_per_layer: 64, seed: 5 };
+    let cfg = RandomWmConfig {
+        bits_per_layer: 64,
+        seed: 5,
+    };
     let sig = Signature::generate(cfg.bits_per_layer * n, 6);
     let mut rw_model = original.clone();
     randomwm_insert(&mut rw_model, &sig, &cfg);
@@ -69,7 +80,11 @@ fn randomwm_damages_int4_logits_more_than_emmark() {
     let bits = 16usize;
 
     let em = EmMarkScheme {
-        config: WatermarkConfig { bits_per_layer: bits, pool_ratio: 10, ..Default::default() },
+        config: WatermarkConfig {
+            bits_per_layer: bits,
+            pool_ratio: 10,
+            ..Default::default()
+        },
         signature_seed: 2,
     };
     let mut em_model = original.clone();
@@ -81,7 +96,10 @@ fn randomwm_damages_int4_logits_more_than_emmark() {
     let mut rw_errs = Vec::new();
     for seed in 0..5 {
         let rw = RandomWmScheme {
-            config: RandomWmConfig { bits_per_layer: bits, seed },
+            config: RandomWmConfig {
+                bits_per_layer: bits,
+                seed,
+            },
             signature_seed: 2,
         };
         let mut rw_model = original.clone();
@@ -99,10 +117,20 @@ fn randomwm_damages_int4_logits_more_than_emmark() {
 fn harness_sweep_matches_paper_wer_pattern() {
     let (_, original, stats) = setup();
     let schemes: Vec<Box<dyn WatermarkScheme>> = vec![
-        Box::new(SpecMarkScheme { config: Default::default(), signature_seed: 3 }),
-        Box::new(RandomWmScheme { config: Default::default(), signature_seed: 3 }),
+        Box::new(SpecMarkScheme {
+            config: Default::default(),
+            signature_seed: 3,
+        }),
+        Box::new(RandomWmScheme {
+            config: Default::default(),
+            signature_seed: 3,
+        }),
         Box::new(EmMarkScheme {
-            config: WatermarkConfig { bits_per_layer: 8, pool_ratio: 10, ..Default::default() },
+            config: WatermarkConfig {
+                bits_per_layer: 8,
+                pool_ratio: 10,
+                ..Default::default()
+            },
             signature_seed: 3,
         }),
     ];
@@ -110,10 +138,16 @@ fn harness_sweep_matches_paper_wer_pattern() {
     for scheme in &schemes {
         let mut deployed = original.clone();
         scheme.insert(&mut deployed, &stats).expect("insert");
-        let wer = scheme.extract(&deployed, &original, &stats).expect("extract").wer();
+        let wer = scheme
+            .extract(&deployed, &original, &stats)
+            .expect("extract")
+            .wer();
         results.push((scheme.name(), wer));
     }
-    assert_eq!(results[0].1, 0.0, "SpecMark row is grey in the paper (failed insertion)");
+    assert_eq!(
+        results[0].1, 0.0,
+        "SpecMark row is grey in the paper (failed insertion)"
+    );
     assert!(results[1].1 > 80.0, "RandomWM extracts (mostly)");
     assert_eq!(results[2].1, 100.0, "EmMark extracts fully");
 }

@@ -5,8 +5,8 @@
 //! implementation.
 
 use emmark::core::baselines::{
-    specmark_extract_fp, specmark_extract_quantized, specmark_insert_fp,
-    specmark_insert_quantized, SpecMarkConfig,
+    specmark_extract_fp, specmark_extract_quantized, specmark_insert_fp, specmark_insert_quantized,
+    SpecMarkConfig,
 };
 use emmark::core::signature::Signature;
 use emmark::nanolm::model::LogitsModel;
@@ -19,7 +19,10 @@ fn fp_model() -> TransformerModel {
 }
 
 fn cfg() -> SpecMarkConfig {
-    SpecMarkConfig { bits_per_layer: 8, ..Default::default() }
+    SpecMarkConfig {
+        bits_per_layer: 8,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -59,7 +62,11 @@ fn the_same_scheme_dies_on_the_integer_grid() {
         let sig = Signature::generate(cfg().bits_per_layer * original.layer_count(), 3);
         specmark_insert_quantized(&mut marked, &sig, &cfg());
         let report = specmark_extract_quantized(&marked, &original, &sig, &cfg());
-        assert_eq!(report.wer(), 0.0, "INT{bits}: SpecMark must fail on quantized weights");
+        assert_eq!(
+            report.wer(),
+            0.0,
+            "INT{bits}: SpecMark must fail on quantized weights"
+        );
         // …and the reason is that the weights never changed.
         assert!(marked.same_weights(&original));
     }
@@ -74,7 +81,10 @@ fn a_huge_epsilon_would_survive_but_that_is_no_longer_specmark() {
     let original = QuantizedModel::quantize_with(&fp, "rtn", |_, lin| {
         quantize_linear_rtn(lin, 4, Granularity::PerOutChannel, ActQuant::None)
     });
-    let big = SpecMarkConfig { epsilon: 24.0, ..cfg() };
+    let big = SpecMarkConfig {
+        epsilon: 24.0,
+        ..cfg()
+    };
     let sig = Signature::generate(big.bits_per_layer * original.layer_count(), 4);
     let mut marked = original.clone();
     specmark_insert_quantized(&mut marked, &sig, &big);
@@ -83,5 +93,8 @@ fn a_huge_epsilon_would_survive_but_that_is_no_longer_specmark() {
         "a step-scale epsilon must actually alter the integer grid"
     );
     let report = specmark_extract_quantized(&marked, &original, &sig, &big);
-    assert!(report.wer() > 20.0, "some step-scale bits should survive rounding");
+    assert!(
+        report.wer() > 20.0,
+        "some step-scale bits should survive rounding"
+    );
 }

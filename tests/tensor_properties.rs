@@ -14,7 +14,10 @@ fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
     assert_eq!(a.shape(), b.shape());
     for (x, y) in a.iter().zip(b.iter()) {
-        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
     }
 }
 

@@ -30,7 +30,10 @@ fn two_stacked_watermarks_with_distinct_seeds_mostly_coexist() {
         selection_seed: 100,
         ..Default::default()
     };
-    let cfg_b = WatermarkConfig { selection_seed: 999, ..cfg_a };
+    let cfg_b = WatermarkConfig {
+        selection_seed: 999,
+        ..cfg_a
+    };
     let sig_a = Signature::generate(cfg_a.signature_len(original.layer_count()), 1);
     let sig_b = Signature::generate(cfg_b.signature_len(original.layer_count()), 2);
 
@@ -53,7 +56,11 @@ fn two_stacked_watermarks_with_distinct_seeds_mostly_coexist() {
 fn minimum_viable_configuration_works() {
     let (original, stats) = setup();
     // 1 bit per layer, pool of 1: fully deterministic selection.
-    let cfg = WatermarkConfig { bits_per_layer: 1, pool_ratio: 1, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 1,
+        pool_ratio: 1,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, stats, cfg, 7);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     let report = secrets.verify(&deployed).expect("extract");
@@ -72,7 +79,11 @@ fn int8_per_tensor_grids_also_carry_watermarks() {
     let original = QuantizedModel::quantize_with(&model, "rtn-pt", |_, lin| {
         quantize_linear_rtn(lin, 8, Granularity::PerTensor, ActQuant::None)
     });
-    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, stats, cfg, 8);
     let deployed = secrets.watermark_for_deployment().expect("insert");
     assert_eq!(secrets.verify(&deployed).expect("extract").wer(), 100.0);
@@ -83,10 +94,23 @@ fn invalid_configurations_are_rejected_up_front() {
     let (mut original, stats) = setup();
     let sig = Signature::generate(13, 1);
     for bad in [
-        WatermarkConfig { alpha: -1.0, ..Default::default() },
-        WatermarkConfig { alpha: 0.0, beta: 0.0, ..Default::default() },
-        WatermarkConfig { bits_per_layer: 0, ..Default::default() },
-        WatermarkConfig { pool_ratio: 0, ..Default::default() },
+        WatermarkConfig {
+            alpha: -1.0,
+            ..Default::default()
+        },
+        WatermarkConfig {
+            alpha: 0.0,
+            beta: 0.0,
+            ..Default::default()
+        },
+        WatermarkConfig {
+            bits_per_layer: 0,
+            ..Default::default()
+        },
+        WatermarkConfig {
+            pool_ratio: 0,
+            ..Default::default()
+        },
     ] {
         let err = insert_watermark(&mut original, &stats, &sig, &bad).expect_err("must reject");
         assert!(
@@ -105,20 +129,29 @@ fn extraction_is_symmetric_under_signature_negation() {
     // positions of a properly watermarked model (deltas are all the
     // original bits).
     let (original, stats) = setup();
-    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original.clone(), stats.clone(), cfg, 9);
     let deployed = secrets.watermark_for_deployment().expect("insert");
-    let negated =
-        Signature::from_bits(secrets.signature.bits().iter().map(|&b| -b).collect());
-    let report =
-        extract_watermark(&deployed, &original, &stats, &negated, &cfg).expect("extract");
-    assert_eq!(report.matched_bits, 0, "negated signature must match nothing");
+    let negated = Signature::from_bits(secrets.signature.bits().iter().map(|&b| -b).collect());
+    let report = extract_watermark(&deployed, &original, &stats, &negated, &cfg).expect("extract");
+    assert_eq!(
+        report.matched_bits, 0,
+        "negated signature must match nothing"
+    );
 }
 
 #[test]
 fn verification_against_truncated_architecture_fails_cleanly() {
     let (original, stats) = setup();
-    let cfg = WatermarkConfig { bits_per_layer: 4, pool_ratio: 10, ..Default::default() };
+    let cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        ..Default::default()
+    };
     let secrets = OwnerSecrets::new(original, stats, cfg, 10);
 
     let mut tiny_cfg = ModelConfig::tiny_test();

@@ -1,0 +1,141 @@
+//! Offline stand-in for the subset of `criterion` the bench suite uses
+//! (see `vendor/README.md`): [`Criterion::bench_function`] with a
+//! [`Bencher::iter`] closure, wall-clock sampling, and a `[min mean max]`
+//! line per benchmark in `criterion`'s familiar layout. No statistical
+//! outlier analysis, HTML reports, or baselines — the bench binaries in
+//! `crates/bench` print the paper-style tables themselves and only need
+//! honest timings here.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark routine; handed to the
+/// [`Criterion::bench_function`] closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            samples: Vec::with_capacity(sample_size),
+        }
+    }
+
+    /// Runs `routine` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`'s builder calls.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples [`Bencher::iter`] collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.ran += 1;
+        report(id, &bencher.samples);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) complete", self.ran);
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut c = Criterion::default().sample_size(3).configure_from_args();
+        let mut runs = 0usize;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // One warm-up plus three timed samples.
+        assert_eq!(runs, 4);
+        c.final_summary();
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

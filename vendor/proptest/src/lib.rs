@@ -1,0 +1,302 @@
+//! Offline stand-in for the subset of `proptest` the test suite uses
+//! (see `vendor/README.md`): the [`proptest!`] macro over functions with
+//! `arg in strategy` bindings, range / `select` / `collection::vec`
+//! strategies, `prop_assert*`, and `prop_assume`.
+//!
+//! Inputs are drawn from a PRNG seeded deterministically from the test's
+//! module path and name, so every run exercises the same cases — there
+//! is no persistence file and no shrinking. A failing case panics with
+//! the generated inputs visible in the assertion message.
+
+/// Strategies: how argument values are drawn.
+pub mod strategy {
+    use crate::test_runner::Gen;
+    use std::ops::Range;
+
+    /// A source of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, gen: &mut Gen) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, gen: &mut Gen) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    self.start + (gen.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, gen: &mut Gen) -> f32 {
+            self.start + (self.end - self.start) * gen.next_unit_f64() as f32
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, gen: &mut Gen) -> f64 {
+            self.start + (self.end - self.start) * gen.next_unit_f64()
+        }
+    }
+
+    /// Uniform choice from a fixed list; see [`crate::sample::select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(pub(crate) Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, gen: &mut Gen) -> T {
+            self.0[(gen.next_u64() % self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Vectors of strategy-drawn elements; see [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = self.len.sample(gen);
+            (0..len).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+/// `proptest::sample` — choosing from explicit lists.
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// Strategy drawing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+}
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a case is rejected.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Deterministic SplitMix64 generator behind every strategy.
+    #[derive(Debug, Clone)]
+    pub struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        /// Seeds from an arbitrary label (the test's full path), so each
+        /// test sees its own reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`,
+    /// `prop::sample::select`).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Rejects the current case (it does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Asserts within a property; failure panics with the condition text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*); };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*); };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*); };
+}
+
+/// Declares property tests: each function body runs `cases` times with
+/// arguments freshly drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr); ) => {};
+    ( ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        // The immediately-invoked closure gives `prop_assume!` an early
+        // return without aborting the whole case loop.
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __gen = $crate::test_runner::Gen::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __accepted = 0u32;
+            let mut __rejected = 0u32;
+            while __accepted < __cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __gen);)*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err(_) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected < 10_000,
+                            "prop_assume rejected 10000 cases; strategy domain too narrow"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Draws stay inside their declared ranges.
+        #[test]
+        fn ranges_are_respected(
+            n in 3u64..17,
+            x in -2.0f64..2.0,
+            pick in prop::sample::select(vec![1u8, 4, 8]),
+            v in prop::collection::vec(0u32..5, 1..9),
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!([1u8, 4, 8].contains(&pick));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        /// Rejected cases do not count toward the accepted total.
+        #[test]
+        fn assume_rejects_without_failing(k in 0u32..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+            prop_assert_ne!(k % 2, 1);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_label() {
+        let mut a = crate::test_runner::Gen::deterministic("x");
+        let mut b = crate::test_runner::Gen::deterministic("x");
+        let mut c = crate::test_runner::Gen::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

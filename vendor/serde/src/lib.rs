@@ -1,0 +1,17 @@
+//! API-surface stand-in for `serde`, used because this workspace builds
+//! fully offline (no crates.io access). See `vendor/README.md`.
+//!
+//! The EmMark codebase tags types with `#[derive(Serialize, Deserialize)]`
+//! to mark them as wire-format candidates, but every format that actually
+//! ships bytes (the deploy artifact, the secrets vault, the fleet
+//! registry) is hand-written on `bytes`-style buffers. This crate
+//! therefore only has to make the names resolve: the marker traits below
+//! plus the no-op derives re-exported from [`serde_derive`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,27 @@
+//! No-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `serde` cannot be vendored from crates.io. The codebase only *tags*
+//! types with `#[derive(Serialize, Deserialize)]` (all wire formats are
+//! hand-written in `emmark-core::deploy` / `emmark-core::vault`), so the
+//! derives here expand to nothing. They still declare the `serde` helper
+//! attribute so field annotations like `#[serde(skip)]` stay legal.
+//!
+//! Swapping in the real serde is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts (and discards) `#[serde(...)]`
+/// helper attributes and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts (and discards) `#[serde(...)]`
+/// helper attributes and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
