@@ -1,0 +1,233 @@
+//! **Sparse verification** — the EMQM v2 random-access path vs full
+//! decode.
+//!
+//! EmMark's ownership check (Eqs. 6–8) reads a few hundred integer
+//! cells per artifact; everything else a full decode materializes —
+//! embedding tables, norms, scales, the untouched 99.9% of every grid —
+//! is wasted work. The v2 layer index lets
+//! [`emmark_core::deploy::SparseArtifact`] resolve exactly the probed
+//! cells, so per-artifact verification cost scales with watermark
+//! length instead of parameter count.
+//!
+//! Two scenarios, both asserting bit-identical results between paths:
+//!
+//! 1. **Sim-OPT grid sweep** — one watermarked artifact per Sim-OPT
+//!    spec; single ownership extraction, full-decode vs sparse. The
+//!    speedup grows with model size: decode is O(model), the sparse
+//!    probe is O(|B|).
+//! 2. **16-device fleet** — the `fleet_verify` scenario re-run with the
+//!    batch loop reading artifacts sparsely vs decoding each. This is
+//!    the configuration the ≥5x acceptance bar is pinned on.
+
+use criterion::Criterion;
+use emmark_bench::print_header;
+use emmark_core::deploy::{decode_model, encode_model, SparseArtifact};
+use emmark_core::fingerprint::Fleet;
+use emmark_core::fleet::{FleetVerdict, FleetVerifier};
+use emmark_core::watermark::{
+    extract_with_locations, locate_watermark, Locations, OwnerSecrets, WatermarkConfig,
+};
+use emmark_nanolm::families::sim_opt_grid;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use std::time::Instant;
+
+const DEVICES: usize = 16;
+const VOCAB: usize = 48;
+
+fn calibration() -> Vec<Vec<u32>> {
+    (0..8u32)
+        .map(|s| {
+            (0..24u32)
+                .map(|i| (i * 7 + s * 5) % (VOCAB as u32 - 1))
+                .collect()
+        })
+        .collect()
+}
+
+/// Owner secrets + deployed artifact for one spec (untrained weights —
+/// the codec and extraction costs are what this bench measures).
+fn build_deployment(spec: &emmark_nanolm::families::ModelSpec) -> (OwnerSecrets, Vec<u8>) {
+    let mut model = TransformerModel::new(spec.config(VOCAB));
+    let stats = model.collect_activation_stats(&calibration());
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+    let cfg = WatermarkConfig {
+        bits_per_layer: 8,
+        pool_ratio: 20,
+        ..Default::default()
+    };
+    let secrets = OwnerSecrets::new(quantized, stats, cfg, 0x5EED);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    let bytes = encode_model(&deployed).to_vec();
+    (secrets, bytes)
+}
+
+fn time<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut result = None;
+    let start = Instant::now();
+    for _ in 0..iters {
+        result = Some(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    (per_iter, result.expect("at least one iteration"))
+}
+
+fn grid_sweep() {
+    println!(
+        "\n{:<16} {:>9} {:>7} {:>12} {:>12} {:>9}",
+        "model", "artifact", "|B|", "full decode", "sparse", "speedup"
+    );
+    for spec in sim_opt_grid() {
+        let (secrets, bytes) = build_deployment(&spec);
+        let locations: Locations =
+            locate_watermark(&secrets.original, &secrets.stats, &secrets.config).expect("locate");
+        let bits: usize = locations.iter().map(Vec::len).sum();
+        let iters = 20;
+        let (full_s, full_report) = time(iters, || {
+            let suspect = decode_model(&bytes).expect("decode");
+            extract_with_locations(&suspect, &secrets.original, &locations, &secrets.signature)
+                .expect("extract")
+        });
+        let (sparse_s, sparse_report) = time(iters, || {
+            let sparse = SparseArtifact::open(&bytes).expect("open");
+            extract_with_locations(&sparse, &secrets.original, &locations, &secrets.signature)
+                .expect("extract")
+        });
+        assert_eq!(
+            full_report,
+            sparse_report,
+            "{}: paths diverged",
+            spec.name()
+        );
+        assert_eq!(full_report.wer(), 100.0, "{}", spec.name());
+        println!(
+            "{:<16} {:>7.0}KiB {:>7} {:>9.2} ms {:>9.2} ms {:>8.1}x",
+            spec.name(),
+            bytes.len() as f64 / 1024.0,
+            bits,
+            full_s * 1e3,
+            sparse_s * 1e3,
+            full_s / sparse_s
+        );
+    }
+}
+
+fn build_fleet() -> (Fleet, Vec<Vec<u8>>) {
+    // The fleet_verify scenario: Sim-OPT-2.7b-class model, 16 devices.
+    let spec = sim_opt_grid()
+        .into_iter()
+        .find(|s| s.label == "2.7b")
+        .expect("grid contains 2.7b");
+    let mut model = TransformerModel::new(spec.config(VOCAB));
+    let stats = model.collect_activation_stats(&calibration());
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+    let base_cfg = WatermarkConfig {
+        bits_per_layer: 8,
+        pool_ratio: 20,
+        ..Default::default()
+    };
+    let base = OwnerSecrets::new(quantized, stats, base_cfg, 0xF1EE7);
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 20,
+        selection_seed: 0xDE11CE,
+        ..Default::default()
+    };
+    let mut fleet = Fleet::new(base, fp_cfg);
+    let artifacts: Vec<Vec<u8>> = (0..DEVICES)
+        .map(|i| {
+            let deployed = fleet.provision(&format!("edge-{i:04}")).expect("provision");
+            encode_model(&deployed).to_vec()
+        })
+        .collect();
+    (fleet, artifacts)
+}
+
+/// The pre-index batch loop: fully decode every artifact, then verify
+/// the in-memory model against the shared cache.
+fn full_decode_batch(verifier: &FleetVerifier, artifacts: &[Vec<u8>]) -> Vec<FleetVerdict> {
+    artifacts
+        .iter()
+        .map(|bytes| {
+            let suspect = decode_model(bytes).expect("decode");
+            verifier.verify_model(&suspect, -6.0).expect("verify")
+        })
+        .collect()
+}
+
+/// The v2 batch loop: open the layer index, probe only watermark cells.
+fn sparse_batch(verifier: &FleetVerifier, artifacts: &[Vec<u8>]) -> Vec<FleetVerdict> {
+    artifacts
+        .iter()
+        .map(|bytes| {
+            verifier
+                .verify_artifact(bytes, -6.0)
+                .expect("sparse verify")
+        })
+        .collect()
+}
+
+fn main() {
+    print_header(
+        "SPARSE",
+        "random-access (EMQM v2 index) vs full-decode verification",
+    );
+    grid_sweep();
+
+    let (fleet, artifacts) = build_fleet();
+    let verifier = FleetVerifier::new(&fleet).expect("cache");
+    let total_bytes: usize = artifacts.iter().map(Vec::len).sum();
+    println!(
+        "\nfleet scenario: {DEVICES} artifacts ({:.1} KiB total), {} registered devices",
+        total_bytes as f64 / 1024.0,
+        fleet.devices().len()
+    );
+
+    let iters = 10;
+    let (full_s, full_verdicts) = time(iters, || full_decode_batch(&verifier, &artifacts));
+    let (sparse_s, sparse_verdicts) = time(iters, || sparse_batch(&verifier, &artifacts));
+    assert_eq!(
+        full_verdicts, sparse_verdicts,
+        "fleet verdicts must be bit-for-bit identical"
+    );
+    for (i, v) in sparse_verdicts.iter().enumerate() {
+        assert_eq!(v.ownership.wer(), 100.0, "artifact {i}");
+        let (device, _) = v.attribution.as_ref().expect("attributed");
+        assert_eq!(device.device_id, format!("edge-{i:04}"), "artifact {i}");
+    }
+    let speedup = full_s / sparse_s;
+    println!(
+        "\n{:<44} {:>12}",
+        "path (serial, per batch of 16)", "wall time"
+    );
+    println!(
+        "{:<44} {:>9.1} ms",
+        "full decode per artifact",
+        full_s * 1e3
+    );
+    println!(
+        "{:<44} {:>9.1} ms",
+        "sparse random-access (v2 index)",
+        sparse_s * 1e3
+    );
+    println!("\nspeedup {speedup:.1}x, verdicts bit-for-bit identical on all {DEVICES} artifacts");
+    assert!(
+        speedup >= 5.0,
+        "sparse path must be at least 5x over full decode (got {speedup:.2}x)"
+    );
+
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("sparse/full_decode_16_artifacts", |b| {
+        b.iter(|| full_decode_batch(&verifier, &artifacts))
+    });
+    criterion.bench_function("sparse/sparse_16_artifacts", |b| {
+        b.iter(|| sparse_batch(&verifier, &artifacts))
+    });
+    criterion.bench_function("sparse/open_single_artifact", |b| {
+        b.iter(|| SparseArtifact::open(&artifacts[0]).expect("open"))
+    });
+    criterion.bench_function("sparse/decode_single_artifact", |b| {
+        b.iter(|| decode_model(&artifacts[0]).expect("decode"))
+    });
+    criterion.final_summary();
+}

@@ -3,30 +3,126 @@
 //! holds exactly these bytes; ownership proof queries the weights read
 //! back from them.
 //!
-//! The format is versioned and self-contained: little-endian primitives,
+//! Two format versions coexist:
+//!
+//! * **v1** — the original streaming layout: header, config, embedding
+//!   tables, norms, layer records, scheme string. Reading any weight
+//!   requires decoding everything before it.
+//! * **v2** (current) — an *indexed* layout: the header carries the
+//!   scheme plus a per-layer offset table (shape, bit width,
+//!   granularity, record offset, and the absolute offset of the raw
+//!   integer grid). A [`SparseArtifact`] reader resolves any
+//!   `(layer, flat_index)` cell in O(1) without materializing a
+//!   [`QuantizedModel`] — watermark extraction reads a few hundred
+//!   cells, not the whole model.
+//!
+//! Both versions are self-contained: little-endian primitives,
 //! length-prefixed buffers, a magic header. Integer grids round-trip
-//! bit-exactly (anything less would corrupt watermarks).
+//! bit-exactly (anything less would corrupt watermarks), and
+//! [`decode_model`] still accepts v1 artifacts via a compatibility
+//! shim.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::watermark::{GridSource, WatermarkConfig};
+use bytes::{BufMut, Bytes, BytesMut};
 use emmark_nanolm::config::{MlpKind, ModelConfig, NormKind, OutlierProfile};
 use emmark_nanolm::layers::{Embedding, LayerNorm, Norm, RmsNorm};
 use emmark_quant::{ActQuant, Granularity, QuantizedLinear, QuantizedModel};
 use emmark_tensor::Matrix;
 
 const MAGIC: &[u8; 4] = b"EMQM";
-const VERSION: u32 = 1;
 
-/// Errors of the deploy codec.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The legacy streaming format.
+pub const FORMAT_V1: u32 = 1;
+/// The indexed, layer-addressable format (current).
+pub const FORMAT_V2: u32 = 2;
+
+/// Bytes of one layer-index entry in the v2 header:
+/// `in u32 | out u32 | bits u8 | gran tag u8 | group u32 | record u64 |
+/// q u64`.
+const INDEX_ENTRY_BYTES: usize = 4 + 4 + 1 + 1 + 4 + 8 + 8;
+
+/// The artifact section a codec error points into — the triage handle
+/// for truncated or corrupt inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Magic and version words.
+    Header,
+    /// Model hyperparameters (and, in v2, the scheme string).
+    Config,
+    /// The v2 per-layer offset table.
+    LayerIndex,
+    /// Token/position embedding tables.
+    Embeddings,
+    /// Per-block and final norms.
+    Norms,
+    /// The v1 layer-count word preceding the layer records.
+    Layers,
+    /// One quantized layer record (0-based canonical index).
+    Layer(usize),
+    /// The LLM.int8() outlier block inside a layer record.
+    Outliers(usize),
+    /// The trailing scheme string (v1 only).
+    Scheme,
+    /// The owner-secrets vault envelope.
+    Vault,
+    /// The fleet device registry.
+    Registry,
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Section::Header => write!(f, "header"),
+            Section::Config => write!(f, "config"),
+            Section::LayerIndex => write!(f, "layer index"),
+            Section::Embeddings => write!(f, "embeddings"),
+            Section::Norms => write!(f, "norms"),
+            Section::Layers => write!(f, "layers"),
+            Section::Layer(l) => write!(f, "layer {l}"),
+            Section::Outliers(l) => write!(f, "layer {l} outliers"),
+            Section::Scheme => write!(f, "scheme"),
+            Section::Vault => write!(f, "vault"),
+            Section::Registry => write!(f, "registry"),
+        }
+    }
+}
+
+/// Errors of the deploy codec. Every positional variant carries the
+/// section being decoded and the byte offset where decoding stopped, so
+/// a truncated 40 MiB artifact names the failing layer instead of
+/// leaving triage to guesswork.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CodecError {
     /// Input does not start with the `EMQM` magic.
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
     /// Input ended before a field was complete.
-    Truncated(&'static str),
+    Truncated {
+        /// Section being decoded.
+        section: Section,
+        /// Field being read.
+        what: &'static str,
+        /// Byte offset where input ran out.
+        offset: usize,
+    },
     /// A decoded field failed validation.
-    Corrupt(String),
+    Corrupt {
+        /// Section being decoded.
+        section: Section,
+        /// Byte offset just past the offending field.
+        offset: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A container embeds an artifact of a different format version
+    /// (e.g. a v2 vault holding a v1 model).
+    MixedVersion {
+        /// The container's format version.
+        outer: u32,
+        /// The embedded artifact's format version.
+        inner: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -34,13 +130,39 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::BadMagic => write!(f, "not an EMQM artifact (bad magic)"),
             CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
-            CodecError::Truncated(what) => write!(f, "truncated input while reading {what}"),
-            CodecError::Corrupt(msg) => write!(f, "corrupt field: {msg}"),
+            CodecError::Truncated {
+                section,
+                what,
+                offset,
+            } => write!(
+                f,
+                "truncated input at byte {offset} while reading {what} ({section} section)"
+            ),
+            CodecError::Corrupt {
+                section,
+                offset,
+                msg,
+            } => write!(f, "corrupt {section} section near byte {offset}: {msg}"),
+            CodecError::MixedVersion { outer, inner } => write!(
+                f,
+                "mixed-version bundle: container format v{outer} embeds an artifact of \
+                 format v{inner}; re-encode the bundle so both versions agree"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// Serializes a [`WatermarkConfig`] in the shared wire layout used by
+/// the secrets vault and the fleet registry.
+pub(crate) fn put_watermark_config(buf: &mut BytesMut, cfg: &WatermarkConfig) {
+    buf.put_f64_le(cfg.alpha);
+    buf.put_f64_le(cfg.beta);
+    buf.put_u32_le(cfg.bits_per_layer as u32);
+    buf.put_u32_le(cfg.pool_ratio as u32);
+    buf.put_u64_le(cfg.selection_seed);
+}
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -86,24 +208,52 @@ fn put_norm(buf: &mut BytesMut, norm: &Norm) {
     }
 }
 
+fn granularity_tag(g: Granularity) -> (u8, u32) {
+    match g {
+        Granularity::PerTensor => (0, 0),
+        Granularity::PerOutChannel => (1, 0),
+        Granularity::Grouped { group_size } => (2, group_size as u32),
+    }
+}
+
+fn granularity_from_tag(tag: u8, group: usize) -> Option<Granularity> {
+    match tag {
+        0 => Some(Granularity::PerTensor),
+        1 => Some(Granularity::PerOutChannel),
+        2 if group > 0 => Some(Granularity::Grouped { group_size: group }),
+        _ => None,
+    }
+}
+
+/// Number of scale entries a layer of this shape and granularity
+/// carries; `None` on overflow. Mirrors `QuantizedLinear::new`.
+fn expected_scale_count(in_f: usize, out_f: usize, g: Granularity) -> Option<usize> {
+    match g {
+        Granularity::PerTensor => Some(1),
+        Granularity::PerOutChannel => Some(out_f),
+        Granularity::Grouped { group_size } => in_f.div_ceil(group_size).checked_mul(out_f),
+    }
+}
+
+/// Byte length of the layer-record prefix preceding the raw `i8` grid:
+/// the fixed fields, the scale vector, and the grid's own length word.
+fn record_prefix_len(n_scales: usize) -> usize {
+    4 + 4 + 1 + 1 + 4 + (4 + 4 * n_scales) + 4
+}
+
+/// Byte offset of the raw `i8` grid within a layer record written by
+/// [`put_qlinear`].
+fn q_offset_in_record(l: &QuantizedLinear) -> usize {
+    record_prefix_len(l.scales().len())
+}
+
 fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
     buf.put_u32_le(l.in_features() as u32);
     buf.put_u32_le(l.out_features() as u32);
     buf.put_u8(l.bits());
-    match l.granularity() {
-        Granularity::PerTensor => {
-            buf.put_u8(0);
-            buf.put_u32_le(0);
-        }
-        Granularity::PerOutChannel => {
-            buf.put_u8(1);
-            buf.put_u32_le(0);
-        }
-        Granularity::Grouped { group_size } => {
-            buf.put_u8(2);
-            buf.put_u32_le(group_size as u32);
-        }
-    }
+    let (tag, group) = granularity_tag(l.granularity());
+    buf.put_u8(tag);
+    buf.put_u32_le(group);
     put_f32_vec(buf, l.scales());
     buf.put_u32_le(l.q_values().len() as u32);
     for &q in l.q_values() {
@@ -128,14 +278,10 @@ fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
     });
 }
 
-/// Serializes a quantized model to the deployable byte format.
-pub fn encode_model(model: &QuantizedModel) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 << 16);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    // Config.
-    let cfg = &model.cfg;
-    put_string(&mut buf, &cfg.name);
+/// Serializes the model-config fields shared by both format versions
+/// (everything but the scheme string).
+fn put_config(buf: &mut BytesMut, cfg: &ModelConfig) {
+    put_string(buf, &cfg.name);
     buf.put_u32_le(cfg.vocab_size as u32);
     buf.put_u32_le(cfg.d_model as u32);
     buf.put_u32_le(cfg.n_layers as u32);
@@ -160,17 +306,24 @@ pub fn encode_model(model: &QuantizedModel) -> Bytes {
         None => buf.put_u8(0),
     }
     buf.put_u64_le(cfg.init_seed);
-    // Embedding tables.
+}
+
+/// Serializes a quantized model in the **v1** streaming layout. Kept for
+/// compatibility testing and for talking to pre-index readers; new
+/// artifacts should use [`encode_model`].
+pub fn encode_model_v1(model: &QuantizedModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(FORMAT_V1);
+    put_config(&mut buf, &model.cfg);
     put_matrix(&mut buf, &model.emb().tok.value);
     put_matrix(&mut buf, &model.emb().pos.value);
-    // Norms.
     buf.put_u32_le(model.norm_pairs().len() as u32);
     for (n1, n2) in model.norm_pairs() {
         put_norm(&mut buf, n1);
         put_norm(&mut buf, n2);
     }
     put_norm(&mut buf, model.final_norm());
-    // Layers.
     buf.put_u32_le(model.layers.len() as u32);
     for layer in &model.layers {
         put_qlinear(&mut buf, layer);
@@ -179,66 +332,214 @@ pub fn encode_model(model: &QuantizedModel) -> Bytes {
     buf.freeze()
 }
 
-struct Reader {
-    buf: Bytes,
+/// Serializes a quantized model to the deployable byte format
+/// (**v2**, indexed): header and config (including the scheme), the
+/// per-layer offset table, then embeddings, norms, and layer records at
+/// the offsets the table promises.
+pub fn encode_model(model: &QuantizedModel) -> Bytes {
+    // Encode the variable-length sections into their own buffers first,
+    // so every index offset is known before the header is written.
+    let mut cfg_buf = BytesMut::with_capacity(256);
+    put_config(&mut cfg_buf, &model.cfg);
+    put_string(&mut cfg_buf, &model.scheme);
+
+    let mut emb_buf = BytesMut::with_capacity(1 << 12);
+    put_matrix(&mut emb_buf, &model.emb().tok.value);
+    put_matrix(&mut emb_buf, &model.emb().pos.value);
+
+    let mut norm_buf = BytesMut::with_capacity(1 << 10);
+    norm_buf.put_u32_le(model.norm_pairs().len() as u32);
+    for (n1, n2) in model.norm_pairs() {
+        put_norm(&mut norm_buf, n1);
+        put_norm(&mut norm_buf, n2);
+    }
+    put_norm(&mut norm_buf, model.final_norm());
+
+    let cfg_buf = cfg_buf.freeze();
+    let emb_buf = emb_buf.freeze();
+    let norm_buf = norm_buf.freeze();
+    let layer_bufs: Vec<Bytes> = model
+        .layers
+        .iter()
+        .map(|l| {
+            let mut b = BytesMut::with_capacity(l.len() + 64);
+            put_qlinear(&mut b, l);
+            b.freeze()
+        })
+        .collect();
+
+    let n = model.layers.len();
+    let index_len = 4 + n * INDEX_ENTRY_BYTES;
+    let body_start = 8 + cfg_buf.len() + index_len;
+    let layers_start = body_start + emb_buf.len() + norm_buf.len();
+
+    let total: usize = layers_start + layer_bufs.iter().map(|b| b.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(FORMAT_V2);
+    buf.put_slice(&cfg_buf);
+    buf.put_u32_le(n as u32);
+    let mut record_offset = layers_start;
+    for (layer, lbuf) in model.layers.iter().zip(&layer_bufs) {
+        buf.put_u32_le(layer.in_features() as u32);
+        buf.put_u32_le(layer.out_features() as u32);
+        buf.put_u8(layer.bits());
+        let (tag, group) = granularity_tag(layer.granularity());
+        buf.put_u8(tag);
+        buf.put_u32_le(group);
+        buf.put_u64_le(record_offset as u64);
+        buf.put_u64_le((record_offset + q_offset_in_record(layer)) as u64);
+        record_offset += lbuf.len();
+    }
+    buf.put_slice(&emb_buf);
+    buf.put_slice(&norm_buf);
+    for lbuf in &layer_bufs {
+        buf.put_slice(lbuf);
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf.freeze()
 }
 
-impl Reader {
-    fn need(&self, n: usize, what: &'static str) -> Result<(), CodecError> {
-        if self.buf.remaining() < n {
-            return Err(CodecError::Truncated(what));
+/// Section- and offset-tracking reader shared by the deploy codec, the
+/// secrets vault, and the fleet registry: a borrowed cursor over the
+/// input (no copy taken). Every error it produces names the section
+/// being decoded and the byte offset where decoding stopped.
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    section: Section,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8], section: Section) -> Self {
+        Self {
+            data: bytes,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Absolute byte offset of the read cursor.
+    pub(crate) fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Marks the section subsequent errors should blame.
+    pub(crate) fn enter(&mut self, section: Section) {
+        self.section = section;
+    }
+
+    /// A [`CodecError::Corrupt`] at the current position.
+    pub(crate) fn corrupt(&self, msg: impl Into<String>) -> CodecError {
+        CodecError::Corrupt {
+            section: self.section,
+            offset: self.offset(),
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn need(&self, n: usize, what: &'static str) -> Result<(), CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                section: self.section,
+                what,
+                offset: self.offset(),
+            });
         }
         Ok(())
     }
 
-    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
-        self.need(1, what)?;
-        Ok(self.buf.get_u8())
-    }
-
-    fn i8(&mut self, what: &'static str) -> Result<i8, CodecError> {
-        self.need(1, what)?;
-        Ok(self.buf.get_i8())
-    }
-
-    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
-        self.need(4, what)?;
-        Ok(self.buf.get_u32_le())
-    }
-
-    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
-        self.need(8, what)?;
-        Ok(self.buf.get_u64_le())
-    }
-
-    fn f32(&mut self, what: &'static str) -> Result<f32, CodecError> {
-        self.need(4, what)?;
-        Ok(self.buf.get_f32_le())
-    }
-
-    fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
-        let len = self.u32(what)? as usize;
+    /// Borrows the next `len` bytes and advances past them.
+    pub(crate) fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
         self.need(len, what)?;
-        let bytes = self.buf.copy_to_bytes(len);
+        let out = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn i8(&mut self, what: &'static str) -> Result<i8, CodecError> {
+        Ok(self.u8(what)? as i8)
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f32(&mut self, what: &'static str) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub(crate) fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
-            .map_err(|_| CodecError::Corrupt(format!("{what}: invalid utf-8")))
+            .map_err(|_| self.corrupt(format!("{what}: invalid utf-8")))
+    }
+
+    /// Reads a [`WatermarkConfig`] in the [`put_watermark_config`]
+    /// layout (validation is the caller's concern).
+    pub(crate) fn watermark_config(&mut self) -> Result<WatermarkConfig, CodecError> {
+        Ok(WatermarkConfig {
+            alpha: self.f64("alpha")?,
+            beta: self.f64("beta")?,
+            bits_per_layer: self.u32("bits per layer")? as usize,
+            pool_ratio: self.u32("pool ratio")? as usize,
+            selection_seed: self.u64("selection seed")?,
+        })
+    }
+
+    pub(crate) fn magic(&mut self, expected: &[u8; 4]) -> Result<(), CodecError> {
+        if self.take(4, "magic")? != expected {
+            return Err(CodecError::BadMagic);
+        }
+        Ok(())
     }
 
     fn matrix(&mut self, what: &'static str) -> Result<Matrix, CodecError> {
         let rows = self.u32(what)? as usize;
         let cols = self.u32(what)? as usize;
-        self.need(rows * cols * 4, what)?;
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            data.push(self.buf.get_f32_le());
-        }
+        let byte_len = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| self.corrupt(format!("{what}: {rows}x{cols} overflows")))?;
+        let raw = self.take(byte_len, what)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
         Ok(Matrix::from_vec(rows, cols, data))
     }
 
     fn f32_vec(&mut self, what: &'static str) -> Result<Vec<f32>, CodecError> {
         let len = self.u32(what)? as usize;
-        self.need(len * 4, what)?;
-        Ok((0..len).map(|_| self.buf.get_f32_le()).collect())
+        let byte_len = len
+            .checked_mul(4)
+            .ok_or_else(|| self.corrupt(format!("{what}: length {len} overflows")))?;
+        let raw = self.take(byte_len, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
     }
 
     fn opt_f32_vec(&mut self, what: &'static str) -> Result<Option<Vec<f32>>, CodecError> {
@@ -259,49 +560,86 @@ impl Reader {
             1 => Ok(Norm::Rms(RmsNorm::from_params(
                 self.matrix("rmsnorm gain")?,
             ))),
-            t => Err(CodecError::Corrupt(format!("unknown norm tag {t}"))),
+            t => Err(self.corrupt(format!("unknown norm tag {t}"))),
         }
     }
 
-    fn qlinear(&mut self) -> Result<QuantizedLinear, CodecError> {
+    /// Decodes one layer record; `l` is the canonical layer index used
+    /// for error attribution. Every invariant `QuantizedLinear::new`
+    /// asserts is checked here first, so corrupt artifacts surface as
+    /// [`CodecError::Corrupt`] rather than panics.
+    fn qlinear(&mut self, l: usize) -> Result<QuantizedLinear, CodecError> {
+        self.enter(Section::Layer(l));
         let in_f = self.u32("layer in")? as usize;
         let out_f = self.u32("layer out")? as usize;
         let bits = self.u8("layer bits")?;
+        if bits != 4 && bits != 8 {
+            return Err(self.corrupt(format!("unsupported bit width {bits}")));
+        }
         let gran_tag = self.u8("granularity tag")?;
         let group = self.u32("group size")? as usize;
-        let granularity = match gran_tag {
-            0 => Granularity::PerTensor,
-            1 => Granularity::PerOutChannel,
-            2 => Granularity::Grouped { group_size: group },
-            t => return Err(CodecError::Corrupt(format!("unknown granularity tag {t}"))),
-        };
+        let granularity = granularity_from_tag(gran_tag, group)
+            .ok_or_else(|| self.corrupt(format!("unknown granularity tag {gran_tag}")))?;
         let scales = self.f32_vec("scales")?;
-        let q_len = self.u32("q length")? as usize;
-        if q_len != in_f * out_f {
-            return Err(CodecError::Corrupt(format!(
-                "q length {q_len} does not match {in_f}x{out_f}"
+        let n_scales = expected_scale_count(in_f, out_f, granularity)
+            .ok_or_else(|| self.corrupt("scale count overflows"))?;
+        if scales.len() != n_scales {
+            return Err(self.corrupt(format!(
+                "{} scales do not match the expected {n_scales}",
+                scales.len()
             )));
         }
-        let mut q = Vec::with_capacity(q_len);
-        for _ in 0..q_len {
-            q.push(self.i8("q value")?);
+        let q_len = self.u32("q length")? as usize;
+        if Some(q_len) != in_f.checked_mul(out_f) {
+            return Err(self.corrupt(format!("q length {q_len} does not match {in_f}x{out_f}")));
+        }
+        let q: Vec<i8> = self
+            .take(q_len, "q grid")?
+            .iter()
+            .map(|&b| b as i8)
+            .collect();
+        let qmax = ((1i16 << (bits - 1)) - 1) as i8;
+        if !q.iter().all(|&v| v >= -qmax - 1 && v <= qmax) {
+            return Err(self.corrupt(format!("grid values exceed the {bits}-bit storage range")));
         }
         let input_scale = self.opt_f32_vec("input scale")?;
+        if input_scale.as_ref().is_some_and(|s| s.len() != in_f) {
+            return Err(self.corrupt("input scale length does not match layer width"));
+        }
+        self.enter(Section::Outliers(l));
         let n_outliers = self.u32("outlier count")? as usize;
+        // Bound the allocation by the bytes actually present (each row
+        // is a u32) before trusting the count.
+        self.need(n_outliers.saturating_mul(4), "outlier rows")?;
         let mut rows = Vec::with_capacity(n_outliers);
         for _ in 0..n_outliers {
-            rows.push(self.u32("outlier row")? as usize);
+            let row = self.u32("outlier row")? as usize;
+            if row >= in_f {
+                return Err(self.corrupt(format!("outlier row {row} out of range")));
+            }
+            rows.push(row);
         }
         let outlier_weights = if self.u8("outlier weights flag")? == 1 {
-            Some(self.matrix("outlier weights")?)
+            let w = self.matrix("outlier weights")?;
+            let mut unique = rows.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            if w.shape() != (unique.len(), out_f) {
+                return Err(self.corrupt("outlier weights shape does not match rows"));
+            }
+            Some(w)
         } else {
             None
         };
+        self.enter(Section::Layer(l));
         let bias = self.opt_f32_vec("bias")?;
+        if bias.as_ref().is_some_and(|b| b.len() != out_f) {
+            return Err(self.corrupt("bias length does not match layer width"));
+        }
         let act_quant = match self.u8("act quant")? {
             0 => ActQuant::None,
             1 => ActQuant::Int8PerToken,
-            t => return Err(CodecError::Corrupt(format!("unknown act-quant tag {t}"))),
+            t => return Err(self.corrupt(format!("unknown act-quant tag {t}"))),
         };
         let mut layer = QuantizedLinear::new(
             q,
@@ -317,102 +655,603 @@ impl Reader {
         if let Some(w) = outlier_weights {
             layer.set_outliers(rows, w);
         } else if !rows.is_empty() {
-            return Err(CodecError::Corrupt("outlier rows without weights".into()));
+            self.enter(Section::Outliers(l));
+            return Err(self.corrupt("outlier rows without weights"));
         }
         Ok(layer)
     }
+
+    fn config(&mut self) -> Result<ModelConfig, CodecError> {
+        self.enter(Section::Config);
+        let name = self.string("model name")?;
+        let vocab_size = self.u32("vocab")? as usize;
+        let d_model = self.u32("d_model")? as usize;
+        let n_layers = self.u32("n_layers")? as usize;
+        let n_heads = self.u32("n_heads")? as usize;
+        let d_ff = self.u32("d_ff")? as usize;
+        let max_seq = self.u32("max_seq")? as usize;
+        let norm = match self.u8("norm kind")? {
+            0 => NormKind::LayerNorm,
+            1 => NormKind::RmsNorm,
+            t => return Err(self.corrupt(format!("unknown norm kind {t}"))),
+        };
+        let mlp = match self.u8("mlp kind")? {
+            0 => MlpKind::Gelu,
+            1 => MlpKind::GatedSilu,
+            t => return Err(self.corrupt(format!("unknown mlp kind {t}"))),
+        };
+        let outliers = if self.u8("outlier profile flag")? == 1 {
+            Some(OutlierProfile {
+                channels: self.u32("outlier channels")? as usize,
+                factor: self.f32("outlier factor")?,
+                seed: self.u64("outlier seed")?,
+            })
+        } else {
+            None
+        };
+        let init_seed = self.u64("init seed")?;
+        let cfg = ModelConfig {
+            name,
+            vocab_size,
+            d_model,
+            n_layers,
+            n_heads,
+            d_ff,
+            max_seq,
+            norm,
+            mlp,
+            outliers,
+            init_seed,
+        };
+        cfg.validate().map_err(|msg| self.corrupt(msg))?;
+        Ok(cfg)
+    }
+
+    fn embeddings(&mut self) -> Result<Embedding, CodecError> {
+        self.enter(Section::Embeddings);
+        let tok = self.matrix("token table")?;
+        let pos = self.matrix("position table")?;
+        Ok(Embedding::from_tables(tok, pos))
+    }
+
+    fn norms(&mut self, n_layers: usize) -> Result<(Vec<(Norm, Norm)>, Norm), CodecError> {
+        self.enter(Section::Norms);
+        let n_pairs = self.u32("norm pair count")? as usize;
+        if n_pairs != n_layers {
+            return Err(self.corrupt(format!(
+                "norm pair count {n_pairs} does not match n_layers {n_layers}"
+            )));
+        }
+        let mut norm_pairs = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            norm_pairs.push((self.norm()?, self.norm()?));
+        }
+        let final_norm = self.norm()?;
+        Ok((norm_pairs, final_norm))
+    }
+
+    /// The v2 layer index: per-layer shape/bits/granularity plus record
+    /// and grid offsets, validated against `total` for in-bounds,
+    /// monotonic layout.
+    fn layer_index(&mut self, expected_layers: usize) -> Result<Vec<LayerIndexEntry>, CodecError> {
+        self.enter(Section::LayerIndex);
+        let n = self.u32("layer count")? as usize;
+        if n != expected_layers {
+            return Err(self.corrupt(format!(
+                "layer count {n} does not match config ({expected_layers})"
+            )));
+        }
+        self.need(n.saturating_mul(INDEX_ENTRY_BYTES), "layer index entries")?;
+        let mut index = Vec::with_capacity(n);
+        // Offsets may never point back into the header, config, or the
+        // index itself — the earliest legal record starts where the
+        // index ends.
+        let mut prev_end = self.offset() + n * INDEX_ENTRY_BYTES;
+        for l in 0..n {
+            let in_features = self.u32("index in")? as usize;
+            let out_features = self.u32("index out")? as usize;
+            let bits = self.u8("index bits")?;
+            let gran_tag = self.u8("index granularity tag")?;
+            let group = self.u32("index group size")? as usize;
+            let record_offset = self.u64("index record offset")? as usize;
+            let q_offset = self.u64("index q offset")? as usize;
+            let granularity = granularity_from_tag(gran_tag, group)
+                .ok_or_else(|| self.corrupt(format!("unknown granularity tag {gran_tag}")))?;
+            if bits != 4 && bits != 8 {
+                return Err(self.corrupt(format!("layer {l}: unsupported bit width {bits}")));
+            }
+            let cells = in_features
+                .checked_mul(out_features)
+                .ok_or_else(|| self.corrupt(format!("layer {l}: grid shape overflows")))?;
+            let q_end = q_offset
+                .checked_add(cells)
+                .ok_or_else(|| self.corrupt(format!("layer {l}: q extent overflows")))?;
+            if record_offset < prev_end {
+                return Err(self.corrupt(format!("layer {l}: offsets are not monotonic")));
+            }
+            // The grid must sit exactly where the record's own prefix
+            // (derivable from this entry) puts it — anything else would
+            // let sparse reads serve record metadata as weight cells.
+            let prefix = expected_scale_count(in_features, out_features, granularity)
+                .map(record_prefix_len)
+                .and_then(|p| record_offset.checked_add(p))
+                .ok_or_else(|| self.corrupt(format!("layer {l}: record extent overflows")))?;
+            if q_offset != prefix {
+                return Err(self.corrupt(format!(
+                    "layer {l}: grid offset {q_offset} does not match the record layout \
+                     (expected {prefix})"
+                )));
+            }
+            if q_end > self.data.len() {
+                return Err(self.corrupt(format!(
+                    "layer {l}: grid [{q_offset}, {q_end}) exceeds artifact length {}",
+                    self.data.len()
+                )));
+            }
+            prev_end = q_end;
+            index.push(LayerIndexEntry {
+                in_features,
+                out_features,
+                bits,
+                granularity,
+                record_offset,
+                q_offset,
+            });
+        }
+        Ok(index)
+    }
+
+    fn skip(&mut self, n: usize, what: &'static str) -> Result<(), CodecError> {
+        self.take(n, what).map(|_| ())
+    }
+
+    /// Skips a matrix, returning its dimensions.
+    fn skip_matrix(&mut self, what: &'static str) -> Result<(usize, usize), CodecError> {
+        let rows = self.u32(what)? as usize;
+        let cols = self.u32(what)? as usize;
+        let byte_len = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| self.corrupt(format!("{what}: {rows}x{cols} overflows")))?;
+        self.skip(byte_len, what)?;
+        Ok((rows, cols))
+    }
+
+    /// Skips an f32 vector, returning its length.
+    fn skip_f32_vec(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        let len = self.u32(what)? as usize;
+        let byte_len = len
+            .checked_mul(4)
+            .ok_or_else(|| self.corrupt(format!("{what}: length {len} overflows")))?;
+        self.skip(byte_len, what)?;
+        Ok(len)
+    }
+
+    fn skip_opt_f32_vec(&mut self, what: &'static str) -> Result<Option<usize>, CodecError> {
+        if self.u8(what)? == 1 {
+            Ok(Some(self.skip_f32_vec(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn skip_norm(&mut self) -> Result<(), CodecError> {
+        match self.u8("norm tag")? {
+            0 => {
+                self.skip_matrix("layernorm gain")?;
+                self.skip_matrix("layernorm bias")?;
+                Ok(())
+            }
+            1 => {
+                self.skip_matrix("rmsnorm gain")?;
+                Ok(())
+            }
+            t => Err(self.corrupt(format!("unknown norm tag {t}"))),
+        }
+    }
+
+    /// Structural validation of the v2 body without materializing
+    /// anything: walks every length word and tag of the embeddings,
+    /// norms, and layer records, checking each record sits where the
+    /// index promises and agrees with its entry. After this,
+    /// [`SparseArtifact`] accepts an artifact iff [`decode_model`] does,
+    /// up to value-level checks (f32 contents, grid value ranges,
+    /// outlier row ranges) that sparse reads never interpret.
+    fn validate_v2_body(
+        &mut self,
+        cfg: &ModelConfig,
+        index: &[LayerIndexEntry],
+    ) -> Result<(), CodecError> {
+        self.enter(Section::Embeddings);
+        self.skip_matrix("token table")?;
+        self.skip_matrix("position table")?;
+        self.enter(Section::Norms);
+        let n_pairs = self.u32("norm pair count")? as usize;
+        if n_pairs != cfg.n_layers {
+            return Err(self.corrupt(format!(
+                "norm pair count {n_pairs} does not match n_layers {}",
+                cfg.n_layers
+            )));
+        }
+        for _ in 0..n_pairs {
+            self.skip_norm()?;
+            self.skip_norm()?;
+        }
+        self.skip_norm()?;
+        for (l, entry) in index.iter().enumerate() {
+            self.enter(Section::Layer(l));
+            if self.offset() != entry.record_offset {
+                return Err(self.corrupt(format!(
+                    "record starts at byte {} but the index promises {}",
+                    self.offset(),
+                    entry.record_offset
+                )));
+            }
+            let in_f = self.u32("layer in")? as usize;
+            let out_f = self.u32("layer out")? as usize;
+            let bits = self.u8("layer bits")?;
+            let gran_tag = self.u8("granularity tag")?;
+            let group = self.u32("group size")? as usize;
+            let granularity = granularity_from_tag(gran_tag, group)
+                .ok_or_else(|| self.corrupt(format!("unknown granularity tag {gran_tag}")))?;
+            if in_f != entry.in_features
+                || out_f != entry.out_features
+                || bits != entry.bits
+                || granularity != entry.granularity
+            {
+                return Err(self.corrupt("record disagrees with its layer-index entry"));
+            }
+            let n_scales = self.skip_f32_vec("scales")?;
+            if Some(n_scales) != expected_scale_count(in_f, out_f, granularity) {
+                return Err(self.corrupt(format!("{n_scales} scales do not match the layout")));
+            }
+            let q_len = self.u32("q length")? as usize;
+            if q_len != entry.cells() || self.offset() != entry.q_offset {
+                return Err(self.corrupt("grid does not sit where the index promises"));
+            }
+            self.skip(q_len, "q grid")?;
+            let input_scale = self.skip_opt_f32_vec("input scale")?;
+            if input_scale.is_some_and(|n| n != in_f) {
+                return Err(self.corrupt("input scale length does not match layer width"));
+            }
+            self.enter(Section::Outliers(l));
+            let n_outliers = self.u32("outlier count")? as usize;
+            self.need(n_outliers.saturating_mul(4), "outlier rows")?;
+            let mut rows = Vec::with_capacity(n_outliers);
+            for _ in 0..n_outliers {
+                let row = self.u32("outlier row")? as usize;
+                if row >= in_f {
+                    return Err(self.corrupt(format!("outlier row {row} out of range")));
+                }
+                rows.push(row);
+            }
+            if self.u8("outlier weights flag")? == 1 {
+                let shape = self.skip_matrix("outlier weights")?;
+                rows.sort_unstable();
+                rows.dedup();
+                if shape != (rows.len(), out_f) {
+                    return Err(self.corrupt("outlier weights shape does not match rows"));
+                }
+            } else if n_outliers > 0 {
+                return Err(self.corrupt("outlier rows without weights"));
+            }
+            self.enter(Section::Layer(l));
+            let bias = self.skip_opt_f32_vec("bias")?;
+            if bias.is_some_and(|n| n != out_f) {
+                return Err(self.corrupt("bias length does not match layer width"));
+            }
+            let act = self.u8("act quant")?;
+            if act > 1 {
+                return Err(self.corrupt(format!("unknown act-quant tag {act}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads the format version of an EMQM artifact from its header without
+/// decoding anything else.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadMagic`] or a header truncation error.
+pub fn artifact_version(bytes: &[u8]) -> Result<u32, CodecError> {
+    let mut r = Reader::new(&bytes[..bytes.len().min(8)], Section::Header);
+    r.magic(MAGIC)?;
+    r.u32("version")
 }
 
 /// Deserializes a quantized model from the deployable byte format.
+/// Accepts both the current v2 layout and v1 artifacts (compatibility
+/// shim).
 ///
 /// # Errors
 ///
 /// Returns a [`CodecError`] on malformed input; round-trips of
-/// [`encode_model`] output never fail.
+/// [`encode_model`] and [`encode_model_v1`] output never fail.
 pub fn decode_model(bytes: &[u8]) -> Result<QuantizedModel, CodecError> {
-    let mut r = Reader {
-        buf: Bytes::copy_from_slice(bytes),
-    };
-    r.need(4, "magic")?;
-    let mut magic = [0u8; 4];
-    r.buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
+    let mut r = Reader::new(bytes, Section::Header);
+    r.magic(MAGIC)?;
+    match r.u32("version")? {
+        FORMAT_V1 => decode_model_v1_body(&mut r),
+        FORMAT_V2 => decode_model_v2_body(&mut r),
+        v => Err(CodecError::BadVersion(v)),
     }
-    let version = r.u32("version")?;
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    let name = r.string("model name")?;
-    let vocab_size = r.u32("vocab")? as usize;
-    let d_model = r.u32("d_model")? as usize;
-    let n_layers = r.u32("n_layers")? as usize;
-    let n_heads = r.u32("n_heads")? as usize;
-    let d_ff = r.u32("d_ff")? as usize;
-    let max_seq = r.u32("max_seq")? as usize;
-    let norm = match r.u8("norm kind")? {
-        0 => NormKind::LayerNorm,
-        1 => NormKind::RmsNorm,
-        t => return Err(CodecError::Corrupt(format!("unknown norm kind {t}"))),
-    };
-    let mlp = match r.u8("mlp kind")? {
-        0 => MlpKind::Gelu,
-        1 => MlpKind::GatedSilu,
-        t => return Err(CodecError::Corrupt(format!("unknown mlp kind {t}"))),
-    };
-    let outliers = if r.u8("outlier profile flag")? == 1 {
-        Some(OutlierProfile {
-            channels: r.u32("outlier channels")? as usize,
-            factor: r.f32("outlier factor")?,
-            seed: r.u64("outlier seed")?,
-        })
-    } else {
-        None
-    };
-    let init_seed = r.u64("init seed")?;
-    let cfg = ModelConfig {
-        name,
-        vocab_size,
-        d_model,
-        n_layers,
-        n_heads,
-        d_ff,
-        max_seq,
-        norm,
-        mlp,
-        outliers,
-        init_seed,
-    };
-    cfg.validate().map_err(CodecError::Corrupt)?;
-    let tok = r.matrix("token table")?;
-    let pos = r.matrix("position table")?;
-    let emb = Embedding::from_tables(tok, pos);
-    let n_pairs = r.u32("norm pair count")? as usize;
-    if n_pairs != n_layers {
-        return Err(CodecError::Corrupt(format!(
-            "norm pair count {n_pairs} does not match n_layers {n_layers}"
-        )));
-    }
-    let mut norm_pairs = Vec::with_capacity(n_pairs);
-    for _ in 0..n_pairs {
-        norm_pairs.push((r.norm()?, r.norm()?));
-    }
-    let final_norm = r.norm()?;
+}
+
+fn decode_model_v1_body(r: &mut Reader) -> Result<QuantizedModel, CodecError> {
+    let cfg = r.config()?;
+    let emb = r.embeddings()?;
+    let (norm_pairs, final_norm) = r.norms(cfg.n_layers)?;
+    r.enter(Section::Layers);
     let n_qlayers = r.u32("layer count")? as usize;
     if n_qlayers != cfg.quant_layer_count() {
-        return Err(CodecError::Corrupt(format!(
+        return Err(r.corrupt(format!(
             "layer count {n_qlayers} does not match config ({})",
             cfg.quant_layer_count()
         )));
     }
     let mut layers = Vec::with_capacity(n_qlayers);
-    for _ in 0..n_qlayers {
-        layers.push(r.qlinear()?);
+    for l in 0..n_qlayers {
+        layers.push(r.qlinear(l)?);
     }
+    r.enter(Section::Scheme);
     let scheme = r.string("scheme")?;
     Ok(QuantizedModel::from_parts(
         cfg, emb, norm_pairs, final_norm, layers, scheme,
     ))
+}
+
+fn decode_model_v2_body(r: &mut Reader) -> Result<QuantizedModel, CodecError> {
+    let cfg = r.config()?;
+    let scheme = r.string("scheme")?;
+    let index = r.layer_index(cfg.quant_layer_count())?;
+    let emb = r.embeddings()?;
+    let (norm_pairs, final_norm) = r.norms(cfg.n_layers)?;
+    let mut layers = Vec::with_capacity(index.len());
+    for (l, entry) in index.iter().enumerate() {
+        r.enter(Section::Layer(l));
+        if r.offset() != entry.record_offset {
+            return Err(r.corrupt(format!(
+                "record starts at byte {} but the index promises {}",
+                r.offset(),
+                entry.record_offset
+            )));
+        }
+        let layer = r.qlinear(l)?;
+        if layer.in_features() != entry.in_features
+            || layer.out_features() != entry.out_features
+            || layer.bits() != entry.bits
+            || layer.granularity() != entry.granularity
+        {
+            r.enter(Section::Layer(l));
+            return Err(r.corrupt("record disagrees with its layer-index entry"));
+        }
+        layers.push(layer);
+    }
+    Ok(QuantizedModel::from_parts(
+        cfg, emb, norm_pairs, final_norm, layers, scheme,
+    ))
+}
+
+/// One entry of the v2 per-layer offset table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerIndexEntry {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Bit width (4 or 8).
+    pub bits: u8,
+    /// Scale granularity.
+    pub granularity: Granularity,
+    /// Absolute byte offset of the full layer record.
+    pub record_offset: usize,
+    /// Absolute byte offset of the raw `i8` grid (one byte per cell,
+    /// row-major `[in, out]`).
+    pub q_offset: usize,
+}
+
+impl LayerIndexEntry {
+    /// Number of weight cells in the grid.
+    pub fn cells(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+/// Random-access view of one layer's integer grid inside a
+/// [`SparseArtifact`] — reads cells straight out of the artifact bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerGridView<'a> {
+    data: &'a [u8],
+    entry: LayerIndexEntry,
+}
+
+impl LayerGridView<'_> {
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.entry.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.entry.out_features
+    }
+
+    /// Bit width (4 or 8).
+    pub fn bits(&self) -> u8 {
+        self.entry.bits
+    }
+
+    /// Number of weight cells.
+    pub fn len(&self) -> usize {
+        self.entry.cells()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entry.cells() == 0
+    }
+
+    /// Integer value at flat index `f` (`row = f / out`, `col = f % out`)
+    /// — one byte read, no decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.len()`.
+    pub fn q_at_flat(&self, f: usize) -> i8 {
+        assert!(f < self.entry.cells(), "flat index {f} out of range");
+        self.data[self.entry.q_offset + f] as i8
+    }
+
+    /// Largest representable magnitude of the grid (`2^{N-1} − 1`).
+    pub fn qmax(&self) -> i8 {
+        ((1i16 << (self.entry.bits - 1)) - 1) as i8
+    }
+
+    /// Whether the cell sits at or beyond the min/max quantization level
+    /// (same rule as `QuantizedLinear::is_clamped_flat`).
+    pub fn is_clamped_flat(&self, f: usize) -> bool {
+        let q = self.q_at_flat(f);
+        q >= self.qmax() || q <= -self.qmax()
+    }
+}
+
+/// Indexed reader over a **v2** EMQM artifact: parses the header,
+/// config, and per-layer offset table, and walks (without
+/// materializing) the body structure — borrowing the input, no copy
+/// taken. It then serves individual `(layer, flat_index)` cells and
+/// layer metadata by direct byte access: opening costs the header plus
+/// a length-word walk, and a watermark extraction costs exactly the
+/// cells it probes — no float parsing, no grid copies, ever.
+///
+/// Implements [`GridSource`], so [`crate::watermark::extract_with_locations`]
+/// and the fleet engine consume it interchangeably with a fully decoded
+/// [`QuantizedModel`], with bit-identical results. Open accepts an
+/// artifact iff [`decode_model`] accepts it, up to value-level checks
+/// (f32 contents, grid value ranges, outlier row ranges) that sparse
+/// reads never interpret.
+#[derive(Debug, Clone)]
+pub struct SparseArtifact<'a> {
+    data: &'a [u8],
+    cfg: ModelConfig,
+    scheme: String,
+    index: Vec<LayerIndexEntry>,
+}
+
+impl<'a> SparseArtifact<'a> {
+    /// Opens a v2 artifact for sparse reads. v1 artifacts have no layer
+    /// index; they must go through the [`decode_model`] shim instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadVersion`] for v1 (and unknown) formats
+    /// and the usual codec errors for malformed headers or an index
+    /// whose offsets fall outside the artifact.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes, Section::Header);
+        r.magic(MAGIC)?;
+        let version = r.u32("version")?;
+        if version != FORMAT_V2 {
+            return Err(CodecError::BadVersion(version));
+        }
+        let cfg = r.config()?;
+        let scheme = r.string("scheme")?;
+        let index = r.layer_index(cfg.quant_layer_count())?;
+        // Walk the body structure (length words, tags, record offsets)
+        // without materializing it, so structurally corrupt or
+        // truncated artifacts fail here the way they fail decode_model
+        // — never at probe time, never silently.
+        r.validate_v2_body(&cfg, &index)?;
+        Ok(Self {
+            data: bytes,
+            cfg,
+            scheme,
+            index,
+        })
+    }
+
+    /// The artifact's format version (always [`FORMAT_V2`]).
+    pub fn format_version(&self) -> u32 {
+        FORMAT_V2
+    }
+
+    /// The model hyperparameters from the header.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The quantization scheme label from the header.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Number of quantized layers.
+    pub fn layer_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The per-layer offset table.
+    pub fn layer_index(&self) -> &[LayerIndexEntry] {
+        &self.index
+    }
+
+    /// Total artifact size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Random-access view of layer `l`'s integer grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_grid(&self, l: usize) -> LayerGridView<'a> {
+        LayerGridView {
+            data: self.data,
+            entry: self.index[l],
+        }
+    }
+
+    /// Integer value of cell `(l, f)` — a single byte read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` or `f` is out of range.
+    pub fn q_cell(&self, l: usize, f: usize) -> i8 {
+        self.layer_grid(l).q_at_flat(f)
+    }
+
+    /// The byte offsets where the artifact's sections begin (header,
+    /// config, index, each layer record, each grid) plus the total
+    /// length — the boundaries a truncation test should cut at, and the
+    /// map `emmark inspect` prints.
+    pub fn section_boundaries(&self) -> Vec<usize> {
+        let mut b = vec![0, 4, 8];
+        for entry in &self.index {
+            b.push(entry.record_offset);
+            b.push(entry.q_offset);
+            b.push(entry.q_offset + entry.cells());
+        }
+        b.push(self.data.len());
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+}
+
+impl GridSource for SparseArtifact<'_> {
+    fn source_layer_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn layer_dims(&self, l: usize) -> (usize, usize) {
+        (self.index[l].in_features, self.index[l].out_features)
+    }
+
+    fn q_at(&self, l: usize, f: usize) -> i8 {
+        self.q_cell(l, f)
+    }
 }
 
 #[cfg(test)]
@@ -457,9 +1296,76 @@ mod tests {
     }
 
     #[test]
+    fn v1_roundtrip_still_decodes_via_the_shim() {
+        for model in models_to_roundtrip() {
+            let bytes = encode_model_v1(&model);
+            assert_eq!(artifact_version(&bytes).expect("version"), FORMAT_V1);
+            let back = decode_model(&bytes).expect("v1 decode");
+            assert!(model.same_weights(&back), "{}: v1 shim", model.scheme);
+            assert_eq!(model.cfg, back.cfg);
+            assert_eq!(model.scheme, back.scheme);
+            // But the sparse reader refuses: v1 has no index.
+            assert_eq!(
+                SparseArtifact::open(&bytes).unwrap_err(),
+                CodecError::BadVersion(FORMAT_V1)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_reads_match_the_decoded_grid_cell_for_cell() {
+        for model in models_to_roundtrip() {
+            let bytes = encode_model(&model);
+            let sparse = SparseArtifact::open(&bytes).expect("open");
+            assert_eq!(sparse.layer_count(), model.layer_count());
+            assert_eq!(sparse.scheme(), model.scheme);
+            assert_eq!(sparse.config(), &model.cfg);
+            for (l, layer) in model.layers.iter().enumerate() {
+                let view = sparse.layer_grid(l);
+                assert_eq!(view.in_features(), layer.in_features());
+                assert_eq!(view.out_features(), layer.out_features());
+                assert_eq!(view.bits(), layer.bits());
+                for f in 0..layer.len() {
+                    assert_eq!(
+                        view.q_at_flat(f),
+                        layer.q_at_flat(f),
+                        "{}: layer {l} cell {f}",
+                        model.scheme
+                    );
+                    assert_eq!(view.is_clamped_flat(f), layer.is_clamped_flat(f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_offsets_are_monotonic_and_in_bounds() {
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model);
+        let sparse = SparseArtifact::open(&bytes).expect("open");
+        let mut prev_end = 8usize;
+        for entry in sparse.layer_index() {
+            assert!(entry.record_offset >= prev_end);
+            assert!(entry.q_offset > entry.record_offset);
+            prev_end = entry.q_offset + entry.cells();
+            assert!(prev_end <= bytes.len());
+        }
+        let boundaries = sparse.section_boundaries();
+        assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*boundaries.last().unwrap(), bytes.len());
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         assert_eq!(decode_model(b"NOPE1234").unwrap_err(), CodecError::BadMagic);
-        assert!(matches!(decode_model(b"EM"), Err(CodecError::Truncated(_))));
+        assert!(matches!(
+            decode_model(b"EM"),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            SparseArtifact::open(b"EM"),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -471,26 +1377,150 @@ mod tests {
             decode_model(&bytes).unwrap_err(),
             CodecError::BadVersion(99)
         );
+        assert_eq!(
+            SparseArtifact::open(&bytes).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
     }
 
     #[test]
     fn truncated_input_is_rejected_not_panicking() {
         let model = &models_to_roundtrip()[0];
-        let bytes = encode_model(model);
-        for cut in [9, 64, bytes.len() / 2, bytes.len() - 3] {
-            let err = decode_model(&bytes[..cut]).expect_err("truncated");
-            assert!(
-                matches!(err, CodecError::Truncated(_) | CodecError::Corrupt(_)),
-                "cut at {cut}: {err:?}"
-            );
+        for bytes in [encode_model(model), encode_model_v1(model)] {
+            for cut in [9, 64, bytes.len() / 2, bytes.len() - 3] {
+                let err = decode_model(&bytes[..cut]).expect_err("truncated");
+                assert!(
+                    matches!(
+                        err,
+                        CodecError::Truncated { .. } | CodecError::Corrupt { .. }
+                    ),
+                    "cut at {cut}: {err:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn codec_errors_carry_section_and_offset() {
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model);
+        // Truncating mid-header blames the header at the right offset.
+        let err = decode_model(&bytes[..6]).unwrap_err();
+        match err {
+            CodecError::Truncated {
+                section,
+                what,
+                offset,
+            } => {
+                assert_eq!(section, Section::Header);
+                assert_eq!(what, "version");
+                assert_eq!(offset, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Truncating inside the first layer record blames that layer.
+        let sparse = SparseArtifact::open(&bytes).expect("open");
+        let cut = sparse.layer_index()[0].q_offset + 1;
+        let err = decode_model(&bytes[..cut]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("layer 0"), "unhelpful error: {msg}");
+        assert!(msg.contains("byte"), "no offset in: {msg}");
+    }
+
+    #[test]
+    fn index_that_lies_about_extents_is_rejected() {
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model).to_vec();
+        // Locate the first index entry from the (deterministic) header
+        // layout: magic+version, config, scheme, layer count.
+        let cfg = &model.cfg;
+        let cfg_len = (4 + cfg.name.len())
+            + 6 * 4
+            + 2
+            + (1 + if cfg.outliers.is_some() { 16 } else { 0 })
+            + 8
+            + (4 + model.scheme.len());
+        let first_entry = 8 + cfg_len + 4;
+        // The entry's final u64 is its q offset; point it past the end.
+        let qoff_pos = first_entry + INDEX_ENTRY_BYTES - 8;
+        let mut evil = bytes.clone();
+        evil[qoff_pos..qoff_pos + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = SparseArtifact::open(&evil).expect_err("must reject");
+        assert!(
+            matches!(err, CodecError::Corrupt { .. }),
+            "lying index must be corrupt, got {err:?}"
+        );
+        // Sanity: patching the same position back leaves a valid artifact.
+        assert!(SparseArtifact::open(&bytes).is_ok());
+    }
+
+    #[test]
+    fn index_pointing_into_the_header_is_rejected() {
+        // An entry aliasing the header/config/index region must fail
+        // open(): otherwise sparse reads would serve metadata bytes as
+        // weight cells while the full decode errors, breaking the
+        // sparse/full equivalence invariant on adversarial inputs.
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model).to_vec();
+        let cfg = &model.cfg;
+        let cfg_len = (4 + cfg.name.len())
+            + 6 * 4
+            + 2
+            + (1 + if cfg.outliers.is_some() { 16 } else { 0 })
+            + 8
+            + (4 + model.scheme.len());
+        let first_entry = 8 + cfg_len + 4;
+        let mut evil = bytes.clone();
+        // record_offset = 0, q_offset = 8 — both inside the header.
+        evil[first_entry + 14..first_entry + 22].copy_from_slice(&0u64.to_le_bytes());
+        evil[first_entry + 22..first_entry + 30].copy_from_slice(&8u64.to_le_bytes());
+        let err = SparseArtifact::open(&evil).expect_err("must reject");
+        assert!(matches!(err, CodecError::Corrupt { .. }), "{err:?}");
+        assert!(decode_model(&evil).is_err());
+    }
+
+    #[test]
+    fn absurd_counts_error_instead_of_aborting_the_allocator() {
+        // Corrupt counts (matrix dims here; outlier/stats counts are
+        // guarded the same way) must be bounded by the bytes actually
+        // present before any allocation trusts them. u32::MAX ×
+        // u32::MAX also exercises the checked-multiply overflow path.
+        let model = &models_to_roundtrip()[0];
+        let model_v1 = encode_model_v1(model).to_vec();
+        // v1 layout: the token-table matrix follows the config directly.
+        let cfg = &model.cfg;
+        let cfg_len = (4 + cfg.name.len())
+            + 6 * 4
+            + 2
+            + (1 + if cfg.outliers.is_some() { 16 } else { 0 })
+            + 8;
+        let tok_rows = 8 + cfg_len;
+        let mut evil = model_v1.clone();
+        evil[tok_rows..tok_rows + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        evil[tok_rows + 4..tok_rows + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_model(&evil).expect_err("must error, not abort");
+        assert!(
+            matches!(
+                err,
+                CodecError::Truncated { .. } | CodecError::Corrupt { .. }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn codec_error_messages_are_informative() {
         assert!(CodecError::BadMagic.to_string().contains("magic"));
-        assert!(CodecError::Truncated("scales")
-            .to_string()
-            .contains("scales"));
+        let t = CodecError::Truncated {
+            section: Section::Layer(3),
+            what: "scales",
+            offset: 1234,
+        };
+        assert!(t.to_string().contains("scales"));
+        assert!(t.to_string().contains("layer 3"));
+        assert!(t.to_string().contains("1234"));
+        let m = CodecError::MixedVersion { outer: 2, inner: 1 };
+        assert!(m.to_string().contains("v2"));
+        assert!(m.to_string().contains("v1"));
     }
 }

@@ -13,8 +13,8 @@
 use crate::scoring::{candidate_pool, score_layer};
 use crate::signature::Signature;
 use crate::watermark::{
-    extract_with_locations, locate_watermark, ExtractionReport, Locations, OwnerSecrets,
-    WatermarkConfig, WatermarkError,
+    extract_with_locations, locate_watermark, ExtractionReport, GridSource, Locations,
+    OwnerSecrets, WatermarkConfig, WatermarkError,
 };
 use emmark_quant::QuantizedModel;
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
@@ -105,15 +105,15 @@ impl Fleet {
     }
 
     /// Extraction report of one device's fingerprint against a leaked
-    /// model.
+    /// model (any [`GridSource`]).
     ///
     /// # Errors
     ///
     /// Propagates extraction errors.
-    pub fn device_report(
+    pub fn device_report<S: GridSource + ?Sized>(
         &self,
         device: &DeviceFingerprint,
-        leaked: &QuantizedModel,
+        leaked: &S,
     ) -> Result<ExtractionReport, WatermarkError> {
         let n = self.base.original.layer_count();
         let sig = Signature::generate(
@@ -134,9 +134,9 @@ impl Fleet {
     /// # Errors
     ///
     /// Propagates extraction errors.
-    pub fn identify_leak(
+    pub fn identify_leak<S: GridSource + ?Sized>(
         &self,
-        leaked: &QuantizedModel,
+        leaked: &S,
         log10_threshold: f64,
     ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;

@@ -20,23 +20,28 @@
 //!
 //! after which verifying one artifact is pure PRNG sampling plus integer
 //! diffs, and a batch of artifacts fans out across a thread pool.
-//! Artifacts stream through the [`crate::deploy`] codec: each worker
-//! decodes one suspect, verifies it against the shared cache by
-//! reference, and drops it — no clone of any model is ever taken.
+//! Artifacts stream through the [`crate::deploy`] codec: v2 (indexed)
+//! artifacts are opened as [`SparseArtifact`]s, so a worker reads only
+//! the header and the probed watermark cells — per-artifact work scales
+//! with watermark length, not parameter count. v1 artifacts fall back
+//! to a full decode; either way the suspect lives only for the duration
+//! of the call and no model is ever cloned.
 //!
 //! Cached and uncached paths are bit-for-bit identical; the test suite
 //! and `tests/fleet_engine.rs` pin that equivalence.
 
-use crate::deploy::{decode_model, CodecError};
+use crate::deploy::{
+    artifact_version, decode_model, CodecError, Section, SparseArtifact, FORMAT_V2,
+};
 use crate::fingerprint::{
     derive_device, fingerprint_pools, sample_from_pools, DeviceFingerprint, Fleet,
 };
 use crate::signature::Signature;
 use crate::watermark::{
-    extract_with_locations, locate_watermark, ExtractionReport, Locations, OwnerSecrets,
-    WatermarkConfig, WatermarkError,
+    extract_with_locations, locate_watermark, min_matched_to_prove, ExtractionReport, GridSource,
+    Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
 };
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use emmark_quant::QuantizedModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -207,14 +212,15 @@ impl FleetVerifier {
     }
 
     /// Ownership watermark extraction against the cached locations —
-    /// bit-for-bit the report [`OwnerSecrets::verify`] produces.
+    /// bit-for-bit the report [`OwnerSecrets::verify`] produces. The
+    /// suspect is any [`GridSource`] (decoded model or sparse artifact).
     ///
     /// # Errors
     ///
     /// Returns [`WatermarkError::ShapeMismatch`] on a foreign layer grid.
-    pub fn ownership_report(
+    pub fn ownership_report<S: GridSource + ?Sized>(
         &self,
-        suspect: &QuantizedModel,
+        suspect: &S,
     ) -> Result<ExtractionReport, WatermarkError> {
         extract_with_locations(
             suspect,
@@ -231,10 +237,10 @@ impl FleetVerifier {
     /// # Errors
     ///
     /// Returns [`WatermarkError::ShapeMismatch`] on a foreign layer grid.
-    pub fn device_report(
+    pub fn device_report<S: GridSource + ?Sized>(
         &self,
         device: &DeviceFingerprint,
-        leaked: &QuantizedModel,
+        leaked: &S,
     ) -> Result<ExtractionReport, WatermarkError> {
         match self.devices.iter().position(|d| d == device) {
             Some(i) => {
@@ -263,15 +269,28 @@ impl FleetVerifier {
     /// # Errors
     ///
     /// Propagates extraction errors.
-    pub fn identify_leak(
+    pub fn identify_leak<S: GridSource + ?Sized>(
         &self,
-        leaked: &QuantizedModel,
+        leaked: &S,
         log10_threshold: f64,
     ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        // The clearing threshold as a match count, computed once (every
+        // device report has the same signature length); non-clearing
+        // devices — almost all of them — then cost an integer compare
+        // instead of a binomial tail.
+        let mut cutoff: Option<(usize, Option<usize>)> = None;
         for (device, (sig, locs)) in self.devices.iter().zip(&self.device_material) {
             let report = extract_with_locations(leaked, &self.base_deployed, locs, sig)?;
-            if !report.proves_ownership(log10_threshold) {
+            let k = match cutoff {
+                Some((total, k)) if total == report.total_bits => k,
+                _ => {
+                    let k = min_matched_to_prove(report.total_bits, log10_threshold);
+                    cutoff = Some((report.total_bits, k));
+                    k
+                }
+            };
+            if k.is_none_or(|k| report.matched_bits < k) {
                 continue;
             }
             let better = match &best {
@@ -291,9 +310,9 @@ impl FleetVerifier {
     /// # Errors
     ///
     /// Propagates extraction errors.
-    pub fn verify_model(
+    pub fn verify_model<S: GridSource + ?Sized>(
         &self,
-        suspect: &QuantizedModel,
+        suspect: &S,
         log10_threshold: f64,
     ) -> Result<FleetVerdict, WatermarkError> {
         let ownership = self.ownership_report(suspect)?;
@@ -306,9 +325,12 @@ impl FleetVerifier {
         })
     }
 
-    /// Decodes one deploy-codec artifact and verifies it. The decoded
-    /// model lives only for the duration of the call; the cache is read
-    /// by reference (no clones).
+    /// Verifies one deploy-codec artifact. v2 artifacts take the sparse
+    /// random-access path: only the header and the probed watermark
+    /// cells are read, so per-artifact work scales with watermark
+    /// length, not parameter count. v1 artifacts fall back to a full
+    /// decode (compatibility shim). Both paths produce bit-identical
+    /// verdicts.
     ///
     /// # Errors
     ///
@@ -319,8 +341,13 @@ impl FleetVerifier {
         artifact: &[u8],
         log10_threshold: f64,
     ) -> Result<FleetVerdict, FleetError> {
-        let suspect = decode_model(artifact)?;
-        Ok(self.verify_model(&suspect, log10_threshold)?)
+        if artifact_version(artifact)? == FORMAT_V2 {
+            let sparse = SparseArtifact::open(artifact)?;
+            Ok(self.verify_model(&sparse, log10_threshold)?)
+        } else {
+            let suspect = decode_model(artifact)?;
+            Ok(self.verify_model(&suspect, log10_threshold)?)
+        }
     }
 
     /// Verifies a batch of deploy-codec artifacts in parallel on `jobs`
@@ -399,11 +426,7 @@ pub fn encode_registry(
     let mut buf = BytesMut::with_capacity(64 + devices.len() * 48);
     buf.put_slice(REGISTRY_MAGIC);
     buf.put_u32_le(REGISTRY_VERSION);
-    buf.put_f64_le(fingerprint_config.alpha);
-    buf.put_f64_le(fingerprint_config.beta);
-    buf.put_u32_le(fingerprint_config.bits_per_layer as u32);
-    buf.put_u32_le(fingerprint_config.pool_ratio as u32);
-    buf.put_u64_le(fingerprint_config.selection_seed);
+    crate::deploy::put_watermark_config(&mut buf, fingerprint_config);
     buf.put_u32_le(devices.len() as u32);
     for d in devices {
         buf.put_u32_le(d.device_id.len() as u32);
@@ -422,52 +445,27 @@ pub fn encode_registry(
 pub fn decode_registry(
     bytes: &[u8],
 ) -> Result<(WatermarkConfig, Vec<DeviceFingerprint>), CodecError> {
-    let mut buf = Bytes::copy_from_slice(bytes);
-    let need = |buf: &Bytes, n: usize, what: &'static str| -> Result<(), CodecError> {
-        if buf.remaining() < n {
-            Err(CodecError::Truncated(what))
-        } else {
-            Ok(())
-        }
-    };
-    need(&buf, 8, "registry header")?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != REGISTRY_MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u32_le();
+    let mut r = crate::deploy::Reader::new(bytes, Section::Registry);
+    r.magic(REGISTRY_MAGIC)?;
+    let version = r.u32("registry version")?;
     if version != REGISTRY_VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    need(&buf, 8 + 8 + 4 + 4 + 8, "registry config")?;
-    let config = WatermarkConfig {
-        alpha: buf.get_f64_le(),
-        beta: buf.get_f64_le(),
-        bits_per_layer: buf.get_u32_le() as usize,
-        pool_ratio: buf.get_u32_le() as usize,
-        selection_seed: buf.get_u64_le(),
-    };
+    let config = r.watermark_config()?;
     config
         .validate()
-        .map_err(|e| CodecError::Corrupt(format!("fingerprint config: {e}")))?;
-    need(&buf, 4, "device count")?;
-    let count = buf.get_u32_le() as usize;
+        .map_err(|e| r.corrupt(format!("fingerprint config: {e}")))?;
+    let count = r.u32("device count")? as usize;
     // Each entry is at least 20 bytes (id length + two seeds); bound the
     // allocation by the bytes actually present before trusting `count`.
-    need(&buf, count.saturating_mul(20), "device entries")?;
+    r.need(count.saturating_mul(20), "device entries")?;
     let mut devices = Vec::with_capacity(count);
     for _ in 0..count {
-        need(&buf, 4, "device id length")?;
-        let id_len = buf.get_u32_le() as usize;
-        need(&buf, id_len + 16, "device entry")?;
-        let id_bytes = buf.copy_to_bytes(id_len);
-        let device_id = String::from_utf8(id_bytes.to_vec())
-            .map_err(|_| CodecError::Corrupt("device id: invalid utf-8".into()))?;
+        let device_id = r.string("device id")?;
         devices.push(DeviceFingerprint {
             device_id,
-            selection_seed: buf.get_u64_le(),
-            signature_seed: buf.get_u64_le(),
+            selection_seed: r.u64("device selection seed")?,
+            signature_seed: r.u64("device signature seed")?,
         });
     }
     Ok((config, devices))
@@ -586,6 +584,26 @@ mod tests {
     }
 
     #[test]
+    fn v1_and_v2_artifacts_produce_identical_verdicts() {
+        // The batch loop reads v2 artifacts sparsely and shims v1
+        // through a full decode; verdicts must be bit-for-bit equal.
+        let (fleet, v2_artifacts) = fleet_with_devices(&["a", "b", "c"]);
+        let verifier = FleetVerifier::new(&fleet).expect("cache");
+        let v1_artifacts: Vec<Vec<u8>> = v2_artifacts
+            .iter()
+            .map(|bytes| {
+                crate::deploy::encode_model_v1(&decode_model(bytes).expect("decode")).to_vec()
+            })
+            .collect();
+        let v2_verdicts = verifier.verify_batch(&v2_artifacts, -6.0, Some(1));
+        let v1_verdicts = verifier.verify_batch(&v1_artifacts, -6.0, Some(1));
+        assert_eq!(v2_verdicts, v1_verdicts);
+        for verdict in &v2_verdicts {
+            assert_eq!(verdict.as_ref().expect("verdict").ownership.wer(), 100.0);
+        }
+    }
+
+    #[test]
     fn malformed_artifacts_fail_without_poisoning_the_batch() {
         let (fleet, mut artifacts) = fleet_with_devices(&["a", "b"]);
         artifacts.insert(1, b"NOPE".to_vec());
@@ -624,7 +642,7 @@ mod tests {
         bad_cfg.pool_ratio = 0;
         let bytes = encode_registry(&bad_cfg, fleet.devices());
         assert!(
-            matches!(decode_registry(&bytes), Err(CodecError::Corrupt(_))),
+            matches!(decode_registry(&bytes), Err(CodecError::Corrupt { .. })),
             "pool_ratio=0 must fail registry decode"
         );
     }
@@ -637,7 +655,7 @@ mod tests {
         let len = bytes.len();
         bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(
-            matches!(decode_registry(&bytes), Err(CodecError::Truncated(_))),
+            matches!(decode_registry(&bytes), Err(CodecError::Truncated { .. })),
             "absurd device count must be a codec error, not an allocation"
         );
     }

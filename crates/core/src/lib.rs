@@ -12,7 +12,10 @@
 //! * [`baselines`] — the paper's comparison schemes RandomWM and
 //!   SpecMark (including the full-precision SpecMark control);
 //! * [`scheme`] — one trait over all three for the experiment harness;
-//! * [`deploy`] — the versioned binary format of the deployed artifact;
+//! * [`deploy`] — the versioned binary format of the deployed artifact:
+//!   the indexed EMQM v2 codec plus [`deploy::SparseArtifact`], the
+//!   random-access reader that serves individual weight cells without
+//!   materializing a model (and a v1 compatibility shim);
 //! * [`fingerprint`] — per-device traitor-tracing fingerprints on top of
 //!   the shared ownership watermark;
 //! * [`fleet`] — the parallel batch verification engine
@@ -59,10 +62,11 @@ pub mod signature;
 pub mod vault;
 pub mod watermark;
 
+pub use deploy::{CodecError, LayerGridView, LayerIndexEntry, Section, SparseArtifact};
 pub use fleet::{FleetError, FleetVerdict, FleetVerifier};
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
 pub use watermark::{
     extract_watermark, extract_with_locations, insert_watermark, locate_watermark,
-    ExtractionReport, OwnerSecrets, WatermarkConfig, WatermarkError,
+    ExtractionReport, GridSource, OwnerSecrets, WatermarkConfig, WatermarkError,
 };

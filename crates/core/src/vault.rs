@@ -6,27 +6,32 @@
 //! That bundle *is* the ownership proof — it must survive years of
 //! storage bit-exactly. This module gives [`OwnerSecrets`] a versioned
 //! binary form built on the same primitives as the deploy codec.
+//!
+//! The vault version tracks the deploy-codec version of the embedded
+//! pristine model: a v1 vault embeds a v1 artifact, a v2 vault a v2
+//! (indexed) artifact. Mixed pairings are rejected with
+//! [`CodecError::MixedVersion`] instead of a generic decode failure —
+//! they only arise from hand-spliced or corrupted vaults.
 
-use crate::deploy::{decode_model, encode_model, CodecError};
+use crate::deploy::{
+    artifact_version, decode_model, encode_model, encode_model_v1, put_watermark_config,
+    CodecError, Reader, Section, FORMAT_V1, FORMAT_V2,
+};
 use crate::signature::Signature;
-use crate::watermark::{OwnerSecrets, WatermarkConfig};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::watermark::OwnerSecrets;
+use bytes::{BufMut, Bytes, BytesMut};
 use emmark_nanolm::model::{ActivationStats, LayerActivation};
 
 const MAGIC: &[u8; 4] = b"EMWS";
-const VERSION: u32 = 1;
+/// Current vault version; matches the deploy codec's
+/// [`FORMAT_V2`](crate::deploy::FORMAT_V2).
+const VERSION: u32 = 2;
 
-/// Serializes the secret bundle.
-pub fn encode_secrets(secrets: &OwnerSecrets) -> Bytes {
+fn encode_secrets_with(secrets: &OwnerSecrets, version: u32) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    // Config.
-    buf.put_f64_le(secrets.config.alpha);
-    buf.put_f64_le(secrets.config.beta);
-    buf.put_u32_le(secrets.config.bits_per_layer as u32);
-    buf.put_u32_le(secrets.config.pool_ratio as u32);
-    buf.put_u64_le(secrets.config.selection_seed);
+    buf.put_u32_le(version);
+    put_watermark_config(&mut buf, &secrets.config);
     // Signature.
     buf.put_u32_le(secrets.signature.len() as u32);
     for &b in secrets.signature.bits() {
@@ -43,86 +48,94 @@ pub fn encode_secrets(secrets: &OwnerSecrets) -> Bytes {
             buf.put_f32_le(v);
         }
     }
-    // Original model, embedded via the deploy codec (length-prefixed).
-    let model_bytes = encode_model(&secrets.original);
+    // Original model, embedded via the deploy codec (length-prefixed),
+    // at the matching format version.
+    let model_bytes = match version {
+        FORMAT_V1 => encode_model_v1(&secrets.original),
+        _ => encode_model(&secrets.original),
+    };
     buf.put_u32_le(model_bytes.len() as u32);
     buf.put_slice(&model_bytes);
     buf.freeze()
 }
 
-/// Deserializes a secret bundle.
+/// Serializes the secret bundle (current version: v2, embedding an
+/// indexed v2 model artifact).
+pub fn encode_secrets(secrets: &OwnerSecrets) -> Bytes {
+    encode_secrets_with(secrets, VERSION)
+}
+
+/// Serializes the secret bundle in the legacy v1 layout (v1 embedded
+/// model). Kept for compatibility testing and for producing vaults that
+/// pre-index readers can load; [`decode_secrets`] accepts both, so
+/// loading a v1 vault and calling [`encode_secrets`] re-encodes it at
+/// the current version.
+pub fn encode_secrets_v1(secrets: &OwnerSecrets) -> Bytes {
+    encode_secrets_with(secrets, FORMAT_V1)
+}
+
+/// Deserializes a secret bundle (v1 or v2).
 ///
 /// # Errors
 ///
-/// Returns a [`CodecError`] on malformed input.
+/// Returns a [`CodecError`] on malformed input, including
+/// [`CodecError::MixedVersion`] when the vault version and the embedded
+/// model's format version disagree.
 pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
-    let mut buf = Bytes::copy_from_slice(bytes);
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated("secrets header"));
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
+    let mut r = Reader::new(bytes, Section::Vault);
+    r.magic(MAGIC)?;
+    let version = r.u32("secrets version")?;
+    if version != FORMAT_V1 && version != FORMAT_V2 {
         return Err(CodecError::BadVersion(version));
     }
-    let need = |buf: &Bytes, n: usize, what: &'static str| -> Result<(), CodecError> {
-        if buf.remaining() < n {
-            Err(CodecError::Truncated(what))
-        } else {
-            Ok(())
-        }
-    };
-    need(&buf, 8 + 8 + 4 + 4 + 8, "config")?;
-    let alpha = buf.get_f64_le();
-    let beta = buf.get_f64_le();
-    let bits_per_layer = buf.get_u32_le() as usize;
-    let pool_ratio = buf.get_u32_le() as usize;
-    let selection_seed = buf.get_u64_le();
-    let config = WatermarkConfig {
-        alpha,
-        beta,
-        bits_per_layer,
-        pool_ratio,
-        selection_seed,
-    };
+    let config = r.watermark_config()?;
 
-    need(&buf, 4, "signature length")?;
-    let sig_len = buf.get_u32_le() as usize;
-    need(&buf, sig_len, "signature bits")?;
+    let sig_len = r.u32("signature length")? as usize;
+    r.need(sig_len, "signature bits")?;
     let mut bits = Vec::with_capacity(sig_len);
     for _ in 0..sig_len {
-        let b = buf.get_i8();
+        let b = r.i8("signature bit")?;
         if b != 1 && b != -1 {
-            return Err(CodecError::Corrupt(format!("signature bit {b} is not ±1")));
+            return Err(r.corrupt(format!("signature bit {b} is not ±1")));
         }
         bits.push(b);
     }
     let signature = Signature::from_bits(bits);
 
-    need(&buf, 4, "stats layer count")?;
-    let n_layers = buf.get_u32_le() as usize;
+    let n_layers = r.u32("stats layer count")? as usize;
+    // Bound the allocation by the bytes actually present (each layer
+    // carries at least a channel-count word) before trusting the count.
+    r.need(n_layers.saturating_mul(4), "stats layers")?;
     let mut per_layer = Vec::with_capacity(n_layers);
     for _ in 0..n_layers {
-        need(&buf, 4, "stats channel count")?;
-        let channels = buf.get_u32_le() as usize;
-        need(&buf, channels * 8, "stats values")?;
-        let mean_abs: Vec<f32> = (0..channels).map(|_| buf.get_f32_le()).collect();
-        let max_abs: Vec<f32> = (0..channels).map(|_| buf.get_f32_le()).collect();
+        let channels = r.u32("stats channel count")? as usize;
+        r.need(channels * 8, "stats values")?;
+        let mut mean_abs = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            mean_abs.push(r.f32("stats mean")?);
+        }
+        let mut max_abs = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            max_abs.push(r.f32("stats max")?);
+        }
         per_layer.push(LayerActivation { mean_abs, max_abs });
     }
     let stats = ActivationStats { per_layer };
 
-    need(&buf, 4, "model length")?;
-    let model_len = buf.get_u32_le() as usize;
-    need(&buf, model_len, "model bytes")?;
-    let model_bytes = buf.copy_to_bytes(model_len);
-    let original = decode_model(&model_bytes)?;
+    let model_len = r.u32("model length")? as usize;
+    let model_bytes = r.take(model_len, "model bytes")?;
+    // A vault must embed an artifact of its own format generation; a
+    // mismatch means the vault was spliced or mis-migrated.
+    let inner = artifact_version(model_bytes)?;
+    if inner != version {
+        return Err(CodecError::MixedVersion {
+            outer: version,
+            inner,
+        });
+    }
+    let original = decode_model(model_bytes)?;
     if stats.layer_count() != original.layer_count() {
-        return Err(CodecError::Corrupt(format!(
+        return Err(r.corrupt(format!(
             "stats cover {} layers, model has {}",
             stats.layer_count(),
             original.layer_count()
@@ -139,6 +152,7 @@ pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::watermark::WatermarkConfig;
     use emmark_nanolm::config::ModelConfig;
     use emmark_nanolm::TransformerModel;
     use emmark_quant::awq::{awq, AwqConfig};
@@ -173,6 +187,43 @@ mod tests {
     }
 
     #[test]
+    fn v1_vault_still_decodes_and_reencodes_at_v2() {
+        let original = secrets();
+        let v1_bytes = encode_secrets_v1(&original);
+        let restored = decode_secrets(&v1_bytes).expect("v1 decode");
+        assert!(restored.original.same_weights(&original.original));
+        assert_eq!(restored.signature, original.signature);
+        // Re-encoding migrates to the current version.
+        let v2_bytes = encode_secrets(&restored);
+        assert_eq!(&v2_bytes[4..8], &VERSION.to_le_bytes());
+        let again = decode_secrets(&v2_bytes).expect("v2 decode");
+        assert!(again.original.same_weights(&original.original));
+    }
+
+    #[test]
+    fn mixed_version_vault_is_rejected_with_a_clear_error() {
+        let original = secrets();
+        // A v2 vault whose embedded model was downgraded to v1 — the
+        // splice a buggy migration tool would produce.
+        let good = encode_secrets(&original).to_vec();
+        let v1_model = encode_model_v1(&original.original);
+        let v2_model = encode_model(&original.original);
+        let model_start = good.len() - v2_model.len();
+        let mut spliced = good[..model_start - 4].to_vec();
+        spliced.extend_from_slice(&(v1_model.len() as u32).to_le_bytes());
+        spliced.extend_from_slice(&v1_model);
+        let err = decode_secrets(&spliced).expect_err("mixed vault must fail");
+        assert_eq!(
+            err,
+            CodecError::MixedVersion {
+                outer: FORMAT_V2,
+                inner: FORMAT_V1
+            }
+        );
+        assert!(err.to_string().contains("mixed-version"), "{err}");
+    }
+
+    #[test]
     fn vault_rejects_garbage() {
         assert!(matches!(
             decode_secrets(b"EMQM1234"),
@@ -180,7 +231,7 @@ mod tests {
         ));
         assert!(matches!(
             decode_secrets(b"EM"),
-            Err(CodecError::Truncated(_))
+            Err(CodecError::Truncated { .. })
         ));
         let bytes = encode_secrets(&secrets());
         for cut in [10usize, 40, bytes.len() / 2, bytes.len() - 5] {
@@ -199,7 +250,17 @@ mod tests {
         corrupted[4 + 4 + 32 + 4] = 3; // not ±1
         assert!(matches!(
             decode_secrets(&corrupted),
-            Err(CodecError::Corrupt(_))
+            Err(CodecError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_vault_version_is_rejected() {
+        let mut bytes = encode_secrets(&secrets()).to_vec();
+        bytes[4] = 77;
+        assert_eq!(
+            decode_secrets(&bytes).unwrap_err(),
+            CodecError::BadVersion(77)
+        );
     }
 }

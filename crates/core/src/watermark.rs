@@ -153,6 +153,37 @@ impl std::error::Error for WatermarkError {
 /// Per-layer watermark locations (flat cell indices, in selection order).
 pub type Locations = Vec<Vec<usize>>;
 
+/// Read-only access to a model's integer weight grids — the only
+/// capability extraction (Eqs. 6–7) actually needs.
+///
+/// Implemented by the in-memory [`QuantizedModel`] and by the
+/// random-access [`crate::deploy::SparseArtifact`] reader; both produce
+/// bit-identical [`ExtractionReport`]s, but the sparse implementation
+/// reads O(watermark bits) artifact bytes instead of decoding the whole
+/// model.
+pub trait GridSource {
+    /// Number of quantized layers.
+    fn source_layer_count(&self) -> usize;
+    /// `(in_features, out_features)` of layer `l`.
+    fn layer_dims(&self, l: usize) -> (usize, usize);
+    /// Integer value at flat index `f` of layer `l`.
+    fn q_at(&self, l: usize, f: usize) -> i8;
+}
+
+impl GridSource for QuantizedModel {
+    fn source_layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn layer_dims(&self, l: usize) -> (usize, usize) {
+        (self.layers[l].in_features(), self.layers[l].out_features())
+    }
+
+    fn q_at(&self, l: usize, f: usize) -> i8 {
+        self.layers[l].q_at_flat(f)
+    }
+}
+
 /// Re-derives the watermark weight locations from the secret material:
 /// the *original* quantized weights, the full-precision activation
 /// profile, the coefficients, and the selection seed. Used by both
@@ -270,31 +301,59 @@ impl ExtractionReport {
     }
 }
 
-/// Checks that `suspect` has the same layer grid as `reference`.
+/// The smallest matched-bit count whose chance probability clears
+/// `log10_threshold` for a `total_bits`-bit signature, or `None` when
+/// even a perfect match cannot. Exact by monotonicity of Eq. 8 in the
+/// match count: `report.proves_ownership(t)` ⇔
+/// `report.matched_bits >= min_matched_to_prove(report.total_bits, t)`.
+///
+/// Batch verification uses this to replace one binomial-tail evaluation
+/// per registered device with an integer compare — the tail is computed
+/// O(log n) times per suspect instead of O(devices) times.
+pub fn min_matched_to_prove(total_bits: usize, log10_threshold: f64) -> Option<usize> {
+    let n = total_bits as u64;
+    if log10_binomial_tail(n, n) >= log10_threshold {
+        return None;
+    }
+    // Binary search the smallest clearing k; invariant: tail(hi) clears.
+    let (mut lo, mut hi) = (0u64, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if log10_binomial_tail(n, mid) < log10_threshold {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi as usize)
+}
+
+/// Checks that `suspect` has the same layer grid as `reference`. Both
+/// sides are any [`GridSource`] — an in-memory model or a sparse
+/// artifact reader; only shape metadata is touched.
 ///
 /// # Errors
 ///
 /// Returns [`WatermarkError::ShapeMismatch`] describing the first
 /// divergence.
-pub fn check_same_grid(
-    suspect: &QuantizedModel,
-    reference: &QuantizedModel,
-) -> Result<(), WatermarkError> {
-    if suspect.layer_count() != reference.layer_count() {
+pub fn check_same_grid<S, R>(suspect: &S, reference: &R) -> Result<(), WatermarkError>
+where
+    S: GridSource + ?Sized,
+    R: GridSource + ?Sized,
+{
+    if suspect.source_layer_count() != reference.source_layer_count() {
         return Err(WatermarkError::ShapeMismatch(format!(
             "suspect has {} layers, original {}",
-            suspect.layer_count(),
-            reference.layer_count()
+            suspect.source_layer_count(),
+            reference.source_layer_count()
         )));
     }
-    for (l, (a, b)) in suspect.layers.iter().zip(&reference.layers).enumerate() {
-        if a.in_features() != b.in_features() || a.out_features() != b.out_features() {
+    for l in 0..reference.source_layer_count() {
+        let (a_in, a_out) = suspect.layer_dims(l);
+        let (b_in, b_out) = reference.layer_dims(l);
+        if a_in != b_in || a_out != b_out {
             return Err(WatermarkError::ShapeMismatch(format!(
-                "layer {l}: suspect {}x{}, original {}x{}",
-                a.in_features(),
-                a.out_features(),
-                b.in_features(),
-                b.out_features()
+                "layer {l}: suspect {a_in}x{a_out}, original {b_in}x{b_out}"
             )));
         }
     }
@@ -307,28 +366,33 @@ pub fn check_same_grid(
 /// This is the hot inner step of extraction. [`extract_watermark`]
 /// re-derives the locations every call; batch verification (the
 /// [`crate::fleet`] engine) reproduces them once per model family and
-/// calls this directly for every device artifact.
+/// calls this directly for every device artifact. Both sides are any
+/// [`GridSource`]: a [`crate::deploy::SparseArtifact`] suspect makes the
+/// whole check O(watermark bits) in artifact bytes touched.
 ///
 /// # Errors
 ///
 /// Returns [`WatermarkError::ShapeMismatch`] if the suspect's layer grid
 /// does not line up with the reference's.
-pub fn extract_with_locations(
-    suspect: &QuantizedModel,
-    reference: &QuantizedModel,
+pub fn extract_with_locations<S, R>(
+    suspect: &S,
+    reference: &R,
     locations: &Locations,
     signature: &Signature,
-) -> Result<ExtractionReport, WatermarkError> {
+) -> Result<ExtractionReport, WatermarkError>
+where
+    S: GridSource + ?Sized,
+    R: GridSource + ?Sized,
+{
     check_same_grid(suspect, reference)?;
-    let n = reference.layer_count();
+    let n = reference.source_layer_count();
     let mut matched = 0usize;
     let mut total = 0usize;
     for (l, layer_locs) in locations.iter().enumerate() {
         let bits = signature.layer_bits(l, n);
         for (&f, &b) in layer_locs.iter().zip(bits) {
             // Eq. 6: ΔW[L] = W'[L] − W[L]; exact match required.
-            let delta =
-                suspect.layers[l].q_at_flat(f) as i16 - reference.layers[l].q_at_flat(f) as i16;
+            let delta = suspect.q_at(l, f) as i16 - reference.q_at(l, f) as i16;
             if delta == b as i16 {
                 matched += 1;
             }
@@ -342,14 +406,16 @@ pub fn extract_with_locations(
 }
 
 /// Extracts the watermark from `suspect` using the owner's secret
-/// material, and scores the match (Eqs. 6–7).
+/// material, and scores the match (Eqs. 6–7). The suspect is any
+/// [`GridSource`]; the original must be the in-memory model (location
+/// reproduction scores its weights).
 ///
 /// # Errors
 ///
 /// Returns [`WatermarkError::ShapeMismatch`] if the suspect's layer grid
 /// does not line up with the original's, plus any location error.
-pub fn extract_watermark(
-    suspect: &QuantizedModel,
+pub fn extract_watermark<S: GridSource + ?Sized>(
+    suspect: &S,
     original: &QuantizedModel,
     stats: &ActivationStats,
     signature: &Signature,
@@ -413,12 +479,17 @@ impl OwnerSecrets {
         Ok(deployed)
     }
 
-    /// Ownership check against a suspect model (Eqs. 6–8).
+    /// Ownership check against a suspect model (Eqs. 6–8). Accepts any
+    /// [`GridSource`] — a decoded model or a
+    /// [`crate::deploy::SparseArtifact`] (random-access fast path).
     ///
     /// # Errors
     ///
     /// Propagates [`extract_watermark`] errors.
-    pub fn verify(&self, suspect: &QuantizedModel) -> Result<ExtractionReport, WatermarkError> {
+    pub fn verify<S: GridSource + ?Sized>(
+        &self,
+        suspect: &S,
+    ) -> Result<ExtractionReport, WatermarkError> {
         extract_watermark(
             suspect,
             &self.original,
@@ -606,6 +677,27 @@ mod tests {
         };
         assert!(half.wer() == 50.0);
         assert!(!half.proves_ownership(-6.0));
+    }
+
+    #[test]
+    fn min_matched_to_prove_agrees_with_direct_threshold_check() {
+        for total in [1usize, 10, 40, 76, 152] {
+            for threshold in [-3.0, -6.0, -9.0, -40.0, -200.0] {
+                let cutoff = min_matched_to_prove(total, threshold);
+                for matched in 0..=total {
+                    let report = ExtractionReport {
+                        total_bits: total,
+                        matched_bits: matched,
+                    };
+                    let direct = report.proves_ownership(threshold);
+                    let via_cutoff = cutoff.is_some_and(|k| matched >= k);
+                    assert_eq!(
+                        direct, via_cutoff,
+                        "total={total} matched={matched} threshold={threshold} cutoff={cutoff:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! emmark demo --out-dir DIR [--bits N] [--seed S]   build a demo: train, quantize,
 //!                                                   watermark; writes deployed.emqm,
 //!                                                   secrets.emws, original.emqm
-//! emmark verify --secrets FILE --suspect FILE       ownership proof (Eqs. 6–8)
-//! emmark inspect --model FILE                       layer/scheme/bit summary
+//! emmark verify --secrets FILE --suspect FILE       ownership proof (Eqs. 6–8);
+//!                                                   v2 artifacts are probed sparsely
+//! emmark inspect --model FILE [--json]              layer/scheme/bit summary from the
+//!                                                   v2 header index (machine-readable
+//!                                                   with --json)
 //! emmark attack --model FILE --out FILE --per-layer N [--seed S]
 //!                                                   parameter-overwriting attack
 //! emmark fleet-provision --secrets FILE --out-dir DIR --devices N
@@ -25,7 +28,9 @@
 //! device that leaked it, in parallel, sharing one location cache.
 
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
-use emmark::core::deploy::{decode_model, encode_model};
+use emmark::core::deploy::{
+    artifact_version, decode_model, encode_model, SparseArtifact, FORMAT_V2,
+};
 use emmark::core::fingerprint::Fleet;
 use emmark::core::fleet::{decode_registry, encode_registry, FleetVerifier};
 use emmark::core::vault::{decode_secrets, encode_secrets};
@@ -79,12 +84,15 @@ emmark — watermarking for embedded quantized LLMs (DAC 2024 reproduction)
 USAGE:
   emmark demo    --out-dir DIR [--bits N] [--seed S]
   emmark verify  --secrets FILE --suspect FILE
-  emmark inspect --model FILE
+  emmark inspect --model FILE [--json]
   emmark attack  --model FILE --out FILE --per-layer N [--seed S]
   emmark fleet-provision --secrets FILE --out-dir DIR --devices N
                          [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
   emmark fleet-verify    --secrets FILE --registry FILE --artifacts DIR
                          [--threshold L] [--jobs N]";
+
+/// Options that are flags (present or absent), not key-value pairs.
+const BOOL_FLAGS: &[&str] = &["json"];
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -93,6 +101,10 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected an option, found `{key}`"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            opts.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("option --{name} needs a value"))?;
@@ -194,9 +206,26 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
-    let suspect =
-        decode_model(&read_file(required(opts, "suspect")?)?).map_err(|e| e.to_string())?;
-    let report = secrets.verify(&suspect).map_err(|e| e.to_string())?;
+    let suspect_bytes = read_file(required(opts, "suspect")?)?;
+    // v2 artifacts are probed sparsely: only the header index and the
+    // few hundred watermark cells are read. v1 falls back to a full
+    // decode; both paths produce the same report bit for bit.
+    let report = if artifact_version(&suspect_bytes).map_err(|e| e.to_string())? == FORMAT_V2 {
+        let sparse = SparseArtifact::open(&suspect_bytes).map_err(|e| e.to_string())?;
+        println!(
+            "suspect : v2 artifact ({} KiB), sparse random-access extraction",
+            suspect_bytes.len() / 1024
+        );
+        secrets.verify(&sparse)
+    } else {
+        println!(
+            "suspect : v1 artifact ({} KiB), full decode (compatibility shim)",
+            suspect_bytes.len() / 1024
+        );
+        let suspect = decode_model(&suspect_bytes).map_err(|e| e.to_string())?;
+        secrets.verify(&suspect)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "matched {} / {} bits  (WER {:.1}%)",
         report.matched_bits,
@@ -215,44 +244,134 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+/// One row of the inspect report, format-version independent.
+struct LayerSummary {
+    in_features: usize,
+    out_features: usize,
+    bits: u8,
+    granularity: String,
+    granularity_json: String,
+    clamped: usize,
+}
+
+fn granularity_json(g: emmark::quant::Granularity) -> String {
+    match g {
+        emmark::quant::Granularity::PerTensor => "per-tensor".to_string(),
+        emmark::quant::Granularity::PerOutChannel => "per-out-channel".to_string(),
+        emmark::quant::Granularity::Grouped { group_size } => format!("grouped:{group_size}"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
-    let model = decode_model(&read_file(required(opts, "model")?)?).map_err(|e| e.to_string())?;
-    println!("model   : {}", model.cfg.name);
-    println!("scheme  : {}", model.scheme);
+    let bytes = read_file(required(opts, "model")?)?;
+    let version = artifact_version(&bytes).map_err(|e| e.to_string())?;
+    // v2: everything comes from the header index without materializing
+    // a model; grids are scanned in place for the clamp census. v1
+    // artifacts decode fully (compatibility shim).
+    let (cfg, scheme, layers) = if version == FORMAT_V2 {
+        let sparse = SparseArtifact::open(&bytes).map_err(|e| e.to_string())?;
+        let layers = (0..sparse.layer_count())
+            .map(|l| {
+                let view = sparse.layer_grid(l);
+                let entry = &sparse.layer_index()[l];
+                LayerSummary {
+                    in_features: view.in_features(),
+                    out_features: view.out_features(),
+                    bits: view.bits(),
+                    granularity: format!("{:?}", entry.granularity),
+                    granularity_json: granularity_json(entry.granularity),
+                    clamped: (0..view.len()).filter(|&f| view.is_clamped_flat(f)).count(),
+                }
+            })
+            .collect::<Vec<_>>();
+        (sparse.config().clone(), sparse.scheme().to_string(), layers)
+    } else {
+        let model = decode_model(&bytes).map_err(|e| e.to_string())?;
+        let layers = model
+            .layers
+            .iter()
+            .map(|layer| LayerSummary {
+                in_features: layer.in_features(),
+                out_features: layer.out_features(),
+                bits: layer.bits(),
+                granularity: format!("{:?}", layer.granularity()),
+                granularity_json: granularity_json(layer.granularity()),
+                clamped: (0..layer.len())
+                    .filter(|&f| layer.is_clamped_flat(f))
+                    .count(),
+            })
+            .collect::<Vec<_>>();
+        (model.cfg.clone(), model.scheme.clone(), layers)
+    };
+    let total_cells: usize = layers.iter().map(|l| l.in_features * l.out_features).sum();
+    let clamped: usize = layers.iter().map(|l| l.clamped).sum();
+
+    if opts.contains_key("json") {
+        let layer_objs: Vec<String> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                format!(
+                    "{{\"index\":{i},\"in_features\":{},\"out_features\":{},\"bits\":{},\
+                     \"granularity\":\"{}\",\"clamped_cells\":{}}}",
+                    l.in_features, l.out_features, l.bits, l.granularity_json, l.clamped
+                )
+            })
+            .collect();
+        println!(
+            "{{\"format_version\":{version},\"model\":\"{}\",\"scheme\":\"{}\",\
+             \"d_model\":{},\"n_blocks\":{},\"n_heads\":{},\"d_ff\":{},\"vocab_size\":{},\
+             \"total_cells\":{total_cells},\"clamped_cells\":{clamped},\"layers\":[{}]}}",
+            json_escape(&cfg.name),
+            json_escape(&scheme),
+            cfg.d_model,
+            cfg.n_layers,
+            cfg.n_heads,
+            cfg.d_ff,
+            cfg.vocab_size,
+            layer_objs.join(",")
+        );
+        return Ok(());
+    }
+
+    println!("model   : {}", cfg.name);
+    println!("format  : v{version}");
+    println!("scheme  : {scheme}");
     println!(
         "arch    : d_model {}, {} blocks, {} heads, d_ff {}, vocab {}",
-        model.cfg.d_model,
-        model.cfg.n_layers,
-        model.cfg.n_heads,
-        model.cfg.d_ff,
-        model.cfg.vocab_size
+        cfg.d_model, cfg.n_layers, cfg.n_heads, cfg.d_ff, cfg.vocab_size
     );
-    println!("layers  : {} quantized", model.layer_count());
-    let mut total_cells = 0usize;
-    let mut clamped = 0usize;
-    for layer in &model.layers {
-        total_cells += layer.len();
-        clamped += (0..layer.len())
-            .filter(|&f| layer.is_clamped_flat(f))
-            .count();
-    }
+    println!("layers  : {} quantized", layers.len());
     println!(
         "cells   : {} total, {} at min/max level ({:.1}% unwatermarkable)",
         total_cells,
         clamped,
         100.0 * clamped as f64 / total_cells as f64
     );
-    for (i, layer) in model.layers.iter().enumerate().take(4) {
+    for (i, l) in layers.iter().enumerate().take(4) {
         println!(
-            "  layer {i}: {}x{} INT{} {:?}",
-            layer.in_features(),
-            layer.out_features(),
-            layer.bits(),
-            layer.granularity()
+            "  layer {i}: {}x{} INT{} {}",
+            l.in_features, l.out_features, l.bits, l.granularity
         );
     }
-    if model.layers.len() > 4 {
-        println!("  … {} more layers", model.layers.len() - 4);
+    if layers.len() > 4 {
+        println!("  … {} more layers", layers.len() - 4);
     }
     Ok(())
 }
@@ -377,7 +496,7 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     println!(
         "\n{} artifacts: {owned} prove ownership, {traced} traced to a device, {failed} failed \
-         (cache {:.1} ms, verify {:.1} ms)",
+         (cache {:.1} ms, verify {:.1} ms; v2 artifacts use sparse random-access reads)",
         verdicts.len(),
         cache_time.as_secs_f64() * 1e3,
         verify_time.as_secs_f64() * 1e3

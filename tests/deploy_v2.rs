@@ -1,0 +1,159 @@
+//! Property-based coverage of the EMQM v2 indexed codec: encode/decode
+//! round-trips over randomized grids and quantizer settings, truncation
+//! at *every* section boundary the layer index names, and v1/v2
+//! cross-version behavior (shim decode, vault migration).
+
+use emmark::core::deploy::{
+    artifact_version, decode_model, encode_model, encode_model_v1, CodecError, SparseArtifact,
+    FORMAT_V1, FORMAT_V2,
+};
+use emmark::core::vault::{decode_secrets, encode_secrets, encode_secrets_v1};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+use proptest::prelude::*;
+
+/// A quantized tiny model parameterized by the codec-relevant axes:
+/// bit width, scale granularity, activation handling, and init seed.
+fn build_model(bits: u8, gran: Granularity, act: ActQuant, seed: u64) -> QuantizedModel {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.init_seed = seed;
+    let model = TransformerModel::new(cfg);
+    QuantizedModel::quantize_with(&model, "rtn-prop", |_, lin| {
+        quantize_linear_rtn(lin, bits, gran, act)
+    })
+}
+
+fn granularities() -> Vec<Granularity> {
+    vec![
+        Granularity::PerTensor,
+        Granularity::PerOutChannel,
+        Granularity::Grouped { group_size: 4 },
+        Granularity::Grouped { group_size: 8 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// v2 round-trips are bit-exact for any quantizer setting, and the
+    /// sparse reader agrees with the decoded grid cell for cell.
+    #[test]
+    fn v2_roundtrip_is_bit_exact(
+        bits in prop::sample::select(vec![4u8, 8]),
+        gran in prop::sample::select(granularities()),
+        act in prop::sample::select(vec![ActQuant::None, ActQuant::Int8PerToken]),
+        seed in 0u64..1_000_000,
+    ) {
+        let model = build_model(bits, gran, act, seed);
+        let bytes = encode_model(&model);
+        prop_assert_eq!(artifact_version(&bytes).unwrap(), FORMAT_V2);
+        let back = decode_model(&bytes).expect("decode");
+        prop_assert!(model.same_weights(&back));
+        prop_assert_eq!(&model.cfg, &back.cfg);
+        prop_assert_eq!(&model.scheme, &back.scheme);
+        for (l, layer) in back.layers.iter().enumerate() {
+            prop_assert_eq!(layer.granularity(), model.layers[l].granularity());
+            prop_assert_eq!(layer.act_quant(), model.layers[l].act_quant());
+        }
+
+        let sparse = SparseArtifact::open(&bytes).expect("open");
+        prop_assert_eq!(sparse.layer_count(), model.layer_count());
+        for (l, layer) in model.layers.iter().enumerate() {
+            let view = sparse.layer_grid(l);
+            prop_assert_eq!(view.len(), layer.len());
+            // Probe a deterministic scatter of cells, not just 0.
+            for f in (0..layer.len()).step_by(7) {
+                prop_assert_eq!(view.q_at_flat(f), layer.q_at_flat(f));
+            }
+        }
+    }
+
+    /// Truncating a v2 artifact at (and just after) every section
+    /// boundary the index names is a clean codec error — never a panic,
+    /// never a bogus success.
+    #[test]
+    fn v2_truncation_at_every_section_boundary_errors_cleanly(
+        bits in prop::sample::select(vec![4u8, 8]),
+        gran in prop::sample::select(granularities()),
+        seed in 0u64..1_000_000,
+    ) {
+        let model = build_model(bits, gran, ActQuant::None, seed);
+        let bytes = encode_model(&model);
+        let sparse = SparseArtifact::open(&bytes).expect("open");
+        let mut cuts: Vec<usize> = sparse
+            .section_boundaries()
+            .into_iter()
+            .flat_map(|b| [b, b + 1, b.saturating_sub(1)])
+            .filter(|&c| c < bytes.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        for cut in cuts {
+            let err = decode_model(&bytes[..cut]).expect_err("truncated decode");
+            prop_assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Corrupt { .. }),
+                "cut {cut}: {err:?}"
+            );
+            // The sparse reader rejects every truncation too — its
+            // structural walk requires the full body to be present, so
+            // a damaged artifact can never be "verified" silently.
+            let err = SparseArtifact::open(&bytes[..cut]).expect_err("truncated open");
+            prop_assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Corrupt { .. }),
+                "sparse cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    /// v1 encodings of the same model decode to the same weights via
+    /// the compatibility shim.
+    #[test]
+    fn v1_shim_agrees_with_v2(
+        bits in prop::sample::select(vec![4u8, 8]),
+        seed in 0u64..1_000_000,
+    ) {
+        let model = build_model(bits, Granularity::PerOutChannel, ActQuant::None, seed);
+        let v1 = encode_model_v1(&model);
+        let v2 = encode_model(&model);
+        prop_assert_eq!(artifact_version(&v1).unwrap(), FORMAT_V1);
+        let from_v1 = decode_model(&v1).expect("v1");
+        let from_v2 = decode_model(&v2).expect("v2");
+        prop_assert!(from_v1.same_weights(&from_v2));
+        prop_assert_eq!(&from_v1.cfg, &from_v2.cfg);
+        prop_assert_eq!(&from_v1.scheme, &from_v2.scheme);
+    }
+}
+
+#[test]
+fn vault_migration_v1_to_v2_preserves_proof_power() {
+    let model = build_model(8, Granularity::PerOutChannel, ActQuant::None, 42);
+    let mut fp = TransformerModel::new({
+        let mut c = ModelConfig::tiny_test();
+        c.init_seed = 42;
+        c
+    });
+    let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+    let stats = fp.collect_activation_stats(&calib);
+    let cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 10,
+        ..Default::default()
+    };
+    let secrets = OwnerSecrets::new(model, stats, cfg, 0x5EC2);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+
+    // v1 vault → decode → re-encode (v2) → decode: proof power intact.
+    let migrated = decode_secrets(&encode_secrets_v1(&secrets)).expect("v1 vault");
+    let v2_bytes = encode_secrets(&migrated);
+    let restored = decode_secrets(&v2_bytes).expect("v2 vault");
+    let report = restored.verify(&deployed).expect("verify");
+    assert_eq!(report.wer(), 100.0);
+
+    // And the sparse path proves ownership from the migrated secrets.
+    let artifact = encode_model(&deployed);
+    let sparse = SparseArtifact::open(&artifact).expect("open");
+    let sparse_report = restored.verify(&sparse).expect("sparse verify");
+    assert_eq!(sparse_report, report);
+}
