@@ -1,8 +1,13 @@
 //! Attack sweep harness: runs an attack at increasing strengths and
 //! measures the Figure 2 triple (PPL, zero-shot accuracy, WER) at every
-//! point.
+//! point. Every attack family the paper discusses — overwriting,
+//! re-watermarking, pruning (§5.3's exclusion argument), and forging —
+//! drives through this one API, so a regression matrix can sweep them
+//! uniformly across quantization schemes.
 
+use crate::forging::{forge_counterfeit_claim, naive_delta_check, validate_claim, ClaimVerdict};
 use crate::overwrite::{overwrite_attack, OverwriteConfig};
+use crate::pruning::prune_attack;
 use crate::rewatermark::{rewatermark_attack, RewatermarkConfig};
 use emmark_core::watermark::OwnerSecrets;
 use emmark_eval::report::{evaluate_quality, EvalConfig};
@@ -53,7 +58,10 @@ pub fn overwrite_sweep(
 
 /// Sweeps the re-watermark attack over `strengths` (Figure 2(b): 0,
 /// 100, …, 300 in the paper). The adversary's activation statistics are
-/// measured once through the deployed quantized model.
+/// measured once through the deployed quantized model; `adversary`
+/// carries the rest of their parameters (α, β, seed, pool ratio — the
+/// paper's adversary is [`RewatermarkConfig::default`]) with its
+/// `per_layer` overridden by each sweep strength.
 pub fn rewatermark_sweep(
     secrets: &OwnerSecrets,
     deployed: &QuantizedModel,
@@ -61,6 +69,7 @@ pub fn rewatermark_sweep(
     eval_cfg: &EvalConfig,
     strengths: &[usize],
     adversary_calibration: &[Vec<u32>],
+    adversary: &RewatermarkConfig,
 ) -> Vec<AttackPoint> {
     let adv_stats = deployed.collect_activation_stats(adversary_calibration);
     strengths
@@ -73,13 +82,84 @@ pub fn rewatermark_sweep(
                     &adv_stats,
                     &RewatermarkConfig {
                         per_layer: strength,
-                        ..Default::default()
+                        ..*adversary
                     },
                 );
             }
             measure(secrets, &attacked, corpus, eval_cfg, strength)
         })
         .collect()
+}
+
+/// Sweeps the magnitude-pruning attack over `fractions` of cells zeroed
+/// per layer (§5.3: the paper *excludes* pruning as impractical on
+/// already-compressed models; the sweep measures that claim). Each
+/// point's `strength` reports the pruned fraction in percent.
+///
+/// # Panics
+///
+/// Panics if a fraction is outside `[0, 1]` (see
+/// [`prune_attack`]).
+pub fn pruning_sweep(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    fractions: &[f64],
+) -> Vec<AttackPoint> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let mut attacked = deployed.clone();
+            prune_attack(&mut attacked, fraction);
+            measure(
+                secrets,
+                &attacked,
+                corpus,
+                eval_cfg,
+                (fraction * 100.0).round() as usize,
+            )
+        })
+        .collect()
+}
+
+/// Outcome of the §5.3 forging check: what a naive Eq. 6 verifier and
+/// the full reproduction-based protocol each say about a counterfeit
+/// claim over the deployed model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForgingOutcome {
+    /// WER the counterfeit scores under the naive delta-only check —
+    /// near 100 by construction (the vulnerability).
+    pub naive_wer: f64,
+    /// Verdict of the full protocol (stats + location reproduction) on
+    /// the counterfeit, filed without a full-precision model.
+    pub verdict: ClaimVerdict,
+}
+
+impl ForgingOutcome {
+    /// Whether the system behaves as the paper claims: the naive check
+    /// is fooled, the reproduction-based protocol is not.
+    pub fn forgery_rejected(&self) -> bool {
+        !self.verdict.accepted
+    }
+}
+
+/// Runs the forging attack end to end: counterfeit a claim over
+/// `deployed` (declaring `deployed − b` at `bits_per_layer` random
+/// cells per layer as "the original"), score it with the naive delta
+/// check, then put it through the full reproduction-based validation —
+/// without a full-precision model, as a real adversary would file it.
+pub fn forging_check(
+    deployed: &QuantizedModel,
+    adversary_calibration: &[Vec<u32>],
+    bits_per_layer: usize,
+    seed: u64,
+    wer_threshold: f64,
+) -> ForgingOutcome {
+    let claim = forge_counterfeit_claim(deployed, adversary_calibration, bits_per_layer, seed);
+    let naive_wer = naive_delta_check(&claim, deployed);
+    let verdict = validate_claim(&claim, deployed, None, adversary_calibration, wer_threshold);
+    ForgingOutcome { naive_wer, verdict }
 }
 
 fn measure(
@@ -164,6 +244,41 @@ mod tests {
     }
 
     #[test]
+    fn pruning_sweep_kills_quality_before_the_ownership_signal() {
+        let (secrets, deployed, corpus) = setup();
+        let eval_cfg = EvalConfig {
+            task_items: 12,
+            ppl_tokens: 300,
+            ..EvalConfig::tiny_test()
+        };
+        let points = pruning_sweep(&secrets, &deployed, &corpus, &eval_cfg, &[0.0, 0.25]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].strength, 0);
+        assert_eq!(points[1].strength, 25);
+        // Zero-fraction point: untouched model, full WER.
+        assert_eq!(points[0].wer, 100.0);
+        // Quality collapses (§5.3's exclusion argument)…
+        assert!(points[1].ppl > points[0].ppl, "{points:?}");
+        // …but the Eq. 8 signal survives.
+        assert!(points[1].wer > 60.0, "{points:?}");
+    }
+
+    #[test]
+    fn forging_check_fools_the_naive_verifier_but_not_the_protocol() {
+        let (secrets, deployed, _) = setup();
+        let calib: Vec<Vec<u32>> = (0..3u32)
+            .map(|s| (0..16u32).map(|i| (i * 11 + s * 5) % 31).collect())
+            .collect();
+        let outcome = forging_check(&deployed, &calib, 4, 666, 90.0);
+        assert!(outcome.naive_wer > 95.0, "naive wer {}", outcome.naive_wer);
+        assert!(outcome.forgery_rejected());
+        assert!(!outcome.verdict.stats_reproducible);
+        // Sanity: the owner's real watermark still extracts perfectly
+        // from the model the forger claimed.
+        assert_eq!(secrets.verify(&deployed).expect("verify").wer(), 100.0);
+    }
+
+    #[test]
     fn rewatermark_sweep_keeps_owner_wer_high() {
         let (secrets, deployed, corpus) = setup();
         let eval_cfg = EvalConfig {
@@ -178,8 +293,15 @@ mod tests {
             .take(4)
             .map(|c| c.to_vec())
             .collect();
-        let points =
-            rewatermark_sweep(&secrets, &deployed, &corpus, &eval_cfg, &[0, 8, 24], &calib);
+        let points = rewatermark_sweep(
+            &secrets,
+            &deployed,
+            &corpus,
+            &eval_cfg,
+            &[0, 8, 24],
+            &calib,
+            &RewatermarkConfig::default(),
+        );
         assert_eq!(points[0].wer, 100.0);
         assert!(points[2].wer > 60.0, "{points:?}");
     }

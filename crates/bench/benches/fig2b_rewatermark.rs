@@ -52,6 +52,7 @@ fn main() {
         &eval_cfg,
         &strengths,
         &adv_calib,
+        &emmark_attacks::rewatermark::RewatermarkConfig::default(),
     );
     println!(
         "\n{:>12} {:>10} {:>18} {:>8}",

@@ -1,0 +1,153 @@
+//! **Fleet provisioning** — batch fingerprint insertion at deployment
+//! scale: one model family stamped onto many edge devices.
+//!
+//! Compares the naive path (per device: re-derive the ownership
+//! locations by scoring every layer, rebuild the base-watermarked
+//! model, re-derive the fingerprint pools, then run a full
+//! [`emmark_core::deploy::encode_model`] pass) with the
+//! [`emmark_core::provision::FleetProvisioner`] engine (scores, pools,
+//! ownership watermark, and the base artifact's v2 encoding cached once
+//! per family; each device is PRNG sampling plus a delta patch through
+//! the layer-offset index, fanned out across worker threads).
+//!
+//! Both paths must produce **byte-identical** device artifacts and the
+//! same registry entries; the ≥5x acceptance bar is pinned on the
+//! 16-device scenario below.
+
+use criterion::Criterion;
+use emmark_bench::print_header;
+use emmark_core::deploy::encode_model;
+use emmark_core::fingerprint::{DeviceFingerprint, Fleet};
+use emmark_core::provision::{FleetProvisioner, ProvisionedDevice};
+use emmark_core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark_nanolm::config::ModelConfig;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use std::time::Instant;
+
+const DEVICES: usize = 16;
+
+fn build_base() -> (OwnerSecrets, WatermarkConfig) {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.d_model = 32;
+    cfg.d_ff = 96;
+    let mut model = TransformerModel::new(cfg);
+    let calib: Vec<Vec<u32>> = (0..8u32)
+        .map(|s| (0..24u32).map(|i| (i * 7 + s * 5) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let quantized = awq(&model, &stats, &AwqConfig::default());
+    let base_cfg = WatermarkConfig {
+        bits_per_layer: 8,
+        pool_ratio: 20,
+        ..Default::default()
+    };
+    let base = OwnerSecrets::new(quantized, stats, base_cfg, 0xF1EE7);
+    let fp_cfg = WatermarkConfig {
+        bits_per_layer: 4,
+        pool_ratio: 20,
+        selection_seed: 0xDE11CE,
+        ..Default::default()
+    };
+    (base, fp_cfg)
+}
+
+/// The uncached reference path: the serial `Fleet` API re-scores every
+/// layer per device (twice — ownership locations and fingerprint
+/// pools), then each artifact is a full v2 re-encode.
+fn naive_provision(
+    base: &OwnerSecrets,
+    fp_cfg: WatermarkConfig,
+    ids: &[String],
+) -> Vec<(DeviceFingerprint, Vec<u8>)> {
+    let mut fleet = Fleet::new(base.clone(), fp_cfg);
+    ids.iter()
+        .map(|id| {
+            let deployed = fleet.provision(id).expect("provision");
+            let fp = fleet.devices().last().expect("registered").clone();
+            (fp, encode_model(&deployed).to_vec())
+        })
+        .collect()
+}
+
+fn main() {
+    print_header(
+        "PROVISION",
+        &format!("score-once/insert-many provisioning of {DEVICES} device artifacts"),
+    );
+    let (base, fp_cfg) = build_base();
+    let ids: Vec<String> = (0..DEVICES).map(|i| format!("edge-{i:04}")).collect();
+
+    // One timed pass of each path, plus a byte-identity check.
+    let start = Instant::now();
+    let naive = naive_provision(&base, fp_cfg, &ids);
+    let naive_time = start.elapsed();
+
+    let start = Instant::now();
+    let provisioner = FleetProvisioner::new(base.clone(), fp_cfg).expect("cache");
+    let cache_time = start.elapsed();
+    let start = Instant::now();
+    let provisioned: Vec<ProvisionedDevice> = provisioner.provision_batch(&ids, None);
+    let batch_time = start.elapsed();
+
+    let total_bytes: usize = provisioned.iter().map(|p| p.artifact.len()).sum();
+    println!(
+        "{} artifacts ({:.1} KiB total), {} fingerprint bits/layer",
+        provisioned.len(),
+        total_bytes as f64 / 1024.0,
+        fp_cfg.bits_per_layer
+    );
+    for (i, (p, (naive_fp, naive_bytes))) in provisioned.iter().zip(&naive).enumerate() {
+        assert_eq!(&p.fingerprint, naive_fp, "device {i}: registry diverged");
+        assert_eq!(
+            &p.artifact, naive_bytes,
+            "device {i}: delta-patched artifact is not byte-identical to the serial encode"
+        );
+    }
+
+    let engine_time = cache_time + batch_time;
+    let speedup = naive_time.as_secs_f64() / engine_time.as_secs_f64();
+    println!("\n{:<48} {:>12}", "path", "wall time");
+    println!(
+        "{:<48} {:>9.1} ms",
+        "naive (re-score + re-encode per device)",
+        naive_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<48} {:>9.1} ms",
+        "provisioner (cache build + delta-patched batch)",
+        engine_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<48} {:>9.1} ms",
+        "  of which one-time cache build",
+        cache_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "\nspeedup {speedup:.1}x, artifacts byte-identical on all {DEVICES} devices \
+         (per-device cost: one buffer copy + O(fingerprint bits) patches)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "score-once/insert-many must be at least 5x over naive per-device \
+         provisioning (got {speedup:.2}x)"
+    );
+
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("provision/naive_16_devices", |b| {
+        b.iter(|| naive_provision(&base, fp_cfg, &ids))
+    });
+    criterion.bench_function("provision/cached_parallel_16_devices", |b| {
+        b.iter(|| provisioner.provision_batch(&ids, None))
+    });
+    criterion.bench_function("provision/cached_serial_16_devices", |b| {
+        b.iter(|| provisioner.provision_batch(&ids, Some(1)))
+    });
+    criterion.bench_function("provision/cache_build", |b| {
+        b.iter(|| FleetProvisioner::new(base.clone(), fp_cfg).expect("cache"))
+    });
+    criterion.bench_function("provision/single_delta_patch", |b| {
+        b.iter(|| provisioner.provision_artifact("edge-0000"))
+    });
+    criterion.final_summary();
+}

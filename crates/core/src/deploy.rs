@@ -1240,6 +1240,96 @@ impl<'a> SparseArtifact<'a> {
     }
 }
 
+/// One grid-cell overwrite in a v2 artifact — the unit of the fleet
+/// delta encoder. `flat` indexes the layer's grid row-major
+/// (`row = flat / out`, `col = flat % out`), exactly like
+/// [`LayerGridView::q_at_flat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPatch {
+    /// Canonical quantized-layer index.
+    pub layer: usize,
+    /// Flat cell index within the layer's grid.
+    pub flat: usize,
+    /// The new integer value.
+    pub q: i8,
+}
+
+/// Emits a copy of a v2 artifact with `patches` applied straight
+/// through the layer-offset `index` — the delta-encoding half of fleet
+/// provisioning. Each patch is one byte poke at
+/// `index[layer].q_offset + flat`; nothing is re-encoded, so deriving a
+/// device artifact from the base-watermarked one costs one buffer copy
+/// plus O(fingerprint bits), not O(params) float serialization.
+///
+/// The output is byte-identical to [`encode_model`] run on a model
+/// whose grids differ from the base artifact's exactly at `patches` —
+/// grid bytes are the only bytes a cell value touches in the v2 layout.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Corrupt`] if a patch names a layer or cell
+/// outside the index, a value outside the layer's bit-width storage
+/// range (the patched artifact must stay decodable), or a grid whose
+/// index extent falls outside `base`.
+pub fn patch_artifact(
+    base: &[u8],
+    index: &[LayerIndexEntry],
+    patches: &[CellPatch],
+) -> Result<Vec<u8>, CodecError> {
+    let mut out = base.to_vec();
+    for p in patches {
+        let Some(entry) = index.get(p.layer) else {
+            return Err(CodecError::Corrupt {
+                section: Section::LayerIndex,
+                offset: 0,
+                msg: format!("patch names layer {} of {}", p.layer, index.len()),
+            });
+        };
+        // The index normally comes from `SparseArtifact::open` on these
+        // very bytes, but the parameters are independent — an index
+        // inconsistent with `base` must error, not panic.
+        if entry
+            .q_offset
+            .checked_add(entry.cells())
+            .is_none_or(|end| end > base.len())
+        {
+            return Err(CodecError::Corrupt {
+                section: Section::Layer(p.layer),
+                offset: entry.q_offset,
+                msg: format!("grid extent exceeds the {}-byte base artifact", base.len()),
+            });
+        }
+        if p.flat >= entry.cells() {
+            return Err(CodecError::Corrupt {
+                section: Section::Layer(p.layer),
+                offset: entry.q_offset,
+                msg: format!("patch cell {} exceeds grid size {}", p.flat, entry.cells()),
+            });
+        }
+        let qmax = ((1i16 << (entry.bits - 1)) - 1) as i8;
+        if p.q > qmax || p.q < -qmax - 1 {
+            return Err(CodecError::Corrupt {
+                section: Section::Layer(p.layer),
+                offset: entry.q_offset + p.flat,
+                msg: format!("patch value {} outside the {}-bit range", p.q, entry.bits),
+            });
+        }
+        out[entry.q_offset + p.flat] = p.q as u8;
+    }
+    Ok(out)
+}
+
+impl SparseArtifact<'_> {
+    /// [`patch_artifact`] against this artifact's own bytes and index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`patch_artifact`] errors.
+    pub fn patch_cells(&self, patches: &[CellPatch]) -> Result<Vec<u8>, CodecError> {
+        patch_artifact(self.data, &self.index, patches)
+    }
+}
+
 impl GridSource for SparseArtifact<'_> {
     fn source_layer_count(&self) -> usize {
         self.index.len()
@@ -1506,6 +1596,111 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn patched_artifact_equals_reencoding_the_patched_model() {
+        for model in models_to_roundtrip() {
+            let bytes = encode_model(&model);
+            let sparse = SparseArtifact::open(&bytes).expect("open");
+            // Mirror the patches on an in-memory copy, one cell per layer.
+            let mut expected = model.clone();
+            let patches: Vec<CellPatch> = model
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| {
+                    let f = layer.len() / 2;
+                    let q = if layer.q_at_flat(f) >= layer.qmax() {
+                        layer.q_at_flat(f) - 1
+                    } else {
+                        layer.q_at_flat(f) + 1
+                    };
+                    expected.layers[l].set_q_flat(f, q);
+                    CellPatch {
+                        layer: l,
+                        flat: f,
+                        q,
+                    }
+                })
+                .collect();
+            let patched = sparse.patch_cells(&patches).expect("patch");
+            assert_eq!(
+                patched,
+                encode_model(&expected).to_vec(),
+                "{}: delta patch must be byte-identical to a re-encode",
+                model.scheme
+            );
+            let decoded = decode_model(&patched).expect("decode");
+            assert!(decoded.same_weights(&expected), "{}", model.scheme);
+        }
+    }
+
+    #[test]
+    fn out_of_range_patches_are_rejected() {
+        let model = &models_to_roundtrip()[0];
+        let bytes = encode_model(model);
+        let sparse = SparseArtifact::open(&bytes).expect("open");
+        let bad_layer = CellPatch {
+            layer: sparse.layer_count(),
+            flat: 0,
+            q: 1,
+        };
+        assert!(matches!(
+            sparse.patch_cells(&[bad_layer]),
+            Err(CodecError::Corrupt { .. })
+        ));
+        let bad_cell = CellPatch {
+            layer: 0,
+            flat: sparse.layer_index()[0].cells(),
+            q: 1,
+        };
+        assert!(matches!(
+            sparse.patch_cells(&[bad_cell]),
+            Err(CodecError::Corrupt { .. })
+        ));
+        // A value outside the layer's bit width must be refused (the
+        // patched artifact would fail decode_model's range check).
+        let bits = sparse.layer_index()[0].bits;
+        let overflow = CellPatch {
+            layer: 0,
+            flat: 0,
+            q: ((1i16 << (bits - 1)) - 1) as i8,
+        };
+        let too_big = CellPatch {
+            q: overflow.q.saturating_add(1),
+            ..overflow
+        };
+        if bits < 8 {
+            assert!(matches!(
+                sparse.patch_cells(&[too_big]),
+                Err(CodecError::Corrupt { .. })
+            ));
+        }
+        // In-range patches still succeed and decode.
+        let ok = sparse
+            .patch_cells(&[CellPatch {
+                layer: 0,
+                flat: 0,
+                q: 1,
+            }])
+            .expect("patch");
+        assert!(decode_model(&ok).is_ok());
+        // An index inconsistent with the base bytes (grid extent past
+        // the end) must error, not panic.
+        let last = *sparse.layer_index().last().expect("layers");
+        let truncated = &bytes[..last.q_offset + 1];
+        let err = patch_artifact(
+            truncated,
+            sparse.layer_index(),
+            &[CellPatch {
+                layer: sparse.layer_count() - 1,
+                flat: 1,
+                q: 1,
+            }],
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, CodecError::Corrupt { .. }), "{err:?}");
     }
 
     #[test]

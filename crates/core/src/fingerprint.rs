@@ -10,11 +10,11 @@
 //! the leaked weights and returns the one with an overwhelming Eq. 8
 //! margin.
 
-use crate::scoring::{candidate_pool, score_layer};
+use crate::scoring::layer_pool;
 use crate::signature::Signature;
 use crate::watermark::{
-    extract_with_locations, locate_watermark, ExtractionReport, GridSource, Locations,
-    OwnerSecrets, WatermarkConfig, WatermarkError,
+    apply_bits_at, extract_with_locations, locate_watermark, ExtractionReport, GridSource,
+    Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
 };
 use emmark_quant::QuantizedModel;
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
@@ -45,10 +45,21 @@ pub struct Fleet {
 impl Fleet {
     /// Creates a fleet around existing owner secrets.
     pub fn new(base: OwnerSecrets, fingerprint_config: WatermarkConfig) -> Self {
+        Self::with_devices(base, fingerprint_config, Vec::new())
+    }
+
+    /// Creates a fleet with `devices` already registered — e.g. to
+    /// continue a registry a [`crate::provision::FleetProvisioner`]
+    /// batch produced.
+    pub fn with_devices(
+        base: OwnerSecrets,
+        fingerprint_config: WatermarkConfig,
+        devices: Vec<DeviceFingerprint>,
+    ) -> Self {
         Self {
             base,
             fingerprint_config,
-            devices: Vec::new(),
+            devices,
         }
     }
 
@@ -94,12 +105,7 @@ impl Fleet {
         let n = deployed.layer_count();
         let sig = Signature::generate(self.fingerprint_config.signature_len(n), fp.signature_seed);
         let locations = self.fingerprint_locations(&deployed, fp.selection_seed)?;
-        for (l, locs) in locations.iter().enumerate() {
-            let bits = sig.layer_bits(l, n);
-            for (&f, &b) in locs.iter().zip(bits) {
-                deployed.layers[l].bump_q_flat(f, b);
-            }
-        }
+        apply_bits_at(&mut deployed, &locations, &sig);
         self.devices.push(fp);
         Ok(deployed)
     }
@@ -177,15 +183,94 @@ pub(crate) fn fingerprint_pools(
     let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
     let mut pools = Vec::with_capacity(base_deployed.layer_count());
     for (l, layer) in base_deployed.layers.iter().enumerate() {
-        let mut scores = score_layer(layer, &stats.per_layer[l].mean_abs, &coeffs);
-        for &f in &base_locs[l] {
-            scores[f] = f64::INFINITY;
-        }
-        let pool = candidate_pool(&scores, pool_size)
-            .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+        let pool = layer_pool(
+            layer,
+            &stats.per_layer[l].mean_abs,
+            &coeffs,
+            pool_size,
+            &base_locs[l],
+        )
+        .map_err(|source| WatermarkError::Pool { layer: l, source })?;
         pools.push(pool);
     }
     Ok(pools)
+}
+
+/// Everything about a model family that is *device-independent*: the
+/// ownership watermark locations, the base-watermarked reference model,
+/// and the per-layer fingerprint candidate pools (base-excluded).
+///
+/// Building it pays the full Eqs. 2–4 scoring cost exactly once; both
+/// halves of the fleet pipeline — [`crate::provision::FleetProvisioner`]
+/// (score-once/insert-many) and [`crate::fleet::FleetVerifier`]
+/// (score-once/verify-many) — are thin device loops over this cache,
+/// which is what makes their outputs bit-identical to the serial
+/// [`Fleet`] path by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct FamilyCache {
+    /// Ownership watermark locations (Eq. 2–4 scoring, once).
+    pub(crate) base_locations: Locations,
+    /// The base-watermarked reference model every device starts from.
+    pub(crate) base_deployed: QuantizedModel,
+    /// Per-layer fingerprint candidate pools, base-excluded.
+    pub(crate) pools: Vec<Vec<usize>>,
+}
+
+impl FamilyCache {
+    /// Validates the secret bundle and derives the cache.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an inconsistent bundle
+    /// ([`WatermarkError::SignatureLength`],
+    /// [`WatermarkError::InvalidConfig`]) and propagates
+    /// location-reproduction errors.
+    pub(crate) fn build(
+        base: &OwnerSecrets,
+        fingerprint_config: &WatermarkConfig,
+    ) -> Result<Self, WatermarkError> {
+        // Corrupt or hand-edited inputs (vault, registry) must surface
+        // as errors here, not panics inside batch workers.
+        fingerprint_config.validate()?;
+        let expected = base.config.signature_len(base.original.layer_count());
+        if base.signature.len() != expected {
+            return Err(WatermarkError::SignatureLength {
+                expected,
+                got: base.signature.len(),
+            });
+        }
+        let base_locations = locate_watermark(&base.original, &base.stats, &base.config)?;
+        // Apply the base watermark at the cached locations (identical to
+        // `OwnerSecrets::watermark_for_deployment`, without re-locating).
+        let mut base_deployed = base.original.clone();
+        apply_bits_at(&mut base_deployed, &base_locations, &base.signature);
+        let pools = fingerprint_pools(
+            &base_deployed,
+            &base.stats,
+            &base_locations,
+            fingerprint_config,
+        )?;
+        Ok(Self {
+            base_locations,
+            base_deployed,
+            pools,
+        })
+    }
+
+    /// Derives one device's fingerprint material from the shared pools:
+    /// its registry entry, signature, and sampled locations — pure PRNG
+    /// work, no scoring.
+    pub(crate) fn device_material(
+        &self,
+        fingerprint_config: &WatermarkConfig,
+        device_id: &str,
+    ) -> (DeviceFingerprint, Signature, Locations) {
+        let fp = derive_device(fingerprint_config, device_id);
+        let n = self.base_deployed.layer_count();
+        let sig = Signature::generate(fingerprint_config.signature_len(n), fp.signature_seed);
+        let locs = sample_from_pools(&self.pools, fingerprint_config, fp.selection_seed);
+        (fp, sig, locs)
+    }
 }
 
 /// The device-*dependent* half: draws `bits_per_layer` cells per layer

@@ -33,13 +33,11 @@
 use crate::deploy::{
     artifact_version, decode_model, CodecError, Section, SparseArtifact, FORMAT_V2,
 };
-use crate::fingerprint::{
-    derive_device, fingerprint_pools, sample_from_pools, DeviceFingerprint, Fleet,
-};
+use crate::fingerprint::{derive_device, sample_from_pools, DeviceFingerprint, FamilyCache, Fleet};
 use crate::signature::Signature;
 use crate::watermark::{
-    extract_with_locations, locate_watermark, min_matched_to_prove, ExtractionReport, GridSource,
-    Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
+    extract_with_locations, min_matched_to_prove, ExtractionReport, GridSource, Locations,
+    OwnerSecrets, WatermarkConfig, WatermarkError,
 };
 use bytes::{BufMut, Bytes, BytesMut};
 use emmark_quant::QuantizedModel;
@@ -154,33 +152,26 @@ impl FleetVerifier {
         fingerprint_config: WatermarkConfig,
         devices: Vec<DeviceFingerprint>,
     ) -> Result<Self, WatermarkError> {
-        // Corrupt or hand-edited inputs (vault, registry) must surface as
-        // errors here, not panics inside batch workers.
-        fingerprint_config.validate()?;
-        let expected = base.config.signature_len(base.original.layer_count());
-        if base.signature.len() != expected {
-            return Err(WatermarkError::SignatureLength {
-                expected,
-                got: base.signature.len(),
-            });
-        }
-        let base_locations = locate_watermark(&base.original, &base.stats, &base.config)?;
-        // Apply the base watermark at the cached locations (identical to
-        // `OwnerSecrets::watermark_for_deployment`, without re-locating).
-        let mut base_deployed = base.original.clone();
+        let cache = FamilyCache::build(&base, &fingerprint_config)?;
+        Ok(Self::from_cache(base, fingerprint_config, devices, cache))
+    }
+
+    /// Builds the engine around an already-derived [`FamilyCache`] —
+    /// the provision→verify flow ([`crate::provision::FleetProvisioner`])
+    /// reuses its cache here instead of paying the Eqs. 2–4 scoring a
+    /// second time.
+    pub(crate) fn from_cache(
+        base: OwnerSecrets,
+        fingerprint_config: WatermarkConfig,
+        devices: Vec<DeviceFingerprint>,
+        cache: FamilyCache,
+    ) -> Self {
+        let FamilyCache {
+            base_locations,
+            base_deployed,
+            pools,
+        } = cache;
         let n = base_deployed.layer_count();
-        for (l, layer_locs) in base_locations.iter().enumerate() {
-            let bits = base.signature.layer_bits(l, n);
-            for (&f, &b) in layer_locs.iter().zip(bits) {
-                base_deployed.layers[l].bump_q_flat(f, b);
-            }
-        }
-        let pools = fingerprint_pools(
-            &base_deployed,
-            &base.stats,
-            &base_locations,
-            &fingerprint_config,
-        )?;
         let device_material = devices
             .iter()
             .map(|d| {
@@ -190,7 +181,7 @@ impl FleetVerifier {
                 (sig, locs)
             })
             .collect();
-        Ok(Self {
+        Self {
             base,
             fingerprint_config,
             devices,
@@ -198,7 +189,7 @@ impl FleetVerifier {
             base_deployed,
             pools,
             device_material,
-        })
+        }
     }
 
     /// The registered devices, in registration order.
@@ -360,11 +351,6 @@ impl FleetVerifier {
         log10_threshold: f64,
         jobs: Option<usize>,
     ) -> Vec<Result<FleetVerdict, FleetError>> {
-        let jobs = jobs.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
         par_map(artifacts, jobs, |a| {
             self.verify_artifact(a.as_ref(), log10_threshold)
         })
@@ -378,14 +364,21 @@ pub fn registry_entry(fingerprint_config: &WatermarkConfig, device_id: &str) -> 
 }
 
 /// Order-preserving parallel map over a slice: a work queue drained by
-/// `jobs` scoped threads (the offline stand-in for `rayon`'s
-/// `par_iter`, see DESIGN.md §6).
-fn par_map<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+/// `jobs` scoped threads (`None` = one per available core; the offline
+/// stand-in for `rayon`'s `par_iter`, see DESIGN.md §6). Shared by
+/// batch verification and batch provisioning ([`crate::provision`]),
+/// so the two engines' threading policy cannot drift apart.
+pub(crate) fn par_map<T, U, F>(items: &[T], jobs: Option<usize>, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let jobs = jobs.clamp(1, items.len().max(1));
     if jobs == 1 {
         return items.iter().map(f).collect();
@@ -681,14 +674,14 @@ mod tests {
     #[test]
     fn par_map_preserves_order_for_any_job_count() {
         let items: Vec<usize> = (0..37).collect();
-        for jobs in [1, 2, 3, 8, 64] {
+        for jobs in [Some(1), Some(2), Some(3), Some(8), Some(64), None] {
             let out = par_map(&items, jobs, |&i| i * i);
             assert_eq!(
                 out,
                 items.iter().map(|&i| i * i).collect::<Vec<_>>(),
-                "jobs={jobs}"
+                "jobs={jobs:?}"
             );
         }
-        assert!(par_map::<usize, usize, _>(&[], 4, |&i| i).is_empty());
+        assert!(par_map::<usize, usize, _>(&[], Some(4), |&i| i).is_empty());
     }
 }

@@ -21,7 +21,13 @@
 //! * [`fleet`] — the parallel batch verification engine
 //!   ([`fleet::FleetVerifier`]) with its one-time per-model-family cache,
 //!   plus the on-disk device registry;
-//! * [`vault`] — versioned serialization of the owner's secret bundle.
+//! * [`provision`] — the batch provisioning engine
+//!   ([`provision::FleetProvisioner`]): score-once/insert-many
+//!   fingerprinting over the same family cache, emitting device
+//!   artifacts by delta-patching the base artifact through the v2
+//!   offset index;
+//! * [`vault`] — versioned serialization of the owner's secret bundle
+//!   and the provisioned-fleet bundle.
 //!
 //! # Examples
 //!
@@ -56,6 +62,7 @@ pub mod baselines;
 pub mod deploy;
 pub mod fingerprint;
 pub mod fleet;
+pub mod provision;
 pub mod scheme;
 pub mod scoring;
 pub mod signature;

@@ -150,6 +150,37 @@ pub fn candidate_pool(scores: &[f64], pool_size: usize) -> Result<Vec<usize>, Po
     Ok(indexed.into_iter().map(|(_, i)| i).collect())
 }
 
+/// Scores one layer and keeps its candidate pool in a single step:
+/// Eqs. 2–4 scoring, then `excluded` cells are score-excluded (set to
+/// `∞` — the rule the fingerprint layer uses to keep device bits off
+/// the ownership watermark's cells), then the `pool_size` best survive.
+///
+/// This is the per-layer unit of work every location-reproduction path
+/// shares — ownership insertion, fingerprint pooling, and the fleet
+/// caches all reduce to it, so scoring happens in exactly one place.
+///
+/// # Errors
+///
+/// Returns [`PoolError`] if fewer than `pool_size` finite-scored cells
+/// remain after exclusion.
+///
+/// # Panics
+///
+/// Panics if `act_mean.len() != layer.in_features()`.
+pub fn layer_pool(
+    layer: &QuantizedLinear,
+    act_mean: &[f32],
+    coeffs: &ScoreCoefficients,
+    pool_size: usize,
+    excluded: &[usize],
+) -> Result<Vec<usize>, PoolError> {
+    let mut scores = score_layer(layer, act_mean, coeffs);
+    for &f in excluded {
+        scores[f] = f64::INFINITY;
+    }
+    candidate_pool(&scores, pool_size)
+}
+
 /// Not enough watermarkable cells in a layer to fill the candidate pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolError {
@@ -271,6 +302,26 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn layer_pool_matches_score_then_pool_and_honors_exclusions() {
+        let layer = layer_with(vec![3, 4, 5, 6, 7, 8], 3, 2);
+        let act = [1.0f32, 2.0, 3.0];
+        let coeffs = ScoreCoefficients::default();
+        let direct = {
+            let scores = score_layer(&layer, &act, &coeffs);
+            candidate_pool(&scores, 3).expect("pool")
+        };
+        let fused = layer_pool(&layer, &act, &coeffs, 3, &[]).expect("pool");
+        assert_eq!(direct, fused);
+        // Excluding a pooled cell must evict it, never shrink the pool.
+        let without = layer_pool(&layer, &act, &coeffs, 3, &[fused[0]]).expect("pool");
+        assert_eq!(without.len(), 3);
+        assert!(!without.contains(&fused[0]));
+        // Exclusions count against availability.
+        let err = layer_pool(&layer, &act, &coeffs, 4, &[2, 3, 4, 5]).expect_err("short");
+        assert!(err.available < err.needed);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use crate::deploy::{
     artifact_version, decode_model, encode_model, encode_model_v1, put_watermark_config,
     CodecError, Reader, Section, FORMAT_V1, FORMAT_V2,
 };
+use crate::fingerprint::DeviceFingerprint;
+use crate::provision::ProvisionedDevice;
 use crate::signature::Signature;
-use crate::watermark::OwnerSecrets;
+use crate::watermark::{OwnerSecrets, WatermarkConfig};
 use bytes::{BufMut, Bytes, BytesMut};
 use emmark_nanolm::model::{ActivationStats, LayerActivation};
 
@@ -149,6 +151,105 @@ pub fn decode_secrets(bytes: &[u8]) -> Result<OwnerSecrets, CodecError> {
     })
 }
 
+const FLEET_MAGIC: &[u8; 4] = b"EMFB";
+
+/// A provisioned fleet loaded from a bundle: the fingerprint parameters
+/// plus every device's registry entry and v2 artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBundle {
+    /// Fingerprint parameters the fleet was provisioned with.
+    pub fingerprint_config: WatermarkConfig,
+    /// Registry entry + artifact per device, in provisioning order.
+    pub devices: Vec<ProvisionedDevice>,
+}
+
+/// Serializes a provisioned fleet in bulk: one vault file holding the
+/// fingerprint parameters, every registry entry, and every device
+/// artifact — the single-file counterpart of `fleet-provision`'s
+/// directory of `.emqm` files plus `fleet.emfr`.
+///
+/// The bundle version tracks the deploy-codec version of the embedded
+/// artifacts, like the secrets vault.
+///
+/// # Panics
+///
+/// Panics if a device artifact exceeds the u32 length field (4 GiB) —
+/// truncating it silently would corrupt every subsequent entry.
+pub fn encode_fleet_bundle(
+    fingerprint_config: &WatermarkConfig,
+    devices: &[ProvisionedDevice],
+) -> Bytes {
+    let payload: usize = devices.iter().map(|d| d.artifact.len() + 64).sum();
+    let mut buf = BytesMut::with_capacity(64 + payload);
+    buf.put_slice(FLEET_MAGIC);
+    buf.put_u32_le(VERSION);
+    put_watermark_config(&mut buf, fingerprint_config);
+    buf.put_u32_le(devices.len() as u32);
+    for d in devices {
+        let artifact_len = u32::try_from(d.artifact.len())
+            .expect("device artifact exceeds the bundle's u32 length field");
+        buf.put_u32_le(d.fingerprint.device_id.len() as u32);
+        buf.put_slice(d.fingerprint.device_id.as_bytes());
+        buf.put_u64_le(d.fingerprint.selection_seed);
+        buf.put_u64_le(d.fingerprint.signature_seed);
+        buf.put_u32_le(artifact_len);
+        buf.put_slice(&d.artifact);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a provisioned-fleet bundle written by
+/// [`encode_fleet_bundle`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input, including
+/// [`CodecError::MixedVersion`] when an embedded artifact's format
+/// version disagrees with the bundle's.
+pub fn decode_fleet_bundle(bytes: &[u8]) -> Result<FleetBundle, CodecError> {
+    let mut r = Reader::new(bytes, Section::Vault);
+    r.magic(FLEET_MAGIC)?;
+    let version = r.u32("bundle version")?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let fingerprint_config = r.watermark_config()?;
+    fingerprint_config
+        .validate()
+        .map_err(|e| r.corrupt(format!("fingerprint config: {e}")))?;
+    let count = r.u32("device count")? as usize;
+    // Each entry is at least 24 bytes (id length, two seeds, artifact
+    // length); bound the allocation before trusting `count`.
+    r.need(count.saturating_mul(24), "device entries")?;
+    let mut devices = Vec::with_capacity(count);
+    for _ in 0..count {
+        let device_id = r.string("device id")?;
+        let selection_seed = r.u64("device selection seed")?;
+        let signature_seed = r.u64("device signature seed")?;
+        let artifact_len = r.u32("artifact length")? as usize;
+        let artifact = r.take(artifact_len, "artifact bytes")?;
+        let inner = artifact_version(artifact)?;
+        if inner != version {
+            return Err(CodecError::MixedVersion {
+                outer: version,
+                inner,
+            });
+        }
+        devices.push(ProvisionedDevice {
+            fingerprint: DeviceFingerprint {
+                device_id,
+                selection_seed,
+                signature_seed,
+            },
+            artifact: artifact.to_vec(),
+        });
+    }
+    Ok(FleetBundle {
+        fingerprint_config,
+        devices,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +352,79 @@ mod tests {
         assert!(matches!(
             decode_secrets(&corrupted),
             Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    fn provisioned_fleet() -> (WatermarkConfig, Vec<ProvisionedDevice>) {
+        let fp_cfg = WatermarkConfig {
+            bits_per_layer: 3,
+            pool_ratio: 10,
+            selection_seed: 0xDE11CE,
+            ..Default::default()
+        };
+        let provisioner =
+            crate::provision::FleetProvisioner::new(secrets(), fp_cfg).expect("cache");
+        let devices = provisioner.provision_batch(&["edge-00", "edge-01"], None);
+        (fp_cfg, devices)
+    }
+
+    #[test]
+    fn fleet_bundle_roundtrips_bit_exactly() {
+        let (fp_cfg, devices) = provisioned_fleet();
+        let bytes = encode_fleet_bundle(&fp_cfg, &devices);
+        let bundle = decode_fleet_bundle(&bytes).expect("decode");
+        assert_eq!(bundle.fingerprint_config, fp_cfg);
+        assert_eq!(bundle.devices, devices);
+        // Every embedded artifact still decodes to a model.
+        for d in &bundle.devices {
+            assert!(decode_model(&d.artifact).is_ok());
+        }
+    }
+
+    #[test]
+    fn fleet_bundle_rejects_garbage_truncation_and_mixed_versions() {
+        let (fp_cfg, devices) = provisioned_fleet();
+        assert!(matches!(
+            decode_fleet_bundle(b"EMWS1234"),
+            Err(CodecError::BadMagic)
+        ));
+        let bytes = encode_fleet_bundle(&fp_cfg, &devices).to_vec();
+        for cut in [6usize, 40, bytes.len() / 2, bytes.len() - 5] {
+            assert!(
+                decode_fleet_bundle(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Splice a v1 artifact into the first slot.
+        let mut spliced_devices = devices.clone();
+        spliced_devices[0].artifact =
+            encode_model_v1(&decode_model(&devices[0].artifact).expect("decode")).to_vec();
+        let spliced = encode_fleet_bundle(&fp_cfg, &spliced_devices);
+        assert_eq!(
+            decode_fleet_bundle(&spliced).expect_err("mixed bundle must fail"),
+            CodecError::MixedVersion {
+                outer: FORMAT_V2,
+                inner: FORMAT_V1
+            }
+        );
+        // An invalid fingerprint config is rejected before any artifact.
+        let mut bad_cfg = fp_cfg;
+        bad_cfg.pool_ratio = 0;
+        assert!(matches!(
+            decode_fleet_bundle(&encode_fleet_bundle(&bad_cfg, &devices)),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn fleet_bundle_with_huge_device_count_is_truncated_not_oom() {
+        let (fp_cfg, _) = provisioned_fleet();
+        let mut bytes = encode_fleet_bundle(&fp_cfg, &[]).to_vec();
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_fleet_bundle(&bytes),
+            Err(CodecError::Truncated { .. })
         ));
     }
 

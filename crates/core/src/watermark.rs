@@ -8,7 +8,7 @@
 //! the original, and count exact `ΔW == b` matches. Eq. 8 turns the match
 //! count into a chance probability.
 
-use crate::scoring::{candidate_pool, score_layer, PoolError, ScoreCoefficients};
+use crate::scoring::{layer_pool, PoolError, ScoreCoefficients};
 use crate::signature::Signature;
 use emmark_nanolm::model::ActivationStats;
 use emmark_quant::QuantizedModel;
@@ -213,14 +213,31 @@ pub fn locate_watermark(
     let mut locations = Vec::with_capacity(original.layer_count());
     for (l, layer) in original.layers.iter().enumerate() {
         let layer_seed = sm.next_u64();
-        let scores = score_layer(layer, &stats.per_layer[l].mean_abs, &coeffs);
-        let pool = candidate_pool(&scores, pool_size)
+        let pool = layer_pool(layer, &stats.per_layer[l].mean_abs, &coeffs, pool_size, &[])
             .map_err(|source| WatermarkError::Pool { layer: l, source })?;
         let mut rng = Xoshiro256::seed_from_u64(layer_seed);
         let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
         locations.push(picks.into_iter().map(|p| pool[p]).collect());
     }
     Ok(locations)
+}
+
+/// Applies `signature` at pre-derived `locations` (Eq. 5's bump), the
+/// shared insertion step of [`insert_watermark`], fleet provisioning,
+/// and the batch-verifier reference build. Selection excluded clamped
+/// cells, so the bump cannot clip.
+pub(crate) fn apply_bits_at(
+    model: &mut QuantizedModel,
+    locations: &Locations,
+    signature: &Signature,
+) {
+    let n = model.layer_count();
+    for (l, layer_locs) in locations.iter().enumerate() {
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in layer_locs.iter().zip(bits) {
+            model.layers[l].bump_q_flat(f, b);
+        }
+    }
 }
 
 /// Proof material returned by [`insert_watermark`].
@@ -256,14 +273,7 @@ pub fn insert_watermark(
         });
     }
     let locations = locate_watermark(model, stats, cfg)?;
-    let n = model.layer_count();
-    for (l, layer_locs) in locations.iter().enumerate() {
-        let bits = signature.layer_bits(l, n);
-        for (&f, &b) in layer_locs.iter().zip(bits) {
-            // Selection excluded clamped cells, so the bump cannot clip.
-            model.layers[l].bump_q_flat(f, b);
-        }
-    }
+    apply_bits_at(model, &locations, signature);
     Ok(InsertedWatermark {
         locations,
         bits: signature.len(),

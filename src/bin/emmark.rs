@@ -13,11 +13,16 @@
 //!                                                   parameter-overwriting attack
 //! emmark fleet-provision --secrets FILE --out-dir DIR --devices N
 //!                        [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-//!                                                   fingerprint N device artifacts +
-//!                                                   write the fleet registry
-//! emmark fleet-verify --secrets FILE --registry FILE --artifacts DIR
+//!                        [--jobs N] [--bundle FILE]  score-once/insert-many batch
+//!                                                   provisioning: fingerprint N
+//!                                                   device artifacts by delta-
+//!                                                   patching the base artifact,
+//!                                                   write the fleet registry (and
+//!                                                   optionally one bundle file)
+//! emmark fleet-verify --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
 //!                     [--threshold L] [--jobs N]    parallel batch verification +
 //!                                                   leak tracing over a directory
+//!                                                   or a provisioned-fleet bundle
 //! ```
 //!
 //! The demo subcommand exists so the whole flow can be driven without
@@ -31,9 +36,11 @@ use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
 use emmark::core::deploy::{
     artifact_version, decode_model, encode_model, SparseArtifact, FORMAT_V2,
 };
-use emmark::core::fingerprint::Fleet;
-use emmark::core::fleet::{decode_registry, encode_registry, FleetVerifier};
-use emmark::core::vault::{decode_secrets, encode_secrets};
+use emmark::core::fleet::{decode_registry, FleetVerifier};
+use emmark::core::provision::FleetProvisioner;
+use emmark::core::vault::{
+    decode_fleet_bundle, decode_secrets, encode_fleet_bundle, encode_secrets,
+};
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
 use emmark::nanolm::train::{train, TrainConfig};
@@ -88,7 +95,8 @@ USAGE:
   emmark attack  --model FILE --out FILE --per-layer N [--seed S]
   emmark fleet-provision --secrets FILE --out-dir DIR --devices N
                          [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-  emmark fleet-verify    --secrets FILE --registry FILE --artifacts DIR
+                         [--jobs N] [--bundle FILE]
+  emmark fleet-verify    --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
                          [--threshold L] [--jobs N]";
 
 /// Options that are flags (present or absent), not key-value pairs.
@@ -390,26 +398,49 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
 
+    let jobs: usize = parsed(opts, "jobs", 0)?;
+    let jobs = if jobs == 0 { None } else { Some(jobs) };
     let fp_cfg = WatermarkConfig {
         bits_per_layer: fp_bits,
         pool_ratio: fp_pool,
         selection_seed: fp_seed,
         ..Default::default()
     };
-    let mut fleet = Fleet::new(secrets, fp_cfg);
-    for i in 0..devices {
-        let id = format!("{prefix}-{i:04}");
-        let deployment = fleet.provision(&id).map_err(|e| e.to_string())?;
+
+    // Score once (ownership locations, fingerprint pools, base artifact
+    // encode), then stamp every device by delta-patching the base
+    // artifact — O(fingerprint bits) per device, in parallel.
+    let start = std::time::Instant::now();
+    let provisioner = FleetProvisioner::new(secrets, fp_cfg).map_err(|e| e.to_string())?;
+    let cache_time = start.elapsed();
+    let ids: Vec<String> = (0..devices).map(|i| format!("{prefix}-{i:04}")).collect();
+    let start = std::time::Instant::now();
+    let provisioned = provisioner.provision_batch(&ids, jobs);
+    let batch_time = start.elapsed();
+
+    for device in &provisioned {
         write_file(
-            &out_dir.join(format!("{id}.emqm")),
-            &encode_model(&deployment),
+            &out_dir.join(format!("{}.emqm", device.fingerprint.device_id)),
+            &device.artifact,
         )?;
     }
-    let registry = encode_registry(&fleet.fingerprint_config, fleet.devices());
-    write_file(&out_dir.join("fleet.emfr"), &registry)?;
+    write_file(
+        &out_dir.join("fleet.emfr"),
+        &provisioner.registry(&provisioned),
+    )?;
+    if let Some(bundle_path) = opts.get("bundle") {
+        write_file(
+            Path::new(bundle_path),
+            &encode_fleet_bundle(provisioner.fingerprint_config(), &provisioned),
+        )?;
+        println!("wrote fleet bundle to {bundle_path}");
+    }
     println!(
-        "provisioned {devices} fingerprinted artifacts in {} ({fp_bits} fingerprint bits/layer)",
-        out_dir.display()
+        "provisioned {devices} fingerprinted artifacts in {} ({fp_bits} fingerprint bits/layer; \
+         score-once cache {:.1} ms, delta-patched batch {:.1} ms)",
+        out_dir.display(),
+        cache_time.as_secs_f64() * 1e3,
+        batch_time.as_secs_f64() * 1e3
     );
     println!(
         "try: emmark fleet-verify --secrets SECRETS --registry {0}/fleet.emfr --artifacts {0}",
@@ -421,22 +452,54 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
-    let (fp_cfg, devices) =
-        decode_registry(&read_file(required(opts, "registry")?)?).map_err(|e| e.to_string())?;
-    let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
     let threshold: f64 = parsed(opts, "threshold", -6.0)?;
     let jobs: usize = parsed(opts, "jobs", 0)?;
     let jobs = if jobs == 0 { None } else { Some(jobs) };
 
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
-        .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
-    }
+    // Two sources: a provisioned-fleet bundle (registry + artifacts in
+    // one file), or a registry file plus a directory of .emqm files.
+    let (fp_cfg, devices, names, artifacts): (_, _, Vec<String>, Vec<Vec<u8>>) =
+        if let Some(bundle_path) = opts.get("bundle") {
+            let bundle =
+                decode_fleet_bundle(&read_file(bundle_path)?).map_err(|e| e.to_string())?;
+            let names = bundle
+                .devices
+                .iter()
+                .map(|d| d.fingerprint.device_id.clone())
+                .collect();
+            let (devices, artifacts) = bundle
+                .devices
+                .into_iter()
+                .map(|d| (d.fingerprint, d.artifact))
+                .unzip();
+            (bundle.fingerprint_config, devices, names, artifacts)
+        } else {
+            let (fp_cfg, devices) = decode_registry(&read_file(required(opts, "registry")?)?)
+                .map_err(|e| e.to_string())?;
+            let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
+                .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
+            }
+            let names = paths
+                .iter()
+                .map(|p| {
+                    p.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                })
+                .collect();
+            let artifacts = paths
+                .iter()
+                .map(|p| read_file(&p.display().to_string()))
+                .collect::<Result<_, _>>()?;
+            (fp_cfg, devices, names, artifacts)
+        };
 
     println!(
         "building the verification cache ({} registered devices)…",
@@ -447,10 +510,6 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
         FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
     let cache_time = start.elapsed();
 
-    let artifacts: Vec<Vec<u8>> = paths
-        .iter()
-        .map(|p| read_file(&p.display().to_string()))
-        .collect::<Result<_, _>>()?;
     let start = std::time::Instant::now();
     let verdicts = verifier.verify_batch(&artifacts, threshold, jobs);
     let verify_time = start.elapsed();
@@ -462,11 +521,7 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut owned = 0usize;
     let mut traced = 0usize;
     let mut failed = 0usize;
-    for (path, verdict) in paths.iter().zip(&verdicts) {
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
+    for (name, verdict) in names.iter().zip(&verdicts) {
         match verdict {
             Ok(v) => {
                 if v.proves_ownership(threshold) {

@@ -1,0 +1,323 @@
+//! Attack-robustness regression matrix (§4.3 / §5.3 of the paper, run
+//! as CI surface instead of a one-off experiment): every attack family
+//! — overwriting, re-watermarking, pruning, forging — against every
+//! quantization scheme in `emmark-quant`, through the one
+//! `emmark::attacks::harness` API.
+//!
+//! The paper's headline robustness claims, pinned as assertions:
+//!
+//! * overwriting and re-watermarking at the paper's attack strengths
+//!   leave WER at exactly 100% (Figure 2), and even much stronger
+//!   attacks cannot push the Eq. 8 proof below significance;
+//! * pruning — the attack the paper argues is impractical on
+//!   already-compressed models — cannot erase the ownership signal even
+//!   at a quality-destroying fraction;
+//! * forged claims pass the naive delta check but fail
+//!   reproduction-based validation, while the honest owner's claim is
+//!   accepted.
+//!
+//! Strength scaling (DESIGN.md §4): the paper sweeps 100–500
+//! overwritten cells and 100–300 re-watermarked bits per layer on
+//! multi-million-cell OPT layers — at most ~0.0125% of cells, i.e. less
+//! than one cell of a 256-cell tiny-test layer. The matrix therefore
+//! pins WER = 100% at ≤2 overwritten / ≤1 re-watermarked cells per
+//! layer, and checks the proof (not the full WER) at several times that
+//! strength. Attack seeds are pinned: the attacks are random processes,
+//! and at tiny-grid watermark densities (1.6% of cells vs the paper's
+//! ~0.002%) an unlucky draw can graze a watermark cell far more often
+//! than at paper scale, so the matrix fixes one deterministic adversary
+//! per family and regresses against it.
+
+use emmark::attacks::forging::{validate_claim, OwnershipClaim};
+use emmark::attacks::harness::{
+    forging_check, overwrite_sweep, pruning_sweep, rewatermark_sweep, AttackPoint,
+};
+use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
+use emmark::attacks::pruning::prune_attack;
+use emmark::attacks::rewatermark::{rewatermark_attack, RewatermarkConfig};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::eval::report::EvalConfig;
+use emmark::nanolm::corpus::{Corpus, Grammar};
+use emmark::nanolm::model::ActivationStats;
+use emmark::nanolm::train::{train, TrainConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::gptq::{gptq, GptqConfig};
+use emmark::quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+use std::sync::OnceLock;
+
+const OWNERSHIP_THRESHOLD: f64 = -6.0;
+/// Fig. 2a strengths, scaled to the tiny grids (see module docs).
+const OVERWRITE_STRENGTHS: &[usize] = &[0, 1, 2];
+/// The pinned overwriting adversary.
+const OVERWRITE_SEED: u64 = 10;
+/// A many-times-paper-strength overwrite: damages the model, must not
+/// erase the proof.
+const OVERWRITE_MARGIN: usize = 16;
+/// Fig. 2b strengths, scaled likewise.
+const REWATERMARK_STRENGTHS: &[usize] = &[0, 1];
+/// Proof-survival strength for re-watermarking.
+const REWATERMARK_MARGIN: usize = 8;
+/// §5.3 pruning fractions: a quality-destroying quarter of every layer.
+const PRUNE_FRACTIONS: &[f64] = &[0.0, 0.25];
+
+/// The pinned re-watermarking adversary: the paper's parameters
+/// (α = 1, β = 1.5, pool ratio 50, quantized-model activations) with a
+/// fixed seed.
+fn matrix_adversary() -> RewatermarkConfig {
+    RewatermarkConfig {
+        seed: 163,
+        ..Default::default()
+    }
+}
+
+/// One trained tiny model family, quantized under all five schemes.
+struct Family {
+    corpus: Corpus,
+    fp_model: TransformerModel,
+    stats: ActivationStats,
+    models: Vec<QuantizedModel>,
+}
+
+fn family() -> &'static Family {
+    static FAMILY: OnceLock<Family> = OnceLock::new();
+    FAMILY.get_or_init(|| {
+        let corpus = Corpus::sample(Grammar::synwiki(15), 6000, 400, 800);
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.vocab_size = corpus.grammar.vocab_size();
+        let mut fp_model = TransformerModel::new(cfg);
+        train(
+            &mut fp_model,
+            &corpus,
+            &TrainConfig {
+                steps: 80,
+                batch_size: 6,
+                seq_len: 16,
+                ..TrainConfig::default()
+            },
+        );
+        let calib = owner_calib(&corpus);
+        let stats = fp_model.collect_activation_stats(&calib);
+        let models = vec![
+            QuantizedModel::quantize_with(&fp_model, "rtn-int8", |_, lin| {
+                quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+            }),
+            awq(&fp_model, &stats, &AwqConfig::default()),
+            gptq(&mut fp_model.clone(), &calib, &GptqConfig::default()),
+            smoothquant(&fp_model, &stats, &SmoothQuantConfig::default()),
+            llm_int8(&fp_model, &stats, OutlierCriterion::Quantile(0.9)),
+        ];
+        Family {
+            corpus,
+            fp_model,
+            stats,
+            models,
+        }
+    })
+}
+
+fn owner_calib(corpus: &Corpus) -> Vec<Vec<u32>> {
+    corpus
+        .valid
+        .chunks(16)
+        .take(6)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn adversary_calib(corpus: &Corpus) -> Vec<Vec<u32>> {
+    corpus
+        .valid
+        .chunks(16)
+        .skip(6)
+        .take(4)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn secrets_for(qm: &QuantizedModel, stats: &ActivationStats) -> (OwnerSecrets, QuantizedModel) {
+    // The paper's per-precision density mapping (DESIGN.md §4): INT8
+    // grids carry more signature bits per layer than INT4, scaled to
+    // the tiny grids.
+    let cfg = WatermarkConfig {
+        bits_per_layer: if qm.layers[0].bits() == 8 { 8 } else { 4 },
+        pool_ratio: 10,
+        ..Default::default()
+    };
+    let secrets = OwnerSecrets::new(qm.clone(), stats.clone(), cfg, 0x5150);
+    let deployed = secrets.watermark_for_deployment().expect("insert");
+    (secrets, deployed)
+}
+
+fn eval_cfg() -> EvalConfig {
+    EvalConfig {
+        task_items: 8,
+        ppl_tokens: 200,
+        ..EvalConfig::tiny_test()
+    }
+}
+
+fn assert_full_wer(scheme: &str, attack: &str, points: &[AttackPoint]) {
+    for p in points {
+        assert_eq!(
+            p.wer, 100.0,
+            "{scheme}/{attack} strength {}: WER must stay 100% at paper strengths \
+             ({points:?})",
+            p.strength
+        );
+    }
+}
+
+#[test]
+fn overwrite_matrix_keeps_full_wer_on_every_scheme() {
+    let fam = family();
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let points = overwrite_sweep(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            OVERWRITE_STRENGTHS,
+            OVERWRITE_SEED,
+        );
+        assert_eq!(points.len(), OVERWRITE_STRENGTHS.len());
+        assert_full_wer(&scheme, "overwrite", &points);
+
+        // Margin: far past paper strength, the proof still stands.
+        let mut attacked = deployed.clone();
+        overwrite_attack(
+            &mut attacked,
+            &OverwriteConfig {
+                per_layer: OVERWRITE_MARGIN,
+                seed: OVERWRITE_SEED,
+            },
+        );
+        let report = secrets.verify(&attacked).expect("verify");
+        assert!(
+            report.proves_ownership(OWNERSHIP_THRESHOLD),
+            "{scheme}/overwrite x{OVERWRITE_MARGIN}: proof lost (p = 10^{}, wer {})",
+            report.log10_p_chance(),
+            report.wer()
+        );
+    }
+}
+
+#[test]
+fn rewatermark_matrix_keeps_full_wer_on_every_scheme() {
+    let fam = family();
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let calib = adversary_calib(&fam.corpus);
+        let points = rewatermark_sweep(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            REWATERMARK_STRENGTHS,
+            &calib,
+            &matrix_adversary(),
+        );
+        assert_eq!(points.len(), REWATERMARK_STRENGTHS.len());
+        assert_full_wer(&scheme, "rewatermark", &points);
+
+        // Margin: a much denser re-watermark corrupts some bits but
+        // cannot push the proof below significance.
+        let adv_stats = deployed.collect_activation_stats(&calib);
+        let mut attacked = deployed.clone();
+        rewatermark_attack(
+            &mut attacked,
+            &adv_stats,
+            &RewatermarkConfig {
+                per_layer: REWATERMARK_MARGIN,
+                ..matrix_adversary()
+            },
+        );
+        let report = secrets.verify(&attacked).expect("verify");
+        assert!(
+            report.proves_ownership(OWNERSHIP_THRESHOLD),
+            "{scheme}/rewatermark x{REWATERMARK_MARGIN}: proof lost (p = 10^{}, wer {})",
+            report.log10_p_chance(),
+            report.wer()
+        );
+    }
+}
+
+#[test]
+fn pruning_matrix_cannot_erase_the_ownership_signal() {
+    let fam = family();
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let points = pruning_sweep(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            PRUNE_FRACTIONS,
+        );
+        assert_eq!(points[0].strength, 0, "{scheme}");
+        assert_eq!(points[1].strength, 25, "{scheme}");
+        assert_eq!(points[0].wer, 100.0, "{scheme}: clean point");
+        // Quality does not improve under pruning (the §5.3 exclusion
+        // argument is about quality collapsing first)…
+        assert!(
+            points[1].ppl >= points[0].ppl,
+            "{scheme}: pruning must not improve quality ({points:?})"
+        );
+        // …and EmMark's S_q preference for large-|q| cells keeps the
+        // Eq. 8 signal overwhelming.
+        let mut attacked = deployed.clone();
+        prune_attack(&mut attacked, PRUNE_FRACTIONS[1]);
+        let report = secrets.verify(&attacked).expect("verify");
+        assert!(
+            report.proves_ownership(OWNERSHIP_THRESHOLD),
+            "{scheme}: pruning erased the proof (p = 10^{}, wer {})",
+            report.log10_p_chance(),
+            report.wer()
+        );
+        assert!(points[1].wer > 50.0, "{scheme}: {points:?}");
+    }
+}
+
+#[test]
+fn forging_matrix_rejects_counterfeits_and_accepts_the_owner() {
+    let fam = family();
+    let calib = adversary_calib(&fam.corpus);
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let outcome = forging_check(&deployed, &calib, 4, 666, 90.0);
+        // The naive Eq. 6 check is fooled by construction…
+        assert!(
+            outcome.naive_wer > 95.0,
+            "{scheme}: naive wer {}",
+            outcome.naive_wer
+        );
+        // …the reproduction-based protocol is not.
+        assert!(
+            outcome.forgery_rejected(),
+            "{scheme}: forged claim accepted ({:?})",
+            outcome.verdict
+        );
+        assert!(!outcome.verdict.stats_reproducible, "{scheme}");
+
+        // The honest owner, filing with the real full-precision model
+        // on the agreed calibration data, passes the same protocol.
+        let claim = OwnershipClaim::from_secrets(&secrets).expect("claim");
+        let verdict = validate_claim(
+            &claim,
+            &deployed,
+            Some(&mut fam.fp_model.clone()),
+            &owner_calib(&fam.corpus),
+            90.0,
+        );
+        assert!(verdict.accepted, "{scheme}: owner rejected ({verdict:?})");
+        assert_eq!(verdict.wer_at_reproduced_locations, 100.0, "{scheme}");
+    }
+}
