@@ -1,19 +1,29 @@
 //! **Table 2** — EmMark's watermarking efficiency: wall-clock insertion
-//! time per quantized layer and GPU memory, at INT8 and INT4.
+//! time per quantized layer, peak resident memory, and GPU memory, at
+//! INT8 and INT4.
 //!
 //! The paper reports ≤0.4 s/layer and 0 GB GPU ("all of EmMark's
 //! components are performed on CPUs"). This reproduction is CPU-only by
 //! construction, so GPU memory is structurally zero; the per-layer time
-//! is measured with Criterion on the largest grid model.
+//! is measured with Criterion on the largest grid model, and peak
+//! resident heap bytes are recorded with the tracking allocator for
+//! both the buffered insertion and the streaming pipeline (the paper
+//! has no memory column beyond "0 GB GPU" — peak host memory is the
+//! embedded-deployment metric that matters here).
 
 use criterion::Criterion;
+use emmark_bench::alloc::{self, TrackingAllocator};
 use emmark_bench::{prepare, print_header};
 use emmark_core::signature::Signature;
-use emmark_core::watermark::{insert_watermark, WatermarkConfig};
+use emmark_core::watermark::{insert_watermark, stream_watermark, WatermarkConfig};
+use emmark_core::ArtifactSink;
 use emmark_nanolm::families::{sim_opt_grid, TrainEffort};
 use emmark_quant::awq::{awq, AwqConfig};
 use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
 
 fn main() {
     print_header(
@@ -43,27 +53,59 @@ fn main() {
             ..Default::default()
         };
         let sig = Signature::generate(cfg.signature_len(model.layer_count()), 1);
-        // Wall-clock measurement over several repetitions.
+        // Wall-clock and peak-heap measurement over several repetitions
+        // (peak is the worst rep; it is deterministic in practice).
         let reps = 5;
+        let mut peak_buffered = 0usize;
         let start = Instant::now();
         for _ in 0..reps {
+            let baseline = alloc::current_bytes();
+            alloc::reset_peak();
             let mut work = model.clone();
             insert_watermark(&mut work, &prepared.stats, &sig, &cfg).expect("insert");
+            peak_buffered = peak_buffered.max(alloc::peak_bytes().saturating_sub(baseline));
         }
         let per_model = start.elapsed().as_secs_f64() / reps as f64;
         let per_layer = per_model / model.layer_count() as f64;
-        rows.push((label, per_layer, per_model, model.layer_count()));
+        // The same stamp through the streaming pipeline, encoding to a
+        // sink: one layer resident at a time.
+        let mut peak_streaming = 0usize;
+        for _ in 0..reps {
+            let baseline = alloc::current_bytes();
+            alloc::reset_peak();
+            stream_watermark(
+                &model,
+                &prepared.stats,
+                &sig,
+                &cfg,
+                &mut ArtifactSink::new(std::io::sink()),
+            )
+            .expect("stream");
+            peak_streaming = peak_streaming.max(alloc::peak_bytes().saturating_sub(baseline));
+        }
+        rows.push((label, per_layer, per_model, peak_buffered, peak_streaming));
     }
 
     println!(
-        "\n{:<8} {:>16} {:>16} {:>12}",
-        "quant", "time/layer (s)", "time/model (s)", "GPU mem (GB)"
+        "\n{:<8} {:>16} {:>16} {:>14} {:>16} {:>12}",
+        "quant",
+        "time/layer (s)",
+        "time/model (s)",
+        "peak insert",
+        "peak streaming",
+        "GPU mem (GB)"
     );
-    for (label, per_layer, per_model, _layers) in &rows {
-        println!("{label:<8} {per_layer:>16.4} {per_model:>16.4} {:>12}", 0);
+    for (label, per_layer, per_model, peak_buffered, peak_streaming) in &rows {
+        println!(
+            "{label:<8} {per_layer:>16.4} {per_model:>16.4} {:>14} {:>16} {:>12}",
+            alloc::fmt_bytes(*peak_buffered),
+            alloc::fmt_bytes(*peak_streaming),
+            0
+        );
     }
     println!("\npaper: 0.4 s (INT8) and 0.3 s (INT4) per layer, 0 GB GPU, on OPT-scale layers.");
     println!("shape check: CPU-only insertion, sub-second per layer — holds at micro scale.");
+    println!("peak columns: buffered in-place insertion vs the streaming stamp→encode pipeline.");
 
     // Criterion measurement of the INT4 per-layer path.
     let model = awq(&prepared.fp, &prepared.stats, &AwqConfig::default());

@@ -1,0 +1,116 @@
+//! A byte-counting global allocator for peak-resident-memory gates.
+//!
+//! The streaming-pipeline and efficiency benches register
+//! [`TrackingAllocator`] as their `#[global_allocator]` and read the
+//! live/peak heap counters around each measured phase — the same
+//! numbers a resident-set probe would give, but deterministic,
+//! per-phase, and immune to allocator/OS page accounting noise.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: emmark_bench::alloc::TrackingAllocator = TrackingAllocator;
+//!
+//! let baseline = alloc::current_bytes();
+//! alloc::reset_peak();
+//! run_phase();
+//! let peak_delta = alloc::peak_bytes() - baseline;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Wraps the system allocator, tracking live and peak heap bytes.
+pub struct TrackingAllocator;
+
+fn on_alloc(size: usize) {
+    let live = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation to `System`; the atomic counters
+// never allocate.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Rewinds the high-water mark to the current live byte count — call
+/// at the start of a measured phase.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Formats a byte count for bench output (`x.x KiB` / `x.x MiB`).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not registered in unit tests (that would affect
+    // the whole test binary); the counter helpers are still exercised.
+    #[test]
+    fn counters_move_monotonically() {
+        on_alloc(1000);
+        assert!(peak_bytes() >= 1000);
+        on_dealloc(1000);
+        reset_peak();
+        assert_eq!(peak_bytes(), current_bytes());
+    }
+
+    #[test]
+    fn fmt_bytes_picks_sensible_units() {
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+    }
+}

@@ -8,6 +8,8 @@
 //! Model sizes, watermark densities, and sweep axes are scaled per
 //! DESIGN.md §4; `EMMARK_TRAIN_STEPS` shrinks training for smoke runs.
 
+pub mod alloc;
+
 use emmark_eval::report::EvalConfig;
 use emmark_nanolm::corpus::Corpus;
 use emmark_nanolm::families::{train_spec, ModelSpec, TrainEffort};

@@ -22,6 +22,7 @@
 //! [`decode_model`] still accepts v1 artifacts via a compatibility
 //! shim.
 
+use crate::store::{copy_store, ArtifactSink, StoreError};
 use crate::watermark::{GridSource, WatermarkConfig};
 use bytes::{BufMut, Bytes, BytesMut};
 use emmark_nanolm::config::{MlpKind, ModelConfig, NormKind, OutlierProfile};
@@ -29,7 +30,7 @@ use emmark_nanolm::layers::{Embedding, LayerNorm, Norm, RmsNorm};
 use emmark_quant::{ActQuant, Granularity, QuantizedLinear, QuantizedModel};
 use emmark_tensor::Matrix;
 
-const MAGIC: &[u8; 4] = b"EMQM";
+pub(crate) const MAGIC: &[u8; 4] = b"EMQM";
 
 /// The legacy streaming format.
 pub const FORMAT_V1: u32 = 1;
@@ -39,7 +40,7 @@ pub const FORMAT_V2: u32 = 2;
 /// Bytes of one layer-index entry in the v2 header:
 /// `in u32 | out u32 | bits u8 | gran tag u8 | group u32 | record u64 |
 /// q u64`.
-const INDEX_ENTRY_BYTES: usize = 4 + 4 + 1 + 1 + 4 + 8 + 8;
+pub(crate) const INDEX_ENTRY_BYTES: usize = 4 + 4 + 1 + 1 + 4 + 8 + 8;
 
 /// The artifact section a codec error points into — the triage handle
 /// for truncated or corrupt inputs.
@@ -67,6 +68,11 @@ pub enum Section {
     Vault,
     /// The fleet device registry.
     Registry,
+    /// The provisioned-fleet bundle envelope (header and config).
+    Bundle,
+    /// One device entry inside a registry or fleet bundle (0-based
+    /// registration index).
+    Device(usize),
 }
 
 impl std::fmt::Display for Section {
@@ -83,6 +89,8 @@ impl std::fmt::Display for Section {
             Section::Scheme => write!(f, "scheme"),
             Section::Vault => write!(f, "vault"),
             Section::Registry => write!(f, "registry"),
+            Section::Bundle => write!(f, "fleet bundle"),
+            Section::Device(d) => write!(f, "device {d}"),
         }
     }
 }
@@ -164,12 +172,12 @@ pub(crate) fn put_watermark_config(buf: &mut BytesMut, cfg: &WatermarkConfig) {
     buf.put_u64_le(cfg.selection_seed);
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+pub(crate) fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     buf.put_u32_le(m.rows() as u32);
     buf.put_u32_le(m.cols() as u32);
     for &v in m.as_slice() {
@@ -194,7 +202,7 @@ fn put_opt_f32_vec(buf: &mut BytesMut, v: Option<&[f32]>) {
     }
 }
 
-fn put_norm(buf: &mut BytesMut, norm: &Norm) {
+pub(crate) fn put_norm(buf: &mut BytesMut, norm: &Norm) {
     match norm {
         Norm::Layer(n) => {
             buf.put_u8(0);
@@ -208,7 +216,7 @@ fn put_norm(buf: &mut BytesMut, norm: &Norm) {
     }
 }
 
-fn granularity_tag(g: Granularity) -> (u8, u32) {
+pub(crate) fn granularity_tag(g: Granularity) -> (u8, u32) {
     match g {
         Granularity::PerTensor => (0, 0),
         Granularity::PerOutChannel => (1, 0),
@@ -227,7 +235,7 @@ fn granularity_from_tag(tag: u8, group: usize) -> Option<Granularity> {
 
 /// Number of scale entries a layer of this shape and granularity
 /// carries; `None` on overflow. Mirrors `QuantizedLinear::new`.
-fn expected_scale_count(in_f: usize, out_f: usize, g: Granularity) -> Option<usize> {
+pub(crate) fn expected_scale_count(in_f: usize, out_f: usize, g: Granularity) -> Option<usize> {
     match g {
         Granularity::PerTensor => Some(1),
         Granularity::PerOutChannel => Some(out_f),
@@ -237,17 +245,35 @@ fn expected_scale_count(in_f: usize, out_f: usize, g: Granularity) -> Option<usi
 
 /// Byte length of the layer-record prefix preceding the raw `i8` grid:
 /// the fixed fields, the scale vector, and the grid's own length word.
-fn record_prefix_len(n_scales: usize) -> usize {
+pub(crate) fn record_prefix_len(n_scales: usize) -> usize {
     4 + 4 + 1 + 1 + 4 + (4 + 4 * n_scales) + 4
 }
 
 /// Byte offset of the raw `i8` grid within a layer record written by
 /// [`put_qlinear`].
-fn q_offset_in_record(l: &QuantizedLinear) -> usize {
+pub(crate) fn q_offset_in_record(l: &QuantizedLinear) -> usize {
     record_prefix_len(l.scales().len())
 }
 
-fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
+/// Exact byte length of the record [`put_qlinear`] writes for `l`,
+/// computed from metadata alone (no serialization). The streaming
+/// encoder's sizing sweep uses this to derive the v2 offset table
+/// before any grid bytes flow.
+pub(crate) fn qlinear_record_len(l: &QuantizedLinear) -> usize {
+    let opt_f32_vec = |v: Option<&[f32]>| 1 + v.map_or(0, |v| 4 + 4 * v.len());
+    let outlier_weights = 1 + l
+        .outlier_weights()
+        .map_or(0, |m| 8 + 4 * m.rows() * m.cols());
+    record_prefix_len(l.scales().len())
+        + l.len()
+        + opt_f32_vec(l.input_scale())
+        + (4 + 4 * l.outlier_rows().len())
+        + outlier_weights
+        + opt_f32_vec(l.bias())
+        + 1
+}
+
+pub(crate) fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
     buf.put_u32_le(l.in_features() as u32);
     buf.put_u32_le(l.out_features() as u32);
     buf.put_u8(l.bits());
@@ -280,7 +306,7 @@ fn put_qlinear(buf: &mut BytesMut, l: &QuantizedLinear) {
 
 /// Serializes the model-config fields shared by both format versions
 /// (everything but the scheme string).
-fn put_config(buf: &mut BytesMut, cfg: &ModelConfig) {
+pub(crate) fn put_config(buf: &mut BytesMut, cfg: &ModelConfig) {
     put_string(buf, &cfg.name);
     buf.put_u32_le(cfg.vocab_size as u32);
     buf.put_u32_le(cfg.d_model as u32);
@@ -336,68 +362,29 @@ pub fn encode_model_v1(model: &QuantizedModel) -> Bytes {
 /// (**v2**, indexed): header and config (including the scheme), the
 /// per-layer offset table, then embeddings, norms, and layer records at
 /// the offsets the table promises.
+///
+/// Implemented as the streaming [`ArtifactSink`] encoder writing into a
+/// `Vec` — the in-memory and streaming write paths are one code path,
+/// so their byte-identity holds by construction.
 pub fn encode_model(model: &QuantizedModel) -> Bytes {
-    // Encode the variable-length sections into their own buffers first,
-    // so every index offset is known before the header is written.
-    let mut cfg_buf = BytesMut::with_capacity(256);
-    put_config(&mut cfg_buf, &model.cfg);
-    put_string(&mut cfg_buf, &model.scheme);
+    let mut out = Vec::with_capacity(1 << 16);
+    encode_model_into(model, &mut out).expect("in-memory v2 encode cannot fail");
+    Bytes::from(out)
+}
 
-    let mut emb_buf = BytesMut::with_capacity(1 << 12);
-    put_matrix(&mut emb_buf, &model.emb().tok.value);
-    put_matrix(&mut emb_buf, &model.emb().pos.value);
-
-    let mut norm_buf = BytesMut::with_capacity(1 << 10);
-    norm_buf.put_u32_le(model.norm_pairs().len() as u32);
-    for (n1, n2) in model.norm_pairs() {
-        put_norm(&mut norm_buf, n1);
-        put_norm(&mut norm_buf, n2);
-    }
-    put_norm(&mut norm_buf, model.final_norm());
-
-    let cfg_buf = cfg_buf.freeze();
-    let emb_buf = emb_buf.freeze();
-    let norm_buf = norm_buf.freeze();
-    let layer_bufs: Vec<Bytes> = model
-        .layers
-        .iter()
-        .map(|l| {
-            let mut b = BytesMut::with_capacity(l.len() + 64);
-            put_qlinear(&mut b, l);
-            b.freeze()
-        })
-        .collect();
-
-    let n = model.layers.len();
-    let index_len = 4 + n * INDEX_ENTRY_BYTES;
-    let body_start = 8 + cfg_buf.len() + index_len;
-    let layers_start = body_start + emb_buf.len() + norm_buf.len();
-
-    let total: usize = layers_start + layer_bufs.iter().map(|b| b.len()).sum::<usize>();
-    let mut buf = BytesMut::with_capacity(total);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(FORMAT_V2);
-    buf.put_slice(&cfg_buf);
-    buf.put_u32_le(n as u32);
-    let mut record_offset = layers_start;
-    for (layer, lbuf) in model.layers.iter().zip(&layer_bufs) {
-        buf.put_u32_le(layer.in_features() as u32);
-        buf.put_u32_le(layer.out_features() as u32);
-        buf.put_u8(layer.bits());
-        let (tag, group) = granularity_tag(layer.granularity());
-        buf.put_u8(tag);
-        buf.put_u32_le(group);
-        buf.put_u64_le(record_offset as u64);
-        buf.put_u64_le((record_offset + q_offset_in_record(layer)) as u64);
-        record_offset += lbuf.len();
-    }
-    buf.put_slice(&emb_buf);
-    buf.put_slice(&norm_buf);
-    for lbuf in &layer_bufs {
-        buf.put_slice(lbuf);
-    }
-    debug_assert_eq!(buf.len(), total);
-    buf.freeze()
+/// Streams a model's v2 encoding straight into `out` without ever
+/// materializing the artifact: the header and offset table are derived
+/// from a metadata sweep, then each layer record flows through one
+/// reused scratch buffer. Byte-identical to [`encode_model`].
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn encode_model_into<W: std::io::Write>(
+    model: &QuantizedModel,
+    out: W,
+) -> Result<(), StoreError> {
+    copy_store(model, &mut ArtifactSink::new(out))
 }
 
 /// Section- and offset-tracking reader shared by the deploy codec, the
@@ -568,7 +555,7 @@ impl<'a> Reader<'a> {
     /// for error attribution. Every invariant `QuantizedLinear::new`
     /// asserts is checked here first, so corrupt artifacts surface as
     /// [`CodecError::Corrupt`] rather than panics.
-    fn qlinear(&mut self, l: usize) -> Result<QuantizedLinear, CodecError> {
+    pub(crate) fn qlinear(&mut self, l: usize) -> Result<QuantizedLinear, CodecError> {
         self.enter(Section::Layer(l));
         let in_f = self.u32("layer in")? as usize;
         let out_f = self.u32("layer out")? as usize;
@@ -661,7 +648,7 @@ impl<'a> Reader<'a> {
         Ok(layer)
     }
 
-    fn config(&mut self) -> Result<ModelConfig, CodecError> {
+    pub(crate) fn config(&mut self) -> Result<ModelConfig, CodecError> {
         self.enter(Section::Config);
         let name = self.string("model name")?;
         let vocab_size = self.u32("vocab")? as usize;
@@ -707,14 +694,17 @@ impl<'a> Reader<'a> {
         Ok(cfg)
     }
 
-    fn embeddings(&mut self) -> Result<Embedding, CodecError> {
+    pub(crate) fn embeddings(&mut self) -> Result<Embedding, CodecError> {
         self.enter(Section::Embeddings);
         let tok = self.matrix("token table")?;
         let pos = self.matrix("position table")?;
         Ok(Embedding::from_tables(tok, pos))
     }
 
-    fn norms(&mut self, n_layers: usize) -> Result<(Vec<(Norm, Norm)>, Norm), CodecError> {
+    pub(crate) fn norms(
+        &mut self,
+        n_layers: usize,
+    ) -> Result<(Vec<(Norm, Norm)>, Norm), CodecError> {
         self.enter(Section::Norms);
         let n_pairs = self.u32("norm pair count")? as usize;
         if n_pairs != n_layers {
@@ -731,9 +721,22 @@ impl<'a> Reader<'a> {
     }
 
     /// The v2 layer index: per-layer shape/bits/granularity plus record
-    /// and grid offsets, validated against `total` for in-bounds,
-    /// monotonic layout.
+    /// and grid offsets, validated against the input length for
+    /// in-bounds, monotonic layout.
     fn layer_index(&mut self, expected_layers: usize) -> Result<Vec<LayerIndexEntry>, CodecError> {
+        let total = self.data.len();
+        self.layer_index_bounded(expected_layers, total)
+    }
+
+    /// [`Self::layer_index`] with an explicit artifact length — the
+    /// file-backed [`crate::store::ArtifactLayerStore`] parses the index
+    /// out of a prefix window while validating extents against the true
+    /// file size.
+    pub(crate) fn layer_index_bounded(
+        &mut self,
+        expected_layers: usize,
+        total_len: usize,
+    ) -> Result<Vec<LayerIndexEntry>, CodecError> {
         self.enter(Section::LayerIndex);
         let n = self.u32("layer count")? as usize;
         if n != expected_layers {
@@ -782,10 +785,9 @@ impl<'a> Reader<'a> {
                      (expected {prefix})"
                 )));
             }
-            if q_end > self.data.len() {
+            if q_end > total_len {
                 return Err(self.corrupt(format!(
-                    "layer {l}: grid [{q_offset}, {q_end}) exceeds artifact length {}",
-                    self.data.len()
+                    "layer {l}: grid [{q_offset}, {q_end}) exceeds artifact length {total_len}"
                 )));
             }
             prev_end = q_end;
@@ -1278,45 +1280,96 @@ pub fn patch_artifact(
 ) -> Result<Vec<u8>, CodecError> {
     let mut out = base.to_vec();
     for p in patches {
-        let Some(entry) = index.get(p.layer) else {
-            return Err(CodecError::Corrupt {
-                section: Section::LayerIndex,
-                offset: 0,
-                msg: format!("patch names layer {} of {}", p.layer, index.len()),
-            });
-        };
-        // The index normally comes from `SparseArtifact::open` on these
-        // very bytes, but the parameters are independent — an index
-        // inconsistent with `base` must error, not panic.
-        if entry
-            .q_offset
-            .checked_add(entry.cells())
-            .is_none_or(|end| end > base.len())
-        {
-            return Err(CodecError::Corrupt {
-                section: Section::Layer(p.layer),
-                offset: entry.q_offset,
-                msg: format!("grid extent exceeds the {}-byte base artifact", base.len()),
-            });
-        }
-        if p.flat >= entry.cells() {
-            return Err(CodecError::Corrupt {
-                section: Section::Layer(p.layer),
-                offset: entry.q_offset,
-                msg: format!("patch cell {} exceeds grid size {}", p.flat, entry.cells()),
-            });
-        }
-        let qmax = ((1i16 << (entry.bits - 1)) - 1) as i8;
-        if p.q > qmax || p.q < -qmax - 1 {
-            return Err(CodecError::Corrupt {
-                section: Section::Layer(p.layer),
-                offset: entry.q_offset + p.flat,
-                msg: format!("patch value {} outside the {}-bit range", p.q, entry.bits),
-            });
-        }
-        out[entry.q_offset + p.flat] = p.q as u8;
+        let offset = check_patch(base.len(), index, p)?;
+        out[offset] = p.q as u8;
     }
     Ok(out)
+}
+
+/// Validates one [`CellPatch`] against the index and the base artifact
+/// length, returning the absolute byte offset it pokes. Shared by the
+/// buffered [`patch_artifact`] and the streaming [`splice_patches`], so
+/// the two delta encoders cannot drift on what counts as a legal patch.
+fn check_patch(
+    base_len: usize,
+    index: &[LayerIndexEntry],
+    p: &CellPatch,
+) -> Result<usize, CodecError> {
+    let Some(entry) = index.get(p.layer) else {
+        return Err(CodecError::Corrupt {
+            section: Section::LayerIndex,
+            offset: 0,
+            msg: format!("patch names layer {} of {}", p.layer, index.len()),
+        });
+    };
+    // The index normally comes from `SparseArtifact::open` on these
+    // very bytes, but the parameters are independent — an index
+    // inconsistent with `base` must error, not panic.
+    if entry
+        .q_offset
+        .checked_add(entry.cells())
+        .is_none_or(|end| end > base_len)
+    {
+        return Err(CodecError::Corrupt {
+            section: Section::Layer(p.layer),
+            offset: entry.q_offset,
+            msg: format!("grid extent exceeds the {base_len}-byte base artifact"),
+        });
+    }
+    if p.flat >= entry.cells() {
+        return Err(CodecError::Corrupt {
+            section: Section::Layer(p.layer),
+            offset: entry.q_offset,
+            msg: format!("patch cell {} exceeds grid size {}", p.flat, entry.cells()),
+        });
+    }
+    let qmax = ((1i16 << (entry.bits - 1)) - 1) as i8;
+    if p.q > qmax || p.q < -qmax - 1 {
+        return Err(CodecError::Corrupt {
+            section: Section::Layer(p.layer),
+            offset: entry.q_offset + p.flat,
+            msg: format!("patch value {} outside the {}-bit range", p.q, entry.bits),
+        });
+    }
+    Ok(entry.q_offset + p.flat)
+}
+
+/// The streaming half of the fleet delta encoder: writes `base` to
+/// `out` with `patches` spliced in flight, never materializing the
+/// patched artifact. Output bytes equal
+/// `patch_artifact(base, index, patches)` exactly (later patches to the
+/// same cell win, as in the buffered path); resident memory is
+/// O(patches), not O(artifact).
+///
+/// # Errors
+///
+/// Returns the same [`CodecError`]s as [`patch_artifact`] for illegal
+/// patches, plus I/O failures from `out`.
+pub fn splice_patches<W: std::io::Write>(
+    base: &[u8],
+    index: &[LayerIndexEntry],
+    patches: &[CellPatch],
+    mut out: W,
+) -> Result<(), StoreError> {
+    // Validate every patch up front (the buffered path reports errors
+    // before writing anything; so must the stream), dedup to the last
+    // write per offset, then emit ordered splices.
+    let mut by_offset = std::collections::BTreeMap::new();
+    for p in patches {
+        by_offset.insert(check_patch(base.len(), index, p)?, p.q as u8);
+    }
+    let io = |source| StoreError::Io {
+        what: "splicing a patched artifact",
+        source,
+    };
+    let mut cursor = 0usize;
+    for (offset, q) in by_offset {
+        out.write_all(&base[cursor..offset]).map_err(io)?;
+        out.write_all(&[q]).map_err(io)?;
+        cursor = offset + 1;
+    }
+    out.write_all(&base[cursor..]).map_err(io)?;
+    Ok(())
 }
 
 impl SparseArtifact<'_> {

@@ -84,6 +84,10 @@ impl From<WatermarkError> for FleetError {
     }
 }
 
+/// Per-device verdicts of a streamed bundle verification, in bundle
+/// order: `(device id, verdict)`.
+pub type BundleVerdicts = Vec<(String, Result<FleetVerdict, FleetError>)>;
+
 /// Outcome of verifying one suspect artifact against the fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetVerdict {
@@ -355,6 +359,46 @@ impl FleetVerifier {
             self.verify_artifact(a.as_ref(), log10_threshold)
         })
     }
+
+    /// Verifies every device artifact of an EMFB bundle *stream* —
+    /// entries are pulled off the reader in rings of at most
+    /// `max_resident` artifacts, each ring verified in parallel like
+    /// [`Self::verify_batch`], then dropped before the next is read.
+    /// Peak memory is O(`max_resident` × artifact), independent of
+    /// fleet size; verdicts are bit-identical to decoding the whole
+    /// bundle and batch-verifying it.
+    ///
+    /// Returns `(device id, verdict)` pairs in bundle order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stream's codec/I/O error if the bundle itself is
+    /// unreadable (a broken entry makes everything after it garbage);
+    /// per-artifact verification failures stay inside the verdict list.
+    pub fn verify_bundle_stream<R: std::io::Read>(
+        &self,
+        stream: &mut crate::vault::FleetBundleStream<R>,
+        log10_threshold: f64,
+        jobs: Option<usize>,
+        max_resident: usize,
+    ) -> Result<BundleVerdicts, crate::store::StoreError> {
+        let ring = max_resident.max(1);
+        let mut out = Vec::new();
+        loop {
+            let mut ids = Vec::with_capacity(ring);
+            let mut artifacts = Vec::with_capacity(ring);
+            for entry in stream.by_ref().take(ring) {
+                let device = entry?;
+                ids.push(device.fingerprint.device_id);
+                artifacts.push(device.artifact);
+            }
+            if artifacts.is_empty() {
+                return Ok(out);
+            }
+            let verdicts = self.verify_batch(&artifacts, log10_threshold, jobs);
+            out.extend(ids.into_iter().zip(verdicts));
+        }
+    }
 }
 
 /// Derives the registry entry [`Fleet::provision`] would create for a
@@ -409,6 +453,41 @@ where
 const REGISTRY_MAGIC: &[u8; 4] = b"EMFR";
 const REGISTRY_VERSION: u32 = 1;
 
+/// Reads the shared fingerprint-parameter header of the registry and
+/// fleet-bundle codecs: format version (checked against `expected`),
+/// then a validated [`WatermarkConfig`]. The magic word has already
+/// been consumed by the caller (it differs between the two).
+pub(crate) fn read_config_header(
+    r: &mut crate::deploy::Reader,
+    expected_version: u32,
+) -> Result<WatermarkConfig, CodecError> {
+    let version = r.u32("format version")?;
+    if version != expected_version {
+        return Err(CodecError::BadVersion(version));
+    }
+    let config = r.watermark_config()?;
+    config
+        .validate()
+        .map_err(|e| r.corrupt(format!("fingerprint config: {e}")))?;
+    Ok(config)
+}
+
+/// Reads one device entry (id + seeds) in the wire layout shared by the
+/// registry and the fleet bundle, blaming [`Section::Device`] `i` —
+/// the same per-item error context the deploy codec gives layers.
+pub(crate) fn read_device_entry(
+    r: &mut crate::deploy::Reader,
+    i: usize,
+) -> Result<DeviceFingerprint, CodecError> {
+    r.enter(Section::Device(i));
+    let device_id = r.string("device id")?;
+    Ok(DeviceFingerprint {
+        device_id,
+        selection_seed: r.u64("device selection seed")?,
+        signature_seed: r.u64("device signature seed")?,
+    })
+}
+
 /// Serializes a fleet registry: the fingerprint parameters plus every
 /// registered device, in the same versioned little-endian style as the
 /// deploy codec.
@@ -440,26 +519,14 @@ pub fn decode_registry(
 ) -> Result<(WatermarkConfig, Vec<DeviceFingerprint>), CodecError> {
     let mut r = crate::deploy::Reader::new(bytes, Section::Registry);
     r.magic(REGISTRY_MAGIC)?;
-    let version = r.u32("registry version")?;
-    if version != REGISTRY_VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    let config = r.watermark_config()?;
-    config
-        .validate()
-        .map_err(|e| r.corrupt(format!("fingerprint config: {e}")))?;
+    let config = read_config_header(&mut r, REGISTRY_VERSION)?;
     let count = r.u32("device count")? as usize;
     // Each entry is at least 20 bytes (id length + two seeds); bound the
     // allocation by the bytes actually present before trusting `count`.
     r.need(count.saturating_mul(20), "device entries")?;
     let mut devices = Vec::with_capacity(count);
-    for _ in 0..count {
-        let device_id = r.string("device id")?;
-        devices.push(DeviceFingerprint {
-            device_id,
-            selection_seed: r.u64("device selection seed")?,
-            signature_seed: r.u64("device signature seed")?,
-        });
+    for i in 0..count {
+        devices.push(read_device_entry(&mut r, i)?);
     }
     Ok((config, devices))
 }

@@ -66,6 +66,7 @@ pub mod provision;
 pub mod scheme;
 pub mod scoring;
 pub mod signature;
+pub mod store;
 pub mod vault;
 pub mod watermark;
 
@@ -73,7 +74,11 @@ pub use deploy::{CodecError, LayerGridView, LayerIndexEntry, Section, SparseArti
 pub use fleet::{FleetError, FleetVerdict, FleetVerifier};
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
+pub use store::{
+    copy_store, materialize, ArtifactLayerStore, ArtifactSink, LayerRecordMeta, LayerSink,
+    LayerStore, ModelHead, ModelSink, ShardSink, ShardStore, StoreError,
+};
 pub use watermark::{
     extract_watermark, extract_with_locations, insert_watermark, locate_watermark,
-    ExtractionReport, GridSource, OwnerSecrets, WatermarkConfig, WatermarkError,
+    stream_watermark, ExtractionReport, GridSource, OwnerSecrets, WatermarkConfig, WatermarkError,
 };

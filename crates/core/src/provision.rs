@@ -31,10 +31,13 @@
 //! *byte*-identical to encoding the serial models. The module tests and
 //! `tests/provision_equivalence.rs` pin both equivalences.
 
-use crate::deploy::{encode_model, CellPatch, LayerIndexEntry, SparseArtifact};
+use crate::deploy::{encode_model, splice_patches, CellPatch, LayerIndexEntry, SparseArtifact};
 use crate::fingerprint::{DeviceFingerprint, FamilyCache, Fleet};
 use crate::fleet::{encode_registry, par_map, FleetVerifier};
-use crate::watermark::{apply_bits_at, OwnerSecrets, WatermarkConfig, WatermarkError};
+use crate::signature::Signature;
+use crate::store::StoreError;
+use crate::vault::FleetBundleWriter;
+use crate::watermark::{apply_bits_at, Locations, OwnerSecrets, WatermarkConfig, WatermarkError};
 use bytes::Bytes;
 use emmark_quant::QuantizedModel;
 
@@ -125,15 +128,10 @@ impl FleetProvisioner {
         (fp, deployed)
     }
 
-    /// Provisions one device as a deployable artifact via the delta
-    /// encoder: the cached base artifact with the device's fingerprint
-    /// cells patched through the v2 offset index. Byte-identical to
-    /// `encode_model(&fleet.provision(device_id))`, at one buffer copy
-    /// plus O(fingerprint bits) cost.
-    pub fn provision_artifact(&self, device_id: &str) -> ProvisionedDevice {
-        let (fingerprint, sig, locs) = self
-            .cache
-            .device_material(&self.fingerprint_config, device_id);
+    /// The delta a device's fingerprint makes against the base
+    /// artifact: one [`CellPatch`] per signature bit. Shared by the
+    /// buffered and streaming artifact emitters.
+    fn device_patches(&self, sig: &Signature, locs: &Locations) -> Vec<CellPatch> {
         let n = self.cache.base_deployed.layer_count();
         let mut patches = Vec::with_capacity(sig.len());
         for (l, layer_locs) in locs.iter().enumerate() {
@@ -149,12 +147,82 @@ impl FleetProvisioner {
                 });
             }
         }
+        patches
+    }
+
+    /// Provisions one device as a deployable artifact via the delta
+    /// encoder: the cached base artifact with the device's fingerprint
+    /// cells patched through the v2 offset index. Byte-identical to
+    /// `encode_model(&fleet.provision(device_id))`, at one buffer copy
+    /// plus O(fingerprint bits) cost.
+    pub fn provision_artifact(&self, device_id: &str) -> ProvisionedDevice {
+        let (fingerprint, sig, locs) = self
+            .cache
+            .device_material(&self.fingerprint_config, device_id);
+        let patches = self.device_patches(&sig, &locs);
         let artifact = crate::deploy::patch_artifact(&self.base_artifact, &self.index, &patches)
             .expect("pool-derived patches are always in range");
         ProvisionedDevice {
             fingerprint,
             artifact,
         }
+    }
+
+    /// Streams one device's artifact straight into `out` — the base
+    /// artifact bytes with the fingerprint patches spliced in flight
+    /// ([`splice_patches`]). Byte-identical to
+    /// [`Self::provision_artifact`], but the device artifact is *never*
+    /// resident: per-device memory is O(fingerprint bits) beyond the
+    /// shared base, which is what lets `fleet-provision` stamp
+    /// arbitrarily many devices under a fixed memory budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `out`.
+    pub fn provision_artifact_into<W: std::io::Write>(
+        &self,
+        device_id: &str,
+        out: W,
+    ) -> Result<DeviceFingerprint, StoreError> {
+        let (fingerprint, sig, locs) = self
+            .cache
+            .device_material(&self.fingerprint_config, device_id);
+        let patches = self.device_patches(&sig, &locs);
+        splice_patches(&self.base_artifact, &self.index, &patches, out)?;
+        Ok(fingerprint)
+    }
+
+    /// Streams a whole provisioned fleet into an EMFB bundle writer:
+    /// per device, the entry header plus the spliced artifact bytes go
+    /// straight to the underlying writer. Byte-identical to encoding
+    /// [`Self::provision_batch`]'s output with
+    /// [`crate::vault::encode_fleet_bundle`], at O(base artifact)
+    /// total memory instead of O(fleet).
+    ///
+    /// Returns the registry entries in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn provision_bundle_into<W: std::io::Write, S: AsRef<str>>(
+        &self,
+        device_ids: &[S],
+        out: W,
+    ) -> Result<Vec<DeviceFingerprint>, StoreError> {
+        let mut writer = FleetBundleWriter::new(out, &self.fingerprint_config, device_ids.len())?;
+        let mut devices = Vec::with_capacity(device_ids.len());
+        for id in device_ids {
+            let (fingerprint, sig, locs) = self
+                .cache
+                .device_material(&self.fingerprint_config, id.as_ref());
+            let patches = self.device_patches(&sig, &locs);
+            writer.append_streamed(&fingerprint, self.base_artifact.len(), |w| {
+                splice_patches(&self.base_artifact, &self.index, &patches, w)
+            })?;
+            devices.push(fingerprint);
+        }
+        writer.finish()?;
+        Ok(devices)
     }
 
     /// Provisions a batch of device ids in parallel on `jobs` worker

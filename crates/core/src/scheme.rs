@@ -7,8 +7,10 @@ use crate::baselines::{
     RandomWmConfig, SpecMarkConfig,
 };
 use crate::signature::Signature;
+use crate::store::{copy_store, materialize, LayerSink, LayerStore, StoreError};
 use crate::watermark::{
-    extract_watermark, insert_watermark, ExtractionReport, WatermarkConfig, WatermarkError,
+    extract_watermark, insert_watermark, stream_watermark, ExtractionReport, WatermarkConfig,
+    WatermarkError,
 };
 use emmark_nanolm::model::ActivationStats;
 use emmark_quant::QuantizedModel;
@@ -45,6 +47,30 @@ pub trait WatermarkScheme {
         original: &QuantizedModel,
         stats: &ActivationStats,
     ) -> Result<ExtractionReport, WatermarkError>;
+
+    /// Streams the scheme's insertion from a [`LayerStore`] into a
+    /// [`LayerSink`] — the constant-memory counterpart of
+    /// [`Self::insert`] over the unified store abstraction.
+    ///
+    /// The default materializes the store, inserts in memory, and
+    /// streams the result out (correct for any scheme, O(model)
+    /// resident); schemes whose scoring is per-layer override it with a
+    /// genuinely layer-at-a-time pass — EmMark runs
+    /// [`stream_watermark`], holding one layer at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store, sink, and insertion failures.
+    fn insert_into(
+        &self,
+        store: &dyn LayerStore,
+        stats: &ActivationStats,
+        sink: &mut dyn LayerSink,
+    ) -> Result<(), StoreError> {
+        let mut model = materialize(store)?;
+        self.insert(&mut model, stats)?;
+        copy_store(&model, sink)
+    }
 }
 
 /// EmMark under the trait.
@@ -87,6 +113,21 @@ impl WatermarkScheme for EmMarkScheme {
     ) -> Result<ExtractionReport, WatermarkError> {
         let sig = self.signature_for(original);
         extract_watermark(suspect, original, stats, &sig, &self.config)
+    }
+
+    fn insert_into(
+        &self,
+        store: &dyn LayerStore,
+        stats: &ActivationStats,
+        sink: &mut dyn LayerSink,
+    ) -> Result<(), StoreError> {
+        // EmMark scores per layer, so insertion streams: one layer
+        // resident at a time, never the whole model.
+        let sig = Signature::generate(
+            self.config.signature_len(store.store_layer_count()),
+            self.signature_seed,
+        );
+        stream_watermark(store, stats, &sig, &self.config, sink).map(|_| ())
     }
 }
 

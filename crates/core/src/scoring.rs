@@ -150,10 +150,41 @@ pub fn candidate_pool(scores: &[f64], pool_size: usize) -> Result<Vec<usize>, Po
     Ok(indexed.into_iter().map(|(_, i)| i).collect())
 }
 
-/// Scores one layer and keeps its candidate pool in a single step:
-/// Eqs. 2–4 scoring, then `excluded` cells are score-excluded (set to
-/// `∞` — the rule the fingerprint layer uses to keep device bits off
-/// the ownership watermark's cells), then the `pool_size` best survive.
+/// A `(score, index)` pair with the total order the candidate pool
+/// sorts by: ascending score, ties broken by ascending index. Scores in
+/// the pool are always finite, so the comparison never sees NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored(f64, usize);
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("pool scores are finite")
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Scores one layer and keeps its candidate pool in a single streaming
+/// pass: Eqs. 2–4 scoring cell by cell, with `excluded` cells
+/// score-excluded (the rule the fingerprint layer uses to keep device
+/// bits off the ownership watermark's cells), while a bounded max-heap
+/// retains the `pool_size` best seen so far. Resident memory is
+/// O(pool_size + in_features), never O(cells) — the full per-cell score
+/// vector of [`score_layer`] is never materialized, which is what keeps
+/// the streaming watermark pipeline's footprint at one layer.
+///
+/// The result is identical to scoring everything and calling
+/// [`candidate_pool`] (same scores, same `(score, index)` tie-break);
+/// the module tests pin that equivalence.
 ///
 /// This is the per-layer unit of work every location-reproduction path
 /// shares — ownership insertion, fingerprint pooling, and the fleet
@@ -174,11 +205,73 @@ pub fn layer_pool(
     pool_size: usize,
     excluded: &[usize],
 ) -> Result<Vec<usize>, PoolError> {
-    let mut scores = score_layer(layer, act_mean, coeffs);
-    for &f in excluded {
-        scores[f] = f64::INFINITY;
+    assert_eq!(
+        act_mean.len(),
+        layer.in_features(),
+        "activation profile does not match layer input width"
+    );
+    let s_r = robustness_scores(act_mean);
+    let mut excluded_sorted = excluded.to_vec();
+    excluded_sorted.sort_unstable();
+    let out = layer.out_features();
+    // The `pool_size` smallest (score, index) pairs seen so far; the
+    // heap top is the current worst, evicted whenever a better cell
+    // streams past.
+    let mut heap: std::collections::BinaryHeap<Scored> =
+        std::collections::BinaryHeap::with_capacity(pool_size + 1);
+    let mut available = 0usize;
+    for f in 0..layer.len() {
+        if layer.is_clamped_flat(f) || layer.is_outlier_flat(f) {
+            continue;
+        }
+        let q = layer.q_at_flat(f);
+        if q == 0 {
+            // |b / 0| diverges: zero weights flip sign under ±1 (see
+            // `score_layer`).
+            continue;
+        }
+        if excluded_sorted.binary_search(&f).is_ok() {
+            continue;
+        }
+        let channel = f / out;
+        // A zero coefficient disables its term entirely (otherwise
+        // 0 · ∞ from the excluded minimum-activation channel would
+        // poison the score with NaN).
+        let term_q = if coeffs.alpha == 0.0 {
+            0.0
+        } else {
+            coeffs.alpha / (q as f64).abs()
+        };
+        let term_r = if coeffs.beta == 0.0 {
+            0.0
+        } else {
+            coeffs.beta * s_r[channel]
+        };
+        let score = term_q + term_r;
+        if !score.is_finite() {
+            continue;
+        }
+        available += 1;
+        if pool_size == 0 {
+            continue;
+        }
+        let candidate = Scored(score, f);
+        if heap.len() < pool_size {
+            heap.push(candidate);
+        } else if candidate < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(candidate);
+        }
     }
-    candidate_pool(&scores, pool_size)
+    if available < pool_size {
+        return Err(PoolError {
+            needed: pool_size,
+            available,
+        });
+    }
+    let mut kept = heap.into_vec();
+    kept.sort_unstable();
+    Ok(kept.into_iter().map(|Scored(_, f)| f).collect())
 }
 
 /// Not enough watermarkable cells in a layer to fill the candidate pool.

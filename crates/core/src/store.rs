@@ -1,0 +1,1080 @@
+//! The unified layer-store abstraction — the write-side dual of
+//! [`crate::watermark::GridSource`].
+//!
+//! The read path went sparse in format v2: extraction probes individual
+//! cells of a [`crate::deploy::SparseArtifact`] without materializing a
+//! model. This module does the same for the *write* path. A
+//! [`LayerStore`] serves a quantized model one layer at a time; a
+//! [`LayerSink`] accepts one layer at a time. Every stamp-side stage —
+//! Eqs. 2–4 scoring, Eq. 5 insertion, v2 encoding — is a per-layer
+//! function between the two, so `score → insert → encode` streams each
+//! layer through a bounded set of reused buffers instead of holding the
+//! whole model and the whole artifact simultaneously.
+//!
+//! Stores:
+//!
+//! * [`QuantizedModel`] — the in-memory store (layers are borrowed, not
+//!   copied);
+//! * [`ArtifactLayerStore`] — a v2 EMQM artifact behind any
+//!   `Read + Seek` (typically a file): the header, index, and the
+//!   small non-layer payload are resident, each layer record is decoded
+//!   on demand;
+//! * [`ShardStore`] — a spill-to-disk directory with one record file
+//!   per layer, written by its dual [`ShardSink`].
+//!
+//! Sinks:
+//!
+//! * [`ArtifactSink`] — the streaming v2 encoder behind any
+//!   `io::Write`; its output is **byte-identical** to
+//!   [`crate::deploy::encode_model`] (which is itself implemented over
+//!   this sink);
+//! * [`ModelSink`] — materializes a [`QuantizedModel`];
+//! * [`ShardSink`] — the spill-to-disk writer.
+//!
+//! The streaming invariants (single-pass stages, bounded buffers,
+//! byte-identity with the in-memory pipeline) are documented in
+//! DESIGN.md §9 and pinned by `tests/streaming_equivalence.rs`.
+
+use crate::deploy::{
+    expected_scale_count, granularity_tag, put_config, put_matrix, put_norm, put_qlinear,
+    put_string, q_offset_in_record, qlinear_record_len, record_prefix_len, CodecError,
+    LayerIndexEntry, Reader, Section, FORMAT_V2, INDEX_ENTRY_BYTES, MAGIC,
+};
+use crate::watermark::WatermarkError;
+use bytes::{BufMut, BytesMut};
+use emmark_nanolm::config::ModelConfig;
+use emmark_nanolm::layers::{Embedding, Norm};
+use emmark_quant::{Granularity, QuantizedLinear, QuantizedModel};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Errors of the streaming pipeline: I/O on the backing medium, codec
+/// failures decoding a stored layer, or watermarking failures inside a
+/// stage.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backing reader/writer failed.
+    Io {
+        /// What was being read or written.
+        what: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Stored bytes failed to decode (or a sink was fed a layer that
+    /// contradicts its declared metadata).
+    Codec(CodecError),
+    /// A watermarking stage failed.
+    Watermark(WatermarkError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { what, source } => write!(f, "i/o failure while {what}: {source}"),
+            StoreError::Codec(e) => write!(f, "{e}"),
+            StoreError::Watermark(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Watermark(e) => Some(e),
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<WatermarkError> for StoreError {
+    fn from(e: WatermarkError) -> Self {
+        StoreError::Watermark(e)
+    }
+}
+
+fn io_err(what: &'static str, source: std::io::Error) -> StoreError {
+    StoreError::Io { what, source }
+}
+
+/// The non-layer payload of a quantized model: hyperparameters, scheme
+/// label, embeddings, and norms. Small relative to the layer grids at
+/// LLM scale — the one part of a model the streaming pipeline keeps
+/// resident.
+#[derive(Debug, Clone)]
+pub struct ModelHead {
+    /// Model hyperparameters.
+    pub cfg: ModelConfig,
+    /// Quantization scheme label.
+    pub scheme: String,
+    /// Token/position embedding tables.
+    pub emb: Embedding,
+    /// Per-block norm pairs.
+    pub norm_pairs: Vec<(Norm, Norm)>,
+    /// The final norm.
+    pub final_norm: Norm,
+}
+
+impl ModelHead {
+    /// Extracts the head of an in-memory model (clones the small
+    /// non-layer payload).
+    pub fn of(model: &QuantizedModel) -> Self {
+        Self {
+            cfg: model.cfg.clone(),
+            scheme: model.scheme.clone(),
+            emb: model.emb().clone(),
+            norm_pairs: model.norm_pairs().to_vec(),
+            final_norm: model.final_norm().clone(),
+        }
+    }
+}
+
+/// Everything a sink needs to know about a layer before its grid
+/// arrives: shape, quantizer metadata, and the exact byte length of its
+/// v2 record. Derivable from a layer without retaining it — the sizing
+/// sweep of the streaming encoder materializes one layer at a time and
+/// keeps only these few words per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerRecordMeta {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Bit width (4 or 8).
+    pub bits: u8,
+    /// Scale granularity.
+    pub granularity: Granularity,
+    /// Byte length of the layer's v2 record (exactly what
+    /// [`crate::deploy::encode_model`] writes for it).
+    pub record_len: usize,
+}
+
+impl LayerRecordMeta {
+    /// The metadata of an in-memory layer.
+    pub fn of(layer: &QuantizedLinear) -> Self {
+        Self {
+            in_features: layer.in_features(),
+            out_features: layer.out_features(),
+            bits: layer.bits(),
+            granularity: layer.granularity(),
+            record_len: qlinear_record_len(layer),
+        }
+    }
+
+    /// Byte offset of the raw `i8` grid within the record, or `None` on
+    /// overflow.
+    pub fn q_offset_in_record(&self) -> Option<usize> {
+        expected_scale_count(self.in_features, self.out_features, self.granularity)
+            .map(record_prefix_len)
+    }
+}
+
+/// Read-side access to a quantized model one layer at a time — the
+/// write-path dual of [`crate::watermark::GridSource`]. Implementations
+/// promise that `load_layer` materializes at most one layer's worth of
+/// data per call; the streaming pipeline holds only the layer currently
+/// in flight.
+pub trait LayerStore {
+    /// The resident non-layer payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-medium failures.
+    fn head(&self) -> Result<ModelHead, StoreError>;
+
+    /// Number of quantized layers.
+    fn store_layer_count(&self) -> usize;
+
+    /// Materializes layer `l`. In-memory stores return a borrow;
+    /// disk-backed stores decode one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-medium and codec failures.
+    fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError>;
+
+    /// Sizing metadata for layer `l`. The default loads the layer;
+    /// indexed stores override with an O(1) table lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::load_layer`] failures.
+    fn layer_meta(&self, l: usize) -> Result<LayerRecordMeta, StoreError> {
+        Ok(LayerRecordMeta::of(self.load_layer(l)?.as_ref()))
+    }
+}
+
+impl LayerStore for QuantizedModel {
+    fn head(&self) -> Result<ModelHead, StoreError> {
+        Ok(ModelHead::of(self))
+    }
+
+    fn store_layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError> {
+        Ok(Cow::Borrowed(&self.layers[l]))
+    }
+}
+
+/// Write-side acceptance of a quantized model one layer at a time.
+/// `begin` receives the head plus the full sizing table (so an indexed
+/// encoder can emit its offset table up front), then every layer
+/// arrives exactly once, in order, via `put_layer`, and `finish` seals
+/// the output.
+pub trait LayerSink {
+    /// Starts the stream: the resident head plus one
+    /// [`LayerRecordMeta`] per upcoming layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-medium failures.
+    fn begin(&mut self, head: &ModelHead, layers: &[LayerRecordMeta]) -> Result<(), StoreError>;
+
+    /// Accepts layer `l`. Layers arrive in order, each exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the layer contradicts its declared metadata or the
+    /// backing medium errors.
+    fn put_layer(&mut self, l: usize, layer: &QuantizedLinear) -> Result<(), StoreError>;
+
+    /// Seals the stream (flushes buffered bytes, verifies every
+    /// declared layer arrived).
+    ///
+    /// # Errors
+    ///
+    /// Fails if layers are missing or the backing medium errors.
+    fn finish(&mut self) -> Result<(), StoreError>;
+}
+
+/// Streams every layer of `store` into `sink` unchanged — the identity
+/// pipeline (store → sink conversion: artifact ↔ shards ↔ model).
+///
+/// # Errors
+///
+/// Propagates store and sink failures.
+pub fn copy_store<S, K>(store: &S, sink: &mut K) -> Result<(), StoreError>
+where
+    S: LayerStore + ?Sized,
+    K: LayerSink + ?Sized,
+{
+    let n = store.store_layer_count();
+    let mut metas = Vec::with_capacity(n);
+    for l in 0..n {
+        metas.push(store.layer_meta(l)?);
+    }
+    sink.begin(&store.head()?, &metas)?;
+    for l in 0..n {
+        sink.put_layer(l, store.load_layer(l)?.as_ref())?;
+    }
+    sink.finish()
+}
+
+/// Materializes a [`LayerStore`] as an in-memory [`QuantizedModel`].
+///
+/// # Errors
+///
+/// Propagates store failures.
+pub fn materialize<S: LayerStore + ?Sized>(store: &S) -> Result<QuantizedModel, StoreError> {
+    let mut sink = ModelSink::new();
+    copy_store(store, &mut sink)?;
+    sink.into_model()
+}
+
+// ---------------------------------------------------------------------
+// ArtifactSink — the streaming v2 encoder.
+// ---------------------------------------------------------------------
+
+/// The streaming v2 EMQM encoder: a [`LayerSink`] over any
+/// [`io::Write`](Write). `begin` derives the complete layer-offset
+/// table from the sizing metadata and writes the header, config,
+/// index, embeddings, and norms; each `put_layer` serializes one record
+/// into a reused scratch buffer and forwards it. Peak memory is the
+/// head plus the largest single record — the output is **never**
+/// resident.
+///
+/// Byte-identity with [`crate::deploy::encode_model`] holds by
+/// construction: `encode_model` is implemented as this sink writing
+/// into a `Vec`.
+#[derive(Debug)]
+pub struct ArtifactSink<W: Write> {
+    w: W,
+    metas: Vec<LayerRecordMeta>,
+    next_layer: usize,
+    /// Reused per-record scratch buffer (the "ring" of the streaming
+    /// pipeline — one record wide, rewound every layer).
+    scratch: BytesMut,
+    finished: bool,
+}
+
+impl<W: Write> ArtifactSink<W> {
+    /// Creates a sink writing the v2 wire format into `w`.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            metas: Vec::new(),
+            next_layer: 0,
+            scratch: BytesMut::new(),
+            finished: false,
+        }
+    }
+
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> LayerSink for ArtifactSink<W> {
+    fn begin(&mut self, head: &ModelHead, layers: &[LayerRecordMeta]) -> Result<(), StoreError> {
+        // The header and index are derived exactly as encode_model lays
+        // them out; every offset is known from the sizing table alone.
+        let mut cfg_buf = BytesMut::with_capacity(256);
+        put_config(&mut cfg_buf, &head.cfg);
+        put_string(&mut cfg_buf, &head.scheme);
+
+        let mut body_buf = BytesMut::with_capacity(1 << 12);
+        put_matrix(&mut body_buf, &head.emb.tok.value);
+        put_matrix(&mut body_buf, &head.emb.pos.value);
+        body_buf.put_u32_le(head.norm_pairs.len() as u32);
+        for (n1, n2) in &head.norm_pairs {
+            put_norm(&mut body_buf, n1);
+            put_norm(&mut body_buf, n2);
+        }
+        put_norm(&mut body_buf, &head.final_norm);
+
+        let n = layers.len();
+        let index_len = 4 + n * INDEX_ENTRY_BYTES;
+        let layers_start = 8 + cfg_buf.len() + index_len + body_buf.len();
+
+        let mut header = BytesMut::with_capacity(8 + cfg_buf.len() + index_len);
+        header.put_slice(MAGIC);
+        header.put_u32_le(FORMAT_V2);
+        header.put_slice(&cfg_buf);
+        header.put_u32_le(n as u32);
+        let mut record_offset = layers_start;
+        for meta in layers {
+            header.put_u32_le(meta.in_features as u32);
+            header.put_u32_le(meta.out_features as u32);
+            header.put_u8(meta.bits);
+            let (tag, group) = granularity_tag(meta.granularity);
+            header.put_u8(tag);
+            header.put_u32_le(group);
+            header.put_u64_le(record_offset as u64);
+            let q_off = meta.q_offset_in_record().ok_or_else(|| {
+                StoreError::Codec(CodecError::Corrupt {
+                    section: Section::LayerIndex,
+                    offset: 0,
+                    msg: "layer record extent overflows".into(),
+                })
+            })?;
+            header.put_u64_le((record_offset + q_off) as u64);
+            record_offset += meta.record_len;
+        }
+        self.w
+            .write_all(&header)
+            .map_err(|e| io_err("writing the artifact header", e))?;
+        self.w
+            .write_all(&body_buf)
+            .map_err(|e| io_err("writing embeddings and norms", e))?;
+        self.metas = layers.to_vec();
+        self.next_layer = 0;
+        Ok(())
+    }
+
+    fn put_layer(&mut self, l: usize, layer: &QuantizedLinear) -> Result<(), StoreError> {
+        let corrupt = |msg: String| {
+            StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layer(l),
+                offset: 0,
+                msg,
+            })
+        };
+        if self.finished {
+            return Err(corrupt("stream already finished".into()));
+        }
+        if l != self.next_layer {
+            return Err(corrupt(format!(
+                "layers must arrive in order (expected {}, got {l})",
+                self.next_layer
+            )));
+        }
+        let Some(meta) = self.metas.get(l).copied() else {
+            return Err(corrupt(format!(
+                "layer {l} was not declared at begin ({} layers)",
+                self.metas.len()
+            )));
+        };
+        self.scratch.clear();
+        put_qlinear(&mut self.scratch, layer);
+        if self.scratch.len() != meta.record_len {
+            return Err(corrupt(format!(
+                "record is {} bytes but the sizing sweep promised {}",
+                self.scratch.len(),
+                meta.record_len
+            )));
+        }
+        debug_assert_eq!(Some(q_offset_in_record(layer)), meta.q_offset_in_record());
+        self.w
+            .write_all(&self.scratch)
+            .map_err(|e| io_err("writing a layer record", e))?;
+        self.next_layer += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), StoreError> {
+        let corrupt = |msg: String| {
+            StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layers,
+                offset: 0,
+                msg,
+            })
+        };
+        if self.finished {
+            return Err(corrupt("stream already finished".into()));
+        }
+        if self.next_layer != self.metas.len() {
+            return Err(corrupt(format!(
+                "stream ended after {} of {} layers",
+                self.next_layer,
+                self.metas.len()
+            )));
+        }
+        self.finished = true;
+        self.w
+            .flush()
+            .map_err(|e| io_err("flushing the artifact", e))
+    }
+}
+
+// ---------------------------------------------------------------------
+// ModelSink — materialize into a QuantizedModel.
+// ---------------------------------------------------------------------
+
+/// A [`LayerSink`] that assembles an in-memory [`QuantizedModel`].
+#[derive(Debug, Default)]
+pub struct ModelSink {
+    head: Option<ModelHead>,
+    expected: usize,
+    layers: Vec<QuantizedLinear>,
+}
+
+impl ModelSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled model, once every declared layer has arrived.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `begin`/`finish` never ran or layers are missing.
+    pub fn into_model(self) -> Result<QuantizedModel, StoreError> {
+        let corrupt = |msg: String| {
+            StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layers,
+                offset: 0,
+                msg,
+            })
+        };
+        let Some(head) = self.head else {
+            return Err(corrupt("stream never began".into()));
+        };
+        if self.layers.len() != self.expected {
+            return Err(corrupt(format!(
+                "stream ended after {} of {} layers",
+                self.layers.len(),
+                self.expected
+            )));
+        }
+        Ok(QuantizedModel::from_parts(
+            head.cfg,
+            head.emb,
+            head.norm_pairs,
+            head.final_norm,
+            self.layers,
+            head.scheme,
+        ))
+    }
+}
+
+impl LayerSink for ModelSink {
+    fn begin(&mut self, head: &ModelHead, layers: &[LayerRecordMeta]) -> Result<(), StoreError> {
+        self.head = Some(head.clone());
+        self.expected = layers.len();
+        self.layers = Vec::with_capacity(layers.len());
+        Ok(())
+    }
+
+    fn put_layer(&mut self, l: usize, layer: &QuantizedLinear) -> Result<(), StoreError> {
+        if l != self.layers.len() {
+            return Err(StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layer(l),
+                offset: 0,
+                msg: format!(
+                    "layers must arrive in order (expected {})",
+                    self.layers.len()
+                ),
+            }));
+        }
+        self.layers.push(layer.clone());
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// ArtifactLayerStore — file-backed v2 artifact.
+// ---------------------------------------------------------------------
+
+/// A [`LayerStore`] over a v2 EMQM artifact behind any `Read + Seek`
+/// (typically a [`std::fs::File`]). Opening parses the header, config,
+/// offset index, and the small embeddings/norms payload; each
+/// `load_layer` seeks to the record the index promises and decodes
+/// exactly one layer. Resident memory is the head plus the index —
+/// never the layer grids.
+#[derive(Debug)]
+pub struct ArtifactLayerStore<R: Read + Seek> {
+    src: RefCell<R>,
+    len: usize,
+    head: ModelHead,
+    index: Vec<LayerIndexEntry>,
+}
+
+impl<R: Read + Seek> ArtifactLayerStore<R> {
+    /// Opens a v2 artifact for layer-at-a-time reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadVersion`] for v1 (and unknown) formats,
+    /// the usual codec errors for malformed headers, and I/O errors
+    /// from the backing reader.
+    pub fn open(mut src: R) -> Result<Self, StoreError> {
+        let len = src
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("sizing the artifact", e))? as usize;
+        // The header region (config + scheme + index) has no length
+        // prefix; read a prefix window and widen it until the parse no
+        // longer runs out of bytes.
+        let mut want = 4096.min(len);
+        let (cfg, scheme, index, body_start) = loop {
+            let prefix = read_range(&mut src, 0, want, "reading the artifact header")?;
+            match parse_v2_header(&prefix, len) {
+                Ok(parsed) => break parsed,
+                Err(CodecError::Truncated { .. }) if want < len => {
+                    want = (want * 2).min(len);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        // Embeddings and norms sit between the index and the first
+        // layer record (or the end of the file when there are none).
+        let body_end = index.first().map_or(len, |e| e.record_offset);
+        let body = read_range(
+            &mut src,
+            body_start,
+            body_end - body_start,
+            "reading embeddings and norms",
+        )?;
+        let mut r = Reader::new(&body, Section::Embeddings);
+        let emb = r.embeddings()?;
+        let (norm_pairs, final_norm) = r.norms(cfg.n_layers)?;
+        Ok(Self {
+            src: RefCell::new(src),
+            len,
+            head: ModelHead {
+                cfg,
+                scheme,
+                emb,
+                norm_pairs,
+                final_norm,
+            },
+            index,
+        })
+    }
+
+    /// The artifact's layer-offset table.
+    pub fn layer_index(&self) -> &[LayerIndexEntry] {
+        &self.index
+    }
+
+    /// Total artifact size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.len
+    }
+
+    fn record_span(&self, l: usize) -> (usize, usize) {
+        let start = self.index[l].record_offset;
+        let end = self.index.get(l + 1).map_or(self.len, |e| e.record_offset);
+        (start, end)
+    }
+}
+
+fn read_range<R: Read + Seek>(
+    src: &mut R,
+    start: usize,
+    len: usize,
+    what: &'static str,
+) -> Result<Vec<u8>, StoreError> {
+    src.seek(SeekFrom::Start(start as u64))
+        .map_err(|e| io_err(what, e))?;
+    let mut buf = vec![0u8; len];
+    src.read_exact(&mut buf).map_err(|e| io_err(what, e))?;
+    Ok(buf)
+}
+
+/// Parses the v2 prefix (magic, version, config, scheme, index) out of
+/// `prefix`, validating index extents against the artifact's true
+/// `total_len`. Returns the parsed pieces plus the offset where the
+/// body (embeddings) begins.
+type ParsedHeader = (ModelConfig, String, Vec<LayerIndexEntry>, usize);
+
+fn parse_v2_header(prefix: &[u8], total_len: usize) -> Result<ParsedHeader, CodecError> {
+    let mut r = Reader::new(prefix, Section::Header);
+    r.magic(MAGIC)?;
+    let version = r.u32("version")?;
+    if version != FORMAT_V2 {
+        return Err(CodecError::BadVersion(version));
+    }
+    let cfg = r.config()?;
+    let scheme = r.string("scheme")?;
+    let index = r.layer_index_bounded(cfg.quant_layer_count(), total_len)?;
+    Ok((cfg, scheme, index, r.offset()))
+}
+
+impl<R: Read + Seek> LayerStore for ArtifactLayerStore<R> {
+    fn head(&self) -> Result<ModelHead, StoreError> {
+        Ok(self.head.clone())
+    }
+
+    fn store_layer_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError> {
+        let (start, end) = self.record_span(l);
+        let record = read_range(
+            &mut *self.src.borrow_mut(),
+            start,
+            end - start,
+            "reading a layer record",
+        )?;
+        let mut r = Reader::new(&record, Section::Layer(l));
+        let layer = r.qlinear(l)?;
+        let entry = &self.index[l];
+        if layer.in_features() != entry.in_features
+            || layer.out_features() != entry.out_features
+            || layer.bits() != entry.bits
+            || layer.granularity() != entry.granularity
+        {
+            return Err(StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layer(l),
+                offset: start,
+                msg: "record disagrees with its layer-index entry".into(),
+            }));
+        }
+        Ok(Cow::Owned(layer))
+    }
+
+    fn layer_meta(&self, l: usize) -> Result<LayerRecordMeta, StoreError> {
+        let entry = &self.index[l];
+        let (start, end) = self.record_span(l);
+        Ok(LayerRecordMeta {
+            in_features: entry.in_features,
+            out_features: entry.out_features,
+            bits: entry.bits,
+            granularity: entry.granularity,
+            record_len: end - start,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardStore / ShardSink — spill-to-disk layer shards.
+// ---------------------------------------------------------------------
+
+const SHARD_HEAD_MAGIC: &[u8; 4] = b"EMSH";
+const SHARD_LAYER_MAGIC: &[u8; 4] = b"EMSL";
+
+fn shard_head_path(dir: &Path) -> PathBuf {
+    dir.join("head.emsh")
+}
+
+fn shard_layer_path(dir: &Path, l: usize) -> PathBuf {
+    dir.join(format!("layer-{l:05}.emsl"))
+}
+
+/// A spill-to-disk [`LayerSink`]: the head goes to `head.emsh`, every
+/// layer record to its own `layer-NNNNN.emsl` shard file. The dual
+/// [`ShardStore`] reads the directory back one layer at a time — an
+/// intermediate pipeline stage can park a model on disk with O(largest
+/// layer) resident memory.
+#[derive(Debug)]
+pub struct ShardSink {
+    dir: PathBuf,
+    expected: usize,
+    written: usize,
+    scratch: BytesMut,
+}
+
+impl ShardSink {
+    /// Creates the sink, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("creating the shard directory", e))?;
+        Ok(Self {
+            dir,
+            expected: 0,
+            written: 0,
+            scratch: BytesMut::new(),
+        })
+    }
+}
+
+impl LayerSink for ShardSink {
+    fn begin(&mut self, head: &ModelHead, layers: &[LayerRecordMeta]) -> Result<(), StoreError> {
+        let mut buf = BytesMut::with_capacity(1 << 12);
+        buf.put_slice(SHARD_HEAD_MAGIC);
+        buf.put_u32_le(FORMAT_V2);
+        put_config(&mut buf, &head.cfg);
+        put_string(&mut buf, &head.scheme);
+        put_matrix(&mut buf, &head.emb.tok.value);
+        put_matrix(&mut buf, &head.emb.pos.value);
+        buf.put_u32_le(head.norm_pairs.len() as u32);
+        for (n1, n2) in &head.norm_pairs {
+            put_norm(&mut buf, n1);
+            put_norm(&mut buf, n2);
+        }
+        put_norm(&mut buf, &head.final_norm);
+        buf.put_u32_le(layers.len() as u32);
+        std::fs::write(shard_head_path(&self.dir), &buf)
+            .map_err(|e| io_err("writing the shard head", e))?;
+        self.expected = layers.len();
+        self.written = 0;
+        Ok(())
+    }
+
+    fn put_layer(&mut self, l: usize, layer: &QuantizedLinear) -> Result<(), StoreError> {
+        self.scratch.clear();
+        self.scratch.put_slice(SHARD_LAYER_MAGIC);
+        put_qlinear(&mut self.scratch, layer);
+        std::fs::write(shard_layer_path(&self.dir, l), &self.scratch)
+            .map_err(|e| io_err("writing a layer shard", e))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), StoreError> {
+        if self.written != self.expected {
+            return Err(StoreError::Codec(CodecError::Corrupt {
+                section: Section::Layers,
+                offset: 0,
+                msg: format!(
+                    "stream ended after {} of {} layers",
+                    self.written, self.expected
+                ),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// The read half of the spill-to-disk store: loads the head eagerly and
+/// each layer shard on demand.
+#[derive(Debug)]
+pub struct ShardStore {
+    dir: PathBuf,
+    head: ModelHead,
+    n_layers: usize,
+}
+
+impl ShardStore {
+    /// Opens a shard directory written by [`ShardSink`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and codec failures reading the head.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let bytes = std::fs::read(shard_head_path(&dir))
+            .map_err(|e| io_err("reading the shard head", e))?;
+        let mut r = Reader::new(&bytes, Section::Header);
+        r.magic(SHARD_HEAD_MAGIC)?;
+        let version = r.u32("shard version")?;
+        if version != FORMAT_V2 {
+            return Err(CodecError::BadVersion(version).into());
+        }
+        let cfg = r.config()?;
+        let scheme = r.string("scheme")?;
+        let emb = r.embeddings()?;
+        let (norm_pairs, final_norm) = r.norms(cfg.n_layers)?;
+        r.enter(Section::Layers);
+        let n_layers = r.u32("layer count")? as usize;
+        if n_layers != cfg.quant_layer_count() {
+            return Err(r
+                .corrupt(format!(
+                    "layer count {n_layers} does not match config ({})",
+                    cfg.quant_layer_count()
+                ))
+                .into());
+        }
+        Ok(Self {
+            dir,
+            head: ModelHead {
+                cfg,
+                scheme,
+                emb,
+                norm_pairs,
+                final_norm,
+            },
+            n_layers,
+        })
+    }
+
+    /// Removes the shard directory and its contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn remove(self) -> Result<(), StoreError> {
+        std::fs::remove_dir_all(&self.dir).map_err(|e| io_err("removing the shard directory", e))
+    }
+}
+
+impl LayerStore for ShardStore {
+    fn head(&self) -> Result<ModelHead, StoreError> {
+        Ok(self.head.clone())
+    }
+
+    fn store_layer_count(&self) -> usize {
+        self.n_layers
+    }
+
+    fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError> {
+        assert!(l < self.n_layers, "layer {l} out of range");
+        let bytes = std::fs::read(shard_layer_path(&self.dir, l))
+            .map_err(|e| io_err("reading a layer shard", e))?;
+        let mut r = Reader::new(&bytes, Section::Layer(l));
+        r.magic(SHARD_LAYER_MAGIC)?;
+        Ok(Cow::Owned(r.qlinear(l)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{decode_model, encode_model};
+    use emmark_nanolm::config::ModelConfig as Cfg;
+    use emmark_nanolm::TransformerModel;
+    use emmark_quant::awq::{awq, AwqConfig};
+    use emmark_quant::llm_int8::{llm_int8, OutlierCriterion};
+    use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
+    use std::io::Cursor;
+
+    fn models() -> Vec<QuantizedModel> {
+        let mut model = TransformerModel::new(Cfg::tiny_test());
+        let calib = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let stats = model.collect_activation_stats(&calib);
+        vec![
+            awq(&model, &stats, &AwqConfig::default()),
+            smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+            llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9)),
+        ]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("emmark-store-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn record_meta_matches_the_encoded_record_length() {
+        for model in models() {
+            let bytes = encode_model(&model);
+            let sparse = crate::deploy::SparseArtifact::open(&bytes).expect("open");
+            let index = sparse.layer_index();
+            for (l, layer) in model.layers.iter().enumerate() {
+                let meta = LayerRecordMeta::of(layer);
+                let end = index.get(l + 1).map_or(bytes.len(), |e| e.record_offset);
+                assert_eq!(
+                    meta.record_len,
+                    end - index[l].record_offset,
+                    "{}: layer {l} record length",
+                    model.scheme
+                );
+                assert_eq!(
+                    meta.q_offset_in_record(),
+                    Some(index[l].q_offset - index[l].record_offset),
+                    "{}: layer {l} q offset",
+                    model.scheme
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_sink_is_byte_identical_to_encode_model() {
+        for model in models() {
+            let mut out = Vec::new();
+            let mut sink = ArtifactSink::new(&mut out);
+            copy_store(&model, &mut sink).expect("copy");
+            assert_eq!(
+                out,
+                encode_model(&model).to_vec(),
+                "{}: streaming encode must match the in-memory encoder",
+                model.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn artifact_store_round_trips_every_layer() {
+        for model in models() {
+            let bytes = encode_model(&model).to_vec();
+            let store = ArtifactLayerStore::open(Cursor::new(&bytes)).expect("open");
+            assert_eq!(store.store_layer_count(), model.layer_count());
+            assert_eq!(store.byte_len(), bytes.len());
+            let head = store.head().expect("head");
+            assert_eq!(head.cfg, model.cfg);
+            assert_eq!(head.scheme, model.scheme);
+            for (l, layer) in model.layers.iter().enumerate() {
+                let loaded = store.load_layer(l).expect("load");
+                assert_eq!(loaded.as_ref(), layer, "{}: layer {l}", model.scheme);
+                assert_eq!(
+                    store.layer_meta(l).expect("meta"),
+                    LayerRecordMeta::of(layer)
+                );
+            }
+            // Full materialization equals the canonical decoder.
+            let materialized = materialize(&store).expect("materialize");
+            let decoded = decode_model(&bytes).expect("decode");
+            assert!(materialized.same_weights(&decoded));
+            assert_eq!(materialized.cfg, decoded.cfg);
+        }
+    }
+
+    #[test]
+    fn artifact_store_rejects_v1_and_truncation() {
+        let model = &models()[0];
+        let v1 = crate::deploy::encode_model_v1(model).to_vec();
+        let err = ArtifactLayerStore::open(Cursor::new(&v1)).expect_err("v1");
+        assert!(matches!(
+            err,
+            StoreError::Codec(CodecError::BadVersion(crate::deploy::FORMAT_V1))
+        ));
+        let v2 = encode_model(model).to_vec();
+        for cut in [3usize, 9, 64, v2.len() / 2] {
+            let truncated = &v2[..cut];
+            assert!(
+                ArtifactLayerStore::open(Cursor::new(truncated)).is_err(),
+                "cut at {cut} must not open"
+            );
+        }
+        // Cutting inside the last record's trailing fields (past its
+        // grid) leaves the header and index intact — a lazy store only
+        // notices when that layer is loaded.
+        let last = model.layer_count() - 1;
+        // (Rejecting at open would be fine too.)
+        if let Ok(store) = ArtifactLayerStore::open(Cursor::new(&v2[..v2.len() - 3])) {
+            assert!(store.load_layer(last).is_err(), "truncated record loaded");
+        }
+        // A record corrupted in place (header intact) surfaces at load
+        // time for exactly that layer, with codec context.
+        let sparse = crate::deploy::SparseArtifact::open(&v2).expect("open");
+        let record = sparse.layer_index()[0].record_offset;
+        let mut evil = v2.clone();
+        evil[record + 8] = 99; // the record's bit-width byte
+        let store = ArtifactLayerStore::open(Cursor::new(&evil)).expect("header intact");
+        let err = store.load_layer(0).expect_err("corrupt record");
+        assert!(matches!(err, StoreError::Codec(CodecError::Corrupt { .. })));
+        assert!(store.load_layer(1).is_ok(), "other layers stay readable");
+    }
+
+    #[test]
+    fn shard_store_round_trips() {
+        let dir = temp_dir("roundtrip");
+        for model in models() {
+            let mut sink = ShardSink::create(&dir).expect("create");
+            copy_store(&model, &mut sink).expect("spill");
+            let store = ShardStore::open(&dir).expect("open");
+            assert_eq!(store.store_layer_count(), model.layer_count());
+            let back = materialize(&store).expect("materialize");
+            assert!(back.same_weights(&model), "{}", model.scheme);
+            assert_eq!(back.cfg, model.cfg);
+            assert_eq!(back.scheme, model.scheme);
+            // Shard store feeds the streaming encoder byte-identically.
+            let mut out = Vec::new();
+            copy_store(&store, &mut ArtifactSink::new(&mut out)).expect("encode");
+            assert_eq!(out, encode_model(&model).to_vec(), "{}", model.scheme);
+            store.remove().expect("cleanup");
+        }
+    }
+
+    #[test]
+    fn sinks_reject_out_of_order_and_short_streams() {
+        let model = &models()[0];
+        let head = ModelHead::of(model);
+        let metas: Vec<LayerRecordMeta> = model.layers.iter().map(LayerRecordMeta::of).collect();
+
+        let mut sink = ArtifactSink::new(Vec::new());
+        sink.begin(&head, &metas).expect("begin");
+        assert!(matches!(
+            sink.put_layer(1, &model.layers[1]),
+            Err(StoreError::Codec(_))
+        ));
+        sink.put_layer(0, &model.layers[0]).expect("in order");
+        assert!(matches!(sink.finish(), Err(StoreError::Codec(_))));
+
+        // A layer that contradicts its sizing metadata is refused (pick
+        // one whose record length actually differs from layer 0's).
+        let other = model
+            .layers
+            .iter()
+            .position(|l| LayerRecordMeta::of(l).record_len != metas[0].record_len)
+            .expect("some layer with a different record length");
+        let mut sink = ArtifactSink::new(Vec::new());
+        sink.begin(&head, &metas).expect("begin");
+        assert!(matches!(
+            sink.put_layer(0, &model.layers[other]),
+            Err(StoreError::Codec(_))
+        ));
+
+        let mut msink = ModelSink::new();
+        msink.begin(&head, &metas).expect("begin");
+        msink.put_layer(0, &model.layers[0]).expect("in order");
+        assert!(matches!(
+            msink.put_layer(2, &model.layers[2]),
+            Err(StoreError::Codec(_))
+        ));
+        assert!(msink.into_model().is_err());
+    }
+
+    #[test]
+    fn store_error_messages_are_informative() {
+        let e = StoreError::Io {
+            what: "reading a layer record",
+            source: std::io::Error::other("disk gone"),
+        };
+        assert!(e.to_string().contains("reading a layer record"));
+        assert!(e.to_string().contains("disk gone"));
+        let e = StoreError::from(CodecError::BadMagic);
+        assert!(e.to_string().contains("magic"));
+    }
+}

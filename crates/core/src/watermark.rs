@@ -10,8 +10,9 @@
 
 use crate::scoring::{layer_pool, PoolError, ScoreCoefficients};
 use crate::signature::Signature;
+use crate::store::{ArtifactSink, LayerRecordMeta, LayerSink, LayerStore, StoreError};
 use emmark_nanolm::model::ActivationStats;
-use emmark_quant::QuantizedModel;
+use emmark_quant::{QuantizedLinear, QuantizedModel};
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
 use emmark_tensor::stats::log10_binomial_tail;
 use serde::{Deserialize, Serialize};
@@ -206,20 +207,116 @@ pub fn locate_watermark(
             original.layer_count()
         )));
     }
-    let coeffs = cfg.coefficients();
-    let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
     // One deterministic sub-seed per layer, derived from the secret seed.
     let mut sm = SplitMix64::new(cfg.selection_seed);
     let mut locations = Vec::with_capacity(original.layer_count());
     for (l, layer) in original.layers.iter().enumerate() {
         let layer_seed = sm.next_u64();
-        let pool = layer_pool(layer, &stats.per_layer[l].mean_abs, &coeffs, pool_size, &[])
+        let locs = locate_layer(layer, &stats.per_layer[l].mean_abs, cfg, layer_seed)
             .map_err(|source| WatermarkError::Pool { layer: l, source })?;
-        let mut rng = Xoshiro256::seed_from_u64(layer_seed);
-        let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
-        locations.push(picks.into_iter().map(|p| pool[p]).collect());
+        locations.push(locs);
     }
     Ok(locations)
+}
+
+/// The per-layer unit of location reproduction: Eqs. 2–4 pool the
+/// layer's best cells, then the layer's sub-seed samples
+/// `bits_per_layer` of them. [`locate_watermark`] is a loop over this
+/// stage; the streaming pipeline ([`stream_watermark`]) calls it with
+/// one layer resident at a time — identical selections by construction.
+pub(crate) fn locate_layer(
+    layer: &QuantizedLinear,
+    act_mean: &[f32],
+    cfg: &WatermarkConfig,
+    layer_seed: u64,
+) -> Result<Vec<usize>, PoolError> {
+    let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
+    let pool = layer_pool(layer, act_mean, &cfg.coefficients(), pool_size, &[])?;
+    let mut rng = Xoshiro256::seed_from_u64(layer_seed);
+    let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
+    Ok(picks.into_iter().map(|p| pool[p]).collect())
+}
+
+/// The streaming watermark pipeline: `score → insert → encode` with one
+/// layer resident at a time.
+///
+/// Sweep 1 loads each of `store`'s layers once to reproduce its
+/// watermark locations (Eqs. 2–4 + seeded sampling) and record its
+/// sizing metadata; sweep 2 loads each layer again, applies its
+/// signature bits (Eq. 5), and hands it to `sink`. Peak memory is the
+/// model head plus one layer plus the location table — never the full
+/// model, and never the encoded artifact (an
+/// [`ArtifactSink`] forwards records straight to its writer).
+///
+/// For an in-memory [`QuantizedModel`] store and an [`ArtifactSink`],
+/// the output is **byte-identical** to
+/// [`insert_watermark`] followed by
+/// [`crate::deploy::encode_model`]; `tests/streaming_equivalence.rs`
+/// pins that across all five quantization schemes.
+///
+/// # Errors
+///
+/// Propagates configuration, location, store, and sink failures.
+pub fn stream_watermark<S, K>(
+    store: &S,
+    stats: &ActivationStats,
+    signature: &Signature,
+    cfg: &WatermarkConfig,
+    sink: &mut K,
+) -> Result<InsertedWatermark, StoreError>
+where
+    S: LayerStore + ?Sized,
+    K: LayerSink + ?Sized,
+{
+    cfg.validate()?;
+    let n = store.store_layer_count();
+    if stats.layer_count() != n {
+        return Err(WatermarkError::ShapeMismatch(format!(
+            "activation stats cover {} layers, model has {n}",
+            stats.layer_count()
+        ))
+        .into());
+    }
+    let expected = cfg.signature_len(n);
+    if signature.len() != expected {
+        return Err(WatermarkError::SignatureLength {
+            expected,
+            got: signature.len(),
+        }
+        .into());
+    }
+    // Sweep 1 — locate + size, one layer resident at a time.
+    let mut sm = SplitMix64::new(cfg.selection_seed);
+    let mut locations = Vec::with_capacity(n);
+    let mut metas = Vec::with_capacity(n);
+    for l in 0..n {
+        let layer_seed = sm.next_u64();
+        let layer = store.load_layer(l)?;
+        let locs = locate_layer(
+            layer.as_ref(),
+            &stats.per_layer[l].mean_abs,
+            cfg,
+            layer_seed,
+        )
+        .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+        locations.push(locs);
+        metas.push(LayerRecordMeta::of(layer.as_ref()));
+    }
+    // Sweep 2 — insert + encode, streaming each stamped layer out.
+    sink.begin(&store.head()?, &metas)?;
+    for (l, layer_locs) in locations.iter().enumerate() {
+        let mut layer = store.load_layer(l)?.into_owned();
+        let bits = signature.layer_bits(l, n);
+        for (&f, &b) in layer_locs.iter().zip(bits) {
+            layer.bump_q_flat(f, b);
+        }
+        sink.put_layer(l, &layer)?;
+    }
+    sink.finish()?;
+    Ok(InsertedWatermark {
+        locations,
+        bits: signature.len(),
+    })
 }
 
 /// Applies `signature` at pre-derived `locations` (Eq. 5's bump), the
@@ -487,6 +584,28 @@ impl OwnerSecrets {
         let mut deployed = self.original.clone();
         insert_watermark(&mut deployed, &self.stats, &self.signature, &self.config)?;
         Ok(deployed)
+    }
+
+    /// Streams the watermarked deployment artifact (v2, indexed)
+    /// straight into `out` without materializing the watermarked model
+    /// or the artifact: the constant-memory counterpart of
+    /// [`Self::watermark_for_deployment`] +
+    /// [`crate::deploy::encode_model`], byte-identical to that pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stream_watermark`] errors.
+    pub fn watermark_into<W: std::io::Write>(
+        &self,
+        out: W,
+    ) -> Result<InsertedWatermark, StoreError> {
+        stream_watermark(
+            &self.original,
+            &self.stats,
+            &self.signature,
+            &self.config,
+            &mut ArtifactSink::new(out),
+        )
     }
 
     /// Ownership check against a suspect model (Eqs. 6–8). Accepts any

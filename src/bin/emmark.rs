@@ -1,28 +1,40 @@
 //! `emmark` — command-line front end for the EmMark pipeline.
 //!
 //! ```text
-//! emmark demo --out-dir DIR [--bits N] [--seed S]   build a demo: train, quantize,
+//! emmark demo --out-dir DIR [--bits N] [--seed S] [--max-resident-mb M]
+//!                                                   build a demo: train, quantize,
 //!                                                   watermark; writes deployed.emqm,
 //!                                                   secrets.emws, original.emqm
+//!                                                   (with a budget: the streaming
+//!                                                   stamp pipeline, one layer
+//!                                                   resident at a time)
 //! emmark verify --secrets FILE --suspect FILE       ownership proof (Eqs. 6–8);
 //!                                                   v2 artifacts are probed sparsely
 //! emmark inspect --model FILE [--json]              layer/scheme/bit summary from the
-//!                                                   v2 header index (machine-readable
-//!                                                   with --json)
+//!                                                   v2 header index; .emfb fleet
+//!                                                   bundles get a streamed device/
+//!                                                   fingerprint report (machine-
+//!                                                   readable with --json)
 //! emmark attack --model FILE --out FILE --per-layer N [--seed S]
 //!                                                   parameter-overwriting attack
 //! emmark fleet-provision --secrets FILE --out-dir DIR --devices N
 //!                        [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-//!                        [--jobs N] [--bundle FILE]  score-once/insert-many batch
+//!                        [--jobs N] [--bundle FILE] [--max-resident-mb M]
+//!                                                   score-once/insert-many batch
 //!                                                   provisioning: fingerprint N
 //!                                                   device artifacts by delta-
 //!                                                   patching the base artifact,
 //!                                                   write the fleet registry (and
-//!                                                   optionally one bundle file)
+//!                                                   optionally one bundle file);
+//!                                                   with a budget, artifacts and
+//!                                                   bundle are spliced straight to
+//!                                                   disk, never resident
 //! emmark fleet-verify --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
 //!                     [--threshold L] [--jobs N]    parallel batch verification +
 //!                                                   leak tracing over a directory
 //!                                                   or a provisioned-fleet bundle
+//!                                                   (bundles stream through a
+//!                                                   bounded ring of artifacts)
 //! ```
 //!
 //! The demo subcommand exists so the whole flow can be driven without
@@ -34,19 +46,21 @@
 
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
 use emmark::core::deploy::{
-    artifact_version, decode_model, encode_model, SparseArtifact, FORMAT_V2,
+    artifact_version, decode_model, encode_model, encode_model_into, SparseArtifact, FORMAT_V2,
 };
-use emmark::core::fleet::{decode_registry, FleetVerifier};
+use emmark::core::fleet::{
+    decode_registry, encode_registry, FleetError, FleetVerdict, FleetVerifier,
+};
 use emmark::core::provision::FleetProvisioner;
-use emmark::core::vault::{
-    decode_fleet_bundle, decode_secrets, encode_fleet_bundle, encode_secrets,
-};
+use emmark::core::vault::{decode_secrets, encode_secrets, FleetBundleStream};
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
 use emmark::nanolm::train::{train, TrainConfig};
 use emmark::nanolm::{ModelConfig, TransformerModel};
 use emmark::quant::awq::{awq, AwqConfig};
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -89,15 +103,20 @@ const USAGE: &str = "\
 emmark — watermarking for embedded quantized LLMs (DAC 2024 reproduction)
 
 USAGE:
-  emmark demo    --out-dir DIR [--bits N] [--seed S]
+  emmark demo    --out-dir DIR [--bits N] [--seed S] [--max-resident-mb M]
   emmark verify  --secrets FILE --suspect FILE
-  emmark inspect --model FILE [--json]
+  emmark inspect --model FILE [--json]        (.emqm artifacts and .emfb bundles)
   emmark attack  --model FILE --out FILE --per-layer N [--seed S]
   emmark fleet-provision --secrets FILE --out-dir DIR --devices N
                          [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-                         [--jobs N] [--bundle FILE]
+                         [--jobs N] [--bundle FILE] [--max-resident-mb M]
   emmark fleet-verify    --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
-                         [--threshold L] [--jobs N]";
+                         [--threshold L] [--jobs N]
+
+--max-resident-mb switches the stamp side onto the streaming LayerStore
+pipeline (score → insert → encode one layer at a time; device artifacts
+spliced straight to disk) and fails the run if peak resident memory
+exceeded the budget (Linux VmHWM; reported best-effort elsewhere).";
 
 /// Options that are flags (present or absent), not key-value pairs.
 const BOOL_FLAGS: &[&str] = &["json"];
@@ -148,10 +167,60 @@ fn write_file(path: &Path, bytes: &[u8]) -> Result<(), String> {
     std::fs::write(path, bytes).map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
+fn create_file(path: &Path) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("creating {}: {e}", path.display()))
+}
+
+/// The `--max-resident-mb` budget, if given.
+fn memory_budget(opts: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match opts.get("max-resident-mb") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--max-resident-mb: cannot parse `{raw}`")),
+    }
+}
+
+/// Best-effort peak resident set size of this process in MiB (Linux
+/// `VmHWM`; `None` elsewhere).
+fn peak_resident_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+/// Reports peak resident memory against the `--max-resident-mb` budget
+/// and fails the command if it was exceeded (where the platform exposes
+/// a high-water mark).
+fn enforce_memory_budget(budget: Option<usize>) -> Result<(), String> {
+    let Some(cap) = budget else { return Ok(()) };
+    match peak_resident_mib() {
+        Some(peak) => {
+            println!("peak resident memory: {peak:.1} MiB (budget {cap} MiB)");
+            if peak > cap as f64 {
+                Err(format!(
+                    "peak resident memory {peak:.1} MiB exceeded --max-resident-mb {cap}"
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        None => {
+            println!("peak resident memory: unavailable on this platform ({cap} MiB budget not enforced)");
+            Ok(())
+        }
+    }
+}
+
 fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
     let bits: usize = parsed(opts, "bits", 8)?;
     let seed: u64 = parsed(opts, "seed", 2024)?;
+    let budget = memory_budget(opts)?;
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
 
@@ -189,15 +258,30 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
         ..Default::default()
     };
     let secrets = OwnerSecrets::new(quantized, stats, wm_cfg, seed ^ 0x51C);
-    let deployed = secrets
-        .watermark_for_deployment()
-        .map_err(|e| e.to_string())?;
 
-    write_file(
-        &out_dir.join("original.emqm"),
-        &encode_model(&secrets.original),
-    )?;
-    write_file(&out_dir.join("deployed.emqm"), &encode_model(&deployed))?;
+    if budget.is_some() {
+        // Streaming stamp path: score → insert → encode one layer at a
+        // time, records flowing straight to disk — neither the
+        // watermarked model nor either artifact is ever resident.
+        println!("streaming stamp path (one layer resident at a time)…");
+        encode_model_into(
+            &secrets.original,
+            create_file(&out_dir.join("original.emqm"))?,
+        )
+        .map_err(|e| e.to_string())?;
+        secrets
+            .watermark_into(create_file(&out_dir.join("deployed.emqm"))?)
+            .map_err(|e| e.to_string())?;
+    } else {
+        let deployed = secrets
+            .watermark_for_deployment()
+            .map_err(|e| e.to_string())?;
+        write_file(
+            &out_dir.join("original.emqm"),
+            &encode_model(&secrets.original),
+        )?;
+        write_file(&out_dir.join("deployed.emqm"), &encode_model(&deployed))?;
+    }
     write_file(&out_dir.join("secrets.emws"), &encode_secrets(&secrets))?;
     println!(
         "wrote {}/original.emqm, deployed.emqm, secrets.emws ({} watermark bits)",
@@ -208,7 +292,7 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
         "try: emmark verify --secrets {0}/secrets.emws --suspect {0}/deployed.emqm",
         out_dir.display()
     );
-    Ok(())
+    enforce_memory_budget(budget)
 }
 
 fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -287,7 +371,30 @@ fn json_escape(s: &str) -> String {
 }
 
 fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
-    let bytes = read_file(required(opts, "model")?)?;
+    let path = required(opts, "model")?;
+    // Sniff the magic: .emfb fleet bundles get the streaming bundle
+    // report, everything else goes through the artifact path.
+    {
+        use std::io::Read as _;
+        let mut magic = [0u8; 4];
+        let mut f = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        // read() may legally return short; fill the 4 bytes (or hit
+        // EOF) before deciding the format.
+        let mut filled = 0;
+        while filled < magic.len() {
+            let n = f
+                .read(&mut magic[filled..])
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        if &magic[..filled] == b"EMFB" {
+            return inspect_bundle(path, opts.contains_key("json"));
+        }
+    }
+    let bytes = read_file(path)?;
     let version = artifact_version(&bytes).map_err(|e| e.to_string())?;
     // v2: everything comes from the header index without materializing
     // a model; grids are scanned in place for the clamp census. v1
@@ -384,6 +491,94 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `emmark inspect` over an EMFB fleet bundle: streams the entries (one
+/// artifact resident at a time) and reports the device count, per-device
+/// fingerprint signature lengths, and artifact sizes.
+fn inspect_bundle(path: &str, json: bool) -> Result<(), String> {
+    let file = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut stream = FleetBundleStream::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let fp_cfg = *stream.fingerprint_config();
+    let declared = stream.device_count();
+
+    struct DeviceRow {
+        device_id: String,
+        artifact_bytes: usize,
+        layers: usize,
+        fingerprint_bits: usize,
+    }
+    // The declared count is untrusted input; cap the pre-allocation.
+    let mut rows = Vec::with_capacity(declared.min(1024));
+    let mut total_bytes = 0usize;
+    for entry in &mut stream {
+        let device = entry.map_err(|e| e.to_string())?;
+        let sparse = SparseArtifact::open(&device.artifact).map_err(|e| {
+            format!(
+                "device {}: embedded artifact: {e}",
+                device.fingerprint.device_id
+            )
+        })?;
+        let layers = sparse.layer_count();
+        total_bytes += device.artifact.len();
+        rows.push(DeviceRow {
+            device_id: device.fingerprint.device_id,
+            artifact_bytes: device.artifact.len(),
+            layers,
+            fingerprint_bits: fp_cfg.signature_len(layers),
+        });
+    }
+
+    if json {
+        let device_objs: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"device_id\":\"{}\",\"artifact_bytes\":{},\"layers\":{},\
+                     \"fingerprint_bits\":{}}}",
+                    json_escape(&r.device_id),
+                    r.artifact_bytes,
+                    r.layers,
+                    r.fingerprint_bits
+                )
+            })
+            .collect();
+        println!(
+            "{{\"kind\":\"fleet-bundle\",\"device_count\":{},\"total_artifact_bytes\":{total_bytes},\
+             \"fingerprint\":{{\"bits_per_layer\":{},\"pool_ratio\":{},\"selection_seed\":{}}},\
+             \"devices\":[{}]}}",
+            rows.len(),
+            fp_cfg.bits_per_layer,
+            fp_cfg.pool_ratio,
+            fp_cfg.selection_seed,
+            device_objs.join(",")
+        );
+        return Ok(());
+    }
+
+    println!("bundle  : {path}");
+    println!("devices : {} provisioned", rows.len());
+    println!(
+        "fingerprint: {} bits/layer, pool ratio {}, selection seed {}",
+        fp_cfg.bits_per_layer, fp_cfg.pool_ratio, fp_cfg.selection_seed
+    );
+    println!(
+        "payload : {:.1} KiB of device artifacts",
+        total_bytes as f64 / 1024.0
+    );
+    for r in rows.iter().take(8) {
+        println!(
+            "  {}: {:.1} KiB artifact, {}-bit fingerprint over {} layers",
+            r.device_id,
+            r.artifact_bytes as f64 / 1024.0,
+            r.fingerprint_bits,
+            r.layers
+        );
+    }
+    if rows.len() > 8 {
+        println!("  … {} more devices", rows.len() - 8);
+    }
+    Ok(())
+}
+
 fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
@@ -400,6 +595,7 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let jobs: usize = parsed(opts, "jobs", 0)?;
     let jobs = if jobs == 0 { None } else { Some(jobs) };
+    let budget = memory_budget(opts)?;
     let fp_cfg = WatermarkConfig {
         bits_per_layer: fp_bits,
         pool_ratio: fp_pool,
@@ -409,31 +605,66 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
 
     // Score once (ownership locations, fingerprint pools, base artifact
     // encode), then stamp every device by delta-patching the base
-    // artifact — O(fingerprint bits) per device, in parallel.
+    // artifact — O(fingerprint bits) per device.
     let start = std::time::Instant::now();
     let provisioner = FleetProvisioner::new(secrets, fp_cfg).map_err(|e| e.to_string())?;
     let cache_time = start.elapsed();
     let ids: Vec<String> = (0..devices).map(|i| format!("{prefix}-{i:04}")).collect();
-    let start = std::time::Instant::now();
-    let provisioned = provisioner.provision_batch(&ids, jobs);
-    let batch_time = start.elapsed();
 
-    for device in &provisioned {
+    let start = std::time::Instant::now();
+    let batch_time;
+    if budget.is_some() {
+        // Streaming mode: each device artifact is the base artifact
+        // with its patches spliced in flight, written straight to its
+        // file — no device artifact (let alone the fleet) is ever
+        // resident. The bundle, when requested, streams the same way.
+        if jobs.is_some() {
+            println!("note: --jobs is ignored under --max-resident-mb (streaming mode is serial)");
+        }
+        println!("streaming provisioning (device artifacts spliced straight to disk)…");
+        let mut fingerprints = Vec::with_capacity(ids.len());
+        for id in &ids {
+            let out = create_file(&out_dir.join(format!("{id}.emqm")))?;
+            fingerprints.push(
+                provisioner
+                    .provision_artifact_into(id, out)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        batch_time = start.elapsed();
         write_file(
-            &out_dir.join(format!("{}.emqm", device.fingerprint.device_id)),
-            &device.artifact,
+            &out_dir.join("fleet.emfr"),
+            &encode_registry(provisioner.fingerprint_config(), &fingerprints),
         )?;
-    }
-    write_file(
-        &out_dir.join("fleet.emfr"),
-        &provisioner.registry(&provisioned),
-    )?;
-    if let Some(bundle_path) = opts.get("bundle") {
+        if let Some(bundle_path) = opts.get("bundle") {
+            provisioner
+                .provision_bundle_into(&ids, create_file(Path::new(bundle_path))?)
+                .map_err(|e| e.to_string())?;
+            println!("wrote fleet bundle to {bundle_path} (streamed)");
+        }
+    } else {
+        let provisioned = provisioner.provision_batch(&ids, jobs);
+        batch_time = start.elapsed();
+        for device in &provisioned {
+            write_file(
+                &out_dir.join(format!("{}.emqm", device.fingerprint.device_id)),
+                &device.artifact,
+            )?;
+        }
         write_file(
-            Path::new(bundle_path),
-            &encode_fleet_bundle(provisioner.fingerprint_config(), &provisioned),
+            &out_dir.join("fleet.emfr"),
+            &provisioner.registry(&provisioned),
         )?;
-        println!("wrote fleet bundle to {bundle_path}");
+        if let Some(bundle_path) = opts.get("bundle") {
+            write_file(
+                Path::new(bundle_path),
+                &emmark::core::vault::encode_fleet_bundle(
+                    provisioner.fingerprint_config(),
+                    &provisioned,
+                ),
+            )?;
+            println!("wrote fleet bundle to {bundle_path}");
+        }
     }
     println!(
         "provisioned {devices} fingerprinted artifacts in {} ({fp_bits} fingerprint bits/layer; \
@@ -442,6 +673,7 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
         cache_time.as_secs_f64() * 1e3,
         batch_time.as_secs_f64() * 1e3
     );
+    enforce_memory_budget(budget)?;
     println!(
         "try: emmark fleet-verify --secrets SECRETS --registry {0}/fleet.emfr --artifacts {0}",
         out_dir.display()
@@ -457,62 +689,86 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let jobs = if jobs == 0 { None } else { Some(jobs) };
 
     // Two sources: a provisioned-fleet bundle (registry + artifacts in
-    // one file), or a registry file plus a directory of .emqm files.
-    let (fp_cfg, devices, names, artifacts): (_, _, Vec<String>, Vec<Vec<u8>>) =
-        if let Some(bundle_path) = opts.get("bundle") {
-            let bundle =
-                decode_fleet_bundle(&read_file(bundle_path)?).map_err(|e| e.to_string())?;
-            let names = bundle
-                .devices
-                .iter()
-                .map(|d| d.fingerprint.device_id.clone())
-                .collect();
-            let (devices, artifacts) = bundle
-                .devices
-                .into_iter()
-                .map(|d| (d.fingerprint, d.artifact))
-                .unzip();
-            (bundle.fingerprint_config, devices, names, artifacts)
-        } else {
-            let (fp_cfg, devices) = decode_registry(&read_file(required(opts, "registry")?)?)
-                .map_err(|e| e.to_string())?;
-            let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
-            let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
-                .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
-                .filter_map(|entry| entry.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
-                .collect();
-            paths.sort();
-            if paths.is_empty() {
-                return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
-            }
-            let names = paths
-                .iter()
-                .map(|p| {
-                    p.file_name()
-                        .map(|n| n.to_string_lossy().into_owned())
-                        .unwrap_or_default()
-                })
-                .collect();
-            let artifacts = paths
-                .iter()
-                .map(|p| read_file(&p.display().to_string()))
-                .collect::<Result<_, _>>()?;
-            (fp_cfg, devices, names, artifacts)
+    // one file, streamed with a bounded ring of resident artifacts), or
+    // a registry file plus a directory of .emqm files.
+    let (cache_time, verify_time, verdicts): (
+        _,
+        _,
+        Vec<(String, Result<FleetVerdict, FleetError>)>,
+    ) = if let Some(bundle_path) = opts.get("bundle") {
+        // Pass 1: collect the registry entries (artifacts are read
+        // and dropped one at a time — never the whole fleet).
+        let open_stream = || -> Result<FleetBundleStream<BufReader<File>>, String> {
+            let file =
+                File::open(bundle_path).map_err(|e| format!("reading {bundle_path}: {e}"))?;
+            FleetBundleStream::open(BufReader::new(file)).map_err(|e| e.to_string())
         };
-
-    println!(
-        "building the verification cache ({} registered devices)…",
-        devices.len()
-    );
-    let start = std::time::Instant::now();
-    let verifier =
-        FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
-    let cache_time = start.elapsed();
-
-    let start = std::time::Instant::now();
-    let verdicts = verifier.verify_batch(&artifacts, threshold, jobs);
-    let verify_time = start.elapsed();
+        let mut stream = open_stream()?;
+        let fp_cfg = *stream.fingerprint_config();
+        // The declared count is untrusted input; cap the
+        // pre-allocation and let real entries grow the vector.
+        let mut devices = Vec::with_capacity(stream.device_count().min(1024));
+        for entry in &mut stream {
+            devices.push(entry.map_err(|e| e.to_string())?.fingerprint);
+        }
+        println!(
+            "building the verification cache ({} registered devices)…",
+            devices.len()
+        );
+        let start = std::time::Instant::now();
+        let verifier =
+            FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
+        let cache_time = start.elapsed();
+        // Pass 2: stream the bundle again, verifying rings of
+        // artifacts in parallel.
+        let ring = jobs.unwrap_or(4).max(1) * 4;
+        let mut stream = open_stream()?;
+        let start = std::time::Instant::now();
+        let verdicts = verifier
+            .verify_bundle_stream(&mut stream, threshold, jobs, ring)
+            .map_err(|e| e.to_string())?;
+        (cache_time, start.elapsed(), verdicts)
+    } else {
+        let (fp_cfg, devices) =
+            decode_registry(&read_file(required(opts, "registry")?)?).map_err(|e| e.to_string())?;
+        let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
+            .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
+        }
+        let names: Vec<String> = paths
+            .iter()
+            .map(|p| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let artifacts: Vec<Vec<u8>> = paths
+            .iter()
+            .map(|p| read_file(&p.display().to_string()))
+            .collect::<Result<_, _>>()?;
+        println!(
+            "building the verification cache ({} registered devices)…",
+            devices.len()
+        );
+        let start = std::time::Instant::now();
+        let verifier =
+            FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
+        let cache_time = start.elapsed();
+        let start = std::time::Instant::now();
+        let batch = verifier.verify_batch(&artifacts, threshold, jobs);
+        (
+            cache_time,
+            start.elapsed(),
+            names.into_iter().zip(batch).collect(),
+        )
+    };
 
     println!(
         "\n{:<28} {:>10} {:>12} {:<18} {:>12}",
@@ -521,7 +777,7 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut owned = 0usize;
     let mut traced = 0usize;
     let mut failed = 0usize;
-    for (name, verdict) in names.iter().zip(&verdicts) {
+    for (name, verdict) in &verdicts {
         match verdict {
             Ok(v) => {
                 if v.proves_ownership(threshold) {

@@ -214,11 +214,31 @@ impl BytesMut {
             pos: 0,
         }
     }
+
+    /// Empties the buffer, keeping its allocation (upstream `bytes`
+    /// semantics) — the reuse primitive of streaming encoders.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
     }
 }
 
