@@ -73,6 +73,12 @@ pub enum Section {
     /// One device entry inside a registry or fleet bundle (0-based
     /// registration index).
     Device(usize),
+    /// The sharded-registry manifest envelope (header and config).
+    Manifest,
+    /// One shard entry inside a manifest (0-based shard index).
+    Shard(usize),
+    /// The manifest's fingerprint-cell inverted index.
+    LeakIndex,
 }
 
 impl std::fmt::Display for Section {
@@ -91,6 +97,9 @@ impl std::fmt::Display for Section {
             Section::Registry => write!(f, "registry"),
             Section::Bundle => write!(f, "fleet bundle"),
             Section::Device(d) => write!(f, "device {d}"),
+            Section::Manifest => write!(f, "shard manifest"),
+            Section::Shard(s) => write!(f, "shard {s}"),
+            Section::LeakIndex => write!(f, "leak index"),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::scoring::layer_pool;
 use crate::signature::Signature;
 use crate::watermark::{
     apply_bits_at, extract_with_locations, locate_watermark, ExtractionReport, GridSource,
-    Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
+    Locations, OwnerSecrets, ProofCutoff, WatermarkConfig, WatermarkError,
 };
 use emmark_quant::QuantizedModel;
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
@@ -146,9 +146,10 @@ impl Fleet {
         log10_threshold: f64,
     ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        let mut cutoff = ProofCutoff::new(log10_threshold);
         for device in &self.devices {
             let report = self.device_report(device, leaked)?;
-            if !report.proves_ownership(log10_threshold) {
+            if !cutoff.clears(&report) {
                 continue;
             }
             let better = match &best {
@@ -306,8 +307,9 @@ pub(crate) fn derive_device(
     }
 }
 
-/// Tiny stable FNV-style hash (not cryptographic; seeds only).
-fn fxhash(bytes: &[u8]) -> u64 {
+/// Tiny stable FNV-style hash (not cryptographic; device-id seeds and
+/// the [`crate::registry`] shard checksums).
+pub(crate) fn fxhash(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

@@ -36,8 +36,8 @@ use crate::deploy::{
 use crate::fingerprint::{derive_device, sample_from_pools, DeviceFingerprint, FamilyCache, Fleet};
 use crate::signature::Signature;
 use crate::watermark::{
-    extract_with_locations, min_matched_to_prove, ExtractionReport, GridSource, Locations,
-    OwnerSecrets, WatermarkConfig, WatermarkError,
+    check_same_grid, extract_with_locations, ExtractionReport, GridSource, Locations, OwnerSecrets,
+    ProofCutoff, WatermarkConfig, WatermarkError,
 };
 use bytes::{BufMut, Bytes, BytesMut};
 use emmark_quant::QuantizedModel;
@@ -270,22 +270,14 @@ impl FleetVerifier {
         log10_threshold: f64,
     ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
-        // The clearing threshold as a match count, computed once (every
+        // The clearing threshold as a match count, converted once (every
         // device report has the same signature length); non-clearing
         // devices — almost all of them — then cost an integer compare
         // instead of a binomial tail.
-        let mut cutoff: Option<(usize, Option<usize>)> = None;
+        let mut cutoff = ProofCutoff::new(log10_threshold);
         for (device, (sig, locs)) in self.devices.iter().zip(&self.device_material) {
             let report = extract_with_locations(leaked, &self.base_deployed, locs, sig)?;
-            let k = match cutoff {
-                Some((total, k)) if total == report.total_bits => k,
-                _ => {
-                    let k = min_matched_to_prove(report.total_bits, log10_threshold);
-                    cutoff = Some((report.total_bits, k));
-                    k
-                }
-            };
-            if k.is_none_or(|k| report.matched_bits < k) {
+            if !cutoff.clears(&report) {
                 continue;
             }
             let better = match &best {
@@ -297,6 +289,89 @@ impl FleetVerifier {
             }
         }
         Ok(best)
+    }
+
+    /// Traces a leaked model through a fingerprint-cell inverted index
+    /// ([`crate::registry::LeakIndex`]) instead of scoring every
+    /// registered device: the suspect's deltas at the index's cells are
+    /// read once, bucket lookups count exact per-device matched bits,
+    /// and only the devices whose counts clear the [`ProofCutoff`] —
+    /// typically zero or one of N — get the full Eq. 8 extraction.
+    /// Verdicts (device *and* report, matched-bit counts included) are
+    /// bit-identical to [`Self::identify_leak`]; the index only narrows,
+    /// Eq. 8 decides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError::ShapeMismatch`] on a foreign layer grid
+    /// (exactly when the linear scan would), and
+    /// [`WatermarkError::InvalidConfig`] if the index was built over a
+    /// different device population than this registry.
+    pub fn identify_leak_indexed<S: GridSource + ?Sized>(
+        &self,
+        index: &crate::registry::LeakIndex,
+        leaked: &S,
+        log10_threshold: f64,
+    ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
+        if index.device_count() != self.devices.len() {
+            return Err(WatermarkError::InvalidConfig(format!(
+                "leak index covers {} devices, registry has {}",
+                index.device_count(),
+                self.devices.len()
+            )));
+        }
+        if self.devices.is_empty() {
+            // The linear scan never touches the suspect with an empty
+            // registry; neither may the index path.
+            return Ok(None);
+        }
+        check_same_grid(leaked, &self.base_deployed)?;
+        // A hand-edited manifest could name cells outside the grid;
+        // reject it up front instead of panicking mid-count.
+        if let Some((l, f)) = index.cell_out_of_bounds(&self.base_deployed) {
+            return Err(WatermarkError::InvalidConfig(format!(
+                "leak index references cell (layer {l}, flat {f}) outside the registry's layer grid"
+            )));
+        }
+        let mut cutoff = ProofCutoff::new(log10_threshold);
+        let n = self.base_deployed.layer_count();
+        let total_bits = self.fingerprint_config.signature_len(n);
+        let Some(min_matched) = cutoff.min_matched(total_bits) else {
+            // Even a perfect fingerprint match cannot clear the
+            // threshold — the linear scan skips every device.
+            return Ok(None);
+        };
+        let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        // Candidates come back in registration order, so tie-breaking
+        // (strictly-better wins, first registration kept) matches the
+        // linear scan exactly.
+        for d in index.candidates(leaked, &self.base_deployed, min_matched) {
+            let (sig, locs) = &self.device_material[d];
+            let report = extract_with_locations(leaked, &self.base_deployed, locs, sig)?;
+            if !cutoff.clears(&report) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, b)) => report.log10_p_chance() < b.log10_p_chance(),
+            };
+            if better {
+                best = Some((&self.devices[d], report));
+            }
+        }
+        Ok(best)
+    }
+
+    /// The fingerprint-cell inverted index over this registry's device
+    /// material — what sharded provisioning persists into the EMFM
+    /// manifest ([`crate::registry`]) and
+    /// [`Self::identify_leak_indexed`] consumes.
+    pub fn leak_index(&self) -> crate::registry::LeakIndex {
+        crate::registry::LeakIndex::from_material(
+            self.devices.len(),
+            self.base_deployed.layer_count(),
+            self.device_material.iter(),
+        )
     }
 
     /// Full verdict for one decoded suspect: ownership proof plus leak
@@ -450,8 +525,8 @@ where
     indexed.into_iter().map(|(_, u)| u).collect()
 }
 
-const REGISTRY_MAGIC: &[u8; 4] = b"EMFR";
-const REGISTRY_VERSION: u32 = 1;
+pub(crate) const REGISTRY_MAGIC: &[u8; 4] = b"EMFR";
+pub(crate) const REGISTRY_VERSION: u32 = 1;
 
 /// Reads the shared fingerprint-parameter header of the registry and
 /// fleet-bundle codecs: format version (checked against `expected`),

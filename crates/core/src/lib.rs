@@ -26,6 +26,10 @@
 //!   fingerprinting over the same family cache, emitting device
 //!   artifacts by delta-patching the base artifact through the v2
 //!   offset index;
+//! * [`registry`] — million-device scale: `EMFM`-manifested shard
+//!   registries plus the fingerprint-cell inverted index
+//!   ([`registry::LeakIndex`]) that makes leak identification sublinear
+//!   in fleet size with bit-identical verdicts;
 //! * [`vault`] — versioned serialization of the owner's secret bundle
 //!   and the provisioned-fleet bundle.
 //!
@@ -63,6 +67,7 @@ pub mod deploy;
 pub mod fingerprint;
 pub mod fleet;
 pub mod provision;
+pub mod registry;
 pub mod scheme;
 pub mod scoring;
 pub mod signature;
@@ -72,6 +77,11 @@ pub mod watermark;
 
 pub use deploy::{CodecError, LayerGridView, LayerIndexEntry, Section, SparseArtifact};
 pub use fleet::{FleetError, FleetVerdict, FleetVerifier};
+pub use registry::{
+    decode_manifest, encode_manifest, load_sharded_registry, manifest_section_boundaries,
+    provision_sharded, provision_sharded_into, shard_checksum, shard_file_name,
+    IndexedFleetVerifier, LeakIndex, ShardEntry, ShardManifest, ShardedFleet, ShardedRegistry,
+};
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
 pub use store::{

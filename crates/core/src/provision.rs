@@ -105,6 +105,12 @@ impl FleetProvisioner {
         &self.fingerprint_config
     }
 
+    /// The shared family cache — sharded registry provisioning
+    /// ([`crate::registry`]) derives per-device material through it.
+    pub(crate) fn family_cache(&self) -> &FamilyCache {
+        &self.cache
+    }
+
     /// The shared base-watermarked model (ownership watermark only, no
     /// fingerprint) — the state every device artifact is a delta of.
     pub fn base_deployed(&self) -> &QuantizedModel {

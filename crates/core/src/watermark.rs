@@ -435,6 +435,67 @@ pub fn min_matched_to_prove(total_bits: usize, log10_threshold: f64) -> Option<u
     Some(hi as usize)
 }
 
+/// A log₁₀ chance-match threshold converted lazily into a match-count
+/// cutoff — the *single* source of truth for "does this report clear
+/// the threshold" wherever many reports of the same signature length
+/// are judged against one threshold.
+///
+/// Every leak-identification path (the serial [`crate::fingerprint::Fleet`],
+/// the cached [`crate::fleet::FleetVerifier`], and the indexed
+/// [`crate::registry`] path) judges one suspect against many device
+/// reports that all share a signature length. Converting the threshold
+/// with [`min_matched_to_prove`] once per length and comparing integers
+/// afterwards is both cheaper than a binomial tail per device and
+/// immune to the drift that duplicated conversion call sites invite.
+///
+/// `clears` is exactly `report.proves_ownership(threshold)` by the
+/// monotonicity contract of [`min_matched_to_prove`]; the module tests
+/// pin the equivalence.
+#[derive(Debug, Clone)]
+pub struct ProofCutoff {
+    log10_threshold: f64,
+    /// Cached conversion: `(total_bits, min matched count)`.
+    cached: Option<(usize, Option<usize>)>,
+}
+
+impl ProofCutoff {
+    /// A cutoff for `log10_threshold` with no conversion done yet.
+    pub fn new(log10_threshold: f64) -> Self {
+        Self {
+            log10_threshold,
+            cached: None,
+        }
+    }
+
+    /// The threshold this cutoff was built from.
+    pub fn log10_threshold(&self) -> f64 {
+        self.log10_threshold
+    }
+
+    /// The smallest matched-bit count that clears the threshold for a
+    /// `total_bits`-bit signature (`None` when even a perfect match
+    /// cannot), converting once and answering repeat queries for the
+    /// same length from the cache.
+    pub fn min_matched(&mut self, total_bits: usize) -> Option<usize> {
+        match self.cached {
+            Some((total, k)) if total == total_bits => k,
+            _ => {
+                let k = min_matched_to_prove(total_bits, self.log10_threshold);
+                self.cached = Some((total_bits, k));
+                k
+            }
+        }
+    }
+
+    /// Whether `report` clears the threshold — bit-identical to
+    /// `report.proves_ownership(self.log10_threshold())`, at an integer
+    /// compare per call instead of a binomial tail.
+    pub fn clears(&mut self, report: &ExtractionReport) -> bool {
+        self.min_matched(report.total_bits)
+            .is_some_and(|k| report.matched_bits >= k)
+    }
+}
+
 /// Checks that `suspect` has the same layer grid as `reference`. Both
 /// sides are any [`GridSource`] — an in-memory model or a sparse
 /// artifact reader; only shape metadata is touched.
@@ -825,6 +886,33 @@ mod tests {
                         "total={total} matched={matched} threshold={threshold} cutoff={cutoff:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn proof_cutoff_matches_proves_ownership_and_caches_per_length() {
+        for threshold in [-3.0, -6.0, -9.0, -40.0] {
+            let mut cutoff = ProofCutoff::new(threshold);
+            assert_eq!(cutoff.log10_threshold(), threshold);
+            // Mixed lengths interleaved: the cache must re-convert when
+            // the length changes and stay exact either way.
+            for total in [24usize, 24, 152, 24, 1] {
+                for matched in 0..=total {
+                    let report = ExtractionReport {
+                        total_bits: total,
+                        matched_bits: matched,
+                    };
+                    assert_eq!(
+                        cutoff.clears(&report),
+                        report.proves_ownership(threshold),
+                        "total={total} matched={matched} threshold={threshold}"
+                    );
+                }
+                assert_eq!(
+                    cutoff.min_matched(total),
+                    min_matched_to_prove(total, threshold)
+                );
             }
         }
     }

@@ -19,22 +19,38 @@
 //!                                                   parameter-overwriting attack
 //! emmark fleet-provision --secrets FILE --out-dir DIR --devices N
 //!                        [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-//!                        [--jobs N] [--bundle FILE] [--max-resident-mb M]
+//!                        [--jobs N] [--bundle FILE] [--shards N]
+//!                        [--max-resident-mb M]
 //!                                                   score-once/insert-many batch
 //!                                                   provisioning: fingerprint N
 //!                                                   device artifacts by delta-
 //!                                                   patching the base artifact,
 //!                                                   write the fleet registry (and
 //!                                                   optionally one bundle file);
-//!                                                   with a budget, artifacts and
-//!                                                   bundle are spliced straight to
-//!                                                   disk, never resident
-//! emmark fleet-verify --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
+//!                                                   with --shards, also an EMFM
+//!                                                   sharded registry (manifest +
+//!                                                   registry-NNNNN.emfr shard
+//!                                                   files + leak index); with a
+//!                                                   budget, artifacts and bundle
+//!                                                   are spliced straight to disk,
+//!                                                   never resident
+//! emmark fleet-verify --secrets FILE (--registry FILE --artifacts DIR
+//!                     | --manifest FILE --artifacts DIR | --bundle FILE)
 //!                     [--threshold L] [--jobs N]    parallel batch verification +
 //!                                                   leak tracing over a directory
 //!                                                   or a provisioned-fleet bundle
 //!                                                   (bundles stream through a
-//!                                                   bounded ring of artifacts)
+//!                                                   bounded ring of artifacts);
+//!                                                   --manifest loads a sharded
+//!                                                   registry and traces through
+//!                                                   its leak index
+//! emmark identify-leak --secrets FILE --manifest FILE --suspect FILE
+//!                      [--threshold L] [--linear]   trace one leaked artifact to
+//!                                                   the responsible device through
+//!                                                   the manifest's inverted index
+//!                                                   (sublinear in fleet size;
+//!                                                   --linear forces the full scan,
+//!                                                   verdicts are bit-identical)
 //! ```
 //!
 //! The demo subcommand exists so the whole flow can be driven without
@@ -52,6 +68,9 @@ use emmark::core::fleet::{
     decode_registry, encode_registry, FleetError, FleetVerdict, FleetVerifier,
 };
 use emmark::core::provision::FleetProvisioner;
+use emmark::core::registry::{
+    decode_manifest, encode_manifest, load_sharded_registry, provision_sharded_into,
+};
 use emmark::core::vault::{decode_secrets, encode_secrets, FleetBundleStream};
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
@@ -84,6 +103,7 @@ fn main() -> ExitCode {
         "attack" => cmd_attack(&opts),
         "fleet-provision" => cmd_fleet_provision(&opts),
         "fleet-verify" => cmd_fleet_verify(&opts),
+        "identify-leak" => cmd_identify_leak(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -105,13 +125,17 @@ emmark — watermarking for embedded quantized LLMs (DAC 2024 reproduction)
 USAGE:
   emmark demo    --out-dir DIR [--bits N] [--seed S] [--max-resident-mb M]
   emmark verify  --secrets FILE --suspect FILE
-  emmark inspect --model FILE [--json]        (.emqm artifacts and .emfb bundles)
+  emmark inspect --model FILE [--json]        (.emqm artifacts, .emfb bundles,
+                                               .emfm shard manifests)
   emmark attack  --model FILE --out FILE --per-layer N [--seed S]
   emmark fleet-provision --secrets FILE --out-dir DIR --devices N
                          [--prefix NAME] [--fp-bits N] [--fp-pool N] [--fp-seed S]
-                         [--jobs N] [--bundle FILE] [--max-resident-mb M]
-  emmark fleet-verify    --secrets FILE (--registry FILE --artifacts DIR | --bundle FILE)
+                         [--jobs N] [--bundle FILE] [--shards N] [--max-resident-mb M]
+  emmark fleet-verify    --secrets FILE (--registry FILE --artifacts DIR
+                         | --manifest FILE --artifacts DIR | --bundle FILE)
                          [--threshold L] [--jobs N]
+  emmark identify-leak   --secrets FILE --manifest FILE --suspect FILE
+                         [--threshold L] [--linear]
 
 --max-resident-mb switches the stamp side onto the streaming LayerStore
 pipeline (score → insert → encode one layer at a time; device artifacts
@@ -119,7 +143,7 @@ spliced straight to disk) and fails the run if peak resident memory
 exceeded the budget (Linux VmHWM; reported best-effort elsewhere).";
 
 /// Options that are flags (present or absent), not key-value pairs.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "linear"];
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -393,6 +417,9 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
         if &magic[..filled] == b"EMFB" {
             return inspect_bundle(path, opts.contains_key("json"));
         }
+        if &magic[..filled] == b"EMFM" {
+            return inspect_manifest(path, opts.contains_key("json"));
+        }
     }
     let bytes = read_file(path)?;
     let version = artifact_version(&bytes).map_err(|e| e.to_string())?;
@@ -579,6 +606,72 @@ fn inspect_bundle(path: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `emmark inspect` over an EMFM shard manifest: the shard table and
+/// leak-index shape, without touching the shard files themselves.
+fn inspect_manifest(path: &str, json: bool) -> Result<(), String> {
+    let manifest = decode_manifest(&read_file(path)?).map_err(|e| e.to_string())?;
+    let fp = &manifest.fingerprint_config;
+    if json {
+        let shard_objs: Vec<String> = manifest
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"first_device\":{},\"device_count\":{},\
+                     \"byte_len\":{},\"checksum\":{}}}",
+                    json_escape(&s.name),
+                    s.first_device,
+                    s.device_count,
+                    s.byte_len,
+                    s.checksum
+                )
+            })
+            .collect();
+        println!(
+            "{{\"kind\":\"shard-manifest\",\"total_devices\":{},\"shard_count\":{},\
+             \"leak_index_cells\":{},\
+             \"fingerprint\":{{\"bits_per_layer\":{},\"pool_ratio\":{},\"selection_seed\":{}}},\
+             \"shards\":[{}]}}",
+            manifest.total_devices,
+            manifest.shards.len(),
+            manifest.index.cell_count(),
+            fp.bits_per_layer,
+            fp.pool_ratio,
+            fp.selection_seed,
+            shard_objs.join(",")
+        );
+        return Ok(());
+    }
+    println!("manifest: {path}");
+    println!(
+        "devices : {} across {} shard(s)",
+        manifest.total_devices,
+        manifest.shards.len()
+    );
+    println!(
+        "fingerprint: {} bits/layer, pool ratio {}, selection seed {}",
+        fp.bits_per_layer, fp.pool_ratio, fp.selection_seed
+    );
+    println!(
+        "leak index: {} fingerprint cells (suspect reads per identification)",
+        manifest.index.cell_count()
+    );
+    for s in manifest.shards.iter().take(8) {
+        println!(
+            "  {}: devices {}..{}, {:.1} KiB, checksum {:016x}",
+            s.name,
+            s.first_device,
+            s.first_device + s.device_count,
+            s.byte_len as f64 / 1024.0,
+            s.checksum
+        );
+    }
+    if manifest.shards.len() > 8 {
+        println!("  … {} more shards", manifest.shards.len() - 8);
+    }
+    Ok(())
+}
+
 fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
@@ -666,6 +759,30 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("wrote fleet bundle to {bundle_path}");
         }
     }
+    if let Some(raw) = opts.get("shards") {
+        let shard_count: usize = raw
+            .parse()
+            .map_err(|_| "--shards: not a number".to_string())?;
+        // Sharded registry: device entries split across registry-NNNNN
+        // shard files under an EMFM manifest that also persists the
+        // fingerprint-cell inverted index. Each shard is written as soon
+        // as it is encoded — per-shard memory, not per-fleet.
+        let start = std::time::Instant::now();
+        let manifest =
+            provision_sharded_into(&provisioner, &ids, shard_count, jobs, |name, bytes| {
+                std::fs::write(out_dir.join(name), bytes)
+            })
+            .map_err(|e| e.to_string())?;
+        write_file(&out_dir.join("fleet.emfm"), &encode_manifest(&manifest))?;
+        println!(
+            "wrote sharded registry: {} shard file(s) + fleet.emfm manifest \
+             ({} leak-index cells over {} devices) in {:.1} ms",
+            manifest.shards.len(),
+            manifest.index.cell_count(),
+            manifest.total_devices,
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
     println!(
         "provisioned {devices} fingerprinted artifacts in {} ({fp_bits} fingerprint bits/layer; \
          score-once cache {:.1} ms, delta-patched batch {:.1} ms)",
@@ -679,6 +796,44 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
         out_dir.display()
     );
     Ok(())
+}
+
+/// Reads every `.emqm` artifact in a directory, sorted by file name.
+fn read_artifacts_dir(dir: &Path) -> Result<(Vec<String>, Vec<Vec<u8>>), String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .emqm artifacts in {}", dir.display()));
+    }
+    let names = paths
+        .iter()
+        .map(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        })
+        .collect();
+    let artifacts = paths
+        .iter()
+        .map(|p| read_file(&p.display().to_string()))
+        .collect::<Result<_, _>>()?;
+    Ok((names, artifacts))
+}
+
+/// Loads a sharded registry from its manifest path, pulling shard files
+/// from the manifest's directory.
+fn load_manifest(manifest_path: &str) -> Result<emmark::core::registry::ShardedRegistry, String> {
+    let manifest_bytes = read_file(manifest_path)?;
+    let dir = Path::new(manifest_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    load_sharded_registry(&manifest_bytes, |name| std::fs::read(dir.join(name)))
+        .map_err(|e| format!("loading {manifest_path}: {e}"))
 }
 
 fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -728,31 +883,31 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
             .verify_bundle_stream(&mut stream, threshold, jobs, ring)
             .map_err(|e| e.to_string())?;
         (cache_time, start.elapsed(), verdicts)
+    } else if let Some(manifest_path) = opts.get("manifest") {
+        // Sharded registry: decode the EMFM manifest, splice the shard
+        // files into one device list, and trace leaks through the
+        // persisted inverted index instead of scoring every device.
+        let registry = load_manifest(manifest_path)?;
+        let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
+        println!(
+            "building the verification cache ({} registered devices, {} leak-index cells)…",
+            registry.devices().len(),
+            registry.index().cell_count()
+        );
+        let start = std::time::Instant::now();
+        let verifier = registry.into_verifier(secrets).map_err(|e| e.to_string())?;
+        let cache_time = start.elapsed();
+        let start = std::time::Instant::now();
+        let batch = verifier.verify_batch(&artifacts, threshold, jobs);
+        (
+            cache_time,
+            start.elapsed(),
+            names.into_iter().zip(batch).collect(),
+        )
     } else {
         let (fp_cfg, devices) =
             decode_registry(&read_file(required(opts, "registry")?)?).map_err(|e| e.to_string())?;
-        let artifacts_dir = PathBuf::from(required(opts, "artifacts")?);
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(&artifacts_dir)
-            .map_err(|e| format!("reading {}: {e}", artifacts_dir.display()))?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "emqm"))
-            .collect();
-        paths.sort();
-        if paths.is_empty() {
-            return Err(format!("no .emqm artifacts in {}", artifacts_dir.display()));
-        }
-        let names: Vec<String> = paths
-            .iter()
-            .map(|p| {
-                p.file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_default()
-            })
-            .collect();
-        let artifacts: Vec<Vec<u8>> = paths
-            .iter()
-            .map(|p| read_file(&p.display().to_string()))
-            .collect::<Result<_, _>>()?;
+        let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
         println!(
             "building the verification cache ({} registered devices)…",
             devices.len()
@@ -816,6 +971,74 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{failed} artifact(s) failed to verify"));
     }
     Ok(())
+}
+
+fn cmd_identify_leak(opts: &HashMap<String, String>) -> Result<(), String> {
+    let secrets =
+        decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
+    let threshold: f64 = parsed(opts, "threshold", -6.0)?;
+    let registry = load_manifest(required(opts, "manifest")?)?;
+    let suspect_bytes = read_file(required(opts, "suspect")?)?;
+    let linear = opts.contains_key("linear");
+    println!(
+        "registry: {} devices, {} leak-index cells",
+        registry.devices().len(),
+        registry.index().cell_count()
+    );
+
+    let start = std::time::Instant::now();
+    let verifier = registry.into_verifier(secrets).map_err(|e| e.to_string())?;
+    println!(
+        "verification cache built in {:.1} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // v2 artifacts are probed sparsely (only the indexed fingerprint
+    // cells are read); v1 falls back to a full decode.
+    let start = std::time::Instant::now();
+    let traced = if artifact_version(&suspect_bytes).map_err(|e| e.to_string())? == FORMAT_V2 {
+        let sparse = SparseArtifact::open(&suspect_bytes).map_err(|e| e.to_string())?;
+        if linear {
+            verifier.verifier().identify_leak(&sparse, threshold)
+        } else {
+            verifier.identify_leak(&sparse, threshold)
+        }
+    } else {
+        let suspect = decode_model(&suspect_bytes).map_err(|e| e.to_string())?;
+        if linear {
+            verifier.verifier().identify_leak(&suspect, threshold)
+        } else {
+            verifier.identify_leak(&suspect, threshold)
+        }
+    }
+    .map_err(|e| e.to_string())?
+    .map(|(d, r)| (d.clone(), r));
+    println!(
+        "{} identification in {:.2} ms",
+        if linear {
+            "linear (every device scored)"
+        } else {
+            "indexed (bucket-narrowed)"
+        },
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    match traced {
+        Some((device, report)) => {
+            println!(
+                "traced to {}: {} / {} fingerprint bits (WER {:.1}%), p = 10^{:.1}",
+                device.device_id,
+                report.matched_bits,
+                report.total_bits,
+                report.wer(),
+                report.log10_p_chance()
+            );
+            Ok(())
+        }
+        None => Err(format!(
+            "no registered device clears the 10^{threshold} threshold"
+        )),
+    }
 }
 
 fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
