@@ -1,0 +1,274 @@
+//! **Scoring kernels** — the chunked, branch-free Eq. 2–4 kernels of
+//! PR 7 (`scoring::layer_pool` / `scoring::score_layer`, DESIGN.md §11)
+//! against the per-cell scalar originals preserved in
+//! `scoring::reference`.
+//!
+//! Acceptance gates:
+//!
+//! * **bit identity** — kernel and reference produce identical pools
+//!   (same indices, same order) and bit-identical per-cell scores on
+//!   all five quantization schemes *and* on the large synthetic layers
+//!   used for timing;
+//! * **throughput** — ≥3x single-layer pool throughput over the scalar
+//!   baseline on an LLM-shaped layer (the gate the ROADMAP sets);
+//! * **memory** — the kernel path allocates no more peak heap than the
+//!   scalar path (tracking allocator).
+//!
+//! The timing layer is synthetic (4096×1024 INT8 with LLM.int8()-style
+//! outlier rows, clamped cells, and zeros) because the Sim-OPT grid's
+//! layers are too small to time stably; the equivalence proptests
+//! (`tests/scoring_kernel_equivalence.rs`) cover the real schemes at
+//! model scale.
+
+use criterion::Criterion;
+use emmark_bench::alloc::{self, TrackingAllocator};
+use emmark_bench::print_header;
+use emmark_core::scoring::{self, reference, ScoreCoefficients};
+use emmark_nanolm::config::ModelConfig;
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use emmark_quant::gptq::{gptq, GptqConfig};
+use emmark_quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark_quant::rtn::quantize_linear_rtn;
+use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark_quant::{ActQuant, Granularity, QuantizedLinear};
+use emmark_tensor::Matrix;
+use std::time::{Duration, Instant};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// A large LLM-shaped INT8 layer: deterministic pseudo-random weights
+/// including zeros and clamped cells, plus `n_outliers` full-precision
+/// outlier rows — every exclusion class the kernel folds into its mask.
+fn synth_layer(in_f: usize, out_f: usize, n_outliers: usize, seed: u64) -> QuantizedLinear {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let q: Vec<i8> = (0..in_f * out_f)
+        .map(|_| {
+            let r = next();
+            // ~1/32 zeros and the full [-127, 127] span (so clamped
+            // cells occur naturally).
+            if r % 32 == 0 {
+                0
+            } else {
+                ((r >> 8) % 255) as i16 as i8
+            }
+        })
+        .map(|v| if v == -128 { 127 } else { v })
+        .collect();
+    let mut layer = QuantizedLinear::new(
+        q,
+        in_f,
+        out_f,
+        8,
+        Granularity::PerTensor,
+        vec![0.01],
+        None,
+        None,
+        ActQuant::None,
+    );
+    if n_outliers > 0 {
+        let rows: Vec<usize> = (0..n_outliers).map(|i| (i * in_f) / n_outliers).collect();
+        let weights = Matrix::zeros(rows.len(), out_f);
+        layer.set_outliers(rows, weights);
+    }
+    layer
+}
+
+/// A varied activation profile (strictly positive, one clear minimum).
+fn synth_act(in_f: usize) -> Vec<f32> {
+    (0..in_f)
+        .map(|i| 0.05 + ((i * 37) % 101) as f32 * 0.013)
+        .collect()
+}
+
+/// Minimum wall time for one call of `f`, over `reps` repetitions.
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Worst peak-heap delta for one call of `f`, over `reps` repetitions.
+fn peak_of(reps: usize, mut f: impl FnMut()) -> usize {
+    let mut worst = 0usize;
+    for _ in 0..reps {
+        let baseline = alloc::current_bytes();
+        alloc::reset_peak();
+        f();
+        worst = worst.max(alloc::peak_bytes().saturating_sub(baseline));
+    }
+    worst
+}
+
+/// The five quantization schemes at tiny scale, for the identity sweep.
+fn five_schemes() -> Vec<(String, Vec<QuantizedLinear>, Vec<Vec<f32>>)> {
+    let mut model = TransformerModel::new(ModelConfig::tiny_test());
+    let calib: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let models = vec![
+        emmark_quant::QuantizedModel::quantize_with(&model, "rtn", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        }),
+        awq(&model, &stats, &AwqConfig::default()),
+        gptq(&mut model.clone(), &calib, &GptqConfig::default()),
+        smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+        llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9)),
+    ];
+    models
+        .into_iter()
+        .map(|qm| {
+            let acts: Vec<Vec<f32>> = stats.per_layer.iter().map(|s| s.mean_abs.clone()).collect();
+            (qm.scheme.clone(), qm.layers, acts)
+        })
+        .collect()
+}
+
+fn main() {
+    print_header(
+        "KERNELS",
+        "chunked Eq. 2-4 scoring kernels vs the scalar reference",
+    );
+    let coeffs = ScoreCoefficients::default();
+
+    // ---- bit identity: all five schemes, scores and pools ----
+    let mut checked_layers = 0usize;
+    for (scheme, layers, acts) in five_schemes() {
+        for (layer, act) in layers.iter().zip(&acts) {
+            let ks = scoring::score_layer(layer, act, &coeffs);
+            let rs = reference::score_layer(layer, act, &coeffs);
+            assert!(
+                ks.iter().zip(&rs).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{scheme}: kernel scores diverged from the scalar reference"
+            );
+            let finite = ks.iter().filter(|s| s.is_finite()).count();
+            for pool_size in [1usize, 16, finite / 2, finite] {
+                assert_eq!(
+                    scoring::layer_pool(layer, act, &coeffs, pool_size, &[]),
+                    reference::layer_pool(layer, act, &coeffs, pool_size, &[]),
+                    "{scheme}: pools diverged at pool_size {pool_size}"
+                );
+            }
+            checked_layers += 1;
+        }
+    }
+    println!("bit identity: {checked_layers} layers x 5 quant schemes x 4 pool sizes -- OK");
+
+    // ---- throughput: large synthetic layer, pool + full scoring ----
+    let layer = synth_layer(4096, 1024, 32, 0xC0FFEE);
+    let act = synth_act(layer.in_features());
+    let pool_size = 50 * 8; // the paper-default pool of a 8-bit/layer stamp
+    let kernel_pool = scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    let scalar_pool = reference::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    assert_eq!(
+        kernel_pool, scalar_pool,
+        "kernel and scalar pools must be identical on the timing layer"
+    );
+    let kernel_scores = scoring::score_layer(&layer, &act, &coeffs);
+    let scalar_scores = reference::score_layer(&layer, &act, &coeffs);
+    assert!(
+        kernel_scores
+            .iter()
+            .zip(&scalar_scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "kernel scores must be bit-identical on the timing layer"
+    );
+
+    const REPS: usize = 7;
+    let t_kernel_pool = best_of(REPS, || {
+        scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+    let t_scalar_pool = best_of(REPS, || {
+        reference::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+    let t_kernel_score = best_of(REPS, || {
+        scoring::score_layer(&layer, &act, &coeffs);
+    });
+    let t_scalar_score = best_of(REPS, || {
+        reference::score_layer(&layer, &act, &coeffs);
+    });
+
+    // ---- memory: the kernel path allocates no more than the scalar ----
+    let m_kernel = peak_of(3, || {
+        scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+    let m_scalar = peak_of(3, || {
+        reference::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+
+    let cells = layer.len() as f64;
+    let pool_ratio = t_scalar_pool.as_secs_f64() / t_kernel_pool.as_secs_f64();
+    let score_ratio = t_scalar_score.as_secs_f64() / t_kernel_score.as_secs_f64();
+    println!(
+        "\ntiming layer: {}x{} INT8, {} outlier rows, pool {}",
+        layer.in_features(),
+        layer.out_features(),
+        layer.outlier_rows().len(),
+        pool_size
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "path", "scalar", "kernel", "speedup"
+    );
+    println!(
+        "{:<34} {:>9.2} ms {:>9.2} ms {:>8.1}x",
+        "layer_pool (score + top-k)",
+        t_scalar_pool.as_secs_f64() * 1e3,
+        t_kernel_pool.as_secs_f64() * 1e3,
+        pool_ratio
+    );
+    println!(
+        "{:<34} {:>9.2} ms {:>9.2} ms {:>8.1}x",
+        "score_layer (all cells)",
+        t_scalar_score.as_secs_f64() * 1e3,
+        t_kernel_score.as_secs_f64() * 1e3,
+        score_ratio
+    );
+    println!(
+        "throughput: {:.0} Mcell/s scalar -> {:.0} Mcell/s kernel (pool path)",
+        cells / t_scalar_pool.as_secs_f64() / 1e6,
+        cells / t_kernel_pool.as_secs_f64() / 1e6
+    );
+    println!(
+        "peak heap: scalar {}, kernel {}",
+        alloc::fmt_bytes(m_scalar),
+        alloc::fmt_bytes(m_kernel)
+    );
+
+    assert!(
+        pool_ratio >= 3.0,
+        "kernel layer_pool must be at least 3x the scalar baseline \
+         (got {pool_ratio:.2}x: scalar {:.2} ms, kernel {:.2} ms)",
+        t_scalar_pool.as_secs_f64() * 1e3,
+        t_kernel_pool.as_secs_f64() * 1e3
+    );
+    assert!(
+        m_kernel <= m_scalar,
+        "kernel path must not allocate more than the scalar path \
+         (kernel {m_kernel} B, scalar {m_scalar} B)"
+    );
+
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    criterion.bench_function("kernels/layer_pool_kernel", |b| {
+        b.iter(|| scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool"))
+    });
+    criterion.bench_function("kernels/layer_pool_scalar", |b| {
+        b.iter(|| reference::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool"))
+    });
+    criterion.bench_function("kernels/score_layer_kernel", |b| {
+        b.iter(|| scoring::score_layer(&layer, &act, &coeffs))
+    });
+    criterion.final_summary();
+}

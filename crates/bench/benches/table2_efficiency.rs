@@ -10,12 +10,19 @@
 //! both the buffered insertion and the streaming pipeline (the paper
 //! has no memory column beyond "0 GB GPU" — peak host memory is the
 //! embedded-deployment metric that matters here).
+//!
+//! Since PR 7 the insertion path scores through the chunked LUT
+//! kernels (DESIGN.md §11); the `scalar` column times the preserved
+//! pre-kernel pipeline ([`stream_watermark_reference`]) so the
+//! before/after per-layer cost stays visible in the table.
 
 use criterion::Criterion;
 use emmark_bench::alloc::{self, TrackingAllocator};
 use emmark_bench::{prepare, print_header};
 use emmark_core::signature::Signature;
-use emmark_core::watermark::{insert_watermark, stream_watermark, WatermarkConfig};
+use emmark_core::watermark::{
+    insert_watermark, stream_watermark, stream_watermark_reference, WatermarkConfig,
+};
 use emmark_core::ArtifactSink;
 use emmark_nanolm::families::{sim_opt_grid, TrainEffort};
 use emmark_quant::awq::{awq, AwqConfig};
@@ -83,21 +90,43 @@ fn main() {
             .expect("stream");
             peak_streaming = peak_streaming.max(alloc::peak_bytes().saturating_sub(baseline));
         }
-        rows.push((label, per_layer, per_model, peak_buffered, peak_streaming));
+        // The pre-kernel scalar pipeline, for the before/after column.
+        let start = Instant::now();
+        for _ in 0..reps {
+            stream_watermark_reference(
+                &model,
+                &prepared.stats,
+                &sig,
+                &cfg,
+                &mut ArtifactSink::new(std::io::sink()),
+            )
+            .expect("reference stream");
+        }
+        let scalar_per_layer =
+            start.elapsed().as_secs_f64() / reps as f64 / model.layer_count() as f64;
+        rows.push((
+            label,
+            per_layer,
+            scalar_per_layer,
+            per_model,
+            peak_buffered,
+            peak_streaming,
+        ));
     }
 
     println!(
-        "\n{:<8} {:>16} {:>16} {:>14} {:>16} {:>12}",
+        "\n{:<8} {:>16} {:>17} {:>16} {:>14} {:>16} {:>12}",
         "quant",
         "time/layer (s)",
+        "scalar t/l (s)",
         "time/model (s)",
         "peak insert",
         "peak streaming",
         "GPU mem (GB)"
     );
-    for (label, per_layer, per_model, peak_buffered, peak_streaming) in &rows {
+    for (label, per_layer, scalar_per_layer, per_model, peak_buffered, peak_streaming) in &rows {
         println!(
-            "{label:<8} {per_layer:>16.4} {per_model:>16.4} {:>14} {:>16} {:>12}",
+            "{label:<8} {per_layer:>16.4} {scalar_per_layer:>17.4} {per_model:>16.4} {:>14} {:>16} {:>12}",
             alloc::fmt_bytes(*peak_buffered),
             alloc::fmt_bytes(*peak_streaming),
             0
@@ -106,6 +135,7 @@ fn main() {
     println!("\npaper: 0.4 s (INT8) and 0.3 s (INT4) per layer, 0 GB GPU, on OPT-scale layers.");
     println!("shape check: CPU-only insertion, sub-second per layer — holds at micro scale.");
     println!("peak columns: buffered in-place insertion vs the streaming stamp→encode pipeline.");
+    println!("scalar t/l: the preserved pre-kernel scoring pipeline on the same stamp.");
 
     // Criterion measurement of the INT4 per-layer path.
     let model = awq(&prepared.fp, &prepared.stats, &AwqConfig::default());

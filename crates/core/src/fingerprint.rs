@@ -183,13 +183,19 @@ pub(crate) fn fingerprint_pools(
     let coeffs = cfg.coefficients();
     let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
     let mut pools = Vec::with_capacity(base_deployed.layer_count());
+    // Base locations arrive in sampled-pick order; the scoring kernel
+    // wants them ascending. One scratch buffer serves every layer.
+    let mut excluded: Vec<usize> = Vec::new();
     for (l, layer) in base_deployed.layers.iter().enumerate() {
+        excluded.clear();
+        excluded.extend_from_slice(&base_locs[l]);
+        excluded.sort_unstable();
         let pool = layer_pool(
             layer,
             &stats.per_layer[l].mean_abs,
             &coeffs,
             pool_size,
-            &base_locs[l],
+            &excluded,
         )
         .map_err(|source| WatermarkError::Pool { layer: l, source })?;
         pools.push(pool);

@@ -85,10 +85,12 @@ pub use registry::{
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
 pub use store::{
-    copy_store, materialize, ArtifactLayerStore, ArtifactSink, LayerRecordMeta, LayerSink,
-    LayerStore, ModelHead, ModelSink, ShardSink, ShardStore, StoreError,
+    copy_store, for_each_layer_prefetched, materialize, ArtifactLayerStore, ArtifactSink,
+    LayerRecordMeta, LayerSink, LayerStore, ModelHead, ModelSink, ShardSink, ShardStore,
+    StoreError,
 };
 pub use watermark::{
     extract_watermark, extract_with_locations, insert_watermark, locate_watermark,
-    stream_watermark, ExtractionReport, GridSource, OwnerSecrets, WatermarkConfig, WatermarkError,
+    stream_watermark, stream_watermark_reference, ExtractionReport, GridSource, OwnerSecrets,
+    WatermarkConfig, WatermarkError,
 };

@@ -56,14 +56,16 @@ pub trait WatermarkScheme {
     /// streams the result out (correct for any scheme, O(model)
     /// resident); schemes whose scoring is per-layer override it with a
     /// genuinely layer-at-a-time pass — EmMark runs
-    /// [`stream_watermark`], holding one layer at a time.
+    /// [`stream_watermark`], holding one layer at a time. The store is
+    /// `Sync` so such overrides can overlap layer loads with compute
+    /// on a scoped worker thread.
     ///
     /// # Errors
     ///
     /// Propagates store, sink, and insertion failures.
     fn insert_into(
         &self,
-        store: &dyn LayerStore,
+        store: &(dyn LayerStore + Sync),
         stats: &ActivationStats,
         sink: &mut dyn LayerSink,
     ) -> Result<(), StoreError> {
@@ -117,7 +119,7 @@ impl WatermarkScheme for EmMarkScheme {
 
     fn insert_into(
         &self,
-        store: &dyn LayerStore,
+        store: &(dyn LayerStore + Sync),
         stats: &ActivationStats,
         sink: &mut dyn LayerSink,
     ) -> Result<(), StoreError> {

@@ -46,9 +46,9 @@ use emmark_nanolm::config::ModelConfig;
 use emmark_nanolm::layers::{Embedding, Norm};
 use emmark_quant::{Granularity, QuantizedLinear, QuantizedModel};
 use std::borrow::Cow;
-use std::cell::RefCell;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Errors of the streaming pipeline: I/O on the backing medium, codec
 /// failures decoding a stored layer, or watermarking failures inside a
@@ -210,6 +210,14 @@ pub trait LayerStore {
     fn layer_meta(&self, l: usize) -> Result<LayerRecordMeta, StoreError> {
         Ok(LayerRecordMeta::of(self.load_layer(l)?.as_ref()))
     }
+
+    /// True when [`Self::load_layer`] returns cheap borrows of
+    /// already-resident layers. Consumers use this to skip
+    /// load/compute overlap: prefetching a borrow cannot pay for the
+    /// thread hand-off it rides on.
+    fn layers_resident(&self) -> bool {
+        false
+    }
 }
 
 impl LayerStore for QuantizedModel {
@@ -223,6 +231,10 @@ impl LayerStore for QuantizedModel {
 
     fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError> {
         Ok(Cow::Borrowed(&self.layers[l]))
+    }
+
+    fn layers_resident(&self) -> bool {
+        true
     }
 }
 
@@ -289,6 +301,60 @@ pub fn materialize<S: LayerStore + ?Sized>(store: &S) -> Result<QuantizedModel, 
     let mut sink = ModelSink::new();
     copy_store(store, &mut sink)?;
     sink.into_model()
+}
+
+/// Drives `f` over every layer of `store` in order, with layer `N+1`
+/// loaded on a scoped worker thread while `f` processes layer `N` — the
+/// pipeline-parallel form of a plain `for l in 0..n` load loop
+/// (DESIGN.md §11).
+///
+/// The hand-off is a rendezvous channel ([`std::sync::mpsc::sync_channel`]
+/// with capacity 0), so at most **two** layers are ever resident: the
+/// one inside `f` and the one the worker has finished loading and is
+/// blocked handing over. Peak memory stays at the streaming pipeline's
+/// one-layer budget (in-memory stores hand over borrows, which cost
+/// nothing), and because layers are delivered strictly in order the
+/// caller's observable behavior — selections, bytes written — is
+/// identical to the serial loop.
+///
+/// If `f` returns an error the receiver is dropped; the worker notices
+/// on its next hand-off and stops loading.
+///
+/// # Errors
+///
+/// Propagates `load_layer` failures and whatever `f` returns.
+pub fn for_each_layer_prefetched<'s, S, F>(store: &'s S, mut f: F) -> Result<(), StoreError>
+where
+    S: LayerStore + Sync + ?Sized,
+    F: FnMut(usize, Cow<'s, QuantizedLinear>) -> Result<(), StoreError>,
+{
+    let n = store.store_layer_count();
+    if n == 0 {
+        return Ok(());
+    }
+    type Loaded<'s> = Result<Cow<'s, QuantizedLinear>, StoreError>;
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Loaded<'s>>(0);
+        scope.spawn(move || {
+            for l in 0..n {
+                let item = store.load_layer(l);
+                let failed = item.is_err();
+                if tx.send(item).is_err() || failed {
+                    return; // consumer bailed, or the store did
+                }
+            }
+        });
+        for l in 0..n {
+            let layer = rx.recv().map_err(|_| {
+                io_err(
+                    "receiving a prefetched layer",
+                    std::io::Error::other("prefetch worker disconnected"),
+                )
+            })??;
+            f(l, layer)?;
+        }
+        Ok(())
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -547,9 +613,14 @@ impl LayerSink for ModelSink {
 /// `load_layer` seeks to the record the index promises and decodes
 /// exactly one layer. Resident memory is the head plus the index —
 /// never the layer grids.
+///
+/// The reader sits behind a [`Mutex`] (uncontended in serial use), so
+/// the store is `Sync` and the pipeline-parallel stamp
+/// ([`for_each_layer_prefetched`]) can load layer `N+1` on a worker
+/// thread while layer `N` is being bumped and encoded.
 #[derive(Debug)]
 pub struct ArtifactLayerStore<R: Read + Seek> {
-    src: RefCell<R>,
+    src: Mutex<R>,
     len: usize,
     head: ModelHead,
     index: Vec<LayerIndexEntry>,
@@ -594,7 +665,7 @@ impl<R: Read + Seek> ArtifactLayerStore<R> {
         let emb = r.embeddings()?;
         let (norm_pairs, final_norm) = r.norms(cfg.n_layers)?;
         Ok(Self {
-            src: RefCell::new(src),
+            src: Mutex::new(src),
             len,
             head: ModelHead {
                 cfg,
@@ -667,12 +738,12 @@ impl<R: Read + Seek> LayerStore for ArtifactLayerStore<R> {
 
     fn load_layer(&self, l: usize) -> Result<Cow<'_, QuantizedLinear>, StoreError> {
         let (start, end) = self.record_span(l);
-        let record = read_range(
-            &mut *self.src.borrow_mut(),
-            start,
-            end - start,
-            "reading a layer record",
-        )?;
+        let mut src = self
+            .src
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let record = read_range(&mut *src, start, end - start, "reading a layer record")?;
+        drop(src);
         let mut r = Reader::new(&record, Section::Layer(l));
         let layer = r.qlinear(l)?;
         let entry = &self.index[l];
@@ -1064,6 +1135,57 @@ mod tests {
             Err(StoreError::Codec(_))
         ));
         assert!(msink.into_model().is_err());
+    }
+
+    #[test]
+    fn prefetched_iteration_matches_serial_and_propagates_errors() {
+        for model in models() {
+            let bytes = encode_model(&model).to_vec();
+            let store = ArtifactLayerStore::open(Cursor::new(&bytes)).expect("open");
+            let mut seen = Vec::new();
+            for_each_layer_prefetched(&store, |l, layer| {
+                seen.push((l, layer.into_owned()));
+                Ok(())
+            })
+            .expect("prefetched walk");
+            assert_eq!(seen.len(), model.layer_count(), "{}", model.scheme);
+            for (l, layer) in &seen {
+                assert_eq!(layer, &model.layers[*l], "{}: layer {l}", model.scheme);
+            }
+            // In-memory stores hand over borrows through the channel.
+            let mut borrowed = 0usize;
+            for_each_layer_prefetched(&model, |_, layer| {
+                borrowed += matches!(layer, Cow::Borrowed(_)) as usize;
+                Ok(())
+            })
+            .expect("borrowing walk");
+            assert_eq!(borrowed, model.layer_count(), "{}", model.scheme);
+        }
+        // A consumer error stops the walk (and the worker) cleanly.
+        let model = &models()[0];
+        let mut calls = 0usize;
+        let err = for_each_layer_prefetched(model, |_, _| {
+            calls += 1;
+            Err(StoreError::Io {
+                what: "consumer stage",
+                source: std::io::Error::other("stage failed"),
+            })
+        })
+        .expect_err("consumer error surfaces");
+        assert_eq!(calls, 1);
+        assert!(err.to_string().contains("consumer stage"));
+        // A store error mid-stream surfaces for the failing layer.
+        let bytes = encode_model(model).to_vec();
+        let store = ArtifactLayerStore::open(Cursor::new(&bytes[..bytes.len() - 3]))
+            .expect("header intact");
+        let mut ok_layers = 0usize;
+        let err = for_each_layer_prefetched(&store, |_, _| {
+            ok_layers += 1;
+            Ok(())
+        })
+        .expect_err("truncated last record");
+        assert_eq!(ok_layers, model.layer_count() - 1);
+        assert!(matches!(err, StoreError::Io { .. } | StoreError::Codec(_)));
     }
 
     #[test]

@@ -10,12 +10,15 @@
 
 use crate::scoring::{layer_pool, PoolError, ScoreCoefficients};
 use crate::signature::Signature;
-use crate::store::{ArtifactSink, LayerRecordMeta, LayerSink, LayerStore, StoreError};
+use crate::store::{
+    for_each_layer_prefetched, ArtifactSink, LayerRecordMeta, LayerSink, LayerStore, StoreError,
+};
 use emmark_nanolm::model::ActivationStats;
 use emmark_quant::{QuantizedLinear, QuantizedModel};
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
 use emmark_tensor::stats::log10_binomial_tail;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Watermark insertion parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -232,27 +235,63 @@ pub(crate) fn locate_layer(
 ) -> Result<Vec<usize>, PoolError> {
     let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
     let pool = layer_pool(layer, act_mean, &cfg.coefficients(), pool_size, &[])?;
+    Ok(sample_pool(&pool, cfg, layer_seed))
+}
+
+/// [`locate_layer`] over the scalar scoring baseline
+/// ([`crate::scoring::reference`]) — the oracle half of the
+/// kernel-equivalence gates. Selections are identical to
+/// [`locate_layer`] because the kernel and scalar pools are
+/// bit-identical.
+pub(crate) fn locate_layer_reference(
+    layer: &QuantizedLinear,
+    act_mean: &[f32],
+    cfg: &WatermarkConfig,
+    layer_seed: u64,
+) -> Result<Vec<usize>, PoolError> {
+    let pool_size = cfg.pool_ratio * cfg.bits_per_layer;
+    let pool = crate::scoring::reference::layer_pool(
+        layer,
+        act_mean,
+        &cfg.coefficients(),
+        pool_size,
+        &[],
+    )?;
+    Ok(sample_pool(&pool, cfg, layer_seed))
+}
+
+/// The seeded sampling half of location reproduction: `bits_per_layer`
+/// distinct picks from the candidate pool under the layer's sub-seed.
+fn sample_pool(pool: &[usize], cfg: &WatermarkConfig, layer_seed: u64) -> Vec<usize> {
     let mut rng = Xoshiro256::seed_from_u64(layer_seed);
     let picks = rng.sample_without_replacement(pool.len(), cfg.bits_per_layer);
-    Ok(picks.into_iter().map(|p| pool[p]).collect())
+    picks.into_iter().map(|p| pool[p]).collect()
 }
 
 /// The streaming watermark pipeline: `score → insert → encode` with one
-/// layer resident at a time.
+/// layer resident at a time, its stages overlapped across two scoped
+/// threads.
 ///
 /// Sweep 1 loads each of `store`'s layers once to reproduce its
 /// watermark locations (Eqs. 2–4 + seeded sampling) and record its
 /// sizing metadata; sweep 2 loads each layer again, applies its
-/// signature bits (Eq. 5), and hands it to `sink`. Peak memory is the
-/// model head plus one layer plus the location table — never the full
-/// model, and never the encoded artifact (an
-/// [`ArtifactSink`] forwards records straight to its writer).
+/// signature bits (Eq. 5), and hands it to `sink`. Within each sweep,
+/// layer `N+1` is loaded on a worker thread while layer `N` is being
+/// scored (or bumped and encoded) — the two-slot rendezvous hand-off of
+/// [`for_each_layer_prefetched`], which is why `store` must be `Sync`
+/// (every [`LayerStore`] in this crate is). Peak memory stays at the
+/// model head plus one layer in flight plus the location table — never
+/// the full model, and never the encoded artifact (an [`ArtifactSink`]
+/// forwards records straight to its writer).
 ///
-/// For an in-memory [`QuantizedModel`] store and an [`ArtifactSink`],
-/// the output is **byte-identical** to
-/// [`insert_watermark`] followed by
-/// [`crate::deploy::encode_model`]; `tests/streaming_equivalence.rs`
-/// pins that across all five quantization schemes.
+/// Overlap never changes the result: layers are delivered strictly in
+/// order, so selections and bytes are identical to the serial loop
+/// (DESIGN.md §11). For an in-memory [`QuantizedModel`] store and an
+/// [`ArtifactSink`], the output is **byte-identical** to
+/// [`insert_watermark`] followed by [`crate::deploy::encode_model`] and
+/// to the serial scalar baseline [`stream_watermark_reference`];
+/// `tests/streaming_equivalence.rs` pins both across all five
+/// quantization schemes.
 ///
 /// # Errors
 ///
@@ -265,10 +304,67 @@ pub fn stream_watermark<S, K>(
     sink: &mut K,
 ) -> Result<InsertedWatermark, StoreError>
 where
-    S: LayerStore + ?Sized,
+    S: LayerStore + Sync + ?Sized,
+    K: LayerSink + ?Sized,
+{
+    stream_watermark_impl(store, stats, signature, cfg, sink, locate_layer, true)
+}
+
+/// The pre-kernel, pre-overlap pipeline: serial sweeps over the scalar
+/// scoring baseline ([`crate::scoring::reference`]). This is what
+/// [`stream_watermark`] was before the PR 7 kernels — the
+/// `streaming_pipeline` bench measures end-to-end stamp throughput
+/// against it (≥1.5x gate) and asserts byte-identical output.
+///
+/// # Errors
+///
+/// Propagates configuration, location, store, and sink failures.
+pub fn stream_watermark_reference<S, K>(
+    store: &S,
+    stats: &ActivationStats,
+    signature: &Signature,
+    cfg: &WatermarkConfig,
+    sink: &mut K,
+) -> Result<InsertedWatermark, StoreError>
+where
+    S: LayerStore + Sync + ?Sized,
+    K: LayerSink + ?Sized,
+{
+    stream_watermark_impl(
+        store,
+        stats,
+        signature,
+        cfg,
+        sink,
+        locate_layer_reference,
+        false,
+    )
+}
+
+/// The per-layer locate stage of the streaming pipelines:
+/// [`locate_layer`] (kernel) or [`locate_layer_reference`] (scalar).
+type LocateFn =
+    fn(&QuantizedLinear, &[f32], &WatermarkConfig, u64) -> Result<Vec<usize>, PoolError>;
+
+/// Both streaming pipelines, parameterized by the per-layer locate
+/// stage and whether sweeps overlap load with compute.
+fn stream_watermark_impl<S, K>(
+    store: &S,
+    stats: &ActivationStats,
+    signature: &Signature,
+    cfg: &WatermarkConfig,
+    sink: &mut K,
+    locate: LocateFn,
+    overlap: bool,
+) -> Result<InsertedWatermark, StoreError>
+where
+    S: LayerStore + Sync + ?Sized,
     K: LayerSink + ?Sized,
 {
     cfg.validate()?;
+    // Prefetching a borrow from an already-resident store cannot pay
+    // for the per-layer thread hand-off, so overlap only real loads.
+    let overlap = overlap && !store.layers_resident();
     let n = store.store_layer_count();
     if stats.layer_count() != n {
         return Err(WatermarkError::ShapeMismatch(format!(
@@ -285,32 +381,47 @@ where
         }
         .into());
     }
-    // Sweep 1 — locate + size, one layer resident at a time.
+    // Layer sub-seeds are drawn up front so the sweeps are pure
+    // per-layer functions, free to overlap.
     let mut sm = SplitMix64::new(cfg.selection_seed);
+    let seeds: Vec<u64> = (0..n).map(|_| sm.next_u64()).collect();
+    // Sweep 1 — locate + size, one layer resident (plus one in flight).
     let mut locations = Vec::with_capacity(n);
     let mut metas = Vec::with_capacity(n);
-    for l in 0..n {
-        let layer_seed = sm.next_u64();
-        let layer = store.load_layer(l)?;
-        let locs = locate_layer(
-            layer.as_ref(),
-            &stats.per_layer[l].mean_abs,
-            cfg,
-            layer_seed,
-        )
-        .map_err(|source| WatermarkError::Pool { layer: l, source })?;
-        locations.push(locs);
-        metas.push(LayerRecordMeta::of(layer.as_ref()));
+    {
+        let mut sweep = |l: usize, layer: Cow<'_, QuantizedLinear>| -> Result<(), StoreError> {
+            let locs = locate(layer.as_ref(), &stats.per_layer[l].mean_abs, cfg, seeds[l])
+                .map_err(|source| WatermarkError::Pool { layer: l, source })?;
+            locations.push(locs);
+            metas.push(LayerRecordMeta::of(layer.as_ref()));
+            Ok(())
+        };
+        if overlap {
+            for_each_layer_prefetched(store, sweep)?;
+        } else {
+            for l in 0..n {
+                sweep(l, store.load_layer(l)?)?;
+            }
+        }
     }
     // Sweep 2 — insert + encode, streaming each stamped layer out.
     sink.begin(&store.head()?, &metas)?;
-    for (l, layer_locs) in locations.iter().enumerate() {
-        let mut layer = store.load_layer(l)?.into_owned();
-        let bits = signature.layer_bits(l, n);
-        for (&f, &b) in layer_locs.iter().zip(bits) {
-            layer.bump_q_flat(f, b);
+    {
+        let mut sweep = |l: usize, layer: Cow<'_, QuantizedLinear>| -> Result<(), StoreError> {
+            let mut layer = layer.into_owned();
+            let bits = signature.layer_bits(l, n);
+            for (&f, &b) in locations[l].iter().zip(bits) {
+                layer.bump_q_flat(f, b);
+            }
+            sink.put_layer(l, &layer)
+        };
+        if overlap {
+            for_each_layer_prefetched(store, sweep)?;
+        } else {
+            for l in 0..n {
+                sweep(l, store.load_layer(l)?)?;
+            }
         }
-        sink.put_layer(l, &layer)?;
     }
     sink.finish()?;
     Ok(InsertedWatermark {

@@ -204,6 +204,23 @@ impl QuantizedLinear {
         self.q[f]
     }
 
+    /// One input channel's contiguous slice of the grid
+    /// (`out_features` cells) — the unit the scoring kernels walk, with
+    /// the per-channel robustness term hoisted to the slice boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= in_features`.
+    pub fn q_row(&self, r: usize) -> &[i8] {
+        &self.q[r * self.out_features..(r + 1) * self.out_features]
+    }
+
+    /// Whether input channel `r` is a full-precision outlier row — the
+    /// row-granular form of [`Self::is_outlier_flat`].
+    pub fn is_outlier_row(&self, r: usize) -> bool {
+        self.outlier_rows.binary_search(&r).is_ok()
+    }
+
     /// Overwrites the integer value at flat index `f`.
     ///
     /// # Panics
@@ -502,6 +519,38 @@ mod tests {
         assert_eq!(l.channel_of_flat(0), 0);
         assert_eq!(l.channel_of_flat(2), 1);
         assert_eq!(l.channel_of_flat(5), 2);
+    }
+
+    #[test]
+    fn row_slices_cover_the_grid_in_order() {
+        let l = simple_layer();
+        assert_eq!(l.q_row(0), &[1, -2]);
+        assert_eq!(l.q_row(1), &[3, 4]);
+        assert_eq!(l.q_row(2), &[-5, 0]);
+        let flat: Vec<i8> = (0..3).flat_map(|r| l.q_row(r).to_vec()).collect();
+        assert_eq!(flat.as_slice(), l.q_values());
+    }
+
+    #[test]
+    fn row_granular_outlier_mask_matches_flat() {
+        let mut l = QuantizedLinear::new(
+            vec![10, 20, 30],
+            3,
+            1,
+            8,
+            Granularity::PerTensor,
+            vec![0.1],
+            None,
+            None,
+            ActQuant::None,
+        );
+        l.set_outliers(vec![1], Matrix::from_rows(&[&[5.0]]));
+        // out_features == 1, so flat index == row index.
+        for r in 0..3 {
+            assert_eq!(l.is_outlier_row(r), l.is_outlier_flat(r));
+        }
+        assert!(l.is_outlier_row(1));
+        assert!(!l.is_outlier_row(2));
     }
 
     #[test]

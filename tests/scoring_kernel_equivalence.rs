@@ -1,0 +1,156 @@
+//! Kernel-vs-scalar-reference scoring equivalence across **all five
+//! quantization schemes** (RTN, AWQ, GPTQ, SmoothQuant, LLM.int8()).
+//!
+//! PR 7 rewrote `scoring::score_layer` / `scoring::layer_pool` as
+//! chunked, branch-free kernels (DESIGN.md §11) and kept the per-cell
+//! scalar originals as `scoring::reference`. These proptests pin the
+//! contract the rewrite must keep forever:
+//!
+//! * per-cell scores are **bit-identical** (`f64::to_bits`), including
+//!   the `∞` exclusion markers for clamped cells, zero weights, and
+//!   LLM.int8() outlier rows, under every coefficient regime;
+//! * candidate pools select the **same indices in the same order** for
+//!   every pool size and every exclusion set (the kernel takes the set
+//!   pre-sorted, the reference in arbitrary order — same result);
+//! * shortage accounting (`PoolError::{needed, available}`) agrees.
+
+use emmark::core::scoring::{self, reference, ScoreCoefficients};
+use emmark::nanolm::model::ActivationStats;
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::gptq::{gptq, GptqConfig};
+use emmark::quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+use proptest::prelude::*;
+
+const SCHEMES: [&str; 5] = ["rtn", "awq", "gptq", "smoothquant", "llm_int8"];
+
+/// Builds one of the five quantized models plus its activation profile.
+/// RTN uses grouped scales here so the matrix also covers
+/// `Granularity::Grouped`.
+fn quantize(scheme: &str, seed: u64) -> (QuantizedModel, ActivationStats) {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.init_seed = seed;
+    let mut model = TransformerModel::new(cfg);
+    let calib: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let qm = match scheme {
+        "rtn" => QuantizedModel::quantize_with(&model, "rtn-int8-g8", |_, lin| {
+            quantize_linear_rtn(
+                lin,
+                8,
+                Granularity::Grouped { group_size: 8 },
+                ActQuant::None,
+            )
+        }),
+        "awq" => awq(&model, &stats, &AwqConfig::default()),
+        "gptq" => gptq(&mut model.clone(), &calib, &GptqConfig::default()),
+        "smoothquant" => smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+        "llm_int8" => llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9)),
+        other => panic!("unknown scheme {other}"),
+    };
+    (qm, stats)
+}
+
+/// A deterministic pseudo-random exclusion set over `len` cells, in
+/// scrambled (unsorted) order — the order `fingerprint_pools` receives
+/// base-watermark locations in.
+fn exclusion_set(len: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    let mut picks = Vec::with_capacity(count);
+    for _ in 0..count {
+        // SplitMix64 step; duplicates are fine (both paths tolerate them).
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        picks.push((z ^ (z >> 31)) as usize % len.max(1));
+    }
+    picks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Per-cell scores are bit-identical between the chunked kernel and
+    /// the scalar reference, for every layer and coefficient regime.
+    #[test]
+    fn kernel_scores_are_bit_identical_to_the_scalar_reference(
+        scheme in prop::sample::select(SCHEMES.to_vec()),
+        seed in 0u64..1_000_000,
+        alpha in prop::sample::select(vec![0.0f64, 0.25, 0.5, 1.0]),
+        beta in prop::sample::select(vec![0.0f64, 0.5, 2.0]),
+    ) {
+        prop_assume!(alpha != 0.0 || beta != 0.0);
+        let (qm, stats) = quantize(scheme, seed);
+        let coeffs = ScoreCoefficients { alpha, beta };
+        for (l, layer) in qm.layers.iter().enumerate() {
+            let act = &stats.per_layer[l].mean_abs;
+            let kernel = scoring::score_layer(layer, act, &coeffs);
+            let scalar = reference::score_layer(layer, act, &coeffs);
+            prop_assert_eq!(kernel.len(), scalar.len());
+            for (f, (a, b)) in kernel.iter().zip(&scalar).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: layer {} cell {} diverged (kernel {}, scalar {})",
+                    scheme, l, f, a, b
+                );
+            }
+        }
+    }
+
+    /// Candidate pools — same indices, same order — for every pool size
+    /// and exclusion set, with shortage accounting in agreement. The
+    /// kernel receives the exclusions sorted, the reference receives
+    /// them in scrambled sampled order.
+    #[test]
+    fn kernel_pools_match_the_scalar_reference(
+        scheme in prop::sample::select(SCHEMES.to_vec()),
+        seed in 0u64..1_000_000,
+        pool_size in prop::sample::select(vec![0usize, 1, 7, 30, 64, 100_000]),
+        excl_count in 0usize..40,
+    ) {
+        let (qm, stats) = quantize(scheme, seed);
+        let coeffs = ScoreCoefficients::default();
+        for (l, layer) in qm.layers.iter().enumerate() {
+            let act = &stats.per_layer[l].mean_abs;
+            let unsorted = exclusion_set(layer.len(), excl_count, seed ^ ((l as u64) << 8));
+            let mut sorted = unsorted.clone();
+            sorted.sort_unstable();
+            let kernel = scoring::layer_pool(layer, act, &coeffs, pool_size, &sorted);
+            let scalar = reference::layer_pool(layer, act, &coeffs, pool_size, &unsorted);
+            prop_assert_eq!(
+                kernel, scalar,
+                "{}: layer {} pool diverged (pool_size {}, {} exclusions)",
+                scheme, l, pool_size, excl_count
+            );
+        }
+    }
+
+    /// The fused streaming pool equals score-everything-then-top-k on
+    /// the kernel scores — the kernel keeps `layer_pool` and
+    /// `score_layer + candidate_pool` interchangeable.
+    #[test]
+    fn fused_pool_matches_score_then_pool(
+        scheme in prop::sample::select(SCHEMES.to_vec()),
+        seed in 0u64..1_000_000,
+    ) {
+        let (qm, stats) = quantize(scheme, seed);
+        let coeffs = ScoreCoefficients::default();
+        for (l, layer) in qm.layers.iter().enumerate() {
+            let act = &stats.per_layer[l].mean_abs;
+            let scores = scoring::score_layer(layer, act, &coeffs);
+            let finite = scores.iter().filter(|s| s.is_finite()).count();
+            let pool_size = (finite / 2).max(1);
+            let direct = scoring::candidate_pool(&scores, pool_size).expect("pool");
+            let fused =
+                scoring::layer_pool(layer, act, &coeffs, pool_size, &[]).expect("fused pool");
+            prop_assert_eq!(direct, fused, "{}: layer {}", scheme, l);
+        }
+    }
+}

@@ -19,7 +19,9 @@ use emmark::core::store::{
     copy_store, ArtifactLayerStore, ArtifactSink, ModelSink, ShardSink, ShardStore,
 };
 use emmark::core::vault::encode_fleet_bundle;
-use emmark::core::watermark::{insert_watermark, stream_watermark, OwnerSecrets, WatermarkConfig};
+use emmark::core::watermark::{
+    insert_watermark, stream_watermark, stream_watermark_reference, OwnerSecrets, WatermarkConfig,
+};
 use emmark::nanolm::model::ActivationStats;
 use emmark::nanolm::{ModelConfig, TransformerModel};
 use emmark::quant::awq::{awq, AwqConfig};
@@ -94,12 +96,30 @@ proptest! {
             encode_model(&deployed).to_vec()
         };
 
-        // In-memory store → streaming sink.
+        // In-memory store → streaming sink (pipeline-parallel sweeps).
         let mut streamed = Vec::new();
         let inserted =
             stream_watermark(&original, &stats, &sig, &cfg, &mut ArtifactSink::new(&mut streamed))
                 .expect("stream");
         prop_assert_eq!(&streamed, &buffered, "in-memory store diverged ({})", scheme);
+
+        // The serial scalar-scoring baseline produces the same bytes and
+        // the same locations: neither the PR 7 kernels nor the two-slot
+        // load/compute overlap may change selection or output.
+        let mut ref_streamed = Vec::new();
+        let ref_inserted = stream_watermark_reference(
+            &original,
+            &stats,
+            &sig,
+            &cfg,
+            &mut ArtifactSink::new(&mut ref_streamed),
+        )
+        .expect("reference stream");
+        prop_assert_eq!(
+            &ref_streamed, &buffered,
+            "serial scalar baseline diverged ({})", scheme
+        );
+        prop_assert_eq!(&ref_inserted.locations, &inserted.locations);
 
         // The reported locations match the buffered path's reproduction.
         let relocated =
