@@ -1,0 +1,162 @@
+//! Centralized adversary randomness.
+//!
+//! Every attack family is a *deterministic* adversary: the regression
+//! matrix pins one seed per family and asserts against exactly that
+//! opponent. Before this module, each family re-derived its working RNG
+//! from its own scattered `seed ^ MAGIC` expression; the magic numbers
+//! now live in one place, keyed by [`AdversaryStage`], so determinism —
+//! and stream independence between stages sharing one base seed — is
+//! enforced in one place.
+//!
+//! The stage tweaks reproduce the historical per-family constants
+//! bit-for-bit, so every pinned attack outcome in the test suite is
+//! unchanged by the refactor.
+
+use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+
+/// A named randomness stage of some attack. Stages sharing a base seed
+/// draw from provably distinct streams (distinct XOR tweaks into
+/// SplitMix64, whose outputs decorrelate single-bit input differences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryStage {
+    /// Blind cell selection of the overwriting attack.
+    Overwrite,
+    /// Cell selection + bit directions of the re-watermark attack.
+    Rewatermark,
+    /// The forged signature of a counterfeit claim.
+    ForgeSignature,
+    /// The asserted cells of a counterfeit claim.
+    ForgeCells,
+    /// Perturbation directions of the adaptive location-targeting
+    /// attack.
+    Adaptive,
+    /// LoRA adapter initialization of the fine-tuning attack.
+    FinetuneAdapter,
+    /// Window sampling schedule of the fine-tuning attack.
+    FinetuneSchedule,
+    /// Calibration-stream generation of the re-quantization attack.
+    Requant,
+}
+
+impl AdversaryStage {
+    /// The stage's XOR tweak into the base seed. The first four values
+    /// are the historical per-family magic numbers (kept bit-identical
+    /// so pinned matrix outcomes survive the centralization); the rest
+    /// are fresh constants for the PR-8 families.
+    fn tweak(self) -> u64 {
+        match self {
+            Self::Overwrite => 0x0133_7A77,
+            Self::Rewatermark => 0xADE5_0B11,
+            Self::ForgeSignature => 0xFA_CE,
+            Self::ForgeCells => 0xF0_4641,
+            Self::Adaptive => 0xADA7_711E,
+            Self::FinetuneAdapter => 0xF1E7_ADA7,
+            Self::FinetuneSchedule => 0xF1E7_5C8D,
+            Self::Requant => 0x2E5A_A47E,
+        }
+    }
+}
+
+/// One adversary identity: a base seed from which every stage of every
+/// attack family derives its randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// The adversary's base seed.
+    pub seed: u64,
+}
+
+impl AdversaryConfig {
+    /// An adversary with the given base seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The derived seed of one stage.
+    pub fn stage_seed(&self, stage: AdversaryStage) -> u64 {
+        self.seed ^ stage.tweak()
+    }
+
+    /// A [`SplitMix64`] seed sequencer for a stage — the idiom every
+    /// per-layer attack uses: one sequencer per stage, one
+    /// [`Xoshiro256`] per layer off its stream, so layer sub-streams
+    /// stay independent regardless of how many draws a layer consumes.
+    pub fn seed_sequence(&self, stage: AdversaryStage) -> SplitMix64 {
+        SplitMix64::new(self.stage_seed(stage))
+    }
+
+    /// A working RNG for a stage that needs a single stream.
+    pub fn rng(&self, stage: AdversaryStage) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.stage_seed(stage))
+    }
+
+    /// A deterministic per-cell coin for a stage: depends only on
+    /// `(seed, stage, layer, cell)`, never on draw order. Attack sweeps
+    /// that grow a target set with strength stay *nested* under this
+    /// coin — cell `f`'s perturbation direction is the same whether it
+    /// was the 1st or the 40th pick — which is what makes "WER is
+    /// non-increasing in attack strength" a deterministic invariant
+    /// rather than a statistical tendency.
+    pub fn cell_coin(&self, stage: AdversaryStage, layer: usize, cell: usize) -> u64 {
+        let mut sm = SplitMix64::new(
+            self.stage_seed(stage)
+                ^ (layer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (cell as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        sm.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn historical_tweaks_are_preserved() {
+        let adv = AdversaryConfig::new(7);
+        assert_eq!(adv.stage_seed(AdversaryStage::Overwrite), 7 ^ 0x0133_7A77);
+        assert_eq!(adv.stage_seed(AdversaryStage::Rewatermark), 7 ^ 0xADE5_0B11);
+        assert_eq!(adv.stage_seed(AdversaryStage::ForgeSignature), 7 ^ 0xFA_CE);
+        assert_eq!(adv.stage_seed(AdversaryStage::ForgeCells), 7 ^ 0xF0_4641);
+    }
+
+    #[test]
+    fn stages_draw_distinct_streams_from_one_seed() {
+        let adv = AdversaryConfig::new(123);
+        let mut seen = Vec::new();
+        for stage in [
+            AdversaryStage::Overwrite,
+            AdversaryStage::Rewatermark,
+            AdversaryStage::ForgeSignature,
+            AdversaryStage::ForgeCells,
+            AdversaryStage::Adaptive,
+            AdversaryStage::FinetuneAdapter,
+            AdversaryStage::FinetuneSchedule,
+            AdversaryStage::Requant,
+        ] {
+            let first = adv.seed_sequence(stage).next_u64();
+            assert!(!seen.contains(&first), "stage streams must differ");
+            seen.push(first);
+        }
+    }
+
+    #[test]
+    fn cell_coin_is_order_free_and_cell_dependent() {
+        let adv = AdversaryConfig::new(9);
+        let a = adv.cell_coin(AdversaryStage::Adaptive, 3, 17);
+        let b = adv.cell_coin(AdversaryStage::Adaptive, 3, 17);
+        assert_eq!(a, b, "coin must not depend on draw order");
+        assert_ne!(a, adv.cell_coin(AdversaryStage::Adaptive, 3, 18));
+        assert_ne!(a, adv.cell_coin(AdversaryStage::Adaptive, 4, 17));
+        assert_ne!(a, adv.cell_coin(AdversaryStage::Overwrite, 3, 17));
+    }
+
+    #[test]
+    fn seed_sequence_matches_manual_derivation() {
+        let adv = AdversaryConfig::new(10);
+        let mut ours = adv.seed_sequence(AdversaryStage::Overwrite);
+        let mut manual = SplitMix64::new(10 ^ 0x0133_7A77);
+        for _ in 0..4 {
+            assert_eq!(ours.next_u64(), manual.next_u64());
+        }
+    }
+}

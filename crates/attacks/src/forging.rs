@@ -15,12 +15,13 @@
 //! in [`crate::rewatermark`]; the owner's bits survive, so priority plus
 //! reproduction still decides for the owner.
 
+use crate::adversary::{AdversaryConfig, AdversaryStage};
 use emmark_core::signature::Signature;
 use emmark_core::watermark::{locate_watermark, Locations, OwnerSecrets, WatermarkConfig};
 use emmark_nanolm::model::ActivationStats;
 use emmark_nanolm::TransformerModel;
 use emmark_quant::QuantizedModel;
-use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+use emmark_tensor::rng::Xoshiro256;
 
 /// An ownership claim as presented to a verifier: the claimed original
 /// weights, activation profile, signature, hyperparameters, and the
@@ -70,10 +71,14 @@ pub fn forge_counterfeit_claim(
     seed: u64,
 ) -> OwnershipClaim {
     let n = deployed.layer_count();
-    let signature = Signature::generate(bits_per_layer * n, seed ^ 0xFA_CE);
+    let adv = AdversaryConfig::new(seed);
+    let signature = Signature::generate(
+        bits_per_layer * n,
+        adv.stage_seed(AdversaryStage::ForgeSignature),
+    );
     let mut fake_original = deployed.clone();
     let mut locations: Locations = Vec::with_capacity(n);
-    let mut sm = SplitMix64::new(seed ^ 0xF0_4641);
+    let mut sm = adv.seed_sequence(AdversaryStage::ForgeCells);
     for (l, layer) in fake_original.layers.iter_mut().enumerate() {
         let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());
         let bits = signature.layer_bits(l, n);

@@ -5,9 +5,12 @@
 //! drives through this one API, so a regression matrix can sweep them
 //! uniformly across quantization schemes.
 
+use crate::adaptive::{adaptive_attack, AdaptiveConfig};
+use crate::finetune::{qlora_finetune_attack, FinetuneConfig};
 use crate::forging::{forge_counterfeit_claim, naive_delta_check, validate_claim, ClaimVerdict};
 use crate::overwrite::{overwrite_attack, OverwriteConfig};
 use crate::pruning::prune_attack;
+use crate::requant::{requantize, RequantScheme};
 use crate::rewatermark::{rewatermark_attack, RewatermarkConfig};
 use emmark_core::watermark::OwnerSecrets;
 use emmark_eval::report::{evaluate_quality, EvalConfig};
@@ -160,6 +163,122 @@ pub fn forging_check(
     let naive_wer = naive_delta_check(&claim, deployed);
     let verdict = validate_claim(&claim, deployed, None, adversary_calibration, wer_threshold);
     ForgingOutcome { naive_wer, verdict }
+}
+
+/// Sweeps the QLoRA fine-tuning attack over adapter step counts: tune a
+/// head adapter on `stream` (the adversary's task data), merge it into
+/// the integer grids, re-verify. Each point's `strength` is the step
+/// count; `adversary` fixes rank, window, learning rate, and seed. The
+/// zero-step point is the identity merge — the sweep's clean anchor.
+pub fn finetune_sweep(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    stream: &[u32],
+    step_grid: &[u64],
+    adversary: &FinetuneConfig,
+) -> Vec<AttackPoint> {
+    step_grid
+        .iter()
+        .map(|&steps| {
+            let attacked = qlora_finetune_attack(
+                deployed,
+                stream,
+                &FinetuneConfig {
+                    steps,
+                    ..*adversary
+                },
+            );
+            measure(secrets, &attacked, corpus, eval_cfg, steps as usize)
+        })
+        .collect()
+}
+
+/// One cell of the scheme-conversion matrix: the stamped artifact
+/// re-quantized through `target`, with quality, WER, and the Eq. 8
+/// p-value of what survived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequantPoint {
+    /// Target scheme label.
+    pub target: String,
+    /// Perplexity of the converted model.
+    pub ppl: f64,
+    /// Zero-shot accuracy (%) of the converted model.
+    pub zero_shot_acc: f64,
+    /// Owner's WER (%) against the converted grids.
+    pub wer: f64,
+    /// `log10` of the Eq. 8 chance probability of the surviving match
+    /// count (more negative = stronger residual proof).
+    pub log10_p: f64,
+}
+
+/// Runs the scheme-conversion attack into every `target`: rebuild the
+/// adversary's full-precision surrogate from `deployed`, re-quantize it
+/// per target on the adversary's `calibration`, and measure what the
+/// owner can still extract. One row of the robustness-frontier table
+/// per target.
+pub fn requant_matrix(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    calibration: &[Vec<u32>],
+    targets: &[RequantScheme],
+) -> Vec<RequantPoint> {
+    targets
+        .iter()
+        .map(|&target| {
+            let attacked = requantize(deployed, target, calibration);
+            let quality = evaluate_quality(&attacked, corpus, eval_cfg);
+            let (wer, log10_p) = secrets
+                .verify(&attacked)
+                .map(|r| (r.wer(), r.log10_p_chance()))
+                .unwrap_or((0.0, 0.0));
+            RequantPoint {
+                target: target.name().to_string(),
+                ppl: quality.ppl,
+                zero_shot_acc: quality.zero_shot_acc,
+                wer,
+                log10_p,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the adaptive location-targeting attack over per-layer budgets
+/// `ks`: the attacker scores every layer with the public rule (through
+/// quantized-model activation statistics measured once on
+/// `adversary_calibration`) and perturbs the `k` best-scoring cells.
+/// Each point's `strength` is `k`. Because targets are ranking prefixes
+/// and directions are order-free, WER is non-increasing across the
+/// sweep — callers may assert it.
+pub fn adaptive_sweep(
+    secrets: &OwnerSecrets,
+    deployed: &QuantizedModel,
+    corpus: &Corpus,
+    eval_cfg: &EvalConfig,
+    adversary_calibration: &[Vec<u32>],
+    ks: &[usize],
+    adversary: &AdaptiveConfig,
+) -> Vec<AttackPoint> {
+    let adv_stats = deployed.collect_activation_stats(adversary_calibration);
+    ks.iter()
+        .map(|&k| {
+            let mut attacked = deployed.clone();
+            if k > 0 {
+                adaptive_attack(
+                    &mut attacked,
+                    &adv_stats,
+                    &AdaptiveConfig {
+                        top_k: k,
+                        ..*adversary
+                    },
+                );
+            }
+            measure(secrets, &attacked, corpus, eval_cfg, k)
+        })
+        .collect()
 }
 
 fn measure(

@@ -35,10 +35,18 @@
 //! assert_eq!(touched, 16 * deployed.layer_count());
 //! ```
 
+pub mod adaptive;
+pub mod adversary;
+pub mod finetune;
 pub mod forging;
 pub mod harness;
 pub mod overwrite;
 pub mod pruning;
+pub mod requant;
 pub mod rewatermark;
 
-pub use harness::{overwrite_sweep, rewatermark_sweep, AttackPoint};
+pub use adversary::{AdversaryConfig, AdversaryStage};
+pub use harness::{
+    adaptive_sweep, finetune_sweep, overwrite_sweep, requant_matrix, rewatermark_sweep,
+    AttackPoint, RequantPoint,
+};

@@ -5,8 +5,9 @@
 //! random cells per quantized layer. Arithmetic wraps at the storage
 //! width, as it would on device.
 
+use crate::adversary::{AdversaryConfig, AdversaryStage};
 use emmark_quant::QuantizedModel;
-use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+use emmark_tensor::rng::Xoshiro256;
 
 /// Overwriting attack configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +21,7 @@ pub struct OverwriteConfig {
 /// Applies the attack in place; returns the number of cells actually
 /// bumped.
 pub fn overwrite_attack(model: &mut QuantizedModel, cfg: &OverwriteConfig) -> usize {
-    let mut sm = SplitMix64::new(cfg.seed ^ 0x0133_7A77);
+    let mut sm = AdversaryConfig::new(cfg.seed).seed_sequence(AdversaryStage::Overwrite);
     let mut touched = 0usize;
     for layer in &mut model.layers {
         let mut rng = Xoshiro256::seed_from_u64(sm.next_u64());

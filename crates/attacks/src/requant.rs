@@ -1,0 +1,224 @@
+//! Scheme-conversion / re-quantization attacks.
+//!
+//! The adversary holds a stamped quantized artifact and nothing else —
+//! no full-precision weights, no owner secrets. They rebuild a
+//! full-precision surrogate ([`QuantizedModel::surrogate_model`]:
+//! dequantized effective weights plus the never-quantized embeddings
+//! and norms), collect their own activation statistics through it, and
+//! run any public quantizer over the result. The question the matrix
+//! answers per (source, target) pair: do the owner's exact `ΔW == b`
+//! deltas survive the round trip?
+//!
+//! Two regimes with sharply different answers:
+//!
+//! * **Same-grid round trip** ([`roundtrip_same_grid`]): re-rounding
+//!   every cell on its *own* stored scale is the identity —
+//!   `round((q·s)/s) = q` exactly, because two f32 roundings perturb
+//!   `q·s/s` by at most a few ULP, far inside the 0.5 rounding margin.
+//!   The watermark is preserved bit-for-bit. This is the cheap
+//!   invariant the conversion matrix builds on, proptested per scheme.
+//! * **Cross-scheme conversion** ([`requantize`]): the target quantizer
+//!   derives a *new* scale grid from the adversary's surrogate and
+//!   calibration, so integer values are re-expressed in different units
+//!   and the exact-delta check (Eq. 6) finds noise. The watermark does
+//!   not survive — but neither does the artifact: the adversary now
+//!   ships a model with two quantization noise floors stacked, and the
+//!   fidelity cost is part of the frontier the harness records.
+
+use emmark_nanolm::TransformerModel;
+use emmark_quant::awq::{awq, AwqConfig};
+use emmark_quant::gptq::{gptq, GptqConfig};
+use emmark_quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark_quant::rtn::quantize_linear_rtn;
+use emmark_quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark_quant::{ActQuant, Granularity, QuantizedModel};
+
+/// A re-quantization target: one of the five matrix schemes plus
+/// grouped RTN-INT4, which makes the INT8↔INT4 conversion pairs
+/// expressible in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequantScheme {
+    /// Round-to-nearest INT8, per-output-channel scales.
+    RtnInt8,
+    /// Round-to-nearest INT4, grouped scales.
+    RtnInt4,
+    /// AWQ INT4 (activation-aware scale migration).
+    AwqInt4,
+    /// GPTQ INT4 (Hessian-guided rounding).
+    GptqInt4,
+    /// SmoothQuant W8A8.
+    SmoothquantInt8,
+    /// LLM.int8() with outlier rows.
+    LlmInt8,
+}
+
+impl RequantScheme {
+    /// Every target, matrix order: the five deployment schemes first,
+    /// grouped RTN-INT4 last.
+    pub const ALL: [RequantScheme; 6] = [
+        RequantScheme::RtnInt8,
+        RequantScheme::AwqInt4,
+        RequantScheme::GptqInt4,
+        RequantScheme::SmoothquantInt8,
+        RequantScheme::LlmInt8,
+        RequantScheme::RtnInt4,
+    ];
+
+    /// Integer bit width of this scheme's grids. Conversions that cross
+    /// bit widths re-express every cell in a different unit system and
+    /// are the matrix's watermark-destroying regime.
+    pub fn bits(self) -> u8 {
+        match self {
+            Self::RtnInt8 | Self::SmoothquantInt8 | Self::LlmInt8 => 8,
+            Self::RtnInt4 | Self::AwqInt4 | Self::GptqInt4 => 4,
+        }
+    }
+
+    /// The scheme label the produced model carries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RtnInt8 => "rtn-int8",
+            Self::RtnInt4 => "rtn-int4",
+            Self::AwqInt4 => "awq-int4",
+            Self::GptqInt4 => "gptq-int4",
+            Self::SmoothquantInt8 => "smoothquant-int8",
+            Self::LlmInt8 => "llm-int8",
+        }
+    }
+
+    /// Quantizes a full-precision model with this scheme at the
+    /// defaults the matrix uses. Stats-driven schemes measure their
+    /// activation statistics through `model` on `calibration` — for an
+    /// attack, that model is the adversary's surrogate, so the stats
+    /// already carry the source scheme's quantization error.
+    pub fn quantize(
+        self,
+        model: &mut TransformerModel,
+        calibration: &[Vec<u32>],
+    ) -> QuantizedModel {
+        match self {
+            Self::RtnInt8 => QuantizedModel::quantize_with(model, "rtn-int8", |_, lin| {
+                quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+            }),
+            Self::RtnInt4 => QuantizedModel::quantize_with(model, "rtn-int4", |_, lin| {
+                quantize_linear_rtn(
+                    lin,
+                    4,
+                    Granularity::Grouped { group_size: 8 },
+                    ActQuant::None,
+                )
+            }),
+            Self::AwqInt4 => {
+                let stats = model.collect_activation_stats(calibration);
+                awq(model, &stats, &AwqConfig::default())
+            }
+            Self::GptqInt4 => gptq(model, calibration, &GptqConfig::default()),
+            Self::SmoothquantInt8 => {
+                let stats = model.collect_activation_stats(calibration);
+                smoothquant(model, &stats, &SmoothQuantConfig::default())
+            }
+            Self::LlmInt8 => {
+                let stats = model.collect_activation_stats(calibration);
+                llm_int8(model, &stats, OutlierCriterion::Quantile(0.9))
+            }
+        }
+    }
+}
+
+/// The scheme-conversion attack: rebuild a full-precision surrogate
+/// from the stamped artifact and re-quantize it with `target` on the
+/// adversary's `calibration`. Fully deterministic — every quantizer is,
+/// and the surrogate is a pure function of the stamped grids.
+pub fn requantize(
+    stamped: &QuantizedModel,
+    target: RequantScheme,
+    calibration: &[Vec<u32>],
+) -> QuantizedModel {
+    let mut surrogate = stamped.surrogate_model();
+    target.quantize(&mut surrogate, calibration)
+}
+
+/// The same-scheme identity round trip: dequantize and re-round every
+/// cell on its own stored scale, preserving all scale metadata. Outlier
+/// rows (full-precision storage) and zero-scale cells pass through
+/// untouched.
+pub fn roundtrip_same_grid(model: &QuantizedModel) -> QuantizedModel {
+    let mut out = model.clone();
+    for layer in &mut out.layers {
+        let qmax = layer.qmax() as f32;
+        let out_f = layer.out_features();
+        let mut q = layer.q_values().to_vec();
+        for i in 0..layer.in_features() {
+            if layer.is_outlier_row(i) {
+                continue;
+            }
+            for j in 0..out_f {
+                let s = layer.scale_at(i, j);
+                if s == 0.0 {
+                    continue;
+                }
+                let f = i * out_f + j;
+                q[f] = ((q[f] as f32 * s) / s).round().clamp(-qmax, qmax) as i8;
+            }
+        }
+        *layer = layer.with_grid(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emmark_nanolm::config::ModelConfig;
+    use emmark_nanolm::model::LogitsModel;
+    use emmark_nanolm::TransformerModel;
+
+    fn calib() -> Vec<Vec<u32>> {
+        (0..3u32)
+            .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_same_grid_is_the_identity() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        for target in RequantScheme::ALL {
+            let mut fp = model.clone();
+            let qm = target.quantize(&mut fp, &calib());
+            let rt = roundtrip_same_grid(&qm);
+            assert!(
+                rt.same_weights(&qm),
+                "{}: same-grid round trip must be exact",
+                target.name()
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_requantize_runs_every_scheme_pair() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let mut fp = model.clone();
+        let source = RequantScheme::AwqInt4.quantize(&mut fp, &calib());
+        for target in RequantScheme::ALL {
+            let converted = requantize(&source, target, &calib());
+            assert_eq!(converted.layer_count(), source.layer_count());
+            assert_eq!(converted.scheme, target.name());
+            let logits = converted.logits(&[1, 2, 3, 4]);
+            assert!(
+                logits.iter().all(|v| v.is_finite()),
+                "{}: conversion produced non-finite logits",
+                target.name()
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_is_deterministic() {
+        let model = TransformerModel::new(ModelConfig::tiny_test());
+        let mut fp = model.clone();
+        let source = RequantScheme::RtnInt8.quantize(&mut fp, &calib());
+        let a = requantize(&source, RequantScheme::GptqInt4, &calib());
+        let b = requantize(&source, RequantScheme::GptqInt4, &calib());
+        assert!(a.same_weights(&b));
+    }
+}

@@ -8,10 +8,11 @@
 //! LLM instead of the full-precision one"). They then bump their own
 //! chosen cells, hoping to land on and corrupt the owner's bits.
 
+use crate::adversary::{AdversaryConfig, AdversaryStage};
 use emmark_core::scoring::{candidate_pool, score_layer, ScoreCoefficients};
 use emmark_nanolm::model::ActivationStats;
 use emmark_quant::QuantizedModel;
-use emmark_tensor::rng::{SplitMix64, Xoshiro256};
+use emmark_tensor::rng::Xoshiro256;
 
 /// Re-watermark attack configuration. Defaults are the paper's
 /// adversary parameters.
@@ -62,7 +63,7 @@ pub fn rewatermark_attack(
         alpha: cfg.alpha,
         beta: cfg.beta,
     };
-    let mut sm = SplitMix64::new(cfg.seed ^ 0xADE5_0B11);
+    let mut sm = AdversaryConfig::new(cfg.seed).seed_sequence(AdversaryStage::Rewatermark);
     let mut touched = 0usize;
     for (l, layer) in model.layers.iter_mut().enumerate() {
         let layer_seed = sm.next_u64();

@@ -150,6 +150,39 @@ impl QuantizedLinear {
         self.outlier_weights = Some(weights);
     }
 
+    /// Rebuilds the layer around a new integer grid, preserving every
+    /// piece of scale metadata — granularity, scale buffers, input
+    /// scale, outlier rows and weights, bias, activation handling. The
+    /// re-quantization plumbing's workhorse: a round trip or a merge
+    /// produces new integer values for the *same* scale structure, and
+    /// this is the only way to install them without re-deriving (and
+    /// silently changing) that structure.
+    ///
+    /// Outlier rows are re-zeroed in the new grid, maintaining the
+    /// [`Self::set_outliers`] invariant that their integer storage is
+    /// inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` has the wrong length or leaves the storage range.
+    pub fn with_grid(&self, q: Vec<i8>) -> Self {
+        assert_eq!(q.len(), self.q.len(), "grid size mismatch");
+        let qmax = self.qmax();
+        assert!(
+            q.iter().all(|&v| v >= -qmax - 1 && v <= qmax),
+            "grid values exceed the {}-bit storage range",
+            self.bits
+        );
+        let mut out = self.clone();
+        out.q = q;
+        for &r in &out.outlier_rows {
+            for j in 0..out.out_features {
+                out.q[r * out.out_features + j] = 0;
+            }
+        }
+        out
+    }
+
     fn qmax_for(bits: u8) -> i8 {
         ((1i16 << (bits - 1)) - 1) as i8
     }

@@ -68,6 +68,57 @@ impl QloraModel {
             self.train_step(&stream[start..end], lr, step);
         }
     }
+
+    /// Folds the adapter into the frozen base and returns the resulting
+    /// standalone quantized model — the *deployment* step of a
+    /// fine-tuning attack. Serving a separate adapter keeps the integer
+    /// grids untouched (the paper's §3 argument); an adversary who wants
+    /// a single artifact must merge, and merging is where watermark bits
+    /// are at risk: each head cell is re-rounded as
+    /// `q' = round((q·scale + Δ·s_in) / scale)` on its original scale
+    /// (clamped to the symmetric range), and outlier rows absorb the
+    /// delta into their full-precision weights. Only the head layer can
+    /// change — the adapter touches nothing else.
+    pub fn merged_base(&self) -> QuantizedModel {
+        let mut merged = self.base.clone();
+        let head = merged.layers.last_mut().expect("head layer");
+        let delta = self.adapter.delta_weight();
+        assert_eq!(
+            delta.shape(),
+            (head.in_features(), head.out_features()),
+            "adapter shape mismatch"
+        );
+        let qmax = head.qmax() as f32;
+        let out_f = head.out_features();
+        let mut q = head.q_values().to_vec();
+        for i in 0..head.in_features() {
+            if head.is_outlier_row(i) {
+                continue;
+            }
+            let s_in = head.input_scale().map_or(1.0, |s| s[i]);
+            for j in 0..out_f {
+                let scale = head.scale_at(i, j);
+                if scale == 0.0 {
+                    continue;
+                }
+                let f = i * out_f + j;
+                let w = q[f] as f32 * scale + delta.at(i, j) * s_in;
+                q[f] = (w / scale).round().clamp(-qmax, qmax) as i8;
+            }
+        }
+        let mut new_head = head.with_grid(q);
+        if let Some(ow) = head.outlier_weights() {
+            let rows = head.outlier_rows().to_vec();
+            let merged_ow = Matrix::from_fn(rows.len(), out_f, |k, j| {
+                let r = rows[k];
+                let s_in = head.input_scale().map_or(1.0, |s| s[r]);
+                ow.at(k, j) + delta.at(r, j) * s_in
+            });
+            new_head.set_outliers(rows, merged_ow);
+        }
+        *head = new_head;
+        merged
+    }
 }
 
 impl LogitsModel for QloraModel {

@@ -5,7 +5,7 @@
 use crate::qlinear::QuantizedLinear;
 use emmark_nanolm::attention::MultiHeadAttention;
 use emmark_nanolm::config::{MlpKind, ModelConfig};
-use emmark_nanolm::layers::{gelu, silu, ChannelAccum, Embedding, Linear, Norm};
+use emmark_nanolm::layers::{gelu, silu, ChannelAccum, Embedding, Linear, Norm, Param};
 use emmark_nanolm::model::{ActivationStats, LayerActivation, LogitsModel, TransformerModel};
 use emmark_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -223,6 +223,30 @@ impl QuantizedModel {
             h.add_assign(&m);
         }
         self.final_norm.infer(&h)
+    }
+
+    /// Reconstructs a full-precision surrogate of this quantized model —
+    /// what a scheme-conversion adversary builds before re-quantizing
+    /// with a different quantizer. Embeddings and norms copy over
+    /// verbatim (they were never quantized); each linear's weight is the
+    /// [`QuantizedLinear::effective_weight`] view (dequantized, with any
+    /// migrated input scale divided back out), so the surrogate applies
+    /// the same function to raw inputs as the quantized runtime does —
+    /// up to the quantization error already baked into the grids, which
+    /// is exactly the adversary's information loss.
+    pub fn surrogate_model(&self) -> TransformerModel {
+        let mut fp = TransformerModel::new(self.cfg.clone());
+        fp.emb = self.emb.clone();
+        for (block, (norm1, norm2)) in fp.blocks.iter_mut().zip(&self.norm_pairs) {
+            block.norm1 = norm1.clone();
+            block.norm2 = norm2.clone();
+        }
+        fp.final_norm = self.final_norm.clone();
+        for (lin, ql) in fp.linear_layers_mut().into_iter().zip(&self.layers) {
+            lin.weight = Param::new(ql.effective_weight());
+            lin.bias = ql.bias().map(|b| Param::new(Matrix::from_rows(&[b])));
+        }
+        fp
     }
 
     /// Activation statistics measured through the *quantized* model —

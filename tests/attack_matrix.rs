@@ -1,6 +1,7 @@
 //! Attack-robustness regression matrix (§4.3 / §5.3 of the paper, run
 //! as CI surface instead of a one-off experiment): every attack family
-//! — overwriting, re-watermarking, pruning, forging — against every
+//! — overwriting, re-watermarking, pruning, forging, fine-tuning,
+//! re-quantization, adaptive location-targeting — against every
 //! quantization scheme in `emmark-quant`, through the one
 //! `emmark::attacks::harness` API.
 //!
@@ -28,12 +29,16 @@
 //! than at paper scale, so the matrix fixes one deterministic adversary
 //! per family and regresses against it.
 
+use emmark::attacks::adaptive::{adaptive_attack, AdaptiveConfig};
+use emmark::attacks::finetune::{qlora_finetune_attack, FinetuneConfig};
 use emmark::attacks::forging::{validate_claim, OwnershipClaim};
 use emmark::attacks::harness::{
-    forging_check, overwrite_sweep, pruning_sweep, rewatermark_sweep, AttackPoint,
+    adaptive_sweep, finetune_sweep, forging_check, overwrite_sweep, pruning_sweep, requant_matrix,
+    rewatermark_sweep, AttackPoint,
 };
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
 use emmark::attacks::pruning::prune_attack;
+use emmark::attacks::requant::{roundtrip_same_grid, RequantScheme};
 use emmark::attacks::rewatermark::{rewatermark_attack, RewatermarkConfig};
 use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
 use emmark::eval::report::EvalConfig;
@@ -63,6 +68,21 @@ const REWATERMARK_STRENGTHS: &[usize] = &[0, 1];
 const REWATERMARK_MARGIN: usize = 8;
 /// §5.3 pruning fractions: a quality-destroying quarter of every layer.
 const PRUNE_FRACTIONS: &[f64] = &[0.0, 0.25];
+/// QLoRA merge sweep: the clean point and a benign adaptation run.
+const FINETUNE_STEPS: &[u64] = &[0, 100];
+/// WER floor after any head-adapter merge. Structural bound: the merge
+/// re-rounds only the head layer, so at most one layer's worth of bits
+/// — `1/13` of the signature on the 13-layer tiny model, i.e. WER
+/// ≥ 92.3% — is ever at risk. Measured minimum across all five schemes,
+/// benign and hot learning rates: 92.3%.
+const FINETUNE_WER_FLOOR: f64 = 90.0;
+/// Adaptive budget sweep (cells per layer). 40 = the full candidate
+/// pool (`pool_ratio × bits_per_layer` for the INT4 configs).
+const ADAPTIVE_BUDGETS: &[usize] = &[0, 1, 2, 4, 8, 16, 40];
+/// Measured adaptive WER minima across schemes: ≥ 90.4 at k ≤ 2,
+/// ≥ 75.0 at k ≤ 8. Floors leave a few points of margin.
+const ADAPTIVE_WER_FLOOR_K2: f64 = 88.0;
+const ADAPTIVE_WER_FLOOR_K8: f64 = 70.0;
 
 /// The pinned re-watermarking adversary: the paper's parameters
 /// (α = 1, β = 1.5, pool ratio 50, quantized-model activations) with a
@@ -319,5 +339,270 @@ fn forging_matrix_rejects_counterfeits_and_accepts_the_owner() {
         );
         assert!(verdict.accepted, "{scheme}: owner rejected ({verdict:?})");
         assert_eq!(verdict.wer_at_reproduced_locations, 100.0, "{scheme}");
+    }
+}
+
+#[test]
+fn finetune_matrix_survives_adapter_merges_on_every_scheme() {
+    let fam = family();
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let points = finetune_sweep(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            &fam.corpus.train,
+            FINETUNE_STEPS,
+            &FinetuneConfig::default(),
+        );
+        assert_eq!(points.len(), FINETUNE_STEPS.len());
+        // Zero merged steps is the identity — the paper's "QLoRA does
+        // not change quantized weights" argument as the sweep's origin.
+        assert_eq!(points[0].wer, 100.0, "{scheme}: clean point");
+        // The adversary's tuning genuinely adapts the model (otherwise
+        // the attack below would be vacuous)…
+        assert!(
+            points[1].ppl < points[0].ppl,
+            "{scheme}: finetune failed to adapt ({points:?})"
+        );
+        // …yet merging the adapter into the integer grids re-rounds
+        // only the head layer, so WER stays above the floor and the
+        // proof stands.
+        assert!(
+            points[1].wer >= FINETUNE_WER_FLOOR,
+            "{scheme}/finetune: WER {} under floor ({points:?})",
+            points[1].wer
+        );
+
+        // Margin: a hot learning rate and 3x the steps moves the head
+        // harder, but the non-head layers are structurally frozen.
+        let attacked = qlora_finetune_attack(
+            &deployed,
+            &fam.corpus.train,
+            &FinetuneConfig {
+                steps: 300,
+                lr: 5e-2,
+                ..Default::default()
+            },
+        );
+        let n = deployed.layer_count();
+        for l in 0..n - 1 {
+            assert_eq!(
+                deployed.layers[l].q_values(),
+                attacked.layers[l].q_values(),
+                "{scheme}: layer {l} must be untouched by a head-adapter merge"
+            );
+        }
+        let report = secrets.verify(&attacked).expect("verify");
+        assert!(
+            report.wer() >= FINETUNE_WER_FLOOR,
+            "{scheme}/finetune-hot: WER {} under floor",
+            report.wer()
+        );
+        assert!(
+            report.proves_ownership(OWNERSHIP_THRESHOLD),
+            "{scheme}/finetune-hot: proof lost (p = 10^{})",
+            report.log10_p_chance()
+        );
+    }
+}
+
+#[test]
+fn requant_matrix_splits_into_grid_compatible_and_destroying_pairs() {
+    let fam = family();
+    let calib = adversary_calib(&fam.corpus);
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+
+        // Same-grid round trip (dequantize -> re-round on the stored
+        // scales) is the exact identity on every scheme.
+        let rt = roundtrip_same_grid(&deployed);
+        assert!(
+            rt.same_weights(&deployed),
+            "{scheme}: roundtrip changed grids"
+        );
+        let rt_report = secrets.verify(&rt).expect("verify");
+        assert_eq!(rt_report.wer(), 100.0, "{scheme}: roundtrip WER");
+
+        let source = RequantScheme::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == scheme)
+            .expect("source scheme");
+        let points = requant_matrix(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            &calib,
+            &RequantScheme::ALL,
+        );
+        assert_eq!(points.len(), RequantScheme::ALL.len());
+        let point = |t: RequantScheme| points.iter().find(|p| p.target == t.name()).unwrap();
+
+        // Crossing bit widths re-expresses every cell on a new scale
+        // grid: the exact-delta watermark is destroyed, and no residual
+        // proof survives (measured WER <= 7.7 on every such pair).
+        for target in RequantScheme::ALL {
+            if target.bits() != source.bits() {
+                let p = point(target);
+                assert!(
+                    p.wer < 50.0,
+                    "{scheme} -> {}: cross-precision conversion should destroy \
+                     the exact-delta watermark (wer {})",
+                    p.target,
+                    p.wer
+                );
+            }
+        }
+
+        // Grid-compatible pairs, pinned per source scheme.
+        match source {
+            // Per-out-channel absmax scales re-derive exactly from the
+            // surrogate (the absmax cell quantizes back to +-qmax), so
+            // RTN-INT8 -> RTN-INT8 is an exact identity.
+            RequantScheme::RtnInt8 => {
+                let p = point(RequantScheme::RtnInt8);
+                assert!(p.wer >= 99.9, "rtn-int8 self-requant: wer {}", p.wer);
+                assert!(p.log10_p <= OWNERSHIP_THRESHOLD, "p = 10^{}", p.log10_p);
+            }
+            // AWQ and GPTQ re-runs on adversary calibration land on
+            // nearly the same grids: the proof survives (measured WER
+            // 94.2 for both).
+            RequantScheme::AwqInt4 => {
+                let p = point(RequantScheme::AwqInt4);
+                assert!(p.wer >= 90.0, "awq self-requant: wer {}", p.wer);
+                assert!(p.log10_p <= OWNERSHIP_THRESHOLD, "p = 10^{}", p.log10_p);
+            }
+            RequantScheme::GptqInt4 => {
+                let p = point(RequantScheme::GptqInt4);
+                assert!(p.wer >= 90.0, "gptq self-requant: wer {}", p.wer);
+                assert!(p.log10_p <= OWNERSHIP_THRESHOLD, "p = 10^{}", p.log10_p);
+            }
+            // SmoothQuant's input scales are calibration max-abs values:
+            // the adversary's different calibration split shifts every
+            // scale, and even the same-scheme re-run destroys the mark.
+            // The honest negative result of the matrix.
+            RequantScheme::SmoothquantInt8 => {
+                let p = point(RequantScheme::SmoothquantInt8);
+                assert!(
+                    p.wer < 50.0,
+                    "smoothquant self-requant is calibration-sensitive: wer {}",
+                    p.wer
+                );
+            }
+            // LLM.int8() minus its outlier rows is per-out-channel
+            // absmax INT8 — converting to plain RTN-INT8 preserves the
+            // watermark perfectly (the escape pair of the matrix), and
+            // the same-scheme re-run keeps the proof despite re-derived
+            // outlier rows.
+            RequantScheme::LlmInt8 => {
+                let p = point(RequantScheme::RtnInt8);
+                assert!(p.wer >= 99.0, "llm-int8 -> rtn-int8: wer {}", p.wer);
+                assert!(p.log10_p <= OWNERSHIP_THRESHOLD, "p = 10^{}", p.log10_p);
+                let p = point(RequantScheme::LlmInt8);
+                assert!(p.wer >= 70.0, "llm-int8 self-requant: wer {}", p.wer);
+                assert!(p.log10_p <= OWNERSHIP_THRESHOLD, "p = 10^{}", p.log10_p);
+            }
+            RequantScheme::RtnInt4 => unreachable!("not a deployment scheme"),
+        }
+    }
+}
+
+#[test]
+fn adaptive_matrix_decays_monotonically_and_survives_small_budgets() {
+    let fam = family();
+    let calib = adversary_calib(&fam.corpus);
+    for qm in &fam.models {
+        let scheme = qm.scheme.clone();
+        let (secrets, deployed) = secrets_for(qm, &fam.stats);
+        let points = adaptive_sweep(
+            &secrets,
+            &deployed,
+            &fam.corpus,
+            &eval_cfg(),
+            &calib,
+            ADAPTIVE_BUDGETS,
+            &AdaptiveConfig::default(),
+        );
+        assert_eq!(points.len(), ADAPTIVE_BUDGETS.len());
+        assert_eq!(points[0].wer, 100.0, "{scheme}: clean point");
+
+        // Budgets are nested (same scoring rule, same coin per cell),
+        // and a +-1 on a watermark cell always breaks its exact delta —
+        // so WER is exactly monotone non-increasing in k.
+        for w in points.windows(2) {
+            assert!(
+                w[1].wer <= w[0].wer,
+                "{scheme}/adaptive: WER must not increase with budget ({points:?})"
+            );
+        }
+
+        // Floors at small budgets: a blind-to-the-seed attacker
+        // perturbing a few top-scored cells per layer mostly hits
+        // non-watermark pool cells.
+        for p in &points {
+            if p.strength <= 2 {
+                assert!(
+                    p.wer >= ADAPTIVE_WER_FLOOR_K2,
+                    "{scheme}/adaptive k={}: WER {} under floor",
+                    p.strength,
+                    p.wer
+                );
+            }
+            if p.strength <= 8 {
+                assert!(
+                    p.wer >= ADAPTIVE_WER_FLOOR_K8,
+                    "{scheme}/adaptive k={}: WER {} under floor",
+                    p.strength,
+                    p.wer
+                );
+            }
+        }
+
+        // Proof survival at k = 2 — half the INT4 watermark's own
+        // per-layer density. (By k = 8 the short 52-bit signatures drop
+        // below the 10^-6 bar: WER 75 is only p ~ 10^-3.7. The proof
+        // frontier is k <= 2 on these grids; EXPERIMENTS.md records the
+        // decay.)
+        let adv_stats = deployed.collect_activation_stats(&calib);
+        let mut attacked = deployed.clone();
+        adaptive_attack(
+            &mut attacked,
+            &adv_stats,
+            &AdaptiveConfig {
+                top_k: 2,
+                ..Default::default()
+            },
+        );
+        let report = secrets.verify(&attacked).expect("verify");
+        assert!(
+            report.proves_ownership(OWNERSHIP_THRESHOLD),
+            "{scheme}/adaptive k=2: proof lost (p = 10^{}, wer {})",
+            report.log10_p_chance(),
+            report.wer()
+        );
+
+        // The frontier's honest edge: covering the whole candidate pool
+        // (k = 40) strips the mark below proof strength at essentially
+        // zero fidelity cost on these grids — EmMark's defense against
+        // a scoring-aware adversary is the secrecy of the selection
+        // seed, not a fidelity penalty. Recorded in EXPERIMENTS.md.
+        let full_pool = points.last().unwrap();
+        assert!(
+            full_pool.wer <= 60.0,
+            "{scheme}/adaptive full pool: expected collapse, wer {}",
+            full_pool.wer
+        );
+        assert!(
+            full_pool.ppl <= points[0].ppl * 1.05,
+            "{scheme}/adaptive full pool: fidelity should be near-clean \
+             ({} vs {})",
+            full_pool.ppl,
+            points[0].ppl
+        );
     }
 }

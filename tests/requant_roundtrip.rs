@@ -1,0 +1,64 @@
+//! Property: the same-grid quantization round trip — dequantize every
+//! cell and re-round it on its own stored scale — is the *identity* on
+//! every scheme, for any model and any watermark configuration. This is
+//! the invariant that separates benign storage/serving transformations
+//! (which preserve the watermark bit-for-bit) from genuine scheme
+//! conversions (which re-derive scale grids and destroy it); the
+//! conversion side lives in `tests/attack_matrix.rs`.
+
+use emmark::attacks::requant::{roundtrip_same_grid, RequantScheme};
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use proptest::prelude::*;
+
+/// Deterministic synthetic calibration for the stats-driven schemes.
+fn calibration(vocab: u32) -> Vec<Vec<u32>> {
+    (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s) % vocab).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn same_grid_roundtrip_preserves_every_watermark(
+        scheme in prop::sample::select(RequantScheme::ALL.to_vec()),
+        model_seed in 0u64..50,
+        bits_per_layer in 2usize..6,
+        pool_ratio in 8usize..16,
+        selection_seed in 0u64..1_000_000,
+        signature_seed in 0u64..1_000_000,
+    ) {
+        let mut cfg = ModelConfig::tiny_test();
+        cfg.init_seed = model_seed;
+        let vocab = cfg.vocab_size as u32;
+        let mut model = TransformerModel::new(cfg);
+        let calib = calibration(vocab);
+        let stats = model.collect_activation_stats(&calib);
+        let quantized = scheme.quantize(&mut model, &calib);
+
+        let secrets = OwnerSecrets::new(
+            quantized,
+            stats,
+            WatermarkConfig {
+                bits_per_layer,
+                pool_ratio,
+                selection_seed,
+                ..Default::default()
+            },
+            signature_seed,
+        );
+        let deployed = secrets.watermark_for_deployment().expect("insert");
+
+        let roundtripped = roundtrip_same_grid(&deployed);
+        // Bit-exact identity: round((q * s) / s) = q for every cell —
+        // two f32 roundings stay far inside the 0.5 rounding margin.
+        prop_assert!(roundtripped.same_weights(&deployed), "{}", scheme.name());
+        // …and therefore watermark-preserving, with a full-strength
+        // proof.
+        let report = secrets.verify(&roundtripped).expect("verify");
+        prop_assert_eq!(report.wer(), 100.0, "{}", scheme.name());
+        prop_assert!(report.proves_ownership(-6.0));
+    }
+}
