@@ -12,6 +12,7 @@ use crate::overwrite::{overwrite_attack, OverwriteConfig};
 use crate::pruning::prune_attack;
 use crate::requant::{requantize, RequantScheme};
 use crate::rewatermark::{rewatermark_attack, RewatermarkConfig};
+use emmark_core::telemetry::{self, Telemetry};
 use emmark_core::watermark::OwnerSecrets;
 use emmark_eval::report::{evaluate_quality, EvalConfig};
 use emmark_nanolm::corpus::Corpus;
@@ -229,12 +230,19 @@ pub fn requant_matrix(
     targets
         .iter()
         .map(|&target| {
+            let point_span = telemetry::Span::enter(&telemetry::ATTACK_POINT_NS);
             let attacked = requantize(deployed, target, calibration);
             let quality = evaluate_quality(&attacked, corpus, eval_cfg);
+            let extract_span = telemetry::Span::enter(&telemetry::ATTACK_EXTRACT_NS);
             let (wer, log10_p) = secrets
                 .verify(&attacked)
                 .map(|r| (r.wer(), r.log10_p_chance()))
                 .unwrap_or((0.0, 0.0));
+            drop(extract_span);
+            if Telemetry::enabled() {
+                telemetry::ATTACK_POINTS.incr();
+            }
+            drop(point_span);
             RequantPoint {
                 target: target.name().to_string(),
                 ppl: quality.ppl,
@@ -288,8 +296,15 @@ fn measure(
     eval_cfg: &EvalConfig,
     strength: usize,
 ) -> AttackPoint {
+    let point_span = telemetry::Span::enter(&telemetry::ATTACK_POINT_NS);
     let quality = evaluate_quality(attacked, corpus, eval_cfg);
+    let extract_span = telemetry::Span::enter(&telemetry::ATTACK_EXTRACT_NS);
     let wer = secrets.verify(attacked).map(|r| r.wer()).unwrap_or(0.0);
+    drop(extract_span);
+    if Telemetry::enabled() {
+        telemetry::ATTACK_POINTS.incr();
+    }
+    drop(point_span);
     AttackPoint {
         strength,
         ppl: quality.ppl,

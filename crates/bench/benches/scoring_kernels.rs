@@ -24,6 +24,7 @@ use criterion::Criterion;
 use emmark_bench::alloc::{self, TrackingAllocator};
 use emmark_bench::print_header;
 use emmark_core::scoring::{self, reference, ScoreCoefficients};
+use emmark_core::telemetry::{peak_resident_mib, Telemetry};
 use emmark_nanolm::config::ModelConfig;
 use emmark_nanolm::TransformerModel;
 use emmark_quant::awq::{awq, AwqConfig};
@@ -258,6 +259,40 @@ fn main() {
         m_kernel <= m_scalar,
         "kernel path must not allocate more than the scalar path \
          (kernel {m_kernel} B, scalar {m_scalar} B)"
+    );
+
+    // ---- telemetry: the instrumented hot loop, off and on ----
+    // The hot path carries always-compiled-in telemetry sites
+    // (DESIGN.md §13); disabled they cost one relaxed atomic load per
+    // call. Gate the *enabled* path at ≤2% over disabled — an upper
+    // bound on what instrumentation can cost a run with telemetry off,
+    // measured back-to-back so both legs see the same machine state.
+    const TELEMETRY_REPS: usize = 15;
+    let t_off = best_of(TELEMETRY_REPS, || {
+        scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+    Telemetry::set_enabled(true);
+    let t_on = best_of(TELEMETRY_REPS, || {
+        scoring::layer_pool(&layer, &act, &coeffs, pool_size, &[]).expect("pool");
+    });
+    Telemetry::set_enabled(false);
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64() - 1.0;
+    println!(
+        "telemetry: layer_pool {:.3} ms off, {:.3} ms on ({:+.2}% overhead)",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+        overhead * 1e2
+    );
+    if let Some(peak) = peak_resident_mib() {
+        println!("peak resident memory: {peak:.1} MiB");
+    }
+    assert!(
+        overhead <= 0.02,
+        "telemetry must cost <=2% on the scoring hot loop even when enabled \
+         (got {:+.2}%: {:.3} ms off, {:.3} ms on)",
+        overhead * 1e2,
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3
     );
 
     let mut criterion = Criterion::default().sample_size(10).configure_from_args();

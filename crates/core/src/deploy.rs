@@ -23,6 +23,7 @@
 //! shim.
 
 use crate::store::{copy_store, ArtifactSink, StoreError};
+use crate::telemetry::{self, Telemetry};
 use crate::watermark::{GridSource, WatermarkConfig};
 use bytes::{BufMut, Bytes, BytesMut};
 use emmark_nanolm::config::{MlpKind, ModelConfig, NormKind, OutlierProfile};
@@ -1112,6 +1113,10 @@ impl LayerGridView<'_> {
     /// Panics if `f >= self.len()`.
     pub fn q_at_flat(&self, f: usize) -> i8 {
         assert!(f < self.entry.cells(), "flat index {f} out of range");
+        if Telemetry::enabled() {
+            telemetry::SPARSE_CELLS.incr();
+            telemetry::SPARSE_BYTES.incr();
+        }
         self.data[self.entry.q_offset + f] as i8
     }
 
@@ -1169,11 +1174,18 @@ impl<'a> SparseArtifact<'a> {
         let cfg = r.config()?;
         let scheme = r.string("scheme")?;
         let index = r.layer_index(cfg.quant_layer_count())?;
+        let head_bytes = r.offset() as u64;
         // Walk the body structure (length words, tags, record offsets)
         // without materializing it, so structurally corrupt or
         // truncated artifacts fail here the way they fail decode_model
         // — never at probe time, never silently.
         r.validate_v2_body(&cfg, &index)?;
+        if Telemetry::enabled() {
+            telemetry::SPARSE_ARTIFACTS.incr();
+            // Opening costs the header, config, and offset table;
+            // subsequent cell probes account for themselves.
+            telemetry::SPARSE_BYTES.add(head_bytes);
+        }
         Ok(Self {
             data: bytes,
             cfg,

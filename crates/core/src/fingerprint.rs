@@ -257,6 +257,9 @@ impl FamilyCache {
             &base_locations,
             fingerprint_config,
         )?;
+        if crate::telemetry::Telemetry::enabled() {
+            crate::telemetry::FLEET_CACHE_MISSES.incr();
+        }
         Ok(Self {
             base_locations,
             base_deployed,

@@ -35,6 +35,7 @@ use crate::deploy::{
 };
 use crate::fingerprint::{derive_device, sample_from_pools, DeviceFingerprint, FamilyCache, Fleet};
 use crate::signature::Signature;
+use crate::telemetry::{self, Telemetry};
 use crate::watermark::{
     check_same_grid, extract_with_locations, ExtractionReport, GridSource, Locations, OwnerSecrets,
     ProofCutoff, WatermarkConfig, WatermarkError,
@@ -217,6 +218,10 @@ impl FleetVerifier {
         &self,
         suspect: &S,
     ) -> Result<ExtractionReport, WatermarkError> {
+        let _span = telemetry::Span::enter(&telemetry::FLEET_VERIFY_NS);
+        if Telemetry::enabled() {
+            telemetry::FLEET_REPORTS.incr();
+        }
         extract_with_locations(
             suspect,
             &self.base.original,
@@ -237,6 +242,10 @@ impl FleetVerifier {
         device: &DeviceFingerprint,
         leaked: &S,
     ) -> Result<ExtractionReport, WatermarkError> {
+        let _span = telemetry::Span::enter(&telemetry::FLEET_VERIFY_NS);
+        if Telemetry::enabled() {
+            telemetry::FLEET_REPORTS.incr();
+        }
         match self.devices.iter().position(|d| d == device) {
             Some(i) => {
                 let (sig, locs) = &self.device_material[i];
@@ -269,6 +278,7 @@ impl FleetVerifier {
         leaked: &S,
         log10_threshold: f64,
     ) -> Result<Option<(&DeviceFingerprint, ExtractionReport)>, WatermarkError> {
+        let span = telemetry::Span::enter(&telemetry::IDENTIFY_NS);
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
         // The clearing threshold as a match count, converted once (every
         // device report has the same signature length); non-clearing
@@ -288,6 +298,14 @@ impl FleetVerifier {
                 best = Some((device, report));
             }
         }
+        if Telemetry::enabled() {
+            // The linear scan extracts against every registered device —
+            // candidates == devices is the pruning baseline the indexed
+            // path is measured against.
+            telemetry::IDENTIFY_DEVICES.add(self.devices.len() as u64);
+            telemetry::IDENTIFY_CANDIDATES.add(self.devices.len() as u64);
+        }
+        drop(span);
         Ok(best)
     }
 
@@ -341,11 +359,14 @@ impl FleetVerifier {
             // threshold — the linear scan skips every device.
             return Ok(None);
         };
+        let span = telemetry::Span::enter(&telemetry::IDENTIFY_NS);
         let mut best: Option<(&DeviceFingerprint, ExtractionReport)> = None;
+        let mut candidates = 0u64;
         // Candidates come back in registration order, so tie-breaking
         // (strictly-better wins, first registration kept) matches the
         // linear scan exactly.
         for d in index.candidates(leaked, &self.base_deployed, min_matched) {
+            candidates += 1;
             let (sig, locs) = &self.device_material[d];
             let report = extract_with_locations(leaked, &self.base_deployed, locs, sig)?;
             if !cutoff.clears(&report) {
@@ -359,6 +380,11 @@ impl FleetVerifier {
                 best = Some((&self.devices[d], report));
             }
         }
+        if Telemetry::enabled() {
+            telemetry::IDENTIFY_DEVICES.add(self.devices.len() as u64);
+            telemetry::IDENTIFY_CANDIDATES.add(candidates);
+        }
+        drop(span);
         Ok(best)
     }
 

@@ -31,7 +31,10 @@
 //!   ([`registry::LeakIndex`]) that makes leak identification sublinear
 //!   in fleet size with bit-identical verdicts;
 //! * [`vault`] — versioned serialization of the owner's secret bundle
-//!   and the provisioned-fleet bundle.
+//!   and the provisioned-fleet bundle;
+//! * [`telemetry`] — zero-dependency spans, counters, and log-scale
+//!   histograms instrumenting all of the above, with JSONL and
+//!   Prometheus-text export and a single-atomic-load disabled mode.
 //!
 //! # Examples
 //!
@@ -72,6 +75,7 @@ pub mod scheme;
 pub mod scoring;
 pub mod signature;
 pub mod store;
+pub mod telemetry;
 pub mod vault;
 pub mod watermark;
 
@@ -84,6 +88,8 @@ pub use registry::{
 };
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
 pub use signature::Signature;
+pub use telemetry::{peak_resident_mib, Counter, Histogram, Snapshot, Span, Telemetry};
+
 pub use store::{
     copy_store, for_each_layer_prefetched, materialize, ArtifactLayerStore, ArtifactSink,
     LayerRecordMeta, LayerSink, LayerStore, ModelHead, ModelSink, ShardSink, ShardStore,

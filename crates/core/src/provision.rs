@@ -36,6 +36,7 @@ use crate::fingerprint::{DeviceFingerprint, FamilyCache, Fleet};
 use crate::fleet::{encode_registry, par_map, FleetVerifier};
 use crate::signature::Signature;
 use crate::store::StoreError;
+use crate::telemetry::{self, Telemetry};
 use crate::vault::FleetBundleWriter;
 use crate::watermark::{apply_bits_at, Locations, OwnerSecrets, WatermarkConfig, WatermarkError};
 use bytes::Bytes;
@@ -168,6 +169,9 @@ impl FleetProvisioner {
         let patches = self.device_patches(&sig, &locs);
         let artifact = crate::deploy::patch_artifact(&self.base_artifact, &self.index, &patches)
             .expect("pool-derived patches are always in range");
+        if Telemetry::enabled() {
+            telemetry::PROVISION_DEVICES.incr();
+        }
         ProvisionedDevice {
             fingerprint,
             artifact,
@@ -195,6 +199,9 @@ impl FleetProvisioner {
             .device_material(&self.fingerprint_config, device_id);
         let patches = self.device_patches(&sig, &locs);
         splice_patches(&self.base_artifact, &self.index, &patches, out)?;
+        if Telemetry::enabled() {
+            telemetry::PROVISION_DEVICES.incr();
+        }
         Ok(fingerprint)
     }
 
@@ -225,6 +232,9 @@ impl FleetProvisioner {
             writer.append_streamed(&fingerprint, self.base_artifact.len(), |w| {
                 splice_patches(&self.base_artifact, &self.index, &patches, w)
             })?;
+            if Telemetry::enabled() {
+                telemetry::PROVISION_DEVICES.incr();
+            }
             devices.push(fingerprint);
         }
         writer.finish()?;
@@ -257,6 +267,9 @@ impl FleetProvisioner {
     /// second time. Verdicts are bit-identical to
     /// [`FleetVerifier::from_parts`] on the same inputs.
     pub fn verifier(&self, devices: Vec<DeviceFingerprint>) -> FleetVerifier {
+        if Telemetry::enabled() {
+            telemetry::FLEET_CACHE_HITS.incr();
+        }
         FleetVerifier::from_cache(
             self.base.clone(),
             self.fingerprint_config,

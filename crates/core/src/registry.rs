@@ -58,6 +58,7 @@ use crate::fleet::{
 use crate::provision::FleetProvisioner;
 use crate::signature::Signature;
 use crate::store::StoreError;
+use crate::telemetry::{self, Telemetry};
 use crate::watermark::{
     ExtractionReport, GridSource, Locations, OwnerSecrets, WatermarkConfig, WatermarkError,
 };
@@ -560,15 +561,22 @@ where
     let mut shards = Vec::new();
     let mut first = 0u64;
     for (i, chunk_ids) in device_ids.chunks(per_shard).enumerate() {
+        let stamp_span = telemetry::Span::enter(&telemetry::SHARD_STAMP_NS);
         let chunk = par_map(chunk_ids, jobs, |id| {
             cache.device_material(cfg, id.as_ref())
         });
+        drop(stamp_span);
+        let index_span = telemetry::Span::enter(&telemetry::SHARD_INDEX_NS);
         let mut fingerprints = Vec::with_capacity(chunk.len());
         for (fp, sig, locs) in chunk {
             builder.push(&sig, &locs);
             fingerprints.push(fp);
         }
         let bytes = encode_registry(cfg, &fingerprints);
+        drop(index_span);
+        if Telemetry::enabled() {
+            telemetry::PROVISION_SHARDS.incr();
+        }
         let name = shard_file_name(i);
         sink(&name, &bytes).map_err(|e| StoreError::Io {
             what: "shard write",

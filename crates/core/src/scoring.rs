@@ -45,6 +45,7 @@
 //! bit-identical scores and pool selections across all five
 //! quantization schemes.
 
+use crate::telemetry::{self, Telemetry};
 use emmark_quant::QuantizedLinear;
 
 /// Scoring coefficients `(α, β)` of Eq. 2.
@@ -316,6 +317,13 @@ pub fn layer_pool(
     let mut excl = excluded;
     let mut outliers = layer.outlier_rows().iter().peekable();
     let mut buf = [0.0f64; CHUNK];
+    // Telemetry rides on plain register accumulators so the hot loop
+    // stays branch-free; they flush (and the span records) only when
+    // telemetry is enabled — the disabled cost is one atomic load.
+    let span = telemetry::Span::enter(&telemetry::SCORING_POOL_NS);
+    let mut chunks = 0u64;
+    let mut chunks_skipped = 0u64;
+    let mut heap_consults = 0u64;
     for (r, &row_term) in row_terms.iter().enumerate() {
         let row_start = r * out;
         let row_end = row_start + out;
@@ -346,13 +354,16 @@ pub fn layer_pool(
                 chunk_min = chunk_min.min(s);
             }
             available += finite;
+            chunks += 1;
             if pool_size == 0 || chunk_min >= threshold {
+                chunks_skipped += 1;
                 continue;
             }
             for (i, &s) in buf.iter().enumerate() {
                 if s >= threshold {
                     continue;
                 }
+                heap_consults += 1;
                 let candidate = Scored(s, base + i);
                 if heap.len() == pool_size {
                     heap.pop();
@@ -364,6 +375,13 @@ pub fn layer_pool(
             }
         }
     }
+    if Telemetry::enabled() {
+        telemetry::SCORING_CELLS.add(layer.len() as u64);
+        telemetry::SCORING_CHUNKS.add(chunks);
+        telemetry::SCORING_CHUNKS_SKIPPED.add(chunks_skipped);
+        telemetry::SCORING_HEAP_CONSULTS.add(heap_consults);
+    }
+    drop(span);
     if available < pool_size {
         return Err(PoolError {
             needed: pool_size,

@@ -40,6 +40,7 @@ use crate::deploy::{
     put_string, q_offset_in_record, qlinear_record_len, record_prefix_len, CodecError,
     LayerIndexEntry, Reader, Section, FORMAT_V2, INDEX_ENTRY_BYTES, MAGIC,
 };
+use crate::telemetry::{self, Telemetry};
 use crate::watermark::WatermarkError;
 use bytes::{BufMut, BytesMut};
 use emmark_nanolm::config::ModelConfig;
@@ -335,23 +336,45 @@ where
     type Loaded<'s> = Result<Cow<'s, QuantizedLinear>, StoreError>;
     std::thread::scope(|scope| {
         let (tx, rx) = std::sync::mpsc::sync_channel::<Loaded<'s>>(0);
-        scope.spawn(move || {
-            for l in 0..n {
-                let item = store.load_layer(l);
-                let failed = item.is_err();
-                if tx.send(item).is_err() || failed {
-                    return; // consumer bailed, or the store did
+        // The worker only decodes layer records (no recursion), so a
+        // small explicit stack keeps the pipeline viable under hard
+        // virtual-address caps — the 8 MiB default reservation alone
+        // would blow the CI smoke's 12 MiB ulimit.
+        std::thread::Builder::new()
+            .name("emmark-prefetch".into())
+            .stack_size(512 * 1024)
+            .spawn_scoped(scope, move || {
+                for l in 0..n {
+                    // Span timers work from this scoped worker too: load
+                    // time lands in STREAM_LOAD_NS while the consumer's
+                    // recv wait lands in STREAM_STALL_NS, so a snapshot
+                    // shows exactly how much of the serial load cost the
+                    // overlap hid.
+                    let load_span = telemetry::Span::enter(&telemetry::STREAM_LOAD_NS);
+                    let item = store.load_layer(l);
+                    drop(load_span);
+                    let failed = item.is_err();
+                    if tx.send(item).is_err() || failed {
+                        return; // consumer bailed, or the store did
+                    }
                 }
-            }
-        });
+            })
+            .map_err(|e| io_err("spawning the prefetch worker", e))?;
         for l in 0..n {
+            let stall_span = telemetry::Span::enter(&telemetry::STREAM_STALL_NS);
             let layer = rx.recv().map_err(|_| {
                 io_err(
                     "receiving a prefetched layer",
                     std::io::Error::other("prefetch worker disconnected"),
                 )
             })??;
+            drop(stall_span);
+            let compute_span = telemetry::Span::enter(&telemetry::STREAM_COMPUTE_NS);
             f(l, layer)?;
+            drop(compute_span);
+            if Telemetry::enabled() {
+                telemetry::STREAM_LAYERS.incr();
+            }
         }
         Ok(())
     })

@@ -13,6 +13,7 @@ use crate::signature::Signature;
 use crate::store::{
     for_each_layer_prefetched, ArtifactSink, LayerRecordMeta, LayerSink, LayerStore, StoreError,
 };
+use crate::telemetry;
 use emmark_nanolm::model::ActivationStats;
 use emmark_quant::{QuantizedLinear, QuantizedModel};
 use emmark_tensor::rng::{SplitMix64, Xoshiro256};
@@ -389,6 +390,7 @@ where
     let mut locations = Vec::with_capacity(n);
     let mut metas = Vec::with_capacity(n);
     {
+        let _sweep_span = telemetry::Span::enter(&telemetry::STAMP_LOCATE_NS);
         let mut sweep = |l: usize, layer: Cow<'_, QuantizedLinear>| -> Result<(), StoreError> {
             let locs = locate(layer.as_ref(), &stats.per_layer[l].mean_abs, cfg, seeds[l])
                 .map_err(|source| WatermarkError::Pool { layer: l, source })?;
@@ -407,6 +409,7 @@ where
     // Sweep 2 — insert + encode, streaming each stamped layer out.
     sink.begin(&store.head()?, &metas)?;
     {
+        let _sweep_span = telemetry::Span::enter(&telemetry::STAMP_INSERT_NS);
         let mut sweep = |l: usize, layer: Cow<'_, QuantizedLinear>| -> Result<(), StoreError> {
             let mut layer = layer.into_owned();
             let bits = signature.layer_bits(l, n);

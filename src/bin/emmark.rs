@@ -59,6 +59,12 @@
 //! fleet-scale counterpart: every `.emqm` artifact in a directory is
 //! checked for the ownership watermark and traced to the registered
 //! device that leaked it, in parallel, sharing one location cache.
+//!
+//! Every pipeline command (demo, verify, fleet-provision, fleet-verify,
+//! identify-leak) additionally takes `--telemetry FILE.jsonl` (stream
+//! span events + final snapshot as JSON lines) and `--metrics` (dump
+//! the snapshot to stderr in Prometheus text format) — see
+//! [`emmark::core::telemetry`].
 
 use emmark::attacks::overwrite::{overwrite_attack, OverwriteConfig};
 use emmark::core::deploy::{
@@ -71,8 +77,10 @@ use emmark::core::provision::FleetProvisioner;
 use emmark::core::registry::{
     decode_manifest, encode_manifest, load_sharded_registry, provision_sharded_into,
 };
+use emmark::core::store::{ArtifactLayerStore, ArtifactSink};
+use emmark::core::telemetry::{peak_resident_mib, Snapshot, Telemetry};
 use emmark::core::vault::{decode_secrets, encode_secrets, FleetBundleStream};
-use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::core::watermark::{stream_watermark, OwnerSecrets, WatermarkConfig};
 use emmark::nanolm::corpus::{Corpus, Grammar};
 use emmark::nanolm::train::{train, TrainConfig};
 use emmark::nanolm::{ModelConfig, TransformerModel};
@@ -89,10 +97,25 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(allowed) = allowed_opts(command) else {
+        eprintln!("error: unknown command `{command}`\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest, allowed) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let observed = match telemetry_begin(&opts) {
+        Ok(observed) => observed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             return ExitCode::FAILURE;
         }
     };
@@ -104,13 +127,17 @@ fn main() -> ExitCode {
         "fleet-provision" => cmd_fleet_provision(&opts),
         "fleet-verify" => cmd_fleet_verify(&opts),
         "identify-leak" => cmd_identify_leak(&opts),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
         other => Err(format!("unknown command `{other}`")),
     };
-    match result {
+    // Export even on failure — partial counters are exactly what a
+    // post-mortem wants — but never let an export error mask the
+    // command's own.
+    let finish = if observed {
+        telemetry_finish(opts.contains_key("metrics"))
+    } else {
+        Ok(())
+    };
+    match result.and(finish) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -123,7 +150,8 @@ const USAGE: &str = "\
 emmark — watermarking for embedded quantized LLMs (DAC 2024 reproduction)
 
 USAGE:
-  emmark demo    --out-dir DIR [--bits N] [--seed S] [--max-resident-mb M]
+  emmark demo    --out-dir DIR [--bits N] [--seed S] [--d-model N] [--d-ff N]
+                 [--steps N] [--max-resident-mb M]
   emmark verify  --secrets FILE --suspect FILE
   emmark inspect --model FILE [--json]        (.emqm artifacts, .emfb bundles,
                                                .emfm shard manifests)
@@ -140,18 +168,88 @@ USAGE:
 --max-resident-mb switches the stamp side onto the streaming LayerStore
 pipeline (score → insert → encode one layer at a time; device artifacts
 spliced straight to disk) and fails the run if peak resident memory
-exceeded the budget (Linux VmHWM; reported best-effort elsewhere).";
+exceeded the budget (Linux VmHWM; reported best-effort elsewhere).
+
+demo, verify, fleet-provision, fleet-verify, and identify-leak also take
+  --telemetry FILE.jsonl   stream span events to FILE and append a final
+                           counter/histogram snapshot (one JSON object
+                           per line)
+  --metrics                dump the final snapshot to stderr in
+                           Prometheus text format
+Instrumentation is compiled in but costs one atomic load per site when
+neither flag is given.";
 
 /// Options that are flags (present or absent), not key-value pairs.
-const BOOL_FLAGS: &[&str] = &["json", "linear"];
+const BOOL_FLAGS: &[&str] = &["json", "linear", "metrics"];
 
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// The options each subcommand accepts; anything else is rejected by
+/// name instead of silently ignored. `None` means the command itself is
+/// unknown.
+fn allowed_opts(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "demo" => &[
+            "out-dir",
+            "bits",
+            "seed",
+            "d-model",
+            "d-ff",
+            "steps",
+            "max-resident-mb",
+            "telemetry",
+            "metrics",
+        ],
+        "verify" => &["secrets", "suspect", "telemetry", "metrics"],
+        "inspect" => &["model", "json"],
+        "attack" => &["model", "out", "per-layer", "seed"],
+        "fleet-provision" => &[
+            "secrets",
+            "out-dir",
+            "devices",
+            "prefix",
+            "fp-bits",
+            "fp-pool",
+            "fp-seed",
+            "jobs",
+            "bundle",
+            "shards",
+            "max-resident-mb",
+            "telemetry",
+            "metrics",
+        ],
+        "fleet-verify" => &[
+            "secrets",
+            "registry",
+            "artifacts",
+            "manifest",
+            "bundle",
+            "threshold",
+            "jobs",
+            "telemetry",
+            "metrics",
+        ],
+        "identify-leak" => &[
+            "secrets",
+            "manifest",
+            "suspect",
+            "threshold",
+            "linear",
+            "telemetry",
+            "metrics",
+        ],
+        _ => return None,
+    })
+}
+
+fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected an option, found `{key}`"));
         };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown option --{name}"));
+        }
         if BOOL_FLAGS.contains(&name) {
             opts.insert(name.to_string(), "true".to_string());
             continue;
@@ -162,6 +260,50 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         opts.insert(name.to_string(), value.clone());
     }
     Ok(opts)
+}
+
+/// Enables telemetry when `--telemetry PATH` or `--metrics` is present;
+/// with a path, span events stream to the JSONL file as they happen.
+/// Returns whether observation is on (so `main` knows to export).
+fn telemetry_begin(opts: &HashMap<String, String>) -> Result<bool, String> {
+    let jsonl = opts.get("telemetry");
+    let metrics = opts.contains_key("metrics");
+    if jsonl.is_none() && !metrics {
+        return Ok(false);
+    }
+    match jsonl {
+        Some(path) => {
+            // The sink opens before the command runs, which may be what
+            // creates the directory the file lives in (demo --out-dir).
+            if let Some(parent) = Path::new(path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+            let file = File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            Telemetry::install_jsonl_sink(Box::new(BufWriter::new(file)));
+        }
+        None => Telemetry::set_enabled(true),
+    }
+    Ok(true)
+}
+
+/// Exports what the run recorded: the registry snapshot is appended to
+/// the JSONL sink (if `--telemetry` was given) and, under `--metrics`,
+/// dumped to stderr in Prometheus text format.
+fn telemetry_finish(metrics: bool) -> Result<(), String> {
+    let snap = Snapshot::capture();
+    if let Some(mut sink) = Telemetry::take_jsonl_sink() {
+        snap.write_jsonl(&mut sink)
+            .and_then(|()| sink.flush())
+            .map_err(|e| format!("writing telemetry JSONL: {e}"))?;
+    }
+    if metrics {
+        eprint!("{}", snap.render_prometheus());
+    }
+    Ok(())
 }
 
 fn required<'o>(opts: &'o HashMap<String, String>, name: &str) -> Result<&'o str, String> {
@@ -208,15 +350,6 @@ fn memory_budget(opts: &HashMap<String, String>) -> Result<Option<usize>, String
     }
 }
 
-/// Best-effort peak resident set size of this process in MiB (Linux
-/// `VmHWM`; `None` elsewhere).
-fn peak_resident_mib() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kib / 1024.0)
-}
-
 /// Reports peak resident memory against the `--max-resident-mb` budget
 /// and fails the command if it was exceeded (where the platform exposes
 /// a high-water mark).
@@ -244,6 +377,12 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
     let bits: usize = parsed(opts, "bits", 8)?;
     let seed: u64 = parsed(opts, "seed", 2024)?;
+    // Width and training knobs so smoke tests can scale the demo: wider
+    // layers make per-layer loads big enough to measure pipeline
+    // overlap, fewer steps keep an untrained-but-stampable model cheap.
+    let d_model: usize = parsed(opts, "d-model", 32)?;
+    let d_ff: usize = parsed(opts, "d-ff", 96)?;
+    let steps: u64 = parsed(opts, "steps", 200)?;
     let budget = memory_budget(opts)?;
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
@@ -252,14 +391,14 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     let corpus = Corpus::sample(Grammar::synwiki(seed), 12_000, 1_000, 2_000);
     let mut cfg = ModelConfig::tiny_test();
     cfg.vocab_size = corpus.grammar.vocab_size();
-    cfg.d_model = 32;
-    cfg.d_ff = 96;
+    cfg.d_model = d_model;
+    cfg.d_ff = d_ff;
     let mut model = TransformerModel::new(cfg);
     train(
         &mut model,
         &corpus,
         &TrainConfig {
-            steps: 200,
+            steps,
             batch_size: 8,
             seq_len: 24,
             ..TrainConfig::default()
@@ -288,14 +427,27 @@ fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
         // time, records flowing straight to disk — neither the
         // watermarked model nor either artifact is ever resident.
         println!("streaming stamp path (one layer resident at a time)…");
-        encode_model_into(
-            &secrets.original,
-            create_file(&out_dir.join("original.emqm"))?,
+        let original_path = out_dir.join("original.emqm");
+        encode_model_into(&secrets.original, create_file(&original_path)?)
+            .map_err(|e| e.to_string())?;
+        // Stamp from the just-encoded artifact on disk rather than the
+        // resident model: real file loads let the pipeline-parallel
+        // stamp overlap layer N+1's read with layer N's bump + encode
+        // (a borrow of a resident layer has nothing to overlap). The
+        // loaded layers are bit-identical, so the deployed artifact is
+        // byte-identical to the resident-store stamp.
+        let original = File::open(&original_path)
+            .map_err(|e| format!("reading {}: {e}", original_path.display()))?;
+        let store =
+            ArtifactLayerStore::open(BufReader::new(original)).map_err(|e| e.to_string())?;
+        stream_watermark(
+            &store,
+            &secrets.stats,
+            &secrets.signature,
+            &secrets.config,
+            &mut ArtifactSink::new(create_file(&out_dir.join("deployed.emqm"))?),
         )
         .map_err(|e| e.to_string())?;
-        secrets
-            .watermark_into(create_file(&out_dir.join("deployed.emqm"))?)
-            .map_err(|e| e.to_string())?;
     } else {
         let deployed = secrets
             .watermark_for_deployment()
@@ -676,9 +828,10 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
     let out_dir = PathBuf::from(required(opts, "out-dir")?);
-    let devices: usize = required(opts, "devices")?
+    let devices_raw = required(opts, "devices")?;
+    let devices: usize = devices_raw
         .parse()
-        .map_err(|_| "--devices: not a number".to_string())?;
+        .map_err(|_| format!("--devices: cannot parse `{devices_raw}`"))?;
     let prefix = opts.get("prefix").map(String::as_str).unwrap_or("device");
     let fp_bits: usize = parsed(opts, "fp-bits", 3)?;
     let fp_pool: usize = parsed(opts, "fp-pool", 10)?;
@@ -762,7 +915,7 @@ fn cmd_fleet_provision(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(raw) = opts.get("shards") {
         let shard_count: usize = raw
             .parse()
-            .map_err(|_| "--shards: not a number".to_string())?;
+            .map_err(|_| format!("--shards: cannot parse `{raw}`"))?;
         // Sharded registry: device entries split across registry-NNNNN
         // shard files under an EMFM manifest that also persists the
         // fingerprint-cell inverted index. Each shard is written as soon
@@ -1044,9 +1197,10 @@ fn cmd_identify_leak(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut model =
         decode_model(&read_file(required(opts, "model")?)?).map_err(|e| e.to_string())?;
-    let per_layer: usize = required(opts, "per-layer")?
+    let per_layer_raw = required(opts, "per-layer")?;
+    let per_layer: usize = per_layer_raw
         .parse()
-        .map_err(|_| "--per-layer: not a number".to_string())?;
+        .map_err(|_| format!("--per-layer: cannot parse `{per_layer_raw}`"))?;
     let seed: u64 = parsed(opts, "seed", 666)?;
     let touched = overwrite_attack(&mut model, &OverwriteConfig { per_layer, seed });
     let out = required(opts, "out")?;
