@@ -80,6 +80,8 @@ pub enum Section {
     Shard(usize),
     /// The manifest's fingerprint-cell inverted index.
     LeakIndex,
+    /// A framed emmarkd request or response payload.
+    Service,
 }
 
 impl std::fmt::Display for Section {
@@ -101,6 +103,7 @@ impl std::fmt::Display for Section {
             Section::Manifest => write!(f, "shard manifest"),
             Section::Shard(s) => write!(f, "shard {s}"),
             Section::LeakIndex => write!(f, "leak index"),
+            Section::Service => write!(f, "service frame"),
         }
     }
 }
@@ -1373,21 +1376,44 @@ pub fn splice_patches<W: std::io::Write>(
     mut out: W,
 ) -> Result<(), StoreError> {
     // Validate every patch up front (the buffered path reports errors
-    // before writing anything; so must the stream), dedup to the last
-    // write per offset, then emit ordered splices.
-    let mut by_offset = std::collections::BTreeMap::new();
-    for p in patches {
-        by_offset.insert(check_patch(base.len(), index, p)?, p.q as u8);
+    // before writing anything; so must the stream). Sorting by
+    // (offset, input rank) makes later patches to the same cell
+    // overwrite earlier ones below, matching the buffered path.
+    let mut resolved: Vec<(usize, usize)> = Vec::with_capacity(patches.len());
+    for (rank, p) in patches.iter().enumerate() {
+        resolved.push((check_patch(base.len(), index, p)?, rank));
     }
+    resolved.sort_unstable();
     let io = |source| StoreError::Io {
         what: "splicing a patched artifact",
         source,
     };
+    // Neighboring patches (fingerprint bits cluster within a layer's
+    // grid) are staged into one scratch copy of the spanned region and
+    // flushed as a single bulk write instead of a 1-byte write per
+    // cell; only gaps wider than COALESCE_GAP break a run. The scratch
+    // buffer is reused across runs.
+    const COALESCE_GAP: usize = 256;
+    let mut scratch: Vec<u8> = Vec::new();
     let mut cursor = 0usize;
-    for (offset, q) in by_offset {
-        out.write_all(&base[cursor..offset]).map_err(io)?;
-        out.write_all(&[q]).map_err(io)?;
-        cursor = offset + 1;
+    let mut i = 0usize;
+    while i < resolved.len() {
+        let run_start = resolved[i].0;
+        let mut run_end = run_start;
+        let mut j = i + 1;
+        while j < resolved.len() && resolved[j].0 - run_end <= COALESCE_GAP {
+            run_end = resolved[j].0;
+            j += 1;
+        }
+        out.write_all(&base[cursor..run_start]).map_err(io)?;
+        scratch.clear();
+        scratch.extend_from_slice(&base[run_start..=run_end]);
+        for &(offset, rank) in &resolved[i..j] {
+            scratch[offset - run_start] = patches[rank].q as u8;
+        }
+        out.write_all(&scratch).map_err(io)?;
+        cursor = run_end + 1;
+        i = j;
     }
     out.write_all(&base[cursor..]).map_err(io)?;
     Ok(())

@@ -34,7 +34,13 @@
 //!   and the provisioned-fleet bundle;
 //! * [`telemetry`] — zero-dependency spans, counters, and log-scale
 //!   histograms instrumenting all of the above, with JSONL and
-//!   Prometheus-text export and a single-atomic-load disabled mode.
+//!   Prometheus-text export and a single-atomic-load disabled mode;
+//! * [`service`] — `emmarkd`: the long-running batched
+//!   verification/provisioning service ([`service::Service`]) behind a
+//!   length-prefixed frame protocol, serving verify / provision /
+//!   identify-leak / inspect requests from a warm per-model-family LRU
+//!   through a bounded worker pool with backpressure and a shared
+//!   resident-memory budget.
 //!
 //! # Examples
 //!
@@ -73,6 +79,7 @@ pub mod provision;
 pub mod registry;
 pub mod scheme;
 pub mod scoring;
+pub mod service;
 pub mod signature;
 pub mod store;
 pub mod telemetry;
@@ -87,6 +94,11 @@ pub use registry::{
     IndexedFleetVerifier, LeakIndex, ShardEntry, ShardManifest, ShardedFleet, ShardedRegistry,
 };
 pub use scheme::{EmMarkScheme, RandomWmScheme, SpecMarkScheme, WatermarkScheme};
+pub use service::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Blob, InspectSummary, ReportSummary, Request, Response, Service, ServiceConfig,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
 pub use signature::Signature;
 pub use telemetry::{peak_resident_mib, Counter, Histogram, Snapshot, Span, Telemetry};
 

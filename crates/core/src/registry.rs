@@ -648,6 +648,14 @@ impl ShardedRegistry {
         &self.index
     }
 
+    /// Decomposes into `(fingerprint config, devices, leak index)` — the
+    /// raw parts a caller feeds to [`FleetVerifier::from_parts`] and
+    /// [`IndexedFleetVerifier::new`] when it manages family-cache
+    /// construction itself and must build it exactly once.
+    pub fn into_parts(self) -> (WatermarkConfig, Vec<DeviceFingerprint>, LeakIndex) {
+        (self.fingerprint_config, self.devices, self.index)
+    }
+
     /// Builds the indexed verification engine over this registry with
     /// the owner's secrets.
     ///

@@ -1,0 +1,1860 @@
+//! `emmarkd`: a cache-warm batched verification/provisioning service.
+//!
+//! The one-shot CLI pays the family cold-start tax on every invocation:
+//! decoding the owner vault, re-scoring ownership locations, and rebuilding
+//! fingerprint pools. When requests arrive as traffic rather than one-offs,
+//! that tax dominates wall-clock. This module keeps one warm family entry per
+//! owner vault behind a small LRU and schedules framed requests across a
+//! bounded worker pool with explicit backpressure.
+//!
+//! # Framing protocol
+//!
+//! Every request and response travels as one frame: a little-endian `u32`
+//! payload length followed by the payload. Payloads start with a magic
+//! (`EMSQ` for requests, `EMSR` for responses), a `u32` protocol version, and
+//! a `u64` caller-chosen request id echoed verbatim in the response so
+//! responses may complete out of order. Inputs are passed as [`Blob`]s —
+//! either inline bytes or a filesystem path resolved server-side — so large
+//! artifacts need not cross the socket at all.
+//!
+//! Responses are bit-identical to the one-shot CLI for the same inputs: the
+//! warm path caches `locate_watermark` output and replays
+//! [`extract_with_locations`], which is deterministic given the same
+//! artifact bytes.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::deploy::{
+    artifact_version, decode_model, put_string, put_watermark_config, CodecError, Reader, Section,
+    SparseArtifact, FORMAT_V2,
+};
+use crate::fingerprint::{fxhash, DeviceFingerprint};
+use crate::fleet::{decode_registry, FleetVerifier};
+use crate::provision::FleetProvisioner;
+use crate::registry::{decode_manifest, load_sharded_registry, IndexedFleetVerifier};
+use crate::store::StoreError;
+use crate::telemetry::{
+    Span, Telemetry, SERVICE_CACHE_HITS, SERVICE_CACHE_MISSES, SERVICE_EVICTIONS,
+    SERVICE_IDENTIFY_NS, SERVICE_INSPECT_NS, SERVICE_MALFORMED, SERVICE_PROVISION_NS,
+    SERVICE_QUEUE_DEPTH, SERVICE_REJECTED, SERVICE_REQUESTS, SERVICE_RESIDENT_BYTES,
+    SERVICE_VERIFY_NS,
+};
+use crate::vault::{decode_secrets, FleetBundleStream};
+use crate::watermark::{
+    extract_with_locations, locate_watermark, ExtractionReport, GridSource, Locations,
+    OwnerSecrets, WatermarkConfig, WatermarkError,
+};
+
+/// Protocol version carried in every frame payload.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Upper bound on a single frame payload (64 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+
+/// Request payload magic.
+pub const REQUEST_MAGIC: &[u8; 4] = b"EMSQ";
+/// Response payload magic.
+pub const RESPONSE_MAGIC: &[u8; 4] = b"EMSR";
+
+const OP_PING: u8 = 0;
+const OP_VERIFY: u8 = 1;
+const OP_PROVISION: u8 = 2;
+const OP_IDENTIFY: u8 = 3;
+const OP_INSPECT: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+const RESP_PONG: u8 = 0;
+const RESP_VERIFY: u8 = 1;
+const RESP_PROVISION: u8 = 2;
+const RESP_IDENTIFY: u8 = 3;
+const RESP_INSPECT: u8 = 4;
+const RESP_SHUTDOWN: u8 = 5;
+const RESP_BUSY: u8 = 0xFE;
+const RESP_ERROR: u8 = 0xFF;
+
+const BLOB_INLINE: u8 = 0;
+const BLOB_PATH: u8 = 1;
+
+/// An input handed to the service: inline bytes or a server-side path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Blob {
+    /// The bytes travel inside the frame.
+    Inline(Vec<u8>),
+    /// The service reads the bytes from this path on its own filesystem.
+    Path(String),
+}
+
+/// A decoded service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered without touching any cache.
+    Ping,
+    /// Verify a suspect model against an owner vault.
+    Verify {
+        /// The owner vault (`EMWS`).
+        secrets: Blob,
+        /// The suspect artifact (`EMQM` v1 or v2).
+        suspect: Blob,
+        /// log10 chance-match threshold for the proof decision.
+        log10_threshold: f64,
+    },
+    /// Provision one device fingerprint and return its spliced artifact.
+    Provision {
+        /// The owner vault (`EMWS`).
+        secrets: Blob,
+        /// Fingerprint selection parameters for the fleet.
+        fingerprint_config: WatermarkConfig,
+        /// Device identifier stamped into the fingerprint.
+        device_id: String,
+    },
+    /// Identify which provisioned device a leaked artifact came from.
+    IdentifyLeak {
+        /// The owner vault (`EMWS`).
+        secrets: Blob,
+        /// A fleet registry (`EMFR`), bundle (`EMFB`), or shard manifest
+        /// (`EMFM`; must be a path blob so shards resolve beside it).
+        registry: Blob,
+        /// The leaked suspect artifact.
+        suspect: Blob,
+        /// log10 chance-match threshold for attribution.
+        log10_threshold: f64,
+        /// Force the linear scan even when an index is available.
+        linear: bool,
+    },
+    /// Summarise any EmMark container.
+    Inspect {
+        /// The container to inspect.
+        target: Blob,
+    },
+    /// Drain in-flight requests and stop the service.
+    Shutdown,
+}
+
+/// Extraction statistics mirrored from [`ExtractionReport`] for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSummary {
+    /// Total signature bits compared.
+    pub total_bits: u64,
+    /// Bits that matched the expected signature.
+    pub matched_bits: u64,
+    /// Watermark extraction rate, in percent.
+    pub wer: f64,
+    /// log10 probability of matching this well by chance.
+    pub log10_p_chance: f64,
+}
+
+impl From<&ExtractionReport> for ReportSummary {
+    fn from(r: &ExtractionReport) -> Self {
+        ReportSummary {
+            total_bits: r.total_bits as u64,
+            matched_bits: r.matched_bits as u64,
+            wer: r.wer(),
+            log10_p_chance: r.log10_p_chance(),
+        }
+    }
+}
+
+/// What a [`Request::Inspect`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InspectSummary {
+    /// A quantized artifact (`EMQM`).
+    Artifact {
+        /// Container format version (1 dense, 2 sparse-indexed).
+        format_version: u32,
+        /// Quantization scheme string.
+        scheme: String,
+        /// Number of layers.
+        layers: u32,
+        /// Total weight cells across layers.
+        cells: u64,
+    },
+    /// A fleet bundle (`EMFB`).
+    Bundle {
+        /// Devices in the bundle.
+        device_count: u32,
+        /// Fingerprint configuration shared by the fleet.
+        fingerprint_config: WatermarkConfig,
+    },
+    /// A shard manifest (`EMFM`).
+    Manifest {
+        /// Shards listed in the manifest.
+        shard_count: u32,
+        /// Total devices across shards.
+        device_count: u64,
+    },
+    /// A fleet registry (`EMFR`).
+    Registry {
+        /// Devices in the registry.
+        device_count: u32,
+        /// Fingerprint configuration shared by the fleet.
+        fingerprint_config: WatermarkConfig,
+    },
+    /// An owner vault (`EMWS`).
+    Secrets {
+        /// Layers in the reference model.
+        layers: u32,
+        /// Signature length in bits.
+        signature_bits: u32,
+    },
+}
+
+/// A decoded service response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// Verification outcome.
+    Verify {
+        /// Extraction statistics.
+        report: ReportSummary,
+        /// Whether the proof threshold was met.
+        proved: bool,
+    },
+    /// A freshly provisioned device.
+    Provision {
+        /// The fingerprint registered for the device.
+        fingerprint: DeviceFingerprint,
+        /// The spliced per-device artifact bytes.
+        artifact: Vec<u8>,
+    },
+    /// Leak attribution outcome.
+    Identify {
+        /// The matched device and its extraction stats, if any device
+        /// cleared the threshold.
+        matched: Option<(DeviceFingerprint, ReportSummary)>,
+    },
+    /// Container summary.
+    Inspect(InspectSummary),
+    /// The service has drained and stopped.
+    ShutdownComplete,
+    /// The queue is full; retry after the given delay.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME_BYTES`] and propagates write failures.
+pub fn write_frame<W: IoWrite>(mut w: W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES} byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF before
+/// the first length byte; EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Rejects oversized length prefixes and propagates read failures.
+pub fn read_frame<R: IoRead>(mut r: R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        let n = r.read(&mut len[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame (length prefix truncated)",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME_BYTES} byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+fn put_blob(buf: &mut BytesMut, blob: &Blob) {
+    match blob {
+        Blob::Inline(bytes) => {
+            buf.put_u8(BLOB_INLINE);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(bytes);
+        }
+        Blob::Path(path) => {
+            buf.put_u8(BLOB_PATH);
+            put_string(buf, path);
+        }
+    }
+}
+
+fn read_blob(r: &mut Reader<'_>) -> Result<Blob, CodecError> {
+    match r.u8("blob tag")? {
+        BLOB_INLINE => {
+            let len = r.u64("blob length")? as usize;
+            Ok(Blob::Inline(r.take(len, "blob bytes")?.to_vec()))
+        }
+        BLOB_PATH => Ok(Blob::Path(r.string("blob path")?)),
+        _ => Err(r.corrupt("unknown blob tag")),
+    }
+}
+
+fn payload_header(magic: &[u8; 4], id: u64) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(magic);
+    buf.put_u32_le(PROTOCOL_VERSION);
+    buf.put_u64_le(id);
+    buf
+}
+
+fn open_payload<'a>(
+    magic: &'static [u8; 4],
+    bytes: &'a [u8],
+) -> Result<(u64, Reader<'a>), CodecError> {
+    let mut r = Reader::new(bytes, Section::Service);
+    r.magic(magic)?;
+    let version = r.u32("protocol version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let id = r.u64("request id")?;
+    Ok((id, r))
+}
+
+/// Encodes a request payload (framing is applied separately by
+/// [`write_frame`]).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut buf = payload_header(REQUEST_MAGIC, id);
+    match req {
+        Request::Ping => buf.put_u8(OP_PING),
+        Request::Verify {
+            secrets,
+            suspect,
+            log10_threshold,
+        } => {
+            buf.put_u8(OP_VERIFY);
+            put_blob(&mut buf, secrets);
+            put_blob(&mut buf, suspect);
+            buf.put_f64_le(*log10_threshold);
+        }
+        Request::Provision {
+            secrets,
+            fingerprint_config,
+            device_id,
+        } => {
+            buf.put_u8(OP_PROVISION);
+            put_blob(&mut buf, secrets);
+            put_watermark_config(&mut buf, fingerprint_config);
+            put_string(&mut buf, device_id);
+        }
+        Request::IdentifyLeak {
+            secrets,
+            registry,
+            suspect,
+            log10_threshold,
+            linear,
+        } => {
+            buf.put_u8(OP_IDENTIFY);
+            put_blob(&mut buf, secrets);
+            put_blob(&mut buf, registry);
+            put_blob(&mut buf, suspect);
+            buf.put_f64_le(*log10_threshold);
+            buf.put_u8(u8::from(*linear));
+        }
+        Request::Inspect { target } => {
+            buf.put_u8(OP_INSPECT);
+            put_blob(&mut buf, target);
+        }
+        Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+    }
+    buf.to_vec()
+}
+
+/// Decodes a request payload into its id and [`Request`].
+///
+/// # Errors
+///
+/// Any [`CodecError`] for a malformed payload, including trailing bytes.
+pub fn decode_request(bytes: &[u8]) -> Result<(u64, Request), CodecError> {
+    let (id, mut r) = open_payload(REQUEST_MAGIC, bytes)?;
+    let req = match r.u8("request op")? {
+        OP_PING => Request::Ping,
+        OP_VERIFY => Request::Verify {
+            secrets: read_blob(&mut r)?,
+            suspect: read_blob(&mut r)?,
+            log10_threshold: r.f64("log10 threshold")?,
+        },
+        OP_PROVISION => Request::Provision {
+            secrets: read_blob(&mut r)?,
+            fingerprint_config: r.watermark_config()?,
+            device_id: r.string("device id")?,
+        },
+        OP_IDENTIFY => Request::IdentifyLeak {
+            secrets: read_blob(&mut r)?,
+            registry: read_blob(&mut r)?,
+            suspect: read_blob(&mut r)?,
+            log10_threshold: r.f64("log10 threshold")?,
+            linear: r.u8("linear flag")? != 0,
+        },
+        OP_INSPECT => Request::Inspect {
+            target: read_blob(&mut r)?,
+        },
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return Err(r.corrupt("unknown request op")),
+    };
+    if r.offset() != bytes.len() {
+        return Err(r.corrupt("trailing bytes after request body"));
+    }
+    Ok((id, req))
+}
+
+fn put_report(buf: &mut BytesMut, report: &ReportSummary) {
+    buf.put_u64_le(report.total_bits);
+    buf.put_u64_le(report.matched_bits);
+    buf.put_f64_le(report.wer);
+    buf.put_f64_le(report.log10_p_chance);
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<ReportSummary, CodecError> {
+    Ok(ReportSummary {
+        total_bits: r.u64("total bits")?,
+        matched_bits: r.u64("matched bits")?,
+        wer: r.f64("wer")?,
+        log10_p_chance: r.f64("log10 p chance")?,
+    })
+}
+
+fn put_fingerprint(buf: &mut BytesMut, fp: &DeviceFingerprint) {
+    put_string(buf, &fp.device_id);
+    buf.put_u64_le(fp.selection_seed);
+    buf.put_u64_le(fp.signature_seed);
+}
+
+fn read_fingerprint(r: &mut Reader<'_>) -> Result<DeviceFingerprint, CodecError> {
+    Ok(DeviceFingerprint {
+        device_id: r.string("device id")?,
+        selection_seed: r.u64("selection seed")?,
+        signature_seed: r.u64("signature seed")?,
+    })
+}
+
+/// Encodes a response payload (framing is applied separately by
+/// [`write_frame`]).
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut buf = payload_header(RESPONSE_MAGIC, id);
+    match resp {
+        Response::Pong => buf.put_u8(RESP_PONG),
+        Response::Verify { report, proved } => {
+            buf.put_u8(RESP_VERIFY);
+            put_report(&mut buf, report);
+            buf.put_u8(u8::from(*proved));
+        }
+        Response::Provision {
+            fingerprint,
+            artifact,
+        } => {
+            buf.put_u8(RESP_PROVISION);
+            put_fingerprint(&mut buf, fingerprint);
+            buf.put_u64_le(artifact.len() as u64);
+            buf.put_slice(artifact);
+        }
+        Response::Identify { matched } => {
+            buf.put_u8(RESP_IDENTIFY);
+            match matched {
+                Some((fp, report)) => {
+                    buf.put_u8(1);
+                    put_fingerprint(&mut buf, fp);
+                    put_report(&mut buf, report);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Response::Inspect(summary) => {
+            buf.put_u8(RESP_INSPECT);
+            match summary {
+                InspectSummary::Artifact {
+                    format_version,
+                    scheme,
+                    layers,
+                    cells,
+                } => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(*format_version);
+                    put_string(&mut buf, scheme);
+                    buf.put_u32_le(*layers);
+                    buf.put_u64_le(*cells);
+                }
+                InspectSummary::Bundle {
+                    device_count,
+                    fingerprint_config,
+                } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(*device_count);
+                    put_watermark_config(&mut buf, fingerprint_config);
+                }
+                InspectSummary::Manifest {
+                    shard_count,
+                    device_count,
+                } => {
+                    buf.put_u8(2);
+                    buf.put_u32_le(*shard_count);
+                    buf.put_u64_le(*device_count);
+                }
+                InspectSummary::Registry {
+                    device_count,
+                    fingerprint_config,
+                } => {
+                    buf.put_u8(3);
+                    buf.put_u32_le(*device_count);
+                    put_watermark_config(&mut buf, fingerprint_config);
+                }
+                InspectSummary::Secrets {
+                    layers,
+                    signature_bits,
+                } => {
+                    buf.put_u8(4);
+                    buf.put_u32_le(*layers);
+                    buf.put_u32_le(*signature_bits);
+                }
+            }
+        }
+        Response::ShutdownComplete => buf.put_u8(RESP_SHUTDOWN),
+        Response::Busy { retry_after_ms } => {
+            buf.put_u8(RESP_BUSY);
+            buf.put_u32_le(*retry_after_ms);
+        }
+        Response::Error { message } => {
+            buf.put_u8(RESP_ERROR);
+            put_string(&mut buf, message);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a response payload into its id and [`Response`].
+///
+/// # Errors
+///
+/// Any [`CodecError`] for a malformed payload, including trailing bytes.
+pub fn decode_response(bytes: &[u8]) -> Result<(u64, Response), CodecError> {
+    let (id, mut r) = open_payload(RESPONSE_MAGIC, bytes)?;
+    let resp = match r.u8("response tag")? {
+        RESP_PONG => Response::Pong,
+        RESP_VERIFY => Response::Verify {
+            report: read_report(&mut r)?,
+            proved: r.u8("proved flag")? != 0,
+        },
+        RESP_PROVISION => {
+            let fingerprint = read_fingerprint(&mut r)?;
+            let len = r.u64("artifact length")? as usize;
+            Response::Provision {
+                fingerprint,
+                artifact: r.take(len, "artifact bytes")?.to_vec(),
+            }
+        }
+        RESP_IDENTIFY => {
+            let matched = if r.u8("match flag")? != 0 {
+                let fp = read_fingerprint(&mut r)?;
+                let report = read_report(&mut r)?;
+                Some((fp, report))
+            } else {
+                None
+            };
+            Response::Identify { matched }
+        }
+        RESP_INSPECT => {
+            let summary = match r.u8("inspect kind")? {
+                0 => InspectSummary::Artifact {
+                    format_version: r.u32("format version")?,
+                    scheme: r.string("scheme")?,
+                    layers: r.u32("layer count")?,
+                    cells: r.u64("cell count")?,
+                },
+                1 => InspectSummary::Bundle {
+                    device_count: r.u32("device count")?,
+                    fingerprint_config: r.watermark_config()?,
+                },
+                2 => InspectSummary::Manifest {
+                    shard_count: r.u32("shard count")?,
+                    device_count: r.u64("device count")?,
+                },
+                3 => InspectSummary::Registry {
+                    device_count: r.u32("device count")?,
+                    fingerprint_config: r.watermark_config()?,
+                },
+                4 => InspectSummary::Secrets {
+                    layers: r.u32("layer count")?,
+                    signature_bits: r.u32("signature bits")?,
+                },
+                _ => return Err(r.corrupt("unknown inspect kind")),
+            };
+            Response::Inspect(summary)
+        }
+        RESP_SHUTDOWN => Response::ShutdownComplete,
+        RESP_BUSY => Response::Busy {
+            retry_after_ms: r.u32("retry after ms")?,
+        },
+        RESP_ERROR => Response::Error {
+            message: r.string("error message")?,
+        },
+        _ => return Err(r.corrupt("unknown response tag")),
+    };
+    if r.offset() != bytes.len() {
+        return Err(r.corrupt("trailing bytes after response body"));
+    }
+    Ok((id, resp))
+}
+
+/// Recovers the request id from a payload whose body may be malformed, so an
+/// error response can still be correlated. Zero when even the header is
+/// unreadable.
+fn peek_request_id(bytes: &[u8]) -> u64 {
+    if bytes.len() >= 16 && &bytes[..4] == REQUEST_MAGIC {
+        u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"))
+    } else {
+        0
+    }
+}
+
+fn peek_op(bytes: &[u8]) -> Option<u8> {
+    if bytes.len() >= 17 && &bytes[..4] == REQUEST_MAGIC {
+        Some(bytes[16])
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resident-memory budget
+// ---------------------------------------------------------------------------
+
+/// A shared byte budget over loaded artifacts. A request blocks until its
+/// first allocation fits; follow-up allocations by a holder overdraft rather
+/// than deadlock (at least one holder can always make progress).
+struct ResidentBudget {
+    cap: Option<u64>,
+    used: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl ResidentBudget {
+    fn new(cap: Option<u64>) -> Self {
+        ResidentBudget {
+            cap,
+            used: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+}
+
+/// Per-request guard over [`ResidentBudget`]; releases everything on drop.
+struct BudgetLease<'a> {
+    budget: &'a ResidentBudget,
+    held: u64,
+}
+
+impl<'a> BudgetLease<'a> {
+    fn new(budget: &'a ResidentBudget) -> Self {
+        BudgetLease { budget, held: 0 }
+    }
+
+    fn charge(&mut self, n: u64) {
+        let Some(cap) = self.budget.cap else {
+            return;
+        };
+        let mut used = self.budget.used.lock().unwrap();
+        if self.held == 0 {
+            // Clamp so one oversized request overdrafts instead of waiting
+            // forever on room that can never exist.
+            let need = n.min(cap);
+            while *used + need > cap {
+                used = self.budget.freed.wait(used).unwrap();
+            }
+        }
+        *used += n;
+        self.held += n;
+        if Telemetry::enabled() {
+            SERVICE_RESIDENT_BYTES.set(*used as i64);
+        }
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        if self.held > 0 {
+            let mut used = self.budget.used.lock().unwrap();
+            *used = used.saturating_sub(self.held);
+            if Telemetry::enabled() {
+                SERVICE_RESIDENT_BYTES.set(*used as i64);
+            }
+            self.budget.freed.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warm family cache
+// ---------------------------------------------------------------------------
+
+/// Hashable key for a fingerprint configuration ([`WatermarkConfig`] holds
+/// `f64`s so cannot implement `Hash` itself).
+type FpKey = (u64, u64, usize, usize, u64);
+
+fn fp_key(cfg: &WatermarkConfig) -> FpKey {
+    (
+        cfg.alpha.to_bits(),
+        cfg.beta.to_bits(),
+        cfg.bits_per_layer,
+        cfg.pool_ratio,
+        cfg.selection_seed,
+    )
+}
+
+#[derive(Clone)]
+enum VerifierKind {
+    Linear(Arc<FleetVerifier>),
+    Indexed(Arc<IndexedFleetVerifier>),
+}
+
+/// Everything kept warm for one owner vault (one model family).
+struct FamilyEntry {
+    secrets: OwnerSecrets,
+    locations: Locations,
+    provisioners: Mutex<HashMap<FpKey, Arc<FleetProvisioner>>>,
+    verifiers: Mutex<HashMap<u64, VerifierKind>>,
+}
+
+impl FamilyEntry {
+    fn load(bytes: &[u8]) -> Result<Self, ServiceError> {
+        let secrets = decode_secrets(bytes)?;
+        // Mirror extract_watermark's precondition so a bad vault fails here,
+        // once, instead of on every warm request.
+        let expected = secrets.config.signature_len(secrets.original.layer_count());
+        if secrets.signature.len() != expected {
+            return Err(WatermarkError::SignatureLength {
+                expected,
+                got: secrets.signature.len(),
+            }
+            .into());
+        }
+        let locations = locate_watermark(&secrets.original, &secrets.stats, &secrets.config)?;
+        Ok(FamilyEntry {
+            secrets,
+            locations,
+            provisioners: Mutex::new(HashMap::new()),
+            verifiers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Warm-path verification: replay extraction over the cached ownership
+    /// locations. Bit-identical to [`OwnerSecrets::verify`] because
+    /// [`locate_watermark`] is deterministic for fixed inputs.
+    fn verify<S: GridSource + ?Sized>(
+        &self,
+        suspect: &S,
+    ) -> Result<ExtractionReport, WatermarkError> {
+        extract_with_locations(
+            suspect,
+            &self.secrets.original,
+            &self.locations,
+            &self.secrets.signature,
+        )
+    }
+
+    fn provisioner(&self, fp_cfg: &WatermarkConfig) -> Result<Arc<FleetProvisioner>, ServiceError> {
+        let key = fp_key(fp_cfg);
+        if let Some(p) = self.provisioners.lock().unwrap().get(&key) {
+            if Telemetry::enabled() {
+                SERVICE_CACHE_HITS.incr();
+            }
+            return Ok(Arc::clone(p));
+        }
+        if Telemetry::enabled() {
+            SERVICE_CACHE_MISSES.incr();
+        }
+        // Build outside the lock; on a race the first insert wins.
+        let built = Arc::new(FleetProvisioner::new(self.secrets.clone(), *fp_cfg)?);
+        let mut map = self.provisioners.lock().unwrap();
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+}
+
+/// Identity stamp for a vault file: modification time plus length.
+/// While the stamp is unchanged, a path blob resolves to its previously
+/// hashed cache key without re-reading the file, so the warm-path cost
+/// of a request does not scale with vault size.
+type PathStamp = (u128, u64);
+
+fn stat_stamp(path: &str) -> Option<PathStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta
+        .modified()
+        .ok()?
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()?
+        .as_nanos();
+    Some((mtime, meta.len()))
+}
+
+/// Most entries the path→key side table holds before it is reset; a
+/// backstop against clients cycling through endless one-shot paths.
+const PATH_KEY_CAP: usize = 1024;
+
+/// A small LRU of warm [`FamilyEntry`]s keyed by the vault byte hash,
+/// with a path→key side table that lets unchanged vault files skip the
+/// read-and-hash on every warm request.
+struct FamilyLru {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (u64, Arc<FamilyEntry>)>,
+    path_keys: HashMap<String, (PathStamp, u64)>,
+}
+
+impl FamilyLru {
+    fn new(capacity: usize) -> Self {
+        FamilyLru {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            path_keys: HashMap::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Any failure while serving one request; rendered into a
+/// [`Response::Error`].
+#[derive(Debug)]
+enum ServiceError {
+    Codec(CodecError),
+    Watermark(WatermarkError),
+    Store(StoreError),
+    Io {
+        what: String,
+        source: std::io::Error,
+    },
+    Other(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Codec(e) => write!(f, "{e}"),
+            ServiceError::Watermark(e) => write!(f, "{e}"),
+            ServiceError::Store(e) => write!(f, "{e}"),
+            ServiceError::Io { what, source } => write!(f, "while {what}: {source}"),
+            ServiceError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<CodecError> for ServiceError {
+    fn from(e: CodecError) -> Self {
+        ServiceError::Codec(e)
+    }
+}
+
+impl From<WatermarkError> for ServiceError {
+    fn from(e: WatermarkError) -> Self {
+        ServiceError::Watermark(e)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Tunables for [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` runs no threads: requests queue until
+    /// [`Service::drain_pending`] processes them inline (deterministic
+    /// tests).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get [`Response::Busy`].
+    pub queue_capacity: usize,
+    /// Warm family (vault) entries kept behind the LRU.
+    pub cache_capacity: usize,
+    /// Shared cap on resident artifact bytes, if any.
+    pub max_resident_bytes: Option<u64>,
+    /// Backoff hint carried in [`Response::Busy`].
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_capacity: 64,
+            cache_capacity: 4,
+            max_resident_bytes: None,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+struct Job {
+    payload: Vec<u8>,
+    reply: Box<dyn FnOnce(Vec<u8>) + Send>,
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    cache: Mutex<FamilyLru>,
+    budget: ResidentBudget,
+}
+
+/// The `emmarkd` request scheduler: a bounded queue drained by a worker
+/// pool, holding the warm family cache and the resident-byte budget.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    stopped_flag: Arc<AtomicBool>,
+}
+
+impl Service {
+    /// Starts the service with `cfg.workers` threads (zero for manual
+    /// drain).
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let worker_count = cfg.workers;
+        let inner = Arc::new(Inner {
+            budget: ResidentBudget::new(cfg.max_resident_bytes),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                draining: false,
+                stopped: false,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            cache: Mutex::new(FamilyLru::new(cfg.cache_capacity)),
+            cfg,
+        });
+        let stopped_flag = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let inner = Arc::clone(&inner);
+            let flag = Arc::clone(&stopped_flag);
+            let handle = std::thread::Builder::new()
+                .name(format!("emmarkd-worker-{i}"))
+                // Small stacks: CI smokes run under a 12 MiB address-space
+                // cap and thread stacks count against it.
+                .stack_size(512 * 1024)
+                .spawn(move || worker_loop(&inner, &flag))
+                .expect("spawning an emmarkd worker thread");
+            workers.push(handle);
+        }
+        Service {
+            inner,
+            workers,
+            stopped_flag,
+        }
+    }
+
+    /// Submits one raw request payload. The reply callback receives the
+    /// encoded response payload exactly once — immediately for rejections,
+    /// from a worker otherwise.
+    pub fn submit(&self, payload: Vec<u8>, reply: Box<dyn FnOnce(Vec<u8>) + Send>) {
+        let id = peek_request_id(&payload);
+        let is_shutdown = peek_op(&payload) == Some(OP_SHUTDOWN);
+        if Telemetry::enabled() {
+            SERVICE_REQUESTS.incr();
+        }
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.stopped || (state.draining && !is_shutdown) {
+                drop(state);
+                reply(encode_response(
+                    id,
+                    &Response::Error {
+                        message: "service is shutting down".to_string(),
+                    },
+                ));
+                return;
+            }
+            if !is_shutdown && state.queue.len() >= self.inner.cfg.queue_capacity {
+                drop(state);
+                if Telemetry::enabled() {
+                    SERVICE_REJECTED.incr();
+                }
+                reply(encode_response(
+                    id,
+                    &Response::Busy {
+                        retry_after_ms: self.inner.cfg.retry_after_ms,
+                    },
+                ));
+                return;
+            }
+            if is_shutdown {
+                // Same critical section as the enqueue: nothing can slot in
+                // behind the shutdown marker.
+                state.draining = true;
+            }
+            state.queue.push_back(Job { payload, reply });
+            if Telemetry::enabled() {
+                SERVICE_QUEUE_DEPTH.set(state.queue.len() as i64);
+            }
+        }
+        self.inner.work_cv.notify_one();
+    }
+
+    /// Submits a typed request and blocks for its typed response. With zero
+    /// workers the queue is drained inline first.
+    pub fn request(&self, id: u64, req: &Request) -> Response {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(
+            encode_request(id, req),
+            Box::new(move |payload| {
+                let _ = tx.send(payload);
+            }),
+        );
+        if self.workers.is_empty() {
+            self.drain_pending();
+        }
+        let payload = rx.recv().expect("the service always replies");
+        let (echo, resp) = decode_response(&payload).expect("the service encodes valid responses");
+        debug_assert_eq!(echo, id);
+        resp
+    }
+
+    /// Processes every queued job on the calling thread (zero-worker mode).
+    pub fn drain_pending(&self) {
+        loop {
+            let job = {
+                let mut state = self.inner.state.lock().unwrap();
+                let Some(job) = state.queue.pop_front() else {
+                    break;
+                };
+                state.in_flight += 1;
+                if Telemetry::enabled() {
+                    SERVICE_QUEUE_DEPTH.set(state.queue.len() as i64);
+                }
+                job
+            };
+            let response = process_job(&self.inner, &job.payload, &self.stopped_flag);
+            (job.reply)(response);
+            let mut state = self.inner.state.lock().unwrap();
+            state.in_flight -= 1;
+            if self.stopped_flag.load(Ordering::SeqCst) {
+                state.stopped = true;
+            }
+            drop(state);
+            self.inner.idle_cv.notify_all();
+        }
+    }
+
+    /// Blocks until a [`Request::Shutdown`] has fully drained the service.
+    /// Workers exit on their own once stopped; dropping the service joins
+    /// them.
+    pub fn wait_stopped(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        while !state.stopped {
+            state = self.inner.idle_cv.wait(state).unwrap();
+        }
+    }
+
+    /// Number of requests currently queued (excluding in-flight ones).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether a [`Request::Shutdown`] has completed.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.state.lock().unwrap().stopped
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Abort mode: pending jobs are dropped unanswered. The graceful path
+        // is a Shutdown request followed by wait_stopped.
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.stopped = true;
+        }
+        self.inner.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, stopped_flag: &Arc<AtomicBool>) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().unwrap();
+            loop {
+                if state.stopped {
+                    return;
+                }
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    if Telemetry::enabled() {
+                        SERVICE_QUEUE_DEPTH.set(state.queue.len() as i64);
+                    }
+                    break job;
+                }
+                state = inner.work_cv.wait(state).unwrap();
+            }
+        };
+        let response = process_job(inner, &job.payload, stopped_flag);
+        (job.reply)(response);
+        let mut state = inner.state.lock().unwrap();
+        state.in_flight -= 1;
+        if stopped_flag.load(Ordering::SeqCst) {
+            state.stopped = true;
+            drop(state);
+            inner.work_cv.notify_all();
+            inner.idle_cv.notify_all();
+            return;
+        }
+        drop(state);
+        inner.idle_cv.notify_all();
+    }
+}
+
+fn process_job(inner: &Arc<Inner>, payload: &[u8], stopped_flag: &Arc<AtomicBool>) -> Vec<u8> {
+    let (id, request) = match decode_request(payload) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            if Telemetry::enabled() {
+                SERVICE_MALFORMED.incr();
+            }
+            return encode_response(
+                peek_request_id(payload),
+                &Response::Error {
+                    message: format!("malformed request: {e}"),
+                },
+            );
+        }
+    };
+    let response = match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => {
+            // Wait for every other in-flight request (we are one of them).
+            let mut state = inner.state.lock().unwrap();
+            while !(state.queue.is_empty() && state.in_flight <= 1) {
+                state = inner.idle_cv.wait(state).unwrap();
+            }
+            stopped_flag.store(true, Ordering::SeqCst);
+            drop(state);
+            Response::ShutdownComplete
+        }
+        other => handle_request(inner, other).unwrap_or_else(|e| Response::Error {
+            message: e.to_string(),
+        }),
+    };
+    encode_response(id, &response)
+}
+
+fn handle_request(inner: &Arc<Inner>, request: Request) -> Result<Response, ServiceError> {
+    let mut lease = BudgetLease::new(&inner.budget);
+    match request {
+        Request::Verify {
+            secrets,
+            suspect,
+            log10_threshold,
+        } => {
+            let _span = Span::enter(&SERVICE_VERIFY_NS);
+            let family = load_family(inner, &secrets, &mut lease)?;
+            let bytes = load_blob(&suspect, "suspect artifact", &mut lease)?;
+            let report = verify_suspect(&family, &bytes)?;
+            let proved = report.proves_ownership(log10_threshold);
+            Ok(Response::Verify {
+                report: ReportSummary::from(&report),
+                proved,
+            })
+        }
+        Request::Provision {
+            secrets,
+            fingerprint_config,
+            device_id,
+        } => {
+            let _span = Span::enter(&SERVICE_PROVISION_NS);
+            let family = load_family(inner, &secrets, &mut lease)?;
+            let provisioner = family.provisioner(&fingerprint_config)?;
+            let device = provisioner.provision_artifact(&device_id);
+            lease.charge(device.artifact.len() as u64);
+            Ok(Response::Provision {
+                fingerprint: device.fingerprint,
+                artifact: device.artifact,
+            })
+        }
+        Request::IdentifyLeak {
+            secrets,
+            registry,
+            suspect,
+            log10_threshold,
+            linear,
+        } => {
+            let _span = Span::enter(&SERVICE_IDENTIFY_NS);
+            let family = load_family(inner, &secrets, &mut lease)?;
+            let verifier = load_verifier(&family, &registry, &mut lease)?;
+            let bytes = load_blob(&suspect, "suspect artifact", &mut lease)?;
+            let matched = identify_suspect(&verifier, &bytes, log10_threshold, linear)?;
+            Ok(Response::Identify { matched })
+        }
+        Request::Inspect { target } => {
+            let _span = Span::enter(&SERVICE_INSPECT_NS);
+            inspect_target(&target, &mut lease).map(Response::Inspect)
+        }
+        Request::Ping | Request::Shutdown => unreachable!("handled by process_job"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request helpers
+// ---------------------------------------------------------------------------
+
+fn read_path(path: &str, what: &str) -> Result<Vec<u8>, ServiceError> {
+    std::fs::read(path).map_err(|source| ServiceError::Io {
+        what: format!("reading the {what} at {path}"),
+        source,
+    })
+}
+
+fn load_blob(
+    blob: &Blob,
+    what: &str,
+    lease: &mut BudgetLease<'_>,
+) -> Result<Vec<u8>, ServiceError> {
+    let bytes = match blob {
+        Blob::Inline(bytes) => bytes.clone(),
+        Blob::Path(path) => read_path(path, what)?,
+    };
+    lease.charge(bytes.len() as u64);
+    Ok(bytes)
+}
+
+fn remember_path_key(lru: &mut FamilyLru, stamped: &Option<(&str, PathStamp)>, key: u64) {
+    if let Some((path, stamp)) = stamped {
+        if lru.path_keys.len() >= PATH_KEY_CAP && !lru.path_keys.contains_key(*path) {
+            lru.path_keys.clear();
+        }
+        lru.path_keys.insert((*path).to_string(), (*stamp, key));
+    }
+}
+
+fn load_family(
+    inner: &Arc<Inner>,
+    secrets: &Blob,
+    lease: &mut BudgetLease<'_>,
+) -> Result<Arc<FamilyEntry>, ServiceError> {
+    // Fast path for path blobs: an unchanged (mtime, length) stamp
+    // resolves to the previously hashed key without reading the vault,
+    // so a warm hit costs a stat, not a half-megabyte read-and-hash.
+    let stamped = match secrets {
+        Blob::Path(path) => stat_stamp(path).map(|s| (path.as_str(), s)),
+        Blob::Inline(_) => None,
+    };
+    if let Some((path, stamp)) = &stamped {
+        let mut lru = inner.cache.lock().unwrap();
+        lru.tick += 1;
+        let tick = lru.tick;
+        if let Some(key) = lru
+            .path_keys
+            .get(*path)
+            .and_then(|(s, key)| (s == stamp).then_some(*key))
+        {
+            if let Some((at, entry)) = lru.entries.get_mut(&key) {
+                *at = tick;
+                if Telemetry::enabled() {
+                    SERVICE_CACHE_HITS.incr();
+                }
+                return Ok(Arc::clone(entry));
+            }
+        }
+    }
+    let bytes = load_blob(secrets, "owner vault", lease)?;
+    let key = fxhash(&bytes);
+    {
+        let mut lru = inner.cache.lock().unwrap();
+        lru.tick += 1;
+        let tick = lru.tick;
+        remember_path_key(&mut lru, &stamped, key);
+        if let Some((at, entry)) = lru.entries.get_mut(&key) {
+            *at = tick;
+            if Telemetry::enabled() {
+                SERVICE_CACHE_HITS.incr();
+            }
+            return Ok(Arc::clone(entry));
+        }
+    }
+    // Build the entry outside the LRU lock: locate_watermark is the
+    // expensive cold-start step and must not serialize unrelated families.
+    if Telemetry::enabled() {
+        SERVICE_CACHE_MISSES.incr();
+    }
+    let built = Arc::new(FamilyEntry::load(&bytes)?);
+    let mut lru = inner.cache.lock().unwrap();
+    lru.tick += 1;
+    let tick = lru.tick;
+    if let Some((stamp, existing)) = lru.entries.get_mut(&key) {
+        // Lost a build race; keep the incumbent.
+        *stamp = tick;
+        return Ok(Arc::clone(existing));
+    }
+    if lru.entries.len() >= lru.capacity {
+        if let Some((&evict, _)) = lru.entries.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+            lru.entries.remove(&evict);
+            if Telemetry::enabled() {
+                SERVICE_EVICTIONS.incr();
+            }
+        }
+    }
+    lru.entries.insert(key, (tick, Arc::clone(&built)));
+    Ok(built)
+}
+
+fn verify_suspect(family: &FamilyEntry, bytes: &[u8]) -> Result<ExtractionReport, ServiceError> {
+    if artifact_version(bytes)? == FORMAT_V2 {
+        let sparse = SparseArtifact::open(bytes)?;
+        Ok(family.verify(&sparse)?)
+    } else {
+        let model = decode_model(bytes)?;
+        Ok(family.verify(&model)?)
+    }
+}
+
+fn identify_suspect(
+    kind: &VerifierKind,
+    bytes: &[u8],
+    log10_threshold: f64,
+    linear: bool,
+) -> Result<Option<(DeviceFingerprint, ReportSummary)>, ServiceError> {
+    if artifact_version(bytes)? == FORMAT_V2 {
+        let sparse = SparseArtifact::open(bytes)?;
+        identify_grid(kind, &sparse, log10_threshold, linear)
+    } else {
+        let model = decode_model(bytes)?;
+        identify_grid(kind, &model, log10_threshold, linear)
+    }
+}
+
+fn identify_grid<S: GridSource + ?Sized>(
+    kind: &VerifierKind,
+    suspect: &S,
+    log10_threshold: f64,
+    linear: bool,
+) -> Result<Option<(DeviceFingerprint, ReportSummary)>, ServiceError> {
+    let matched = match kind {
+        VerifierKind::Indexed(iv) if !linear => iv.identify_leak(suspect, log10_threshold)?,
+        VerifierKind::Indexed(iv) => iv.verifier().identify_leak(suspect, log10_threshold)?,
+        VerifierKind::Linear(v) => v.identify_leak(suspect, log10_threshold)?,
+    };
+    Ok(matched.map(|(fp, report)| (fp.clone(), ReportSummary::from(&report))))
+}
+
+fn load_verifier(
+    family: &Arc<FamilyEntry>,
+    registry: &Blob,
+    lease: &mut BudgetLease<'_>,
+) -> Result<VerifierKind, ServiceError> {
+    let bytes = load_blob(registry, "fleet registry", lease)?;
+    let key = fxhash(&bytes);
+    if let Some(kind) = family.verifiers.lock().unwrap().get(&key) {
+        if Telemetry::enabled() {
+            SERVICE_CACHE_HITS.incr();
+        }
+        return Ok(kind.clone());
+    }
+    if Telemetry::enabled() {
+        SERVICE_CACHE_MISSES.incr();
+    }
+    let built = build_verifier(family, registry, &bytes)?;
+    let mut map = family.verifiers.lock().unwrap();
+    Ok(map.entry(key).or_insert(built).clone())
+}
+
+fn build_verifier(
+    family: &Arc<FamilyEntry>,
+    registry: &Blob,
+    bytes: &[u8],
+) -> Result<VerifierKind, ServiceError> {
+    if bytes.len() < 4 {
+        return Err(ServiceError::Other(
+            "registry input is too short to carry a container magic".to_string(),
+        ));
+    }
+    match &bytes[..4] {
+        b"EMFR" => {
+            let (fp_cfg, devices) = decode_registry(bytes)?;
+            Ok(VerifierKind::Linear(Arc::new(linear_engine(
+                family, &fp_cfg, devices,
+            )?)))
+        }
+        b"EMFB" => {
+            let mut stream = FleetBundleStream::open(std::io::Cursor::new(bytes))?;
+            let fp_cfg = *stream.fingerprint_config();
+            let devices = (&mut stream)
+                .map(|d| d.map(|dev| dev.fingerprint))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(VerifierKind::Linear(Arc::new(linear_engine(
+                family, &fp_cfg, devices,
+            )?)))
+        }
+        b"EMFM" => {
+            let Blob::Path(manifest_path) = registry else {
+                return Err(ServiceError::Other(
+                    "shard manifests must be passed as a path blob so shard files can be \
+                     resolved relative to the manifest"
+                        .to_string(),
+                ));
+            };
+            let dir = Path::new(manifest_path)
+                .parent()
+                .map(PathBuf::from)
+                .unwrap_or_default();
+            let sharded = load_sharded_registry(bytes, |shard| std::fs::read(dir.join(shard)))?;
+            let fp_cfg = *sharded.fingerprint_config();
+            let devices = sharded.devices().to_vec();
+            let index = sharded.index().clone();
+            let linear = linear_engine(family, &fp_cfg, devices)?;
+            Ok(VerifierKind::Indexed(Arc::new(IndexedFleetVerifier::new(
+                linear, index,
+            )?)))
+        }
+        magic => Err(ServiceError::Other(format!(
+            "unrecognised registry container magic {:?} (expected EMFR, EMFB, or EMFM)",
+            String::from_utf8_lossy(magic)
+        ))),
+    }
+}
+
+/// Builds a linear fleet verifier, reusing a warm provisioner's family cache
+/// when one exists for the same fingerprint configuration.
+fn linear_engine(
+    family: &Arc<FamilyEntry>,
+    fp_cfg: &WatermarkConfig,
+    devices: Vec<DeviceFingerprint>,
+) -> Result<FleetVerifier, ServiceError> {
+    if let Some(provisioner) = family.provisioners.lock().unwrap().get(&fp_key(fp_cfg)) {
+        return Ok(provisioner.verifier(devices));
+    }
+    Ok(FleetVerifier::from_parts(
+        family.secrets.clone(),
+        *fp_cfg,
+        devices,
+    )?)
+}
+
+fn inspect_target(
+    target: &Blob,
+    lease: &mut BudgetLease<'_>,
+) -> Result<InspectSummary, ServiceError> {
+    if let Blob::Path(path) = target {
+        // Sniff the magic first so fleet bundles stream instead of loading
+        // whole into memory.
+        let mut head = [0u8; 4];
+        let mut file = std::fs::File::open(path).map_err(|source| ServiceError::Io {
+            what: format!("opening {path} for inspection"),
+            source,
+        })?;
+        file.read_exact(&mut head)
+            .map_err(|source| ServiceError::Io {
+                what: format!("reading the container magic of {path}"),
+                source,
+            })?;
+        if &head == b"EMFB" {
+            let file = std::fs::File::open(path).map_err(|source| ServiceError::Io {
+                what: format!("opening {path} for inspection"),
+                source,
+            })?;
+            let stream = FleetBundleStream::open(std::io::BufReader::new(file))?;
+            return Ok(InspectSummary::Bundle {
+                device_count: stream.device_count() as u32,
+                fingerprint_config: *stream.fingerprint_config(),
+            });
+        }
+    }
+    let bytes = load_blob(target, "inspection target", lease)?;
+    inspect_bytes(&bytes)
+}
+
+fn inspect_bytes(bytes: &[u8]) -> Result<InspectSummary, ServiceError> {
+    if bytes.len() < 4 {
+        return Err(ServiceError::Other(
+            "input is too short to carry a container magic".to_string(),
+        ));
+    }
+    match &bytes[..4] {
+        b"EMQM" => {
+            let version = artifact_version(bytes)?;
+            if version == FORMAT_V2 {
+                let artifact = SparseArtifact::open(bytes)?;
+                let layers = artifact.layer_count();
+                let mut cells = 0u64;
+                for l in 0..layers {
+                    let (rows, cols) = artifact.layer_dims(l);
+                    cells += (rows * cols) as u64;
+                }
+                Ok(InspectSummary::Artifact {
+                    format_version: version,
+                    scheme: artifact.scheme().to_string(),
+                    layers: layers as u32,
+                    cells,
+                })
+            } else {
+                let model = decode_model(bytes)?;
+                let mut cells = 0u64;
+                for l in 0..model.layer_count() {
+                    let (rows, cols) = model.layer_dims(l);
+                    cells += (rows * cols) as u64;
+                }
+                Ok(InspectSummary::Artifact {
+                    format_version: version,
+                    scheme: model.scheme.clone(),
+                    layers: model.layer_count() as u32,
+                    cells,
+                })
+            }
+        }
+        b"EMWS" => {
+            let secrets = decode_secrets(bytes)?;
+            Ok(InspectSummary::Secrets {
+                layers: secrets.original.layer_count() as u32,
+                signature_bits: secrets.signature.len() as u32,
+            })
+        }
+        b"EMFR" => {
+            let (fp_cfg, devices) = decode_registry(bytes)?;
+            Ok(InspectSummary::Registry {
+                device_count: devices.len() as u32,
+                fingerprint_config: fp_cfg,
+            })
+        }
+        b"EMFB" => {
+            let stream = FleetBundleStream::open(std::io::Cursor::new(bytes))?;
+            Ok(InspectSummary::Bundle {
+                device_count: stream.device_count() as u32,
+                fingerprint_config: *stream.fingerprint_config(),
+            })
+        }
+        b"EMFM" => {
+            let manifest = decode_manifest(bytes)?;
+            Ok(InspectSummary::Manifest {
+                shard_count: manifest.shards.len() as u32,
+                device_count: manifest.total_devices,
+            })
+        }
+        magic => Err(ServiceError::Other(format!(
+            "unrecognised container magic {:?}",
+            String::from_utf8_lossy(magic)
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = encode_request(42, &req);
+        let (id, decoded) = decode_request(&payload).expect("round trip");
+        assert_eq!(id, 42);
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = encode_response(7, &resp);
+        let (id, decoded) = decode_response(&payload).expect("round trip");
+        assert_eq!(id, 7);
+        assert_eq!(decoded, resp);
+    }
+
+    fn sample_report() -> ReportSummary {
+        ReportSummary {
+            total_bits: 48,
+            matched_bits: 47,
+            wer: 97.9,
+            log10_p_chance: -12.5,
+        }
+    }
+
+    fn sample_fp() -> DeviceFingerprint {
+        DeviceFingerprint {
+            device_id: "edge-007".to_string(),
+            selection_seed: 0xA5A5,
+            signature_seed: 0x5A5A,
+        }
+    }
+
+    #[test]
+    fn request_payloads_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Verify {
+            secrets: Blob::Path("/tmp/s.emws".to_string()),
+            suspect: Blob::Inline(vec![1, 2, 3]),
+            log10_threshold: -9.0,
+        });
+        round_trip_request(Request::Provision {
+            secrets: Blob::Inline(vec![9; 16]),
+            fingerprint_config: WatermarkConfig {
+                bits_per_layer: 3,
+                pool_ratio: 10,
+                ..WatermarkConfig::default()
+            },
+            device_id: "device-123".to_string(),
+        });
+        round_trip_request(Request::IdentifyLeak {
+            secrets: Blob::Path("/tmp/s.emws".to_string()),
+            registry: Blob::Path("/tmp/fleet.emfr".to_string()),
+            suspect: Blob::Inline(vec![0xEE; 8]),
+            log10_threshold: -6.0,
+            linear: true,
+        });
+        round_trip_request(Request::Inspect {
+            target: Blob::Inline(vec![0x42]),
+        });
+    }
+
+    #[test]
+    fn response_payloads_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::ShutdownComplete);
+        round_trip_response(Response::Busy { retry_after_ms: 50 });
+        round_trip_response(Response::Error {
+            message: "boom".to_string(),
+        });
+        round_trip_response(Response::Verify {
+            report: sample_report(),
+            proved: true,
+        });
+        round_trip_response(Response::Provision {
+            fingerprint: sample_fp(),
+            artifact: vec![0xAB; 32],
+        });
+        round_trip_response(Response::Identify { matched: None });
+        round_trip_response(Response::Identify {
+            matched: Some((sample_fp(), sample_report())),
+        });
+        round_trip_response(Response::Inspect(InspectSummary::Artifact {
+            format_version: 2,
+            scheme: "awq-int4".to_string(),
+            layers: 2,
+            cells: 512,
+        }));
+        round_trip_response(Response::Inspect(InspectSummary::Manifest {
+            shard_count: 3,
+            device_count: 3000,
+        }));
+        round_trip_response(Response::Inspect(InspectSummary::Secrets {
+            layers: 2,
+            signature_bits: 6,
+        }));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_request(b"nope").is_err());
+        // Wrong magic.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[0] = b'X';
+        assert!(decode_request(&payload).is_err());
+        // Wrong protocol version.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload),
+            Err(CodecError::BadVersion(99))
+        ));
+        // Unknown op.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[16] = 0xCC;
+        assert!(decode_request(&payload).is_err());
+        // Trailing garbage.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        // Truncated blob.
+        let payload = encode_request(
+            1,
+            &Request::Inspect {
+                target: Blob::Inline(vec![1, 2, 3, 4]),
+            },
+        );
+        assert!(decode_request(&payload[..payload.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // Oversized length prefix.
+        let bad = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        assert!(read_frame(std::io::Cursor::new(bad.to_vec())).is_err());
+
+        // EOF mid-frame.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(6);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn ping_and_shutdown_flow_through_the_pool() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.request(1, &Request::Ping), Response::Pong);
+        assert_eq!(
+            service.request(2, &Request::Shutdown),
+            Response::ShutdownComplete
+        );
+        service.wait_stopped();
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_refused() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(
+            service.request(1, &Request::Shutdown),
+            Response::ShutdownComplete
+        );
+        match service.request(2, &Request::Ping) {
+            Response::Error { message } => assert!(message.contains("shutting down")),
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queue_returns_busy_with_retry_hint() {
+        let service = Service::start(ServiceConfig {
+            workers: 0,
+            queue_capacity: 2,
+            retry_after_ms: 123,
+            ..ServiceConfig::default()
+        });
+        let park = |id| {
+            service.submit(encode_request(id, &Request::Ping), Box::new(|_| {}));
+        };
+        park(1);
+        park(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        service.submit(
+            encode_request(3, &Request::Ping),
+            Box::new(move |payload| {
+                let _ = tx.send(payload);
+            }),
+        );
+        let (id, resp) = decode_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(
+            resp,
+            Response::Busy {
+                retry_after_ms: 123
+            }
+        );
+        // The parked jobs still complete once drained.
+        service.drain_pending();
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses_with_the_peeked_id() {
+        let service = Service::start(ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        });
+        let mut payload = encode_request(77, &Request::Ping);
+        payload.push(0xFF); // trailing garbage
+        let (tx, rx) = std::sync::mpsc::channel();
+        service.submit(
+            payload,
+            Box::new(move |p| {
+                let _ = tx.send(p);
+            }),
+        );
+        service.drain_pending();
+        let (id, resp) = decode_response(&rx.recv().unwrap()).unwrap();
+        assert_eq!(id, 77);
+        match resp {
+            Response::Error { message } => assert!(message.contains("malformed")),
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_lease_blocks_then_releases() {
+        let budget = ResidentBudget::new(Some(100));
+        let mut a = BudgetLease::new(&budget);
+        a.charge(60);
+        // A holder may overdraft on follow-up charges.
+        a.charge(60);
+        assert_eq!(*budget.used.lock().unwrap(), 120);
+        drop(a);
+        assert_eq!(*budget.used.lock().unwrap(), 0);
+        // An oversized first charge clamps instead of deadlocking.
+        let mut b = BudgetLease::new(&budget);
+        b.charge(10_000);
+        assert_eq!(*budget.used.lock().unwrap(), 10_000);
+        drop(b);
+        assert_eq!(*budget.used.lock().unwrap(), 0);
+    }
+}

@@ -1,7 +1,7 @@
-//! Zero-dependency process telemetry: atomic [`Counter`]s, fixed-bucket
-//! log-scale [`Histogram`]s, and RAII [`Span`] timers behind a runtime
-//! on/off switch, with JSONL and Prometheus-text exporters (DESIGN.md
-//! §13).
+//! Zero-dependency process telemetry: atomic [`Counter`]s, settable
+//! [`Gauge`]s, fixed-bucket log-scale [`Histogram`]s, and RAII [`Span`]
+//! timers behind a runtime on/off switch, with JSONL and
+//! Prometheus-text exporters (DESIGN.md §13).
 //!
 //! Every metric is a `static` registered at compile time in the
 //! process-wide [`Telemetry`] registry, so instrumentation sites deep in
@@ -27,14 +27,15 @@
 //!   `_bucket{le="..."}` series plus `_sum`/`_count`).
 //!
 //! Metric names follow Prometheus conventions: `emmark_<subsystem>_...`
-//! with `_total` on counters and the unit (`_ns`) on histograms.
+//! with `_total` on counters and the unit (`_ns`) on histograms;
+//! gauges carry neither suffix (they are levels, not accumulations).
 //! Histograms bucket by power of two — bucket `i` holds values in
 //! `[2^i, 2^(i+1))` (bucket 0 also holds zero) — trading resolution
 //! nobody needs for a fixed 64-slot layout that records with two
 //! atomic adds and never allocates.
 
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,67 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description (the Prometheus `# HELP` text).
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable signed level — queue depths, resident-byte accounting —
+/// read and written with `Relaxed` atomics. Unlike a [`Counter`] a
+/// gauge goes down as well as up, so its name carries no `_total`
+/// suffix.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge. `name` should follow the
+    /// `emmark_<subsystem>_<what>` convention (no unit/accumulation
+    /// suffix).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (one `Relaxed` atomic add; `n` may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 
@@ -233,13 +295,18 @@ macro_rules! registry {
         counters {
             $($(#[$cmeta:meta])* $cid:ident : $cname:literal => $chelp:literal;)*
         }
+        gauges {
+            $($(#[$gmeta:meta])* $gid:ident : $gname:literal => $ghelp:literal;)*
+        }
         histograms {
             $($(#[$hmeta:meta])* $hid:ident : $hname:literal => $hhelp:literal;)*
         }
     ) => {
         $($(#[$cmeta])* pub static $cid: Counter = Counter::new($cname, $chelp);)*
+        $($(#[$gmeta])* pub static $gid: Gauge = Gauge::new($gname, $ghelp);)*
         $($(#[$hmeta])* pub static $hid: Histogram = Histogram::new($hname, $hhelp);)*
         static COUNTERS: &[&Counter] = &[$(&$cid),*];
+        static GAUGES: &[&Gauge] = &[$(&$gid),*];
         static HISTOGRAMS: &[&Histogram] = &[$(&$hid),*];
     };
 }
@@ -299,6 +366,34 @@ registry! {
         /// Attack sweep points measured by the harness.
         ATTACK_POINTS: "emmark_attack_points_total" =>
             "Attack sweep points measured by attacks::harness";
+        /// Requests accepted into the emmarkd bounded queue.
+        SERVICE_REQUESTS: "emmark_service_requests_total" =>
+            "Requests accepted by the emmarkd service queue";
+        /// Requests bounced with retry-after because the queue was
+        /// full.
+        SERVICE_REJECTED: "emmark_service_rejected_total" =>
+            "Requests rejected with retry-after by the full service queue";
+        /// Malformed frames the service refused to enqueue.
+        SERVICE_MALFORMED: "emmark_service_malformed_total" =>
+            "Malformed request frames rejected by the emmarkd decoder";
+        /// Warm family entries served from the service LRU.
+        SERVICE_CACHE_HITS: "emmark_service_family_cache_hits_total" =>
+            "Warm family-cache hits in the emmarkd LRU";
+        /// Family entries built from scratch for a service request.
+        SERVICE_CACHE_MISSES: "emmark_service_family_cache_misses_total" =>
+            "Family-cache builds triggered by emmarkd requests";
+        /// Families dropped from the LRU to make room.
+        SERVICE_EVICTIONS: "emmark_service_family_cache_evictions_total" =>
+            "Families evicted from the emmarkd LRU";
+    }
+    gauges {
+        /// Requests waiting in the emmarkd bounded queue right now.
+        SERVICE_QUEUE_DEPTH: "emmark_service_queue_depth" =>
+            "Requests waiting in the emmarkd bounded queue";
+        /// Transient request bytes currently charged against the
+        /// service resident budget.
+        SERVICE_RESIDENT_BYTES: "emmark_service_resident_bytes" =>
+            "Bytes charged against the emmarkd resident budget";
     }
     histograms {
         /// Wall time of one `layer_pool` call.
@@ -342,6 +437,19 @@ registry! {
         /// The owner-extraction step of one attack sweep point.
         ATTACK_EXTRACT_NS: "emmark_attack_extract_ns" =>
             "Watermark extraction time within one attack sweep point";
+        /// One service verify request, queue-pop to response bytes.
+        SERVICE_VERIFY_NS: "emmark_service_verify_ns" =>
+            "Wall time of one emmarkd verify request";
+        /// One service provision request, queue-pop to response bytes.
+        SERVICE_PROVISION_NS: "emmark_service_provision_ns" =>
+            "Wall time of one emmarkd provision request";
+        /// One service identify-leak request, queue-pop to response
+        /// bytes.
+        SERVICE_IDENTIFY_NS: "emmark_service_identify_ns" =>
+            "Wall time of one emmarkd identify-leak request";
+        /// One service inspect request, queue-pop to response bytes.
+        SERVICE_INSPECT_NS: "emmark_service_inspect_ns" =>
+            "Wall time of one emmarkd inspect request";
     }
 }
 
@@ -374,6 +482,11 @@ impl Telemetry {
         COUNTERS
     }
 
+    /// Every registered gauge, in registration order.
+    pub fn gauges() -> &'static [&'static Gauge] {
+        GAUGES
+    }
+
     /// Every registered histogram, in registration order.
     pub fn histograms() -> &'static [&'static Histogram] {
         HISTOGRAMS
@@ -382,6 +495,11 @@ impl Telemetry {
     /// Looks up a counter by metric name.
     pub fn counter(name: &str) -> Option<&'static Counter> {
         COUNTERS.iter().find(|c| c.name == name).copied()
+    }
+
+    /// Looks up a gauge by metric name.
+    pub fn gauge(name: &str) -> Option<&'static Gauge> {
+        GAUGES.iter().find(|g| g.name == name).copied()
     }
 
     /// Looks up a histogram by metric name.
@@ -394,6 +512,9 @@ impl Telemetry {
     pub fn reset() {
         for c in COUNTERS {
             c.reset();
+        }
+        for g in GAUGES {
+            g.reset();
         }
         for h in HISTOGRAMS {
             h.reset();
@@ -461,6 +582,17 @@ pub struct CounterSample {
     pub value: u64,
 }
 
+/// Point-in-time level of one [`Gauge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// Gauge level at capture time.
+    pub value: i64,
+}
+
 /// Point-in-time state of one [`Histogram`]. `buckets` holds
 /// `(inclusive_upper_bound, count)` for the non-empty buckets only.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -486,6 +618,8 @@ pub struct HistogramSample {
 pub struct Snapshot {
     /// Every registered counter.
     pub counters: Vec<CounterSample>,
+    /// Every registered gauge.
+    pub gauges: Vec<GaugeSample>,
     /// Every registered histogram.
     pub histograms: Vec<HistogramSample>,
     /// Peak resident set size of this process, if the platform exposes
@@ -502,6 +636,14 @@ impl Snapshot {
                 name: c.name,
                 help: c.help,
                 value: c.get(),
+            })
+            .collect();
+        let gauges = GAUGES
+            .iter()
+            .map(|g| GaugeSample {
+                name: g.name,
+                help: g.help,
+                value: g.get(),
             })
             .collect();
         let histograms = HISTOGRAMS
@@ -521,6 +663,7 @@ impl Snapshot {
             .collect();
         Self {
             counters,
+            gauges,
             histograms,
             peak_resident_mib: peak_resident_mib(),
         }
@@ -547,6 +690,13 @@ impl Snapshot {
                 w,
                 "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
                 c.name, c.value
+            )?;
+        }
+        for g in &self.gauges {
+            writeln!(
+                w,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                g.name, g.value
             )?;
         }
         for h in &self.histograms {
@@ -579,6 +729,11 @@ impl Snapshot {
             let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
             let _ = writeln!(out, "# TYPE {} counter", c.name);
             let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
         }
         for h in &self.histograms {
             if h.count == 0 {
@@ -673,12 +828,29 @@ mod tests {
     }
 
     #[test]
+    fn gauges_move_in_both_directions() {
+        static G: Gauge = Gauge::new("test_gauge", "test");
+        assert_eq!(G.get(), 0);
+        G.set(5);
+        G.add(3);
+        G.sub(10);
+        assert_eq!(G.get(), -2);
+        G.reset();
+        assert_eq!(G.get(), 0);
+    }
+
+    #[test]
     fn prometheus_rendering_is_cumulative_and_typed() {
         let snap = Snapshot {
             counters: vec![CounterSample {
                 name: "emmark_test_total",
                 help: "a test counter",
                 value: 7,
+            }],
+            gauges: vec![GaugeSample {
+                name: "emmark_test_depth",
+                help: "a test gauge",
+                value: -2,
             }],
             histograms: vec![HistogramSample {
                 name: "emmark_test_ns",
@@ -692,6 +864,8 @@ mod tests {
         let text = snap.render_prometheus();
         assert!(text.contains("# TYPE emmark_test_total counter"));
         assert!(text.contains("emmark_test_total 7"));
+        assert!(text.contains("# TYPE emmark_test_depth gauge"));
+        assert!(text.contains("emmark_test_depth -2"));
         assert!(text.contains("# TYPE emmark_test_ns histogram"));
         assert!(text.contains("emmark_test_ns_bucket{le=\"3\"} 2"));
         assert!(text.contains("emmark_test_ns_bucket{le=\"2047\"} 3"));
@@ -706,6 +880,7 @@ mod tests {
         let mut names: Vec<&str> = Telemetry::counters()
             .iter()
             .map(|c| c.name())
+            .chain(Telemetry::gauges().iter().map(|g| g.name()))
             .chain(Telemetry::histograms().iter().map(|h| h.name()))
             .collect();
         let total = names.len();
@@ -717,12 +892,19 @@ mod tests {
             assert!(c.name().ends_with("_total"), "{}", c.name());
             assert!(!c.help().is_empty());
         }
+        for g in Telemetry::gauges() {
+            assert!(g.name().starts_with("emmark_"), "{}", g.name());
+            assert!(!g.name().ends_with("_total"), "{}", g.name());
+            assert!(!g.name().ends_with("_ns"), "{}", g.name());
+            assert!(!g.help().is_empty());
+        }
         for h in Telemetry::histograms() {
             assert!(h.name().starts_with("emmark_"), "{}", h.name());
             assert!(h.name().ends_with("_ns"), "{}", h.name());
             assert!(!h.help().is_empty());
         }
         assert!(Telemetry::counter("emmark_scoring_cells_scanned_total").is_some());
+        assert!(Telemetry::gauge("emmark_service_queue_depth").is_some());
         assert!(Telemetry::histogram("emmark_stream_stall_ns").is_some());
         assert!(Telemetry::counter("no_such_metric").is_none());
     }

@@ -51,6 +51,15 @@
 //!                                                   (sublinear in fleet size;
 //!                                                   --linear forces the full scan,
 //!                                                   verdicts are bit-identical)
+//! emmark serve [--socket PATH] [--workers N] [--queue N] [--cache-families N]
+//!              [--retry-after-ms MS] [--max-resident-mb M]
+//!                                                   emmarkd: long-running service
+//!                                                   answering framed verify /
+//!                                                   provision / identify-leak /
+//!                                                   inspect requests over a Unix
+//!                                                   socket (or stdin/stdout),
+//!                                                   keeping one family cache warm
+//!                                                   per owner vault behind an LRU
 //! ```
 //!
 //! The demo subcommand exists so the whole flow can be driven without
@@ -76,7 +85,9 @@ use emmark::core::fleet::{
 use emmark::core::provision::FleetProvisioner;
 use emmark::core::registry::{
     decode_manifest, encode_manifest, load_sharded_registry, provision_sharded_into,
+    IndexedFleetVerifier, LeakIndex,
 };
+use emmark::core::service::{read_frame, write_frame, Request, Service, ServiceConfig};
 use emmark::core::store::{ArtifactLayerStore, ArtifactSink};
 use emmark::core::telemetry::{peak_resident_mib, Snapshot, Telemetry};
 use emmark::core::vault::{decode_secrets, encode_secrets, FleetBundleStream};
@@ -127,6 +138,7 @@ fn main() -> ExitCode {
         "fleet-provision" => cmd_fleet_provision(&opts),
         "fleet-verify" => cmd_fleet_verify(&opts),
         "identify-leak" => cmd_identify_leak(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
     // Export even on failure — partial counters are exactly what a
@@ -164,13 +176,17 @@ USAGE:
                          [--threshold L] [--jobs N]
   emmark identify-leak   --secrets FILE --manifest FILE --suspect FILE
                          [--threshold L] [--linear]
+  emmark serve           [--socket PATH] [--workers N] [--queue N]
+                         [--cache-families N] [--retry-after-ms MS]
+                         [--max-resident-mb M]
 
 --max-resident-mb switches the stamp side onto the streaming LayerStore
 pipeline (score → insert → encode one layer at a time; device artifacts
 spliced straight to disk) and fails the run if peak resident memory
 exceeded the budget (Linux VmHWM; reported best-effort elsewhere).
 
-demo, verify, fleet-provision, fleet-verify, and identify-leak also take
+demo, verify, fleet-provision, fleet-verify, identify-leak, and serve
+also take
   --telemetry FILE.jsonl   stream span events to FILE and append a final
                            counter/histogram snapshot (one JSON object
                            per line)
@@ -233,6 +249,16 @@ fn allowed_opts(command: &str) -> Option<&'static [&'static str]> {
             "suspect",
             "threshold",
             "linear",
+            "telemetry",
+            "metrics",
+        ],
+        "serve" => &[
+            "socket",
+            "workers",
+            "queue",
+            "cache-families",
+            "retry-after-ms",
+            "max-resident-mb",
             "telemetry",
             "metrics",
         ],
@@ -989,6 +1015,19 @@ fn load_manifest(manifest_path: &str) -> Result<emmark::core::registry::ShardedR
         .map_err(|e| format!("loading {manifest_path}: {e}"))
 }
 
+/// Where the suspect artifacts for `fleet-verify` come from: a
+/// provisioned-fleet bundle that is streamed (twice — fingerprints,
+/// then artifacts), or a directory of `.emqm` files read up front.
+enum FleetSource {
+    Bundle(String),
+    Dir(Vec<String>, Vec<Vec<u8>>),
+}
+
+fn open_bundle(path: &str) -> Result<FleetBundleStream<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    FleetBundleStream::open(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
 fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let secrets =
         decode_secrets(&read_file(required(opts, "secrets")?)?).map_err(|e| e.to_string())?;
@@ -996,87 +1035,88 @@ fn cmd_fleet_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     let jobs: usize = parsed(opts, "jobs", 0)?;
     let jobs = if jobs == 0 { None } else { Some(jobs) };
 
-    // Two sources: a provisioned-fleet bundle (registry + artifacts in
-    // one file, streamed with a bounded ring of resident artifacts), or
-    // a registry file plus a directory of .emqm files.
-    let (cache_time, verify_time, verdicts): (
-        _,
-        _,
-        Vec<(String, Result<FleetVerdict, FleetError>)>,
-    ) = if let Some(bundle_path) = opts.get("bundle") {
-        // Pass 1: collect the registry entries (artifacts are read
-        // and dropped one at a time — never the whole fleet).
-        let open_stream = || -> Result<FleetBundleStream<BufReader<File>>, String> {
-            let file =
-                File::open(bundle_path).map_err(|e| format!("reading {bundle_path}: {e}"))?;
-            FleetBundleStream::open(BufReader::new(file)).map_err(|e| e.to_string())
+    // Three sources — a provisioned-fleet bundle, a sharded EMFM
+    // manifest, or a flat registry plus a directory of .emqm files —
+    // all resolved to the same raw parts (fingerprint config, device
+    // list, optional leak index) so the expensive family cache below is
+    // built exactly once, through a single from_parts call site.
+    let (fp_cfg, devices, index, source): (_, _, Option<LeakIndex>, FleetSource) =
+        if let Some(bundle_path) = opts.get("bundle") {
+            // Pass 1: collect the registry entries (artifacts are read
+            // and dropped one at a time — never the whole fleet).
+            let mut stream = open_bundle(bundle_path)?;
+            let fp_cfg = *stream.fingerprint_config();
+            // The declared count is untrusted input; cap the
+            // pre-allocation and let real entries grow the vector.
+            let mut devices = Vec::with_capacity(stream.device_count().min(1024));
+            for entry in &mut stream {
+                devices.push(entry.map_err(|e| e.to_string())?.fingerprint);
+            }
+            (
+                fp_cfg,
+                devices,
+                None,
+                FleetSource::Bundle(bundle_path.clone()),
+            )
+        } else if let Some(manifest_path) = opts.get("manifest") {
+            // Sharded registry: decode the EMFM manifest, splice the
+            // shard files into one device list, and trace leaks through
+            // the persisted inverted index instead of scoring every
+            // device.
+            let registry = load_manifest(manifest_path)?;
+            let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
+            let (fp_cfg, devices, index) = registry.into_parts();
+            (
+                fp_cfg,
+                devices,
+                Some(index),
+                FleetSource::Dir(names, artifacts),
+            )
+        } else {
+            let (fp_cfg, devices) = decode_registry(&read_file(required(opts, "registry")?)?)
+                .map_err(|e| e.to_string())?;
+            let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
+            (fp_cfg, devices, None, FleetSource::Dir(names, artifacts))
         };
-        let mut stream = open_stream()?;
-        let fp_cfg = *stream.fingerprint_config();
-        // The declared count is untrusted input; cap the
-        // pre-allocation and let real entries grow the vector.
-        let mut devices = Vec::with_capacity(stream.device_count().min(1024));
-        for entry in &mut stream {
-            devices.push(entry.map_err(|e| e.to_string())?.fingerprint);
-        }
-        println!(
-            "building the verification cache ({} registered devices)…",
-            devices.len()
-        );
-        let start = std::time::Instant::now();
-        let verifier =
-            FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
-        let cache_time = start.elapsed();
-        // Pass 2: stream the bundle again, verifying rings of
-        // artifacts in parallel.
-        let ring = jobs.unwrap_or(4).max(1) * 4;
-        let mut stream = open_stream()?;
-        let start = std::time::Instant::now();
-        let verdicts = verifier
-            .verify_bundle_stream(&mut stream, threshold, jobs, ring)
-            .map_err(|e| e.to_string())?;
-        (cache_time, start.elapsed(), verdicts)
-    } else if let Some(manifest_path) = opts.get("manifest") {
-        // Sharded registry: decode the EMFM manifest, splice the shard
-        // files into one device list, and trace leaks through the
-        // persisted inverted index instead of scoring every device.
-        let registry = load_manifest(manifest_path)?;
-        let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
-        println!(
+
+    match &index {
+        Some(ix) => println!(
             "building the verification cache ({} registered devices, {} leak-index cells)…",
-            registry.devices().len(),
-            registry.index().cell_count()
-        );
-        let start = std::time::Instant::now();
-        let verifier = registry.into_verifier(secrets).map_err(|e| e.to_string())?;
-        let cache_time = start.elapsed();
-        let start = std::time::Instant::now();
-        let batch = verifier.verify_batch(&artifacts, threshold, jobs);
-        (
-            cache_time,
-            start.elapsed(),
-            names.into_iter().zip(batch).collect(),
-        )
-    } else {
-        let (fp_cfg, devices) =
-            decode_registry(&read_file(required(opts, "registry")?)?).map_err(|e| e.to_string())?;
-        let (names, artifacts) = read_artifacts_dir(Path::new(required(opts, "artifacts")?))?;
-        println!(
+            devices.len(),
+            ix.cell_count()
+        ),
+        None => println!(
             "building the verification cache ({} registered devices)…",
             devices.len()
-        );
-        let start = std::time::Instant::now();
-        let verifier =
-            FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
-        let cache_time = start.elapsed();
-        let start = std::time::Instant::now();
-        let batch = verifier.verify_batch(&artifacts, threshold, jobs);
-        (
-            cache_time,
-            start.elapsed(),
-            names.into_iter().zip(batch).collect(),
-        )
+        ),
+    }
+    let start = std::time::Instant::now();
+    let verifier =
+        FleetVerifier::from_parts(secrets, fp_cfg, devices).map_err(|e| e.to_string())?;
+    let cache_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let verdicts: Vec<(String, Result<FleetVerdict, FleetError>)> = match source {
+        FleetSource::Bundle(path) => {
+            // Pass 2: stream the bundle again, verifying rings of
+            // artifacts in parallel.
+            let ring = jobs.unwrap_or(4).max(1) * 4;
+            let mut stream = open_bundle(&path)?;
+            verifier
+                .verify_bundle_stream(&mut stream, threshold, jobs, ring)
+                .map_err(|e| e.to_string())?
+        }
+        FleetSource::Dir(names, artifacts) => {
+            let batch = match index {
+                Some(ix) => IndexedFleetVerifier::new(verifier, ix)
+                    .map_err(|e| e.to_string())?
+                    .verify_batch(&artifacts, threshold, jobs),
+                None => verifier.verify_batch(&artifacts, threshold, jobs),
+            };
+            names.into_iter().zip(batch).collect()
+        }
     };
+    let verify_time = start.elapsed();
 
     println!(
         "\n{:<28} {:>10} {:>12} {:<18} {:>12}",
@@ -1191,6 +1231,164 @@ fn cmd_identify_leak(opts: &HashMap<String, String>) -> Result<(), String> {
         None => Err(format!(
             "no registered device clears the 10^{threshold} threshold"
         )),
+    }
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let defaults = ServiceConfig::default();
+    let workers: usize = parsed(opts, "workers", 0)?;
+    let cfg = ServiceConfig {
+        workers: if workers == 0 {
+            defaults.workers
+        } else {
+            workers
+        },
+        queue_capacity: parsed(opts, "queue", defaults.queue_capacity)?,
+        cache_capacity: parsed(opts, "cache-families", defaults.cache_capacity)?,
+        max_resident_bytes: memory_budget(opts)?.map(|mib| mib as u64 * 1024 * 1024),
+        retry_after_ms: parsed(opts, "retry-after-ms", defaults.retry_after_ms)?,
+    };
+    eprintln!(
+        "emmarkd: {} workers, queue {}, {} resident model families{}",
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.cache_capacity,
+        match cfg.max_resident_bytes {
+            Some(b) => format!(", {} MiB resident budget", b / (1024 * 1024)),
+            None => String::new(),
+        }
+    );
+    let service = Service::start(cfg);
+    match opts.get("socket") {
+        Some(path) => serve_socket(service, path),
+        None => serve_stdio(&service),
+    }
+}
+
+/// Serves framed requests over stdin/stdout: one length-prefixed
+/// request frame in, one response frame out (order may differ from the
+/// request order — responses carry the request id). EOF on stdin
+/// drains the queue and shuts down.
+fn serve_stdio(service: &Service) -> Result<(), String> {
+    use std::io::Write as _;
+    let stdout = std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+    let mut stdin = std::io::stdin().lock();
+    loop {
+        match read_frame(&mut stdin) {
+            Ok(Some(payload)) => {
+                let out = std::sync::Arc::clone(&stdout);
+                service.submit(
+                    payload,
+                    Box::new(move |resp| {
+                        let mut w = out.lock().unwrap();
+                        let _ = write_frame(&mut *w, &resp);
+                        let _ = w.flush();
+                    }),
+                );
+            }
+            Ok(None) => break,
+            Err(e) => return Err(format!("reading request frame: {e}")),
+        }
+        if service.is_stopped() {
+            break;
+        }
+    }
+    // A shutdown request drains in-flight work before stopping; if a
+    // client already shut us down this is answered with a harmless
+    // "shutting down" error that nobody reads.
+    let _ = service.request(u64::MAX, &Request::Shutdown);
+    service.wait_stopped();
+    eprintln!("emmarkd: drained, exiting");
+    Ok(())
+}
+
+/// Serves framed requests over a Unix socket, one handler thread per
+/// connection. A shutdown request (from any connection) drains the
+/// queue, stops the pool, and unblocks the accept loop.
+fn serve_socket(service: Service, path: &str) -> Result<(), String> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    // A stale socket file from a crashed daemon would make bind fail.
+    if Path::new(path).exists() {
+        std::fs::remove_file(path).map_err(|e| format!("removing stale socket {path}: {e}"))?;
+    }
+    let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    eprintln!("emmarkd: listening on {path}");
+    let service = std::sync::Arc::new(service);
+
+    // accept() has no timeout, so a helper thread waits for the pool to
+    // stop and then pokes the socket to unblock the final accept.
+    let waker = {
+        let service = std::sync::Arc::clone(&service);
+        let path = path.to_string();
+        std::thread::Builder::new()
+            .name("emmarkd-waker".into())
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                service.wait_stopped();
+                let _ = UnixStream::connect(&path);
+            })
+            .map_err(|e| format!("spawning waker thread: {e}"))?
+    };
+
+    let mut handlers = Vec::new();
+    for conn in listener.incoming() {
+        if service.is_stopped() {
+            break;
+        }
+        let conn = match conn {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("emmarkd: accept failed: {e}");
+                continue;
+            }
+        };
+        let service = std::sync::Arc::clone(&service);
+        let handle = std::thread::Builder::new()
+            .name("emmarkd-conn".into())
+            .stack_size(512 * 1024)
+            .spawn(move || serve_conn(&service, conn))
+            .map_err(|e| format!("spawning connection thread: {e}"))?;
+        handlers.push(handle);
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    let _ = waker.join();
+    let _ = std::fs::remove_file(path);
+    eprintln!("emmarkd: drained, exiting");
+    Ok(())
+}
+
+fn serve_conn(service: &Service, conn: std::os::unix::net::UnixStream) {
+    let writer = match conn.try_clone() {
+        Ok(w) => std::sync::Arc::new(std::sync::Mutex::new(w)),
+        Err(e) => {
+            eprintln!("emmarkd: cloning connection: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(conn);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                let out = std::sync::Arc::clone(&writer);
+                service.submit(
+                    payload,
+                    Box::new(move |resp| {
+                        let mut w = out.lock().unwrap();
+                        let _ = write_frame(&mut *w, &resp);
+                    }),
+                );
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("emmarkd: dropping connection: {e}");
+                break;
+            }
+        }
+        if service.is_stopped() {
+            break;
+        }
     }
 }
 

@@ -1,0 +1,342 @@
+//! The `emmarkd` service answers bit-for-bit identically to the
+//! one-shot CLI paths, under concurrency, for **all five quantization
+//! schemes** (RTN, AWQ, GPTQ, SmoothQuant, LLM.int8()):
+//!
+//! * `verify` through the warm family cache vs `decode_secrets` +
+//!   `OwnerSecrets::verify` per request;
+//! * `provision` vs a fresh `FleetProvisioner`;
+//! * `identify-leak` vs a fresh `FleetVerifier` linear scan;
+//! * plus the failure envelope: queue-full backpressure, malformed
+//!   frames, and the graceful shutdown drain.
+
+use emmark::core::deploy::encode_model;
+use emmark::core::fleet::{encode_registry, FleetVerifier};
+use emmark::core::provision::FleetProvisioner;
+use emmark::core::service::{
+    decode_response, encode_request, Blob, ReportSummary, Request, Response, Service, ServiceConfig,
+};
+use emmark::core::vault::encode_secrets;
+use emmark::core::watermark::{OwnerSecrets, WatermarkConfig};
+use emmark::core::SparseArtifact;
+use emmark::nanolm::model::ActivationStats;
+use emmark::nanolm::{ModelConfig, TransformerModel};
+use emmark::quant::awq::{awq, AwqConfig};
+use emmark::quant::gptq::{gptq, GptqConfig};
+use emmark::quant::llm_int8::{llm_int8, OutlierCriterion};
+use emmark::quant::rtn::quantize_linear_rtn;
+use emmark::quant::smoothquant::{smoothquant, SmoothQuantConfig};
+use emmark::quant::{ActQuant, Granularity, QuantizedModel};
+use std::sync::mpsc;
+
+const SCHEMES: [&str; 5] = ["rtn", "awq", "gptq", "smoothquant", "llm_int8"];
+
+/// Builds one of the five quantized models plus its activation profile.
+fn quantize(scheme: &str, seed: u64) -> (QuantizedModel, ActivationStats) {
+    let mut cfg = ModelConfig::tiny_test();
+    cfg.init_seed = seed;
+    let mut model = TransformerModel::new(cfg);
+    let calib: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..16u32).map(|i| (i * 7 + s * 3) % 31).collect())
+        .collect();
+    let stats = model.collect_activation_stats(&calib);
+    let qm = match scheme {
+        "rtn" => QuantizedModel::quantize_with(&model, "rtn-int8", |_, lin| {
+            quantize_linear_rtn(lin, 8, Granularity::PerOutChannel, ActQuant::None)
+        }),
+        "awq" => awq(&model, &stats, &AwqConfig::default()),
+        "gptq" => gptq(&mut model.clone(), &calib, &GptqConfig::default()),
+        "smoothquant" => smoothquant(&model, &stats, &SmoothQuantConfig::default()),
+        "llm_int8" => llm_int8(&model, &stats, OutlierCriterion::Quantile(0.9)),
+        other => panic!("unknown scheme {other}"),
+    };
+    (qm, stats)
+}
+
+fn wm_cfg() -> WatermarkConfig {
+    WatermarkConfig {
+        bits_per_layer: 3,
+        pool_ratio: 10,
+        ..Default::default()
+    }
+}
+
+fn fp_cfg() -> WatermarkConfig {
+    WatermarkConfig {
+        bits_per_layer: 2,
+        pool_ratio: 10,
+        selection_seed: 0xDE11CE,
+        ..Default::default()
+    }
+}
+
+/// One model family: the serialized owner vault, its deployed artifact,
+/// and the report the one-shot CLI path produces for that artifact.
+struct Family {
+    scheme: &'static str,
+    secrets_bytes: Vec<u8>,
+    deployed_bytes: Vec<u8>,
+    expected: ReportSummary,
+}
+
+fn build_family(scheme: &'static str, seed: u64) -> Family {
+    let (qm, stats) = quantize(scheme, seed);
+    let secrets = OwnerSecrets::new(qm, stats, wm_cfg(), 0xB10C ^ seed);
+    let deployed = secrets.watermark_for_deployment().expect("stamp");
+    let deployed_bytes = encode_model(&deployed).to_vec();
+    // The one-shot reference, exactly as `emmark verify` computes it:
+    // decode the vault, open the artifact sparsely, extract.
+    let sparse = SparseArtifact::open(&deployed_bytes).expect("open");
+    let expected = ReportSummary::from(&secrets.verify(&sparse).expect("verify"));
+    Family {
+        scheme,
+        secrets_bytes: encode_secrets(&secrets).to_vec(),
+        deployed_bytes,
+        expected,
+    }
+}
+
+#[test]
+fn concurrent_batched_verification_matches_the_one_shot_cli() {
+    let families: Vec<Family> = SCHEMES
+        .iter()
+        .enumerate()
+        .map(|(i, s)| build_family(s, 1000 + i as u64))
+        .collect();
+
+    // Fewer cache slots than families: the LRU must evict and reload
+    // under concurrent load without ever changing an answer.
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 3,
+        max_resident_bytes: None,
+        retry_after_ms: 10,
+    });
+
+    std::thread::scope(|scope| {
+        for (i, family) in families.iter().enumerate() {
+            let service = &service;
+            scope.spawn(move || {
+                // Two rounds per family: a cold miss, then (possibly)
+                // a warm hit. Both must equal the one-shot report.
+                for round in 0..2u64 {
+                    let req = Request::Verify {
+                        secrets: Blob::Inline(family.secrets_bytes.clone()),
+                        suspect: Blob::Inline(family.deployed_bytes.clone()),
+                        log10_threshold: -9.0,
+                    };
+                    match service.request(i as u64 * 10 + round, &req) {
+                        Response::Verify { report, proved } => {
+                            assert_eq!(
+                                report, family.expected,
+                                "{} round {round}: service report diverged from one-shot",
+                                family.scheme
+                            );
+                            assert!(proved, "{}: tiny-model stamp must prove", family.scheme);
+                        }
+                        other => panic!("{}: unexpected response {other:?}", family.scheme),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(service.request(99, &Request::Ping), Response::Pong);
+}
+
+#[test]
+fn provisioning_and_leak_identification_match_the_one_shot_engines() {
+    let family = build_family("awq", 77);
+    let secrets = emmark::core::vault::decode_secrets(&family.secrets_bytes).expect("decode");
+
+    // One-shot reference: a fresh provisioner and a fresh verifier.
+    let provisioner = FleetProvisioner::new(secrets.clone(), fp_cfg()).expect("cache");
+    let ids: Vec<String> = (0..3).map(|i| format!("edge-{i:02}")).collect();
+    let expected: Vec<_> = ids
+        .iter()
+        .map(|id| provisioner.provision_artifact(id))
+        .collect();
+    let fingerprints: Vec<_> = expected.iter().map(|p| p.fingerprint.clone()).collect();
+    let registry_bytes = encode_registry(&fp_cfg(), &fingerprints).to_vec();
+    let leak = &expected[1];
+    let one_shot = FleetVerifier::from_parts(secrets, fp_cfg(), fingerprints.clone())
+        .expect("cache")
+        .identify_leak(&SparseArtifact::open(&leak.artifact).expect("open"), -6.0)
+        .expect("identify")
+        .map(|(d, r)| (d.clone(), ReportSummary::from(&r)));
+
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+
+    // Provisioning through the warm cache is bit-identical, and the
+    // same family entry serves every request.
+    for (i, id) in ids.iter().enumerate() {
+        let req = Request::Provision {
+            secrets: Blob::Inline(family.secrets_bytes.clone()),
+            fingerprint_config: fp_cfg(),
+            device_id: id.clone(),
+        };
+        match service.request(i as u64, &req) {
+            Response::Provision {
+                fingerprint,
+                artifact,
+            } => {
+                assert_eq!(fingerprint, expected[i].fingerprint, "{id}: fingerprint");
+                assert_eq!(artifact, expected[i].artifact, "{id}: artifact bytes");
+            }
+            other => panic!("{id}: unexpected response {other:?}"),
+        }
+    }
+
+    // Leak identification (linear and indexed-capable registry blob)
+    // traces the same device with the same extraction stats.
+    for linear in [false, true] {
+        let req = Request::IdentifyLeak {
+            secrets: Blob::Inline(family.secrets_bytes.clone()),
+            registry: Blob::Inline(registry_bytes.clone()),
+            suspect: Blob::Inline(leak.artifact.clone()),
+            log10_threshold: -6.0,
+            linear,
+        };
+        match service.request(10 + linear as u64, &req) {
+            Response::Identify { matched } => {
+                assert_eq!(matched, one_shot, "linear={linear}: attribution diverged");
+                let (device, _) = matched.expect("the leaked artifact must trace");
+                assert_eq!(device.device_id, "edge-01");
+            }
+            other => panic!("linear={linear}: unexpected response {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn rewriting_a_vault_path_invalidates_the_stamp_cache() {
+    // Warm path-blob requests skip re-reading the vault while its
+    // (mtime, length) stamp is unchanged; overwriting the file must
+    // flip the stamp and serve the NEW family, not the cached one.
+    let a = build_family("rtn", 501);
+    let b = build_family("awq", 502);
+    let dir = std::env::temp_dir();
+    let vault_path = dir.join(format!("emmark-svctest-{}.emws", std::process::id()));
+    let vault = vault_path.display().to_string();
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    for (round, fam) in [&a, &b].into_iter().enumerate() {
+        std::fs::write(&vault_path, &fam.secrets_bytes).expect("write vault");
+        let req = Request::Verify {
+            secrets: Blob::Path(vault.clone()),
+            suspect: Blob::Inline(fam.deployed_bytes.clone()),
+            log10_threshold: -9.0,
+        };
+        // Twice per round: the second request exercises the stamp hit.
+        for attempt in 0..2 {
+            match service.request(round as u64 * 2 + attempt, &req) {
+                Response::Verify { report, .. } => assert_eq!(
+                    report, fam.expected,
+                    "round {round} attempt {attempt}: wrong family served"
+                ),
+                other => panic!("round {round}: unexpected response {other:?}"),
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&vault_path);
+}
+
+#[test]
+fn full_queues_push_back_with_busy_and_recover() {
+    // No workers: submissions stay queued, so the second one overflows
+    // a capacity-1 queue deterministically.
+    let service = Service::start(ServiceConfig {
+        workers: 0,
+        queue_capacity: 1,
+        cache_capacity: 1,
+        max_resident_bytes: None,
+        retry_after_ms: 42,
+    });
+    let (tx, rx) = mpsc::channel();
+    for id in 0..2u64 {
+        let tx = tx.clone();
+        service.submit(
+            encode_request(id, &Request::Ping),
+            Box::new(move |bytes| tx.send(decode_response(&bytes).expect("decode")).unwrap()),
+        );
+    }
+    // The overflow answer arrives immediately, without a worker.
+    let (id, resp) = rx.recv().expect("busy reply");
+    assert_eq!(id, 1);
+    assert_eq!(resp, Response::Busy { retry_after_ms: 42 });
+    // Draining inline answers the queued request: the queue recovered.
+    service.drain_pending();
+    let (id, resp) = rx.recv().expect("queued reply");
+    assert_eq!(id, 0);
+    assert_eq!(resp, Response::Pong);
+}
+
+#[test]
+fn malformed_frames_are_rejected_without_poisoning_the_pool() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let (tx, rx) = mpsc::channel();
+    for garbage in [
+        b"not a frame payload".to_vec(),
+        b"EMSR".to_vec(), // response magic where a request belongs
+        vec![0u8; 4],
+    ] {
+        let tx = tx.clone();
+        service.submit(
+            garbage,
+            Box::new(move |bytes| tx.send(decode_response(&bytes).expect("decode")).unwrap()),
+        );
+    }
+    for _ in 0..3 {
+        let (_, resp) = rx.recv().expect("error reply");
+        assert!(
+            matches!(resp, Response::Error { .. }),
+            "garbage must produce an error response, got {resp:?}"
+        );
+    }
+    // The pool survives and keeps answering well-formed requests.
+    assert_eq!(service.request(7, &Request::Ping), Response::Pong);
+}
+
+#[test]
+fn shutdown_drains_queued_requests_then_refuses_new_ones() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 1,
+        max_resident_bytes: None,
+        retry_after_ms: 10,
+    });
+    let (tx, rx) = mpsc::channel();
+    for id in 0..4u64 {
+        let tx = tx.clone();
+        service.submit(
+            encode_request(id, &Request::Ping),
+            Box::new(move |bytes| tx.send(decode_response(&bytes).expect("decode")).unwrap()),
+        );
+    }
+    assert_eq!(
+        service.request(100, &Request::Shutdown),
+        Response::ShutdownComplete
+    );
+    // Every request enqueued before the shutdown was answered.
+    let mut ids: Vec<u64> = (0..4)
+        .map(|_| rx.recv().expect("drained reply").0)
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+    service.wait_stopped();
+    assert!(service.is_stopped());
+    assert!(matches!(
+        service.request(101, &Request::Ping),
+        Response::Error { .. }
+    ));
+}

@@ -323,6 +323,7 @@ fn jsonl_round_trip_matches_in_process_snapshot() {
     let mut load_threads = Vec::new();
     let mut compute_threads = Vec::new();
     let mut counters_seen = 0usize;
+    let mut gauges_seen = 0usize;
     let mut histograms_seen = 0usize;
     for line in &lines {
         match line.str("type") {
@@ -342,6 +343,15 @@ fn jsonl_round_trip_matches_in_process_snapshot() {
                     .iter()
                     .find(|c| c.name == line.str("name"))
                     .expect("counter line names a registered metric");
+                assert_eq!(sample.value as f64, line.num("value"));
+            }
+            "gauge" => {
+                gauges_seen += 1;
+                let sample = snap
+                    .gauges
+                    .iter()
+                    .find(|g| g.name == line.str("name"))
+                    .expect("gauge line names a registered metric");
                 assert_eq!(sample.value as f64, line.num("value"));
             }
             "histogram" => {
@@ -364,6 +374,7 @@ fn jsonl_round_trip_matches_in_process_snapshot() {
         }
     }
     assert_eq!(counters_seen, snap.counters.len());
+    assert_eq!(gauges_seen, snap.gauges.len());
     assert_eq!(histograms_seen, snap.histograms.len());
 
     // Cross-thread spans: loads happen on the scoped prefetch worker,
