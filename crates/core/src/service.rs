@@ -754,7 +754,7 @@ struct FamilyEntry {
     secrets: OwnerSecrets,
     locations: Locations,
     provisioners: Mutex<HashMap<FpKey, Arc<FleetProvisioner>>>,
-    verifiers: Mutex<HashMap<u64, VerifierKind>>,
+    verifiers: Mutex<HashMap<CacheKey, VerifierKind>>,
 }
 
 impl FamilyEntry {
@@ -812,6 +812,24 @@ impl FamilyEntry {
     }
 }
 
+/// Cache identity for raw input bytes (vaults, registries): two
+/// independently seeded FNV-style passes plus the input length. A
+/// single 64-bit non-cryptographic hash is too narrow to key cached
+/// secrets on — a collision would silently serve one family's entry
+/// for another — and widening the key to 128 bits plus the length
+/// makes accidental aliasing implausible without a byte compare.
+type CacheKey = (u64, u64);
+
+fn cache_key(bytes: &[u8]) -> CacheKey {
+    let mut h2 = 0x6c62_272e_07bb_0142_u64 ^ (bytes.len() as u64);
+    for &b in bytes {
+        h2 = (h2 ^ b as u64)
+            .wrapping_mul(0x0100_0000_01b3)
+            .rotate_left(5);
+    }
+    (fxhash(bytes), h2)
+}
+
 /// Identity stamp for a vault file: modification time plus length.
 /// While the stamp is unchanged, a path blob resolves to its previously
 /// hashed cache key without re-reading the file, so the warm-path cost
@@ -839,8 +857,8 @@ const PATH_KEY_CAP: usize = 1024;
 struct FamilyLru {
     capacity: usize,
     tick: u64,
-    entries: HashMap<u64, (u64, Arc<FamilyEntry>)>,
-    path_keys: HashMap<String, (PathStamp, u64)>,
+    entries: HashMap<CacheKey, (u64, Arc<FamilyEntry>)>,
+    path_keys: HashMap<String, (PathStamp, CacheKey)>,
 }
 
 impl FamilyLru {
@@ -915,9 +933,15 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it get [`Response::Busy`].
     pub queue_capacity: usize,
-    /// Warm family (vault) entries kept behind the LRU.
+    /// Warm family (vault) entries kept behind the LRU. This — not
+    /// `max_resident_bytes` — is what bounds steady-state cache memory:
+    /// resident memory is roughly this many decoded vaults plus their
+    /// location tables and sub-caches.
     pub cache_capacity: usize,
-    /// Shared cap on resident artifact bytes, if any.
+    /// Shared cap on *transient per-request* artifact bytes (request
+    /// blobs read while a request is in flight), if any. Leases release
+    /// when the request finishes; warm [`FamilyLru`] entries are not
+    /// charged against this budget — size those via `cache_capacity`.
     pub max_resident_bytes: Option<u64>,
     /// Backoff hint carried in [`Response::Busy`].
     pub retry_after_ms: u32,
@@ -1016,7 +1040,11 @@ impl Service {
         }
         {
             let mut state = self.inner.state.lock().unwrap();
-            if state.stopped || (state.draining && !is_shutdown) {
+            if state.stopped || state.draining {
+                // This also covers a second Shutdown racing the first:
+                // enqueuing it would wedge the drain wait (the queued
+                // marker keeps the queue non-empty forever), so every
+                // post-drain submission is answered immediately.
                 drop(state);
                 reply(encode_response(
                     id,
@@ -1280,7 +1308,7 @@ fn load_blob(
     Ok(bytes)
 }
 
-fn remember_path_key(lru: &mut FamilyLru, stamped: &Option<(&str, PathStamp)>, key: u64) {
+fn remember_path_key(lru: &mut FamilyLru, stamped: &Option<(&str, PathStamp)>, key: CacheKey) {
     if let Some((path, stamp)) = stamped {
         if lru.path_keys.len() >= PATH_KEY_CAP && !lru.path_keys.contains_key(*path) {
             lru.path_keys.clear();
@@ -1320,7 +1348,7 @@ fn load_family(
         }
     }
     let bytes = load_blob(secrets, "owner vault", lease)?;
-    let key = fxhash(&bytes);
+    let key = cache_key(&bytes);
     {
         let mut lru = inner.cache.lock().unwrap();
         lru.tick += 1;
@@ -1405,7 +1433,7 @@ fn load_verifier(
     lease: &mut BudgetLease<'_>,
 ) -> Result<VerifierKind, ServiceError> {
     let bytes = load_blob(registry, "fleet registry", lease)?;
-    let key = fxhash(&bytes);
+    let key = cache_key(&bytes);
     if let Some(kind) = family.verifiers.lock().unwrap().get(&key) {
         if Telemetry::enabled() {
             SERVICE_CACHE_HITS.incr();
@@ -1765,6 +1793,71 @@ mod tests {
             Response::ShutdownComplete
         );
         service.wait_stopped();
+    }
+
+    #[test]
+    fn duplicate_shutdowns_do_not_deadlock() {
+        // A second Shutdown submitted while the first is draining must be
+        // answered immediately — enqueueing it would keep the drain wait
+        // stuck on a non-empty queue forever. Exercise both pool widths
+        // that used to wedge: one worker (queued second shutdown) and two
+        // workers (both shutdowns in flight).
+        for workers in [1, 2] {
+            let service = Service::start(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            });
+            let (tx, rx) = std::sync::mpsc::channel();
+            for id in 0..2u64 {
+                let tx = tx.clone();
+                service.submit(
+                    encode_request(id, &Request::Shutdown),
+                    Box::new(move |payload| {
+                        let _ = tx.send(payload);
+                    }),
+                );
+            }
+            let mut responses: Vec<Response> = (0..2)
+                .map(|_| {
+                    let payload = rx
+                        .recv_timeout(std::time::Duration::from_secs(10))
+                        .expect("both shutdowns must be answered");
+                    decode_response(&payload).unwrap().1
+                })
+                .collect();
+            responses.sort_by_key(|r| matches!(r, Response::ShutdownComplete));
+            assert!(matches!(&responses[0], Response::Error { message }
+                if message.contains("shutting down")));
+            assert_eq!(responses[1], Response::ShutdownComplete);
+            service.wait_stopped();
+        }
+    }
+
+    #[test]
+    fn duplicate_shutdowns_drain_inline_without_workers() {
+        let service = Service::start(ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for id in 0..2u64 {
+            let tx = tx.clone();
+            service.submit(
+                encode_request(id, &Request::Shutdown),
+                Box::new(move |payload| {
+                    let _ = tx.send(payload);
+                }),
+            );
+        }
+        service.drain_pending();
+        let responses: Vec<(u64, Response)> = (0..2)
+            .map(|_| decode_response(&rx.recv().unwrap()).unwrap())
+            .collect();
+        // The second submit is rejected synchronously, so it lands first.
+        assert!(matches!(&responses[0], (1, Response::Error { message })
+            if message.contains("shutting down")));
+        assert_eq!(responses[1], (0, Response::ShutdownComplete));
+        assert!(service.is_stopped());
     }
 
     #[test]

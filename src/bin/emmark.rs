@@ -1306,9 +1306,23 @@ fn serve_stdio(service: &Service) -> Result<(), String> {
 /// connection. A shutdown request (from any connection) drains the
 /// queue, stops the pool, and unblocks the accept loop.
 fn serve_socket(service: Service, path: &str) -> Result<(), String> {
+    use std::os::unix::fs::FileTypeExt as _;
     use std::os::unix::net::{UnixListener, UnixStream};
-    // A stale socket file from a crashed daemon would make bind fail.
-    if Path::new(path).exists() {
+    // A stale socket file from a crashed daemon would make bind fail, but
+    // only reclaim the path if it really is an abandoned socket: refuse to
+    // clobber a non-socket file (likely a mistyped --socket) or to steal
+    // the address out from under a daemon that still answers.
+    if let Ok(meta) = std::fs::symlink_metadata(path) {
+        if !meta.file_type().is_socket() {
+            return Err(format!(
+                "--socket {path} exists and is not a socket; refusing to remove it"
+            ));
+        }
+        if UnixStream::connect(path).is_ok() {
+            return Err(format!(
+                "another daemon is already listening on {path}; refusing to replace it"
+            ));
+        }
         std::fs::remove_file(path).map_err(|e| format!("removing stale socket {path}: {e}"))?;
     }
     let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
@@ -1349,6 +1363,17 @@ fn serve_socket(service: Service, path: &str) -> Result<(), String> {
             .spawn(move || serve_conn(&service, conn))
             .map_err(|e| format!("spawning connection thread: {e}"))?;
         handlers.push(handle);
+        // Reap handles whose connections already hung up, so a long-lived
+        // daemon holds one JoinHandle per live connection, not per
+        // connection ever served.
+        let mut i = 0;
+        while i < handlers.len() {
+            if handlers[i].is_finished() {
+                let _ = handlers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
     }
     for handle in handlers {
         let _ = handle.join();
